@@ -1,0 +1,155 @@
+//! Bench B1 — the view-object translator against (i) Keller's flat-view
+//! translator and (ii) hand-written direct base-table operations, plus the
+//! definition-time vs per-update dialog ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vo_core::prelude::*;
+use vo_keller::{KellerTranslator, SpjView};
+use vo_penguin::university_scaled;
+
+fn flat_view() -> SpjView {
+    SpjView::new("course_flat", "COURSES")
+        .join(
+            "DEPARTMENT",
+            &[("COURSES", "dept_name", "DEPARTMENT", "dept_name")],
+        )
+        .column("COURSES", "course_id")
+        .column("COURSES", "title")
+        .column_as("DEPARTMENT", "dept_name", "department")
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(20);
+
+    for scale in [1i64, 8, 32] {
+        let (schema, db) = university_scaled(scale, 42);
+        let omega = generate_omega(&schema).unwrap();
+        let analysis = analyze(&schema, &omega).unwrap();
+        let vo_translator = Translator::permissive(&omega);
+        let keller = KellerTranslator {
+            view: flat_view(),
+            delete_from: Some("COURSES".into()),
+            insert_into: ["COURSES".to_string(), "DEPARTMENT".to_string()]
+                .into_iter()
+                .collect(),
+            update_allowed: ["COURSES".to_string(), "DEPARTMENT".to_string()]
+                .into_iter()
+                .collect(),
+        };
+        let pivot = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("C0-0"))
+            .unwrap()
+            .clone();
+        let inst = assemble(&schema, &omega, &db, pivot).unwrap();
+        let view_row = vec![
+            Value::text("C0-0"),
+            Value::text("course 0.0"),
+            Value::text("dept-0"),
+        ];
+
+        group.bench_with_input(
+            BenchmarkId::new("delete/view_object", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    translate_complete_deletion(
+                        black_box(&schema),
+                        &omega,
+                        &analysis,
+                        &vo_translator,
+                        &db,
+                        &inst,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("delete/keller", scale), &scale, |b, _| {
+            b.iter(|| keller.translate_delete(black_box(&db), &view_row).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("delete/direct", scale), &scale, |b, _| {
+            b.iter(|| {
+                let grades = db.table("GRADES").unwrap();
+                let mut ops: Vec<DbOp> = grades
+                    .keys_by_attrs(&["course_id".to_string()], &[Value::text("C0-0")])
+                    .unwrap()
+                    .into_iter()
+                    .map(|key| DbOp::Delete {
+                        relation: "GRADES".into(),
+                        key,
+                    })
+                    .collect();
+                let cur = db.table("CURRICULUM").unwrap();
+                ops.extend(
+                    cur.keys_by_attrs(&["course_id".to_string()], &[Value::text("C0-0")])
+                        .unwrap()
+                        .into_iter()
+                        .map(|key| DbOp::Delete {
+                            relation: "CURRICULUM".into(),
+                            key,
+                        }),
+                );
+                ops.push(DbOp::Delete {
+                    relation: "COURSES".into(),
+                    key: Key::single("C0-0"),
+                });
+                ops
+            })
+        });
+
+        // replacement: non-key title change, both layers can express it
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let mut new = inst.clone();
+        new.root.tuple = new
+            .root
+            .tuple
+            .with_named(&courses, "title", "renamed".into())
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("update/view_object", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    translate_replacement(
+                        black_box(&schema),
+                        &omega,
+                        &analysis,
+                        &vo_translator,
+                        &db,
+                        &inst,
+                        new.clone(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let mut new_row = view_row.clone();
+        new_row[1] = Value::text("renamed");
+        group.bench_with_input(BenchmarkId::new("update/keller", scale), &scale, |b, _| {
+            b.iter(|| {
+                keller
+                    .translate_update(black_box(&db), &view_row, &new_row)
+                    .unwrap()
+            })
+        });
+    }
+
+    // dialog cost: run the full dialog per update vs once
+    let (schema, _) = university_scaled(1, 42);
+    let omega = generate_omega(&schema).unwrap();
+    let analysis = analyze(&schema, &omega).unwrap();
+    group.bench_function("dialog/definition_time", |b| {
+        b.iter(|| {
+            let mut r = paper_dialog_responder();
+            choose_translator(black_box(&schema), &omega, &analysis, &mut r).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Bench G1 — view-object generation cost (subgraph extraction, template
+//! tree expansion, pruning) versus schema size and shape, plus the
+//! cached-vs-recomputed island-analysis ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vo_core::prelude::*;
+use vo_penguin::{synthetic_schema, SchemaShape};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(20);
+
+    // the paper's own schema
+    let schema = university_schema();
+    group.bench_function("university/subgraph", |b| {
+        b.iter(|| {
+            extract_subgraph(black_box(&schema), "COURSES", &MetricWeights::default()).unwrap()
+        })
+    });
+    group.bench_function("university/tree", |b| {
+        b.iter(|| generate_tree(black_box(&schema), "COURSES", &MetricWeights::default()).unwrap())
+    });
+    group.bench_function("university/omega_end_to_end", |b| {
+        b.iter(|| generate_omega(black_box(&schema)).unwrap())
+    });
+
+    // synthetic shapes at growing sizes
+    for n in [8usize, 32, 128, 512] {
+        for (label, shape) in [
+            ("chain", SchemaShape::OwnershipChain),
+            ("star", SchemaShape::OwnershipStar),
+            ("reftree", SchemaShape::ReferenceTree),
+        ] {
+            // deep chains explode key arity; cap chain depth
+            if label == "chain" && n > 32 {
+                continue;
+            }
+            let schema = synthetic_schema(shape, n);
+            let w = MetricWeights {
+                threshold: 0.2,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(format!("tree/{label}"), n), &n, |b, _| {
+                b.iter(|| generate_tree(black_box(&schema), "R0", &w).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    // ablation: island analysis cached (once per object) vs per update
+    let mut group = c.benchmark_group("island_analysis");
+    group.sample_size(20);
+    let schema = university_schema();
+    let omega = generate_omega(&schema).unwrap();
+    group.bench_function("analyze_once", |b| {
+        b.iter(|| analyze(black_box(&schema), black_box(&omega)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

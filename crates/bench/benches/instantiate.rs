@@ -1,0 +1,61 @@
+//! Bench I1 — instantiation throughput (Figure 4's operation) versus
+//! database scale and object complexity, including queries with count
+//! conditions and contracted-path edges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vo_core::prelude::*;
+use vo_penguin::university_scaled;
+
+fn bench_instantiate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instantiate");
+    group.sample_size(20);
+
+    for scale in [1i64, 8, 32] {
+        let (schema, db) = university_scaled(scale, 42);
+        let omega = generate_omega(&schema).unwrap();
+        let pivot = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("C0-0"))
+            .unwrap()
+            .clone();
+
+        group.bench_with_input(BenchmarkId::new("one_instance", scale), &scale, |b, _| {
+            b.iter(|| assemble(black_box(&schema), &omega, &db, pivot.clone()).unwrap())
+        });
+
+        let n_courses = db.table("COURSES").unwrap().len() as u64;
+        group.throughput(Throughput::Elements(n_courses));
+        group.bench_with_input(BenchmarkId::new("all_instances", scale), &scale, |b, _| {
+            b.iter(|| instantiate_all(black_box(&schema), &omega, &db).unwrap())
+        });
+        group.throughput(Throughput::Elements(1));
+
+        // Figure 4's query: pivot predicate + count condition
+        let student = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "STUDENT")
+            .unwrap()
+            .id;
+        let q = VoQuery::new()
+            .with_predicate(0, Expr::attr("level").eq(Expr::lit("graduate")))
+            .with_count(student, CmpOp::Lt, 5);
+        group.bench_with_input(BenchmarkId::new("figure4_query", scale), &scale, |b, _| {
+            b.iter(|| q.execute(black_box(&schema), &omega, &db).unwrap())
+        });
+
+        // contracted-path instantiation (omega-prime)
+        let op = generate_omega_prime(&schema).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("omega_prime_instance", scale),
+            &scale,
+            |b, _| b.iter(|| assemble(black_box(&schema), &op, &db, pivot.clone()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_instantiate);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Bench — the structural substrate itself: full-database consistency
+//! scans, deletion-cascade planning by depth/fanout, and key-replacement
+//! propagation. These bound the cost of the paper's step 4 (global
+//! validation) at different database sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vo_core::prelude::*;
+use vo_penguin::{seed_ownership_chain, synthetic_schema, university_scaled, SchemaShape};
+
+fn bench_integrity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrity");
+    group.sample_size(20);
+
+    // full consistency scan vs database size
+    for scale in [1i64, 8, 32] {
+        let (schema, db) = university_scaled(scale, 42);
+        group.bench_with_input(BenchmarkId::new("check_database", scale), &scale, |b, _| {
+            b.iter(|| check_database(black_box(&schema), &db).unwrap())
+        });
+    }
+
+    // deletion planning vs cascade depth/fanout
+    for (depth, fanout) in [(3usize, 4i64), (4, 4), (4, 8)] {
+        let schema = synthetic_schema(SchemaShape::OwnershipChain, depth);
+        let mut db = Database::from_schema(schema.catalog());
+        seed_ownership_chain(&mut db, depth, fanout).unwrap();
+        let policy = IntegrityPolicy::default();
+        group.bench_with_input(
+            BenchmarkId::new("plan_delete", format!("d{depth}f{fanout}")),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    plan_delete(black_box(&schema), &db, "R0", &Key::single(0), &policy).unwrap()
+                })
+            },
+        );
+    }
+
+    // key-replacement propagation on the university schema
+    let (schema, db) = university_scaled(8, 42);
+    let courses = db.table("COURSES").unwrap().schema().clone();
+    let new = Tuple::new(
+        &courses,
+        vec![
+            "C0-X".into(),
+            "course 0.0".into(),
+            "graduate".into(),
+            "dept-0".into(),
+        ],
+    )
+    .unwrap();
+    let policy = IntegrityPolicy::default();
+    group.bench_function("plan_key_replacement/course", |b| {
+        b.iter(|| {
+            plan_key_replacement(
+                black_box(&schema),
+                &db,
+                "COURSES",
+                &Key::single("C0-0"),
+                new.clone(),
+                &policy,
+            )
+            .unwrap()
+        })
+    });
+
+    // dependency completion for a fresh tuple
+    let grades = db.table("GRADES").unwrap().schema().clone();
+    let fresh = Tuple::new(&grades, vec!["C0-0".into(), 900_000.into(), "A".into()]).unwrap();
+    group.bench_function("plan_completion/grade", |b| {
+        b.iter(|| plan_completion(black_box(&schema), &db, "GRADES", &fresh, &|_| true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_integrity);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Benches A1–A3 — translation throughput of the three view-object update
+//! algorithms (VO-CD, VO-CI, VO-R) versus database scale and change kind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vo_core::prelude::*;
+use vo_penguin::university_scaled;
+
+struct Setup {
+    schema: StructuralSchema,
+    db: Database,
+    omega: ViewObject,
+    analysis: IslandAnalysis,
+    translator: Translator,
+}
+
+fn setup(scale: i64) -> Setup {
+    let (schema, db) = university_scaled(scale, 42);
+    let omega = generate_omega(&schema).unwrap();
+    let analysis = analyze(&schema, &omega).unwrap();
+    let translator = Translator::permissive(&omega);
+    Setup {
+        schema,
+        db,
+        omega,
+        analysis,
+        translator,
+    }
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(20);
+
+    for scale in [1i64, 8, 32] {
+        let s = setup(scale);
+        let pivot =
+            s.db.table("COURSES")
+                .unwrap()
+                .get(&Key::single("C0-0"))
+                .unwrap()
+                .clone();
+        let inst = assemble(&s.schema, &s.omega, &s.db, pivot).unwrap();
+
+        // VO-CD: translate only
+        group.bench_with_input(
+            BenchmarkId::new("vo_cd/translate", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    translate_complete_deletion(
+                        black_box(&s.schema),
+                        &s.omega,
+                        &s.analysis,
+                        &s.translator,
+                        &s.db,
+                        &inst,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+
+        // VO-CD: translate + apply + undo (round trip on a clone-free path)
+        let ops = translate_complete_deletion(
+            &s.schema,
+            &s.omega,
+            &s.analysis,
+            &s.translator,
+            &s.db,
+            &inst,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("vo_cd/apply", scale), &scale, |b, _| {
+            let mut db = s.db.clone();
+            b.iter(|| {
+                let undo: Vec<DbOp> = ops.iter().map(|op| db.apply(op).unwrap()).collect();
+                for u in undo.iter().rev() {
+                    db.apply(u).unwrap();
+                }
+            })
+        });
+
+        // VO-CI: re-insert the (deleted) instance
+        let mut deleted = s.db.clone();
+        deleted.apply_all(&ops).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("vo_ci/translate", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    translate_complete_insertion(
+                        black_box(&s.schema),
+                        &s.omega,
+                        &s.analysis,
+                        &s.translator,
+                        &deleted,
+                        &inst,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+
+        // VO-R: non-key change and key change
+        let courses = s.db.table("COURSES").unwrap().schema().clone();
+        let mut new_title = inst.clone();
+        new_title.root.tuple = new_title
+            .root
+            .tuple
+            .with_named(&courses, "title", "renamed".into())
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("vo_r/nonkey", scale), &scale, |b, _| {
+            b.iter(|| {
+                translate_replacement(
+                    black_box(&s.schema),
+                    &s.omega,
+                    &s.analysis,
+                    &s.translator,
+                    &s.db,
+                    &inst,
+                    new_title.clone(),
+                )
+                .unwrap()
+            })
+        });
+
+        let mut new_key = inst.clone();
+        new_key.root.tuple = new_key
+            .root
+            .tuple
+            .with_named(&courses, "course_id", "C0-X".into())
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("vo_r/key", scale), &scale, |b, _| {
+            b.iter(|| {
+                translate_replacement(
+                    black_box(&s.schema),
+                    &s.omega,
+                    &s.analysis,
+                    &s.translator,
+                    &s.db,
+                    &inst,
+                    new_key.clone(),
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // strict-vs-fast apply ablation (full consistency check per update)
+    let s = setup(8);
+    let updater = ViewObjectUpdater::new(&s.schema, s.omega.clone(), s.translator.clone()).unwrap();
+    let pivot =
+        s.db.table("COURSES")
+            .unwrap()
+            .get(&Key::single("C0-0"))
+            .unwrap()
+            .clone();
+    let inst = assemble(&s.schema, &s.omega, &s.db, pivot).unwrap();
+    group.bench_function("pipeline/strict_roundtrip", |b| {
+        let mut db = s.db.clone();
+        b.iter(|| {
+            updater.delete(&s.schema, &mut db, inst.clone()).unwrap();
+            updater.insert(&s.schema, &mut db, inst.clone()).unwrap();
+        })
+    });
+    let mut fast = updater.clone();
+    fast.strict = false;
+    group.bench_function("pipeline/fast_roundtrip", |b| {
+        let mut db = s.db.clone();
+        b.iter(|| {
+            fast.delete(&s.schema, &mut db, inst.clone()).unwrap();
+            fast.insert(&s.schema, &mut db, inst.clone()).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

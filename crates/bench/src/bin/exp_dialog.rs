@@ -1,0 +1,117 @@
+//! Experiments D1 and D2 — regenerate the paper's §6 artifacts:
+//!
+//! - D1: the translator-choice dialog transcript for ω (replacement
+//!   portion shown verbatim, including the skipped-question behaviour of
+//!   footnote 5);
+//! - D2: the worked replacement example — CS345 → EES345 inserts
+//!   ⟨Engineering Economic Systems⟩ into DEPARTMENT under the permissive
+//!   translator, and the same request is rejected under the restrictive
+//!   translator.
+
+use vo_bench::banner;
+use vo_core::prelude::*;
+
+fn main() {
+    let (schema, db) = university_database();
+    let omega = generate_omega(&schema).unwrap();
+    let analysis = analyze(&schema, &omega).unwrap();
+
+    banner("D1", "Section 6 — dialog choosing a translator for omega");
+    let mut responder = paper_dialog_responder();
+    let (translator, transcript) =
+        choose_translator(&schema, &omega, &analysis, &mut responder).unwrap();
+    println!("{}", transcript.to_transcript_string());
+    println!("questions asked: {}", transcript.len());
+
+    println!("\nfootnote 5 — the restrictive dialog skips DEPARTMENT's sub-questions:");
+    let mut restrictive_responder = paper_restrictive_responder();
+    let (restrictive, restrictive_transcript) =
+        choose_translator(&schema, &omega, &analysis, &mut restrictive_responder).unwrap();
+    let dept_lines: Vec<&str> = restrictive_transcript
+        .entries
+        .iter()
+        .map(|(q, _)| q.text.as_str())
+        .filter(|t| t.contains("DEPARTMENT"))
+        .collect();
+    println!(
+        "  questions mentioning DEPARTMENT: {} (permissive dialog asked 3)",
+        dept_lines.len()
+    );
+    println!(
+        "  total questions: {} vs {} in the permissive dialog",
+        restrictive_transcript.len(),
+        transcript.len()
+    );
+
+    banner(
+        "D2",
+        "Section 6 — the worked replacement example (CS345 -> EES345)",
+    );
+    let old = {
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        assemble(&schema, &omega, &db, t).unwrap()
+    };
+    let courses = db.table("COURSES").unwrap().schema().clone();
+    let mut new = old.clone();
+    new.root.tuple = new
+        .root
+        .tuple
+        .with_named(&courses, "course_id", "EES345".into())
+        .unwrap()
+        .with_named(&courses, "dept_name", "Engineering Economic Systems".into())
+        .unwrap();
+
+    println!("request: replace");
+    println!("  (COURSE: CS345 ... (DEPARTMENT: Computer Science) ...)");
+    println!("with");
+    println!("  (COURSE: EES345 ... (DEPARTMENT: Engineering Economic Systems) ...)\n");
+
+    // permissive translator
+    let mut db1 = db.clone();
+    let updater = ViewObjectUpdater::new(&schema, omega.clone(), translator).unwrap();
+    let ops = updater
+        .replace(&schema, &mut db1, old.clone(), new.clone())
+        .unwrap();
+    println!("permissive translator: {} database operations:", ops.len());
+    for op in &ops {
+        println!("  {op}");
+    }
+    println!(
+        "\ndatabase consistent afterwards: {}",
+        check_database(&schema, &db1).unwrap().is_empty()
+    );
+    println!(
+        "new department present: {}",
+        db1.table("DEPARTMENT")
+            .unwrap()
+            .contains_key(&Key::single("Engineering Economic Systems"))
+    );
+    println!(
+        "curriculum foreign keys repaired: {}",
+        db1.table("CURRICULUM")
+            .unwrap()
+            .contains_key(&Key(vec!["MS".into(), "EES345".into()]))
+    );
+
+    // restrictive translator
+    let mut db2 = db.clone();
+    let updater = ViewObjectUpdater::new(&schema, omega, restrictive).unwrap();
+    match updater.replace(&schema, &mut db2, old, new) {
+        Err(e) => {
+            println!("\nrestrictive translator: request rejected, as the paper states:");
+            println!("  {e}");
+            println!(
+                "database unchanged: {}",
+                db2.table("COURSES")
+                    .unwrap()
+                    .contains_key(&Key::single("CS345"))
+            );
+        }
+        Ok(_) => println!("\nERROR: the restrictive translator should have rejected this"),
+    }
+}

@@ -1,0 +1,68 @@
+//! Experiment F2 — regenerate Figure 2: definition of the view object ω
+//! anchored on COURSES. (a) the relevant subgraph G under the information
+//! metric; (b) the template tree T with the circuit broken by duplicating
+//! PEOPLE; (c) the pruned ω of complexity 5.
+
+use vo_bench::{banner, TextTable};
+use vo_core::prelude::*;
+
+fn main() {
+    let schema = university_schema();
+    let weights = MetricWeights::default();
+
+    banner("F2a", "Figure 2(a) — relevant subgraph G for pivot COURSES");
+    let g = extract_subgraph(&schema, "COURSES", &weights).unwrap();
+    let mut t = TextTable::new(&["relation", "relevance"]);
+    let mut entries: Vec<(&String, &f64)> = g.relevance.iter().collect();
+    entries.sort_by(|a, b| b.1.total_cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    for (rel, score) in entries {
+        t.row(&[rel.clone(), format!("{score:.3}")]);
+    }
+    println!("{}", t.render());
+    println!(
+        "connections with both endpoints in G: {}",
+        g.connections.join(", ")
+    );
+
+    banner(
+        "F2b",
+        "Figure 2(b) — template tree T (circuits broken by duplication)",
+    );
+    let tree = generate_tree(&schema, "COURSES", &weights).unwrap();
+    print!("{}", tree.to_tree_string());
+    println!(
+        "\ntemplate nodes: {}   copies of PEOPLE: {} (the paper's two copies)",
+        tree.len(),
+        tree.nodes_on("PEOPLE").len()
+    );
+
+    banner(
+        "F2c",
+        "Figure 2(c) — the pruned view object omega (complexity 5)",
+    );
+    let omega = generate_omega(&schema).unwrap();
+    print!("{}", omega.to_tree_string(&schema));
+    println!(
+        "\npivot: {}   complexity: {}",
+        omega.pivot(),
+        omega.complexity()
+    );
+    println!(
+        "object key K(omega) = {:?}",
+        omega.object_key(&schema).unwrap()
+    );
+
+    let analysis = analyze(&schema, &omega).unwrap();
+    let island: Vec<&str> = analysis
+        .island
+        .iter()
+        .map(|&i| omega.node(i).relation.as_str())
+        .collect();
+    let peninsulas: Vec<&str> = analysis
+        .peninsulas
+        .iter()
+        .map(|&i| omega.node(i).relation.as_str())
+        .collect();
+    println!("dependency island (Definition 5.1): {island:?}");
+    println!("referencing peninsulas (Definition 5.2): {peninsulas:?}");
+}

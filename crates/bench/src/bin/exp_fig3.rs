@@ -1,0 +1,46 @@
+//! Experiment F3 — regenerate Figure 3: the alternative view object ω′ on
+//! the same pivot, including only FACULTY and STUDENT, with contracted
+//! connection paths (the COURSES→STUDENT edge is the two-connection path
+//! COURSES —* GRADES *— STUDENT because GRADES is not part of ω′).
+
+use vo_bench::banner;
+use vo_core::prelude::*;
+
+fn main() {
+    let schema = university_schema();
+    banner(
+        "F3",
+        "Figure 3 — a different view of the database (omega-prime)",
+    );
+    let op = generate_omega_prime(&schema).unwrap();
+    print!("{}", op.to_tree_string(&schema));
+    println!("\npivot: {}   complexity: {}", op.pivot(), op.complexity());
+
+    let student = op.nodes().iter().find(|n| n.relation == "STUDENT").unwrap();
+    let steps: Vec<String> = student
+        .edge
+        .as_ref()
+        .unwrap()
+        .steps
+        .iter()
+        .map(|s| s.resolve(&schema).unwrap().label())
+        .collect();
+    println!("\nSTUDENT edge is a path of {} connections:", steps.len());
+    for s in &steps {
+        println!("  {s}");
+    }
+    println!("(the paper's note: \"the edge from COURSES to STUDENT is no longer a");
+    println!(" structural connection but rather a path of two connections\")");
+
+    // instantiation through the contracted path still works
+    let (_, db) = university_database();
+    let t = db
+        .table("COURSES")
+        .unwrap()
+        .get(&Key::single("CS345"))
+        .unwrap()
+        .clone();
+    let inst = assemble(&schema, &op, &db, t).unwrap();
+    println!("\ninstance of omega-prime for CS345:");
+    print!("{}", inst.to_display_string(&schema, &op).unwrap());
+}

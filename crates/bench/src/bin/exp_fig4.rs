@@ -1,0 +1,59 @@
+//! Experiment F4 — regenerate Figure 4: instantiation of ω. The
+//! application's request — *retrieve graduate courses with less than 5
+//! students having enrolled* — produces exactly one instance (CS345),
+//! assembled by binding the satisfying relational tuples to the object's
+//! structure.
+
+use vo_bench::banner;
+use vo_core::prelude::*;
+use vo_penguin::{run_voql, Penguin, VoqlOutcome};
+
+fn main() {
+    banner("F4", "Figure 4 — instantiation of omega");
+    let (schema, db) = university_database();
+    let omega = generate_omega(&schema).unwrap();
+
+    // via the programmatic query model
+    let student = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "STUDENT")
+        .unwrap()
+        .id;
+    let q = VoQuery::new()
+        .with_predicate(0, Expr::attr("level").eq(Expr::lit("graduate")))
+        .with_count(student, CmpOp::Lt, 5);
+    let plan = q.pivot_plan(&schema, &omega).unwrap();
+    println!("composed relational plan for candidate pivots:\n  {plan}\n");
+    let hits = q.execute(&schema, &omega, &db).unwrap();
+    println!("instances satisfying the request: {}\n", hits.len());
+    for inst in &hits {
+        print!("{}", inst.to_display_string(&schema, &omega).unwrap());
+        println!(
+            "\n(instance binds {} relational tuples; object key {})",
+            inst.size(),
+            inst.key(&schema, &omega).unwrap()
+        );
+    }
+
+    // and via VOQL
+    println!("\nthe same request in VOQL:");
+    println!("  GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5");
+    let mut penguin = Penguin::with_database(schema, db);
+    penguin
+        .define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+    match run_voql(
+        &mut penguin,
+        "GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5",
+    )
+    .unwrap()
+    {
+        VoqlOutcome::Instances(is) => println!("VOQL returned {} instance(s)", is.len()),
+        other => println!("unexpected outcome: {other:?}"),
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment A3b — the VO-R state machine's case analysis, traced.
+//!
+//! The paper specifies algorithm VO-R as a case table (R-1..R-3 in state R,
+//! I-1..I-4 in state I). This binary runs a set of canonical replacement
+//! requests against ω and prints, for each, the exact sequence of cases
+//! that fired — the executable analogue of walking the paper's case table.
+
+use vo_bench::{banner, TextTable};
+use vo_core::prelude::*;
+
+fn main() {
+    banner("A3b", "VO-R case traces on omega");
+    let (schema, db) = university_database();
+    let omega = generate_omega(&schema).unwrap();
+    let analysis = analyze(&schema, &omega).unwrap();
+    let translator = Translator::permissive(&omega);
+    let courses = schema.catalog().relation("COURSES").unwrap().clone();
+    let grades = schema.catalog().relation("GRADES").unwrap().clone();
+    let gid = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "GRADES")
+        .unwrap()
+        .id;
+
+    let old = assemble(
+        &schema,
+        &omega,
+        &db,
+        db.table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+
+    let cases: Vec<(&str, VoInstance)> = vec![
+        ("identity", old.clone()),
+        ("non-key title change", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "title", "Renamed".into())
+                .unwrap();
+            n
+        }),
+        ("pivot key change (the §6 example)", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "course_id", "EES345".into())
+                .unwrap()
+                .with_named(&courses, "dept_name", "Engineering Economic Systems".into())
+                .unwrap();
+            n
+        }),
+        ("key change colliding with CS101 (delete-adopt)", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "course_id", "CS101".into())
+                .unwrap();
+            n
+        }),
+        ("grade edit + new enrollee", {
+            let mut n = old.clone();
+            if let Some(gs) = n.root.children.get_mut(&gid) {
+                gs[0].tuple = gs[0]
+                    .tuple
+                    .with_named(&grades, "grade", "C".into())
+                    .unwrap();
+            }
+            n.root.push_child(VoInstanceNode::leaf(
+                gid,
+                Tuple::new(&grades, vec!["CS345".into(), 9.into(), "B".into()]).unwrap(),
+            ));
+            n
+        }),
+        ("dropped grade (island removal)", {
+            let mut n = old.clone();
+            n.root.children.get_mut(&gid).unwrap().remove(2);
+            n
+        }),
+    ];
+
+    let mut table = TextTable::new(&["request", "ops", "case sequence"]);
+    for (label, new) in cases {
+        match translate_replacement_traced(&schema, &omega, &analysis, &translator, &db, &old, new)
+        {
+            Ok((ops, trace)) => {
+                let mut labels: Vec<String> = Vec::new();
+                for e in &trace {
+                    let node_rel = match e {
+                        TraceEvent::R1 { node }
+                        | TraceEvent::R2 { node }
+                        | TraceEvent::R3 { node, .. }
+                        | TraceEvent::AlreadyPropagated { node }
+                        | TraceEvent::I1 { node }
+                        | TraceEvent::I2 { node }
+                        | TraceEvent::I3 { node }
+                        | TraceEvent::I4 { node }
+                        | TraceEvent::IslandRemoval { node } => &omega.node(*node).relation,
+                    };
+                    labels.push(format!("{}@{}", e.label(), node_rel));
+                }
+                // compress consecutive duplicates into label xN
+                let mut compressed: Vec<String> = Vec::new();
+                for l in labels {
+                    match compressed.last_mut() {
+                        Some(last) if last.starts_with(&l) || *last == l => {
+                            if let Some((base, count)) = last.rsplit_once(" x") {
+                                if base == l {
+                                    let c: usize = count.parse().unwrap_or(1);
+                                    *last = format!("{l} x{}", c + 1);
+                                    continue;
+                                }
+                            }
+                            if *last == l {
+                                *last = format!("{l} x2");
+                                continue;
+                            }
+                            compressed.push(l);
+                        }
+                        _ => compressed.push(l),
+                    }
+                }
+                table.row(&[
+                    label.to_owned(),
+                    ops.len().to_string(),
+                    compressed.join(", "),
+                ]);
+            }
+            Err(e) => {
+                table.row(&[label.to_owned(), "-".into(), format!("rejected: {e}")]);
+            }
+        }
+    }
+    print!("{}", table.render());
+    println!("\n(R-* cases fire on the island COURSES/GRADES; I-* cases on DEPARTMENT,");
+    println!(" CURRICULUM and STUDENT — exactly the paper's state assignment)");
+}

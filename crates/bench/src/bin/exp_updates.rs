@@ -1,0 +1,311 @@
+//! Experiments A1–A3 — behaviour and cost of the three translation
+//! algorithms:
+//!
+//! - A1 (VO-CD): operations emitted and latency as island depth and fanout
+//!   grow (synthetic ownership chains) and as the university database
+//!   scales;
+//! - A2 (VO-CI): translation cost by object complexity and share of
+//!   already-present non-island tuples;
+//! - A3 (VO-R): cost by kind of change (non-key, key-only, key+children).
+
+use vo_bench::{banner, median_time, us, TextTable};
+use vo_core::prelude::*;
+use vo_penguin::{seed_ownership_chain, synthetic_schema, university_scaled, SchemaShape};
+
+fn main() {
+    a1_chain();
+    a1_university();
+    a2_insertion();
+    a3_replacement();
+}
+
+/// VO-CD on ownership chains: depth × fanout sweep.
+fn a1_chain() {
+    banner(
+        "A1a",
+        "VO-CD — deletion cascade size and latency on ownership chains",
+    );
+    let mut table = TextTable::new(&["depth", "fanout", "tuples", "ops", "median_us"]);
+    for depth in [2usize, 3, 4] {
+        for fanout in [2i64, 4, 8] {
+            let schema = synthetic_schema(SchemaShape::OwnershipChain, depth);
+            let mut db = Database::from_schema(schema.catalog());
+            seed_ownership_chain(&mut db, depth, fanout).unwrap();
+            let w = MetricWeights {
+                threshold: 0.05,
+                ..Default::default()
+            };
+            let tree = generate_tree(&schema, "R0", &w).unwrap();
+            let keep: Vec<String> = (1..depth).map(|i| format!("R{i}")).collect();
+            let keep_refs: Vec<&str> = keep.iter().map(|s| s.as_str()).collect();
+            let obj = prune_by_relations(&schema, &tree, "chain", &keep_refs).unwrap();
+            let analysis = analyze(&schema, &obj).unwrap();
+            let translator = Translator::permissive(&obj);
+            let root = db
+                .table("R0")
+                .unwrap()
+                .get(&Key::single(0))
+                .unwrap()
+                .clone();
+            let inst = assemble(&schema, &obj, &db, root).unwrap();
+            let ops =
+                translate_complete_deletion(&schema, &obj, &analysis, &translator, &db, &inst)
+                    .unwrap();
+            let d = median_time(5, || {
+                translate_complete_deletion(&schema, &obj, &analysis, &translator, &db, &inst)
+                    .unwrap()
+            });
+            table.row(&[
+                depth.to_string(),
+                fanout.to_string(),
+                db.total_tuples().to_string(),
+                ops.len().to_string(),
+                us(d),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    println!("(ops grow with the island's transitive fanout — the cascade of §5.1)\n");
+}
+
+/// VO-CD on the scaled university database.
+fn a1_university() {
+    banner(
+        "A1b",
+        "VO-CD — university database scaling (delete one course instance)",
+    );
+    let mut table = TextTable::new(&["scale", "db_tuples", "ops", "translate_us", "apply_us"]);
+    for scale in [1i64, 4, 16, 64] {
+        let (schema, db) = university_scaled(scale, 42);
+        let omega = generate_omega(&schema).unwrap();
+        let analysis = analyze(&schema, &omega).unwrap();
+        let translator = Translator::permissive(&omega);
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("C0-0"))
+            .unwrap()
+            .clone();
+        let inst = assemble(&schema, &omega, &db, t).unwrap();
+        let ops = translate_complete_deletion(&schema, &omega, &analysis, &translator, &db, &inst)
+            .unwrap();
+        let d_translate = median_time(5, || {
+            translate_complete_deletion(&schema, &omega, &analysis, &translator, &db, &inst)
+                .unwrap()
+        });
+        let d_apply = median_time(5, || {
+            let mut scratch = db.clone();
+            scratch.apply_all(&ops).unwrap();
+        });
+        table.row(&[
+            scale.to_string(),
+            db.total_tuples().to_string(),
+            ops.len().to_string(),
+            us(d_translate),
+            us(d_apply),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(translation cost tracks the instance, not the database size)\n");
+}
+
+/// VO-CI: cost by share of pre-existing non-island tuples.
+fn a2_insertion() {
+    banner(
+        "A2",
+        "VO-CI — insertion: ops by share of already-present children",
+    );
+    let (schema, db) = university_scaled(4, 7);
+    let omega = generate_omega(&schema).unwrap();
+    let analysis = analyze(&schema, &omega).unwrap();
+    let translator = Translator::permissive(&omega);
+    let courses = db.table("COURSES").unwrap().schema().clone();
+    let grades = db.table("GRADES").unwrap().schema().clone();
+    let student = db.table("STUDENT").unwrap().schema().clone();
+    let gid = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "GRADES")
+        .unwrap()
+        .id;
+    let sid = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "STUDENT")
+        .unwrap()
+        .id;
+    let did = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "DEPARTMENT")
+        .unwrap()
+        .id;
+    let dept = db.table("DEPARTMENT").unwrap().schema().clone();
+
+    let mut table = TextTable::new(&[
+        "grades",
+        "existing_students",
+        "fresh_students",
+        "ops",
+        "median_us",
+    ]);
+    for (n_grades, fresh) in [(4usize, 0usize), (4, 4), (16, 0), (16, 16), (64, 64)] {
+        let mut root = VoInstanceNode::leaf(
+            0,
+            Tuple::new(
+                &courses,
+                vec![
+                    "NEW1".into(),
+                    "New Course".into(),
+                    "graduate".into(),
+                    "dept-0".into(),
+                ],
+            )
+            .unwrap(),
+        );
+        root.push_child(VoInstanceNode::leaf(
+            did,
+            Tuple::new(&dept, vec!["dept-0".into()]).unwrap(),
+        ));
+        for i in 0..n_grades {
+            // fresh students get ssns beyond the generated range
+            let ssn: i64 = if i < fresh {
+                100_000 + i as i64
+            } else {
+                1 + i as i64
+            };
+            let mut g = VoInstanceNode::leaf(
+                gid,
+                Tuple::new(&grades, vec!["NEW1".into(), ssn.into(), "A".into()]).unwrap(),
+            );
+            g.push_child(VoInstanceNode::leaf(
+                sid,
+                Tuple::new(&student, vec![ssn.into(), "MS".into()]).unwrap(),
+            ));
+            root.push_child(g);
+        }
+        let inst = VoInstance {
+            object: omega.name().to_owned(),
+            root,
+        };
+        let ops = translate_complete_insertion(&schema, &omega, &analysis, &translator, &db, &inst)
+            .unwrap();
+        let d = median_time(5, || {
+            translate_complete_insertion(&schema, &omega, &analysis, &translator, &db, &inst)
+                .unwrap()
+        });
+        table.row(&[
+            n_grades.to_string(),
+            (n_grades - fresh).to_string(),
+            fresh.to_string(),
+            ops.len().to_string(),
+            us(d),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(existing students are VO-CI case 1 — shared, not re-inserted;");
+    println!(" fresh ones insert and pull stub PEOPLE parents via global validation)\n");
+}
+
+/// VO-R: cost by kind of change.
+fn a3_replacement() {
+    banner("A3", "VO-R — replacement: ops by kind of change");
+    let (schema, db) = university_scaled(4, 7);
+    let omega = generate_omega(&schema).unwrap();
+    let analysis = analyze(&schema, &omega).unwrap();
+    let translator = Translator::permissive(&omega);
+    let courses = db.table("COURSES").unwrap().schema().clone();
+    let grades = db.table("GRADES").unwrap().schema().clone();
+    let old = assemble(
+        &schema,
+        &omega,
+        &db,
+        db.table("COURSES")
+            .unwrap()
+            .get(&Key::single("C0-0"))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    let gid = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "GRADES")
+        .unwrap()
+        .id;
+
+    let cases: Vec<(&str, VoInstance)> = vec![
+        ("identical (R-1)", old.clone()),
+        ("non-key title change (R-2)", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "title", "renamed".into())
+                .unwrap();
+            n
+        }),
+        ("pivot key change (R-3 + propagation)", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "course_id", "C0-X".into())
+                .unwrap();
+            n
+        }),
+        ("pivot key + grade edits", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "course_id", "C0-X".into())
+                .unwrap();
+            if let Some(gs) = n.root.children.get_mut(&gid) {
+                for g in gs.iter_mut() {
+                    g.tuple = g.tuple.with_named(&grades, "grade", "F".into()).unwrap();
+                }
+            }
+            n
+        }),
+        ("re-target department (I-2 insert)", {
+            let mut n = old.clone();
+            n.root.tuple = n
+                .root
+                .tuple
+                .with_named(&courses, "dept_name", "brand-new-dept".into())
+                .unwrap();
+            n
+        }),
+    ];
+
+    let mut table = TextTable::new(&["change", "ops", "median_us"]);
+    for (label, new) in cases {
+        let ops = translate_replacement(
+            &schema,
+            &omega,
+            &analysis,
+            &translator,
+            &db,
+            &old,
+            new.clone(),
+        )
+        .unwrap();
+        let d = median_time(5, || {
+            translate_replacement(
+                &schema,
+                &omega,
+                &analysis,
+                &translator,
+                &db,
+                &old,
+                new.clone(),
+            )
+            .unwrap()
+        });
+        table.row(&[label.to_owned(), ops.len().to_string(), us(d)]);
+    }
+    print!("{}", table.render());
+    println!("(key changes fan out to owned GRADES and the CURRICULUM peninsula,");
+    println!(" exactly the propagation §5.3 prescribes)\n");
+}

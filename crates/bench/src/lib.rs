@@ -1,0 +1,122 @@
+//! Shared harness utilities for the experiment binaries and benches.
+//!
+//! The paper contains no quantitative tables, so the experiment binaries
+//! regenerate its *artifacts* (figures, dialog transcripts, worked
+//! examples) and the benches add quantitative teeth (scaling sweeps,
+//! baseline comparisons). `EXPERIMENTS.md` maps each binary to its paper
+//! artifact.
+
+use std::time::{Duration, Instant};
+
+/// Time one closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Median wall time of `n` runs (the closure runs `n + 1` times; the first
+/// warms up).
+pub fn median_time<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
+    let _ = f();
+    let mut times: Vec<Duration> = (0..n.max(1)).map(|_| time(&mut f).1).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// A simple aligned text table for experiment output.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:w$}  ", c, w = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        for (i, w) in widths.iter().enumerate() {
+            out.push_str(&"-".repeat(*w));
+            if i + 1 < widths.len() {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a duration in microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(&["1".into(), "x".into()]);
+        t.row(&["2222".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn us_formats() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+    }
+}

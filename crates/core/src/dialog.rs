@@ -1,0 +1,502 @@
+//! The translator-choice dialog (paper §6).
+//!
+//! At view-object definition time the object-definition facility asks the
+//! DBA a sequence of yes/no questions derived from the object's structure;
+//! the answers define the translator. Questions that become irrelevant
+//! after an earlier NO are *not asked* (the paper's footnote 5).
+//!
+//! The question texts of the replacement portion reproduce the paper's
+//! transcript verbatim; the deletion and insertion portions follow the
+//! same style (the paper shows only the replacement portion "for
+//! brevity").
+
+use crate::island::IslandAnalysis;
+use crate::object::ViewObject;
+use crate::translator::{PeninsulaAction, RelationPolicy, Translator};
+use vo_relational::prelude::Result;
+use vo_structural::prelude::*;
+
+/// Machine-readable identity of a question (what the answer will set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuestionTopic {
+    /// Object-wide: are replacements allowed?
+    AllowReplacement,
+    /// Object-wide: are complete deletions allowed?
+    AllowDeletion,
+    /// Object-wide: are complete insertions allowed?
+    AllowInsertion,
+    /// Island relation: may the instance tuple's key be modified?
+    KeyModifiable(String),
+    /// Island relation: may the database tuple's key be replaced?
+    DbKeyReplace(String),
+    /// Island relation: may the system delete the old tuple and adopt an
+    /// existing one with the matching key?
+    DeleteAdopt(String),
+    /// Non-island relation: may it be modified during insertions or
+    /// replacements at all?
+    RelationModifiable(String),
+    /// Non-island relation: may new tuples be inserted?
+    CanInsert(String),
+    /// Non-island relation: may existing tuples be modified?
+    CanModify(String),
+    /// Peninsula: on deletion, may foreign keys be set to NULL?
+    PeninsulaNullify(String),
+    /// Peninsula: on deletion, may referencing tuples be deleted instead?
+    PeninsulaDelete(String),
+    /// Global: may integrity repair insert into out-of-object relations?
+    OutOfObjectRepairs,
+}
+
+/// One question shown to the DBA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// What this question decides.
+    pub topic: QuestionTopic,
+    /// The text, matching the paper's typewriter-style phrasing.
+    pub text: String,
+}
+
+/// A yes/no answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// `<YES>`
+    Yes,
+    /// `<NO>`
+    No,
+}
+
+impl Answer {
+    /// As a boolean.
+    pub fn as_bool(self) -> bool {
+        self == Answer::Yes
+    }
+
+    /// From a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+}
+
+/// Supplies answers during the dialog.
+pub trait Responder {
+    /// Answer one question.
+    fn answer(&mut self, question: &Question) -> Answer;
+}
+
+/// Answers every question YES.
+#[derive(Debug, Default)]
+pub struct AllYes;
+
+impl Responder for AllYes {
+    fn answer(&mut self, _question: &Question) -> Answer {
+        Answer::Yes
+    }
+}
+
+/// Answers from a fixed script, falling back to a default when the script
+/// is exhausted; records how many answers were consumed.
+#[derive(Debug)]
+pub struct ScriptedResponder {
+    script: Vec<bool>,
+    next: usize,
+    default: bool,
+}
+
+impl ScriptedResponder {
+    /// Answer from `script` in order, then `default`.
+    pub fn new(script: Vec<bool>, default: bool) -> Self {
+        ScriptedResponder {
+            script,
+            next: 0,
+            default,
+        }
+    }
+
+    /// Number of scripted answers consumed.
+    pub fn consumed(&self) -> usize {
+        self.next.min(self.script.len())
+    }
+}
+
+impl Responder for ScriptedResponder {
+    fn answer(&mut self, _question: &Question) -> Answer {
+        let v = self.script.get(self.next).copied().unwrap_or(self.default);
+        self.next += 1;
+        Answer::from_bool(v)
+    }
+}
+
+/// Answers by topic using a decision function — useful for policy-driven
+/// translators in tests and fixtures.
+pub struct FnResponder<F: FnMut(&QuestionTopic) -> bool>(pub F);
+
+impl<F: FnMut(&QuestionTopic) -> bool> Responder for FnResponder<F> {
+    fn answer(&mut self, question: &Question) -> Answer {
+        Answer::from_bool((self.0)(&question.topic))
+    }
+}
+
+/// The full record of a dialog: every question actually asked with its
+/// answer, in order.
+#[derive(Debug, Clone, Default)]
+pub struct DialogTranscript {
+    /// `(question, answer)` pairs in the order asked.
+    pub entries: Vec<(Question, Answer)>,
+}
+
+impl DialogTranscript {
+    /// Render in the paper's typography: questions in plain text, answers
+    /// as `<YES>` / `<NO>`.
+    pub fn to_transcript_string(&self) -> String {
+        let mut out = String::new();
+        for (q, a) in &self.entries {
+            out.push_str(&q.text);
+            out.push('\n');
+            out.push_str(match a {
+                Answer::Yes => "<YES>\n",
+                Answer::No => "<NO>\n",
+            });
+        }
+        out
+    }
+
+    /// Number of questions asked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no questions were asked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Run the dialog and build the translator.
+///
+/// Question order follows the paper's transcript: the object-wide
+/// replacement switch first, then one block per object relation in
+/// alphabetical order (island relations get the key-modification triplet,
+/// other relations the modifiable/insert/modify triplet), then the
+/// deletion portion (object-wide switch plus one block per peninsula),
+/// then the insertion portion, then the out-of-object repair switch.
+pub fn choose_translator(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    analysis: &IslandAnalysis,
+    responder: &mut dyn Responder,
+) -> Result<(Translator, DialogTranscript)> {
+    let _ = schema;
+    let mut translator = Translator::restrictive(object);
+    translator.allow_out_of_object_repairs = false;
+    let mut transcript = DialogTranscript::default();
+
+    let mut ask = |topic: QuestionTopic, text: String, r: &mut dyn Responder| {
+        let q = Question { topic, text };
+        let a = r.answer(&q);
+        transcript.entries.push((q, a));
+        a.as_bool()
+    };
+
+    // ---- replacement portion (paper's transcript) ----
+    let allow_replacement = ask(
+        QuestionTopic::AllowReplacement,
+        "Is replacement of tuples in an object instance allowed?".into(),
+        responder,
+    );
+    translator.allow_replacement = allow_replacement;
+
+    if allow_replacement {
+        for rel in object.relations() {
+            let mut policy = RelationPolicy::restrictive();
+            if analysis.island_has_relation(rel) {
+                let key_mod = ask(
+                    QuestionTopic::KeyModifiable(rel.to_owned()),
+                    format!(
+                        "The key of a tuple of relation {rel} could be modified \
+                         during replacements. Do you allow this?"
+                    ),
+                    responder,
+                );
+                policy.allow_key_replacement = key_mod;
+                if key_mod {
+                    let db_key = ask(
+                        QuestionTopic::DbKeyReplace(rel.to_owned()),
+                        "Can we replace the key of the corresponding database tuple?".into(),
+                        responder,
+                    );
+                    policy.allow_db_key_replace = db_key;
+                    if db_key {
+                        policy.allow_delete_adopt = ask(
+                            QuestionTopic::DeleteAdopt(rel.to_owned()),
+                            "The system might need to delete the old database tuple, \
+                             and replace it with an existing tuple with matching key. \
+                             Do you allow this?"
+                                .into(),
+                            responder,
+                        );
+                    }
+                }
+                // island tuples are the entity itself: inserts/modifies of
+                // island tuples ride on the object-wide switches
+                policy.allow_insert = true;
+                policy.allow_modify = true;
+            } else {
+                let modifiable = ask(
+                    QuestionTopic::RelationModifiable(rel.to_owned()),
+                    format!(
+                        "Can the relation {rel} be modified during insertions \
+                         (or replacements)?"
+                    ),
+                    responder,
+                );
+                if modifiable {
+                    policy.allow_insert = ask(
+                        QuestionTopic::CanInsert(rel.to_owned()),
+                        "Can a new tuple be inserted?".into(),
+                        responder,
+                    );
+                    policy.allow_modify = ask(
+                        QuestionTopic::CanModify(rel.to_owned()),
+                        "Can an existing tuple be modified?".into(),
+                        responder,
+                    );
+                }
+                // footnote 5: when the gate is NO, "the two subsequent
+                // questions ... are irrelevant and thus will not be asked"
+            }
+            translator.set_policy(rel, policy);
+        }
+    }
+
+    // ---- deletion portion ----
+    let allow_deletion = ask(
+        QuestionTopic::AllowDeletion,
+        "Is deletion of object instances allowed?".into(),
+        responder,
+    );
+    translator.allow_deletion = allow_deletion;
+    if allow_deletion {
+        for &pid in &analysis.peninsulas {
+            let rel = object.node(pid).relation.clone();
+            // NULLifying the foreign key is only on offer when the schema
+            // permits it (nullable, non-key referencing attributes)
+            let nullable_fk = {
+                let node = object.node(pid);
+                let conn = schema
+                    .connection(&node.edge.as_ref().expect("peninsula").steps[0].connection)?;
+                let rel_schema = schema.catalog().relation(&rel)?;
+                conn.from_attrs
+                    .iter()
+                    .all(|a| rel_schema.attribute(a).map(|d| d.nullable).unwrap_or(false))
+            };
+            let nullify = nullable_fk
+                && ask(
+                    QuestionTopic::PeninsulaNullify(rel.clone()),
+                    format!(
+                        "On deletion of an instance, tuples of relation {rel} may \
+                         reference the deleted entity. May the system set their \
+                         foreign keys to NULL?"
+                    ),
+                    responder,
+                );
+            let action = if nullify {
+                PeninsulaAction::NullifyForeignKey
+            } else {
+                let del = ask(
+                    QuestionTopic::PeninsulaDelete(rel.clone()),
+                    format!(
+                        "May the system delete the referencing tuples of \
+                         relation {rel} instead?"
+                    ),
+                    responder,
+                );
+                if del {
+                    PeninsulaAction::DeleteReferencing
+                } else {
+                    PeninsulaAction::Reject
+                }
+            };
+            translator.peninsula_actions.insert(rel, action);
+        }
+    }
+
+    // ---- insertion portion ----
+    translator.allow_insertion = ask(
+        QuestionTopic::AllowInsertion,
+        "Is insertion of new object instances allowed?".into(),
+        responder,
+    );
+
+    // ---- global repairs ----
+    translator.allow_out_of_object_repairs = ask(
+        QuestionTopic::OutOfObjectRepairs,
+        "May global integrity maintenance insert missing tuples into \
+         relations outside the object?"
+            .into(),
+        responder,
+    );
+
+    Ok((translator, transcript))
+}
+
+/// The exact answers of the paper's §6 dialog for ω (the permissive
+/// translator of the worked example): everything YES except the
+/// delete-and-adopt question for the two island relations.
+pub fn paper_dialog_responder() -> FnResponder<impl FnMut(&QuestionTopic) -> bool> {
+    FnResponder(|topic: &QuestionTopic| !matches!(topic, QuestionTopic::DeleteAdopt(_)))
+}
+
+/// The paper's *restrictive* variant: additionally answers NO to "Can the
+/// relation DEPARTMENT be modified during insertions (or replacements)?".
+pub fn paper_restrictive_responder() -> FnResponder<impl FnMut(&QuestionTopic) -> bool> {
+    FnResponder(|topic: &QuestionTopic| match topic {
+        QuestionTopic::DeleteAdopt(_) => false,
+        QuestionTopic::RelationModifiable(rel) => rel != "DEPARTMENT",
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::island::analyze;
+    use crate::treegen::generate_omega;
+    use crate::university::university_schema;
+
+    fn setup() -> (StructuralSchema, ViewObject, IslandAnalysis) {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let analysis = analyze(&schema, &omega).unwrap();
+        (schema, omega, analysis)
+    }
+
+    #[test]
+    fn paper_dialog_replacement_portion_matches_transcript() {
+        let (schema, omega, analysis) = setup();
+        let mut r = paper_dialog_responder();
+        let (translator, transcript) =
+            choose_translator(&schema, &omega, &analysis, &mut r).unwrap();
+
+        // The replacement portion is the first 14 entries:
+        // 1 object-wide + COURSES(3) + CURRICULUM(3) + DEPARTMENT(3) +
+        // GRADES(3) + STUDENT(3) would be 16, but island relations get 3
+        // and the delete-adopt NO terminates their block: COURSES 3, GRADES 3.
+        let texts: Vec<&str> = transcript
+            .entries
+            .iter()
+            .map(|(q, _)| q.text.as_str())
+            .collect();
+        assert_eq!(
+            texts[0],
+            "Is replacement of tuples in an object instance allowed?"
+        );
+        assert!(texts[1].starts_with("The key of a tuple of relation COURSES"));
+        assert_eq!(
+            texts[2],
+            "Can we replace the key of the corresponding database tuple?"
+        );
+        assert!(texts[3].starts_with("The system might need to delete"));
+        assert!(texts[4].starts_with("Can the relation CURRICULUM be modified"));
+        assert_eq!(texts[5], "Can a new tuple be inserted?");
+        assert_eq!(texts[6], "Can an existing tuple be modified?");
+        assert!(texts[7].starts_with("Can the relation DEPARTMENT be modified"));
+        assert!(texts[10].starts_with("The key of a tuple of relation GRADES"));
+        assert!(texts[13].starts_with("Can the relation STUDENT be modified"));
+
+        // resulting translator mirrors the paper's answers
+        assert!(translator.allow_replacement);
+        let c = translator.policy("COURSES");
+        assert!(c.allow_key_replacement && c.allow_db_key_replace && !c.allow_delete_adopt);
+        let d = translator.policy("DEPARTMENT");
+        assert!(d.allow_insert && d.allow_modify);
+    }
+
+    #[test]
+    fn footnote_5_skips_irrelevant_questions() {
+        let (schema, omega, analysis) = setup();
+        let mut r = paper_restrictive_responder();
+        let (translator, transcript) =
+            choose_translator(&schema, &omega, &analysis, &mut r).unwrap();
+        // DEPARTMENT's gate is NO → its two sub-questions are absent
+        let dept_questions: Vec<&str> = transcript
+            .entries
+            .iter()
+            .map(|(q, _)| q.text.as_str())
+            .filter(|t| t.contains("DEPARTMENT"))
+            .collect();
+        assert_eq!(dept_questions.len(), 1);
+        let d = translator.policy("DEPARTMENT");
+        assert!(!d.allow_insert && !d.allow_modify);
+    }
+
+    #[test]
+    fn replacement_no_skips_all_relation_blocks() {
+        let (schema, omega, analysis) = setup();
+        let mut r = ScriptedResponder::new(vec![false], true);
+        let (translator, transcript) =
+            choose_translator(&schema, &omega, &analysis, &mut r).unwrap();
+        assert!(!translator.allow_replacement);
+        // only: replacement switch, deletion switch, peninsula block,
+        // insertion switch, out-of-object switch
+        let texts: Vec<&str> = transcript
+            .entries
+            .iter()
+            .map(|(q, _)| q.text.as_str())
+            .collect();
+        assert!(!texts.iter().any(|t| t.contains("could be modified")));
+    }
+
+    #[test]
+    fn peninsula_deletion_questions() {
+        let (schema, omega, analysis) = setup();
+        // nullify NO, delete YES
+        let mut r =
+            FnResponder(|t: &QuestionTopic| !matches!(t, QuestionTopic::PeninsulaNullify(_)));
+        let (translator, _) = choose_translator(&schema, &omega, &analysis, &mut r).unwrap();
+        assert_eq!(
+            translator.peninsula_action("CURRICULUM"),
+            PeninsulaAction::DeleteReferencing
+        );
+        // nullify NO, delete NO → reject
+        let mut r = FnResponder(|t: &QuestionTopic| {
+            !matches!(
+                t,
+                QuestionTopic::PeninsulaNullify(_) | QuestionTopic::PeninsulaDelete(_)
+            )
+        });
+        let (translator, _) = choose_translator(&schema, &omega, &analysis, &mut r).unwrap();
+        assert_eq!(
+            translator.peninsula_action("CURRICULUM"),
+            PeninsulaAction::Reject
+        );
+    }
+
+    #[test]
+    fn transcript_renders_paper_typography() {
+        let (schema, omega, analysis) = setup();
+        let mut r = paper_dialog_responder();
+        let (_, transcript) = choose_translator(&schema, &omega, &analysis, &mut r).unwrap();
+        let s = transcript.to_transcript_string();
+        assert!(s.contains("Is replacement of tuples in an object instance allowed?\n<YES>"));
+        assert!(s.contains("Do you allow this?\n<NO>"));
+        assert!(!transcript.is_empty());
+        assert_eq!(s.lines().count(), transcript.len() * 2);
+    }
+
+    #[test]
+    fn scripted_responder_tracks_consumption() {
+        let mut r = ScriptedResponder::new(vec![true, false], true);
+        let q = Question {
+            topic: QuestionTopic::AllowReplacement,
+            text: "?".into(),
+        };
+        assert_eq!(r.answer(&q), Answer::Yes);
+        assert_eq!(r.answer(&q), Answer::No);
+        assert_eq!(r.answer(&q), Answer::Yes); // default
+        assert_eq!(r.consumed(), 2);
+    }
+}

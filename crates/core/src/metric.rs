@@ -1,0 +1,228 @@
+//! The information metric guiding view-object generation (paper §3).
+//!
+//! The paper delegates the metric's definition to the thesis \[4\]; what the
+//! algorithms need from it is a *relevance* score for every relation
+//! reachable from the pivot, used to (a) extract the relevant subgraph `G`
+//! (Figure 2a) and (b) bound the expansion of the template tree `T`
+//! (Figure 2b).
+//!
+//! We implement it as a **path-product metric**: every traversal
+//! kind/direction carries a weight in `(0, 1]`, the relevance of a path is
+//! the product of its step weights, and the relevance of a relation is the
+//! maximum over all paths from the pivot. Relations below
+//! [`MetricWeights::threshold`] are "no longer relevant" and excluded. The
+//! default weights reproduce the paper's Figure 2 exactly on the
+//! university schema (see `crate::treegen` tests).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vo_structural::prelude::*;
+
+/// Per-traversal weights and the relevance cut-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricWeights {
+    /// Forward ownership `R1 —* R2` (owner to owned detail).
+    pub ownership: f64,
+    /// Forward reference `R1 —> R2` (entity to the abstraction it cites).
+    pub reference: f64,
+    /// Forward subset `R1 —⊃ R2` (general entity to specialization).
+    pub subset: f64,
+    /// Inverse ownership (owned detail back to owner).
+    pub inv_ownership: f64,
+    /// Inverse reference (abstraction out to its referencers).
+    pub inv_reference: f64,
+    /// Inverse subset (specialization back to the general entity).
+    pub inv_subset: f64,
+    /// Relations whose best path relevance falls below this are excluded.
+    pub threshold: f64,
+}
+
+impl Default for MetricWeights {
+    fn default() -> Self {
+        MetricWeights {
+            ownership: 0.9,
+            reference: 0.75,
+            subset: 0.85,
+            inv_ownership: 0.8,
+            inv_reference: 0.6,
+            inv_subset: 0.8,
+            threshold: 0.3,
+        }
+    }
+}
+
+impl MetricWeights {
+    /// Weight of one traversal step.
+    pub fn step_weight(&self, t: &Traversal<'_>) -> f64 {
+        match (t.connection.kind, t.forward) {
+            (ConnectionKind::Ownership, true) => self.ownership,
+            (ConnectionKind::Ownership, false) => self.inv_ownership,
+            (ConnectionKind::Reference, true) => self.reference,
+            (ConnectionKind::Reference, false) => self.inv_reference,
+            (ConnectionKind::Subset, true) => self.subset,
+            (ConnectionKind::Subset, false) => self.inv_subset,
+        }
+    }
+
+    /// Sanity check: all weights in `(0, 1]`, threshold in `(0, 1)`.
+    /// Weights of exactly 1.0 are allowed only when a cycle cannot keep
+    /// relevance at 1.0 forever (tree generation additionally forbids
+    /// revisiting relations on a path, so expansion always terminates).
+    pub fn validate(&self) -> Result<(), String> {
+        let ws = [
+            self.ownership,
+            self.reference,
+            self.subset,
+            self.inv_ownership,
+            self.inv_reference,
+            self.inv_subset,
+        ];
+        if ws.iter().any(|w| !(*w > 0.0 && *w <= 1.0)) {
+            return Err("all weights must lie in (0, 1]".into());
+        }
+        if !(self.threshold > 0.0 && self.threshold < 1.0) {
+            return Err("threshold must lie in (0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// The relevant subgraph `G` around a pivot (Figure 2a): the relations
+/// whose best-path relevance clears the threshold, with their scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subgraph {
+    /// The pivot relation.
+    pub pivot: String,
+    /// Relevance per included relation (pivot has relevance 1.0).
+    pub relevance: BTreeMap<String, f64>,
+    /// Names of connections with both endpoints included.
+    pub connections: Vec<String>,
+}
+
+impl Subgraph {
+    /// Included relation names, sorted.
+    pub fn relations(&self) -> Vec<&str> {
+        self.relevance.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// True when `relation` is part of `G`.
+    pub fn contains(&self, relation: &str) -> bool {
+        self.relevance.contains_key(relation)
+    }
+}
+
+/// Extract the relevant subgraph `G` for `pivot` — a best-first (Dijkstra
+/// on `-log` weights, equivalently max-product) sweep over the connection
+/// graph.
+pub fn extract_subgraph(
+    schema: &StructuralSchema,
+    pivot: &str,
+    weights: &MetricWeights,
+) -> vo_relational::error::Result<Subgraph> {
+    schema.catalog().relation(pivot)?; // existence check
+    let mut best: BTreeMap<String, f64> = BTreeMap::new();
+    best.insert(pivot.to_owned(), 1.0);
+    // simple worklist relaxation; graphs are small (schemas, not data)
+    let mut work: Vec<String> = vec![pivot.to_owned()];
+    while let Some(rel) = work.pop() {
+        let base = best[&rel];
+        for t in schema.traversals_from(&rel) {
+            let r = base * weights.step_weight(&t);
+            if r < weights.threshold {
+                continue;
+            }
+            let entry = best.entry(t.target().to_owned()).or_insert(0.0);
+            if r > *entry {
+                *entry = r;
+                work.push(t.target().to_owned());
+            }
+        }
+    }
+    let connections = schema
+        .connections()
+        .iter()
+        .filter(|c| best.contains_key(&c.from) && best.contains_key(&c.to))
+        .map(|c| c.name.clone())
+        .collect();
+    Ok(Subgraph {
+        pivot: pivot.to_owned(),
+        relevance: best,
+        connections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::university::university_schema;
+
+    #[test]
+    fn default_weights_validate() {
+        MetricWeights::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        let w = MetricWeights {
+            reference: 0.0,
+            ..Default::default()
+        };
+        assert!(w.validate().is_err());
+        let w = MetricWeights {
+            threshold: 1.5,
+            ..Default::default()
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn figure_2a_subgraph_from_courses() {
+        // The paper's G for pivot COURSES contains COURSES, DEPARTMENT,
+        // CURRICULUM, GRADES, STUDENT, and PEOPLE (reachable two ways).
+        let schema = university_schema();
+        let g = extract_subgraph(&schema, "COURSES", &MetricWeights::default()).unwrap();
+        assert!(g.contains("COURSES"));
+        assert!(g.contains("DEPARTMENT"));
+        assert!(g.contains("CURRICULUM"));
+        assert!(g.contains("GRADES"));
+        assert!(g.contains("STUDENT"));
+        assert!(g.contains("PEOPLE"));
+        assert_eq!(g.relevance["COURSES"], 1.0);
+        // GRADES is the most relevant neighbour (direct ownership)
+        assert!(g.relevance["GRADES"] > g.relevance["DEPARTMENT"]);
+        // PEOPLE's best path is GRADES→STUDENT→PEOPLE (0.9·0.8·0.8 = 0.576)
+        let expected = 0.9 * 0.8 * 0.8;
+        assert!((g.relevance["PEOPLE"] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivot_unknown_is_error() {
+        let schema = university_schema();
+        assert!(extract_subgraph(&schema, "NOPE", &MetricWeights::default()).is_err());
+    }
+
+    #[test]
+    fn tight_threshold_shrinks_subgraph() {
+        let schema = university_schema();
+        let w = MetricWeights {
+            threshold: 0.85,
+            ..Default::default()
+        };
+        let g = extract_subgraph(&schema, "COURSES", &w).unwrap();
+        // only the direct ownership neighbour survives
+        assert_eq!(g.relations(), vec!["COURSES", "GRADES"]);
+    }
+
+    #[test]
+    fn included_connections_have_both_endpoints() {
+        let schema = university_schema();
+        let g = extract_subgraph(&schema, "COURSES", &MetricWeights::default()).unwrap();
+        for cname in &g.connections {
+            let c = schema.connection(cname).unwrap();
+            assert!(g.contains(&c.from) && g.contains(&c.to));
+        }
+        // people_dept connects two included relations, so it is in G —
+        // that's the circuit Figure 2(b) must break
+        assert!(g.connections.iter().any(|c| c == "people_dept"));
+    }
+}

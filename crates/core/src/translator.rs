@@ -1,0 +1,342 @@
+//! Update translators (paper §6).
+//!
+//! A translator is the *data* produced by the definition-time dialog: a
+//! per-relation permission matrix plus object-wide switches. Once chosen,
+//! it drives every update translation on the object without further DBA
+//! interaction — "the effort of answering the series of questions once
+//! during view-definition time is amortized over all the times that
+//! updates against the view are subsequently requested".
+
+use crate::island::IslandAnalysis;
+use crate::object::ViewObject;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vo_structural::prelude::*;
+
+/// Per-relation permissions consulted during translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationPolicy {
+    /// May new tuples be inserted during insertions/replacements?
+    pub allow_insert: bool,
+    /// May existing tuples be modified during insertions/replacements?
+    pub allow_modify: bool,
+    /// (Island relations) may the key of an instance tuple be modified
+    /// during replacements?
+    pub allow_key_replacement: bool,
+    /// (Island relations) may the key of the corresponding *database*
+    /// tuple be replaced?
+    pub allow_db_key_replace: bool,
+    /// (Island relations) may the system delete the old database tuple and
+    /// adopt an existing tuple with the matching new key?
+    pub allow_delete_adopt: bool,
+}
+
+impl RelationPolicy {
+    /// Everything allowed.
+    pub fn permissive() -> Self {
+        RelationPolicy {
+            allow_insert: true,
+            allow_modify: true,
+            allow_key_replacement: true,
+            allow_db_key_replace: true,
+            allow_delete_adopt: true,
+        }
+    }
+
+    /// Nothing allowed.
+    pub fn restrictive() -> Self {
+        RelationPolicy {
+            allow_insert: false,
+            allow_modify: false,
+            allow_key_replacement: false,
+            allow_db_key_replace: false,
+            allow_delete_adopt: false,
+        }
+    }
+}
+
+impl Default for RelationPolicy {
+    fn default() -> Self {
+        Self::restrictive()
+    }
+}
+
+/// What VO-CD may do to a referencing peninsula's tuples (paper §5.1's
+/// "perform a replacement on the foreign key of each matching tuple", or
+/// the deletion alternative reference rule 2 offers, or nothing — in which
+/// case "the transaction cannot be completed and has to be rolled back").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PeninsulaAction {
+    /// Replace the foreign key with NULL (impossible when the foreign key
+    /// is part of the peninsula's key — then deletion fails).
+    NullifyForeignKey,
+    /// Delete the referencing tuples.
+    #[default]
+    DeleteReferencing,
+    /// Reject deletions that have referencing tuples.
+    Reject,
+}
+
+/// A complete update translator for one view object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Translator {
+    /// Name of the object this translator belongs to.
+    pub object: String,
+    /// Are complete insertions allowed at all?
+    pub allow_insertion: bool,
+    /// Are complete deletions allowed at all?
+    pub allow_deletion: bool,
+    /// Are replacements allowed at all?
+    pub allow_replacement: bool,
+    /// Per-relation permissions (relations of the object).
+    pub relation_policies: BTreeMap<String, RelationPolicy>,
+    /// Per-peninsula deletion behaviour, keyed by relation name.
+    pub peninsula_actions: BTreeMap<String, PeninsulaAction>,
+    /// May global integrity maintenance insert missing tuples into
+    /// relations *outside* the object?
+    pub allow_out_of_object_repairs: bool,
+    /// Default action for out-of-object referencing tuples when a
+    /// referenced tuple is deleted.
+    pub out_of_object_delete: OutDeleteAction,
+    /// Default action for out-of-object referencing tuples when a
+    /// referenced key is modified.
+    pub out_of_object_modify: OutModifyAction,
+}
+
+/// Serializable mirror of [`RefDeleteAction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OutDeleteAction {
+    /// Reject.
+    Restrict,
+    /// Delete referencing tuples.
+    #[default]
+    Cascade,
+    /// NULL the referencing attributes.
+    Nullify,
+}
+
+/// Serializable mirror of [`RefModifyAction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OutModifyAction {
+    /// Rewrite referencing attributes to the new key.
+    #[default]
+    Propagate,
+    /// NULL the referencing attributes.
+    Nullify,
+    /// Delete referencing tuples.
+    Cascade,
+}
+
+impl Translator {
+    /// A translator permitting everything (the paper's first dialog, with
+    /// delete-adopt answered NO to match the transcript, uses
+    /// `crate::dialog::paper_dialog_responder` instead).
+    pub fn permissive(object: &ViewObject) -> Self {
+        let mut relation_policies = BTreeMap::new();
+        for rel in object.relations() {
+            relation_policies.insert(rel.to_owned(), RelationPolicy::permissive());
+        }
+        Translator {
+            object: object.name().to_owned(),
+            allow_insertion: true,
+            allow_deletion: true,
+            allow_replacement: true,
+            relation_policies,
+            peninsula_actions: BTreeMap::new(),
+            allow_out_of_object_repairs: true,
+            out_of_object_delete: OutDeleteAction::Cascade,
+            out_of_object_modify: OutModifyAction::Propagate,
+        }
+    }
+
+    /// A translator forbidding every update.
+    pub fn restrictive(object: &ViewObject) -> Self {
+        let mut relation_policies = BTreeMap::new();
+        for rel in object.relations() {
+            relation_policies.insert(rel.to_owned(), RelationPolicy::restrictive());
+        }
+        Translator {
+            object: object.name().to_owned(),
+            allow_insertion: false,
+            allow_deletion: false,
+            allow_replacement: false,
+            relation_policies,
+            peninsula_actions: BTreeMap::new(),
+            allow_out_of_object_repairs: false,
+            out_of_object_delete: OutDeleteAction::Restrict,
+            out_of_object_modify: OutModifyAction::Propagate,
+        }
+    }
+
+    /// Permission set for one relation (restrictive when unknown).
+    pub fn policy(&self, relation: &str) -> RelationPolicy {
+        self.relation_policies
+            .get(relation)
+            .copied()
+            .unwrap_or_else(RelationPolicy::restrictive)
+    }
+
+    /// Set one relation's policy.
+    pub fn set_policy(&mut self, relation: &str, policy: RelationPolicy) {
+        self.relation_policies.insert(relation.to_owned(), policy);
+    }
+
+    /// The peninsula action for a relation (defaults to delete-referencing,
+    /// the only repair that always type-checks).
+    pub fn peninsula_action(&self, relation: &str) -> PeninsulaAction {
+        self.peninsula_actions
+            .get(relation)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// True when global repair may insert into `relation`.
+    pub fn may_insert_into(&self, relation: &str, in_object: bool) -> bool {
+        if in_object {
+            self.policy(relation).allow_insert
+        } else {
+            self.allow_out_of_object_repairs
+        }
+    }
+
+    /// Derive the structural-integrity policy used for deletions: peninsula
+    /// actions become per-connection overrides; out-of-object referencers
+    /// get the translator's defaults.
+    pub fn deletion_policy(
+        &self,
+        schema: &StructuralSchema,
+        object: &ViewObject,
+        analysis: &IslandAnalysis,
+    ) -> IntegrityPolicy {
+        let mut policy = IntegrityPolicy::uniform(
+            match self.out_of_object_delete {
+                OutDeleteAction::Restrict => RefDeleteAction::Restrict,
+                OutDeleteAction::Cascade => RefDeleteAction::Cascade,
+                OutDeleteAction::Nullify => RefDeleteAction::Nullify,
+            },
+            match self.out_of_object_modify {
+                OutModifyAction::Propagate => RefModifyAction::Propagate,
+                OutModifyAction::Nullify => RefModifyAction::Nullify,
+                OutModifyAction::Cascade => RefModifyAction::Cascade,
+            },
+        );
+        for &pid in &analysis.peninsulas {
+            let node = object.node(pid);
+            let Some(edge) = &node.edge else { continue };
+            let conn = &edge.steps[0].connection;
+            let action = match self.peninsula_action(&node.relation) {
+                PeninsulaAction::NullifyForeignKey => RefDeleteAction::Nullify,
+                PeninsulaAction::DeleteReferencing => RefDeleteAction::Cascade,
+                PeninsulaAction::Reject => RefDeleteAction::Restrict,
+            };
+            policy = policy.with_delete_action(conn, action);
+        }
+        let _ = schema;
+        policy
+    }
+
+    /// Derive the structural-integrity policy used when island keys are
+    /// modified: peninsula foreign keys are always propagated ("we must
+    /// replace the foreign key of all tuples that were referring to any of
+    /// the modified tuples"); out-of-object referencers follow the
+    /// translator default.
+    pub fn modification_policy(
+        &self,
+        object: &ViewObject,
+        analysis: &IslandAnalysis,
+    ) -> IntegrityPolicy {
+        let mut policy = IntegrityPolicy::uniform(
+            match self.out_of_object_delete {
+                OutDeleteAction::Restrict => RefDeleteAction::Restrict,
+                OutDeleteAction::Cascade => RefDeleteAction::Cascade,
+                OutDeleteAction::Nullify => RefDeleteAction::Nullify,
+            },
+            match self.out_of_object_modify {
+                OutModifyAction::Propagate => RefModifyAction::Propagate,
+                OutModifyAction::Nullify => RefModifyAction::Nullify,
+                OutModifyAction::Cascade => RefModifyAction::Cascade,
+            },
+        );
+        for &pid in &analysis.peninsulas {
+            let node = object.node(pid);
+            let Some(edge) = &node.edge else { continue };
+            let conn = &edge.steps[0].connection;
+            policy = policy.with_modify_action(conn, RefModifyAction::Propagate);
+        }
+        policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::island::analyze;
+    use crate::treegen::generate_omega;
+    use crate::university::university_schema;
+
+    #[test]
+    fn permissive_covers_all_relations() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let t = Translator::permissive(&omega);
+        for rel in omega.relations() {
+            assert!(t.policy(rel).allow_insert);
+        }
+        assert!(t.allow_replacement && t.allow_deletion && t.allow_insertion);
+    }
+
+    #[test]
+    fn unknown_relation_defaults_restrictive() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let t = Translator::permissive(&omega);
+        assert!(!t.policy("NOPE").allow_insert);
+    }
+
+    #[test]
+    fn deletion_policy_maps_peninsula_actions() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let analysis = analyze(&schema, &omega).unwrap();
+        let mut t = Translator::permissive(&omega);
+        t.peninsula_actions
+            .insert("CURRICULUM".into(), PeninsulaAction::Reject);
+        let p = t.deletion_policy(&schema, &omega, &analysis);
+        assert_eq!(
+            p.delete_action("curriculum_courses"),
+            RefDeleteAction::Restrict
+        );
+        // default for out-of-object connections
+        assert_eq!(p.delete_action("people_dept"), RefDeleteAction::Cascade);
+    }
+
+    #[test]
+    fn modification_policy_propagates_peninsulas() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let analysis = analyze(&schema, &omega).unwrap();
+        let mut t = Translator::permissive(&omega);
+        t.out_of_object_modify = OutModifyAction::Nullify;
+        let p = t.modification_policy(&omega, &analysis);
+        assert_eq!(
+            p.modify_action("curriculum_courses"),
+            RefModifyAction::Propagate
+        );
+        assert_eq!(p.modify_action("people_dept"), RefModifyAction::Nullify);
+    }
+
+    #[test]
+    fn may_insert_into_gates() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let mut t = Translator::permissive(&omega);
+        assert!(t.may_insert_into("DEPARTMENT", true));
+        assert!(t.may_insert_into("PEOPLE", false));
+        t.allow_out_of_object_repairs = false;
+        assert!(!t.may_insert_into("PEOPLE", false));
+        let mut p = t.policy("DEPARTMENT");
+        p.allow_insert = false;
+        t.set_policy("DEPARTMENT", p);
+        assert!(!t.may_insert_into("DEPARTMENT", true));
+    }
+}

@@ -1,0 +1,159 @@
+//! Update translation (paper §5).
+//!
+//! A view-object update proceeds through the paper's four logical steps:
+//!
+//! 1. **Local validation** against the object definition and translator
+//!    ([`validate`]).
+//! 2. **Propagation within the view object** — hierarchical consistency of
+//!    the new instance ([`propagate`]).
+//! 3. **Translation into database operations** — algorithms VO-CI
+//!    ([`insert`]), VO-CD ([`delete`]) and VO-R ([`replace`]).
+//! 4. **Global validation against the structural model** — dependency
+//!    completion and the final consistency check, performed by the
+//!    pipeline ([`pipeline`]).
+//!
+//! All translators are pure: they take a database *snapshot* and return the
+//! [`DbOp`] list that implements the request; the pipeline applies the ops
+//! transactionally so a failed global check rolls everything back.
+
+pub mod delete;
+pub mod insert;
+pub mod partial;
+pub mod pipeline;
+pub mod propagate;
+pub mod replace;
+pub mod validate;
+
+use crate::instance::VoInstance;
+use vo_relational::prelude::*;
+
+/// A complete update request on a view object (paper §5's *complete
+/// update*: insertion, deletion, or replacement). Partial updates live in
+/// [`partial`].
+#[derive(Debug, Clone)]
+pub enum UpdateRequest {
+    /// Add a fully specified instance to the database.
+    CompleteInsertion(VoInstance),
+    /// Remove a fully specified instance from the database.
+    CompleteDeletion(VoInstance),
+    /// Replace an instance with its fully specified replacing instance.
+    Replacement {
+        /// The instance as currently stored.
+        old: VoInstance,
+        /// The replacing instance.
+        new: VoInstance,
+    },
+}
+
+impl UpdateRequest {
+    /// Short label for logs and experiments.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UpdateRequest::CompleteInsertion(_) => "complete-insertion",
+            UpdateRequest::CompleteDeletion(_) => "complete-deletion",
+            UpdateRequest::Replacement { .. } => "replacement",
+        }
+    }
+}
+
+/// A scratch database plus the operation log replayed onto it. Translators
+/// work against the recorder so every decision sees the effects of the ops
+/// already planned, and the final log is the translation.
+#[derive(Debug)]
+pub struct OpRecorder {
+    /// Scratch copy of the database.
+    pub db: Database,
+    /// Operations planned so far, in application order.
+    pub ops: Vec<DbOp>,
+}
+
+impl OpRecorder {
+    /// Start from a snapshot.
+    pub fn new(db: &Database) -> Self {
+        OpRecorder {
+            db: db.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Plan one op (applying it to the scratch database).
+    pub fn apply(&mut self, op: DbOp) -> Result<()> {
+        self.db.apply(&op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Plan a batch.
+    pub fn apply_all(&mut self, ops: Vec<DbOp>) -> Result<()> {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Finish, yielding the operation list.
+    pub fn into_ops(self) -> Vec<DbOp> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::university::university_database;
+
+    #[test]
+    fn recorder_tracks_and_applies() {
+        let (_, db) = university_database();
+        let mut rec = OpRecorder::new(&db);
+        let dept = db.table("DEPARTMENT").unwrap().schema().clone();
+        rec.apply(DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: Tuple::new(&dept, vec!["Math".into()]).unwrap(),
+        })
+        .unwrap();
+        assert_eq!(rec.db.table("DEPARTMENT").unwrap().len(), 3);
+        assert_eq!(rec.ops.len(), 1);
+        // the original is untouched
+        assert_eq!(db.table("DEPARTMENT").unwrap().len(), 2);
+        let ops = rec.into_ops();
+        assert_eq!(ops.len(), 1);
+    }
+
+    #[test]
+    fn recorder_rejects_bad_op() {
+        let (_, db) = university_database();
+        let mut rec = OpRecorder::new(&db);
+        let err = rec.apply(DbOp::Delete {
+            relation: "DEPARTMENT".into(),
+            key: Key::single("Nope"),
+        });
+        assert!(err.is_err());
+        assert!(rec.ops.is_empty());
+    }
+
+    #[test]
+    fn request_kinds() {
+        let (schema, db) = university_database();
+        let omega = crate::treegen::generate_omega(&schema).unwrap();
+        let inst = crate::instance::instantiate_all(&schema, &omega, &db)
+            .unwrap()
+            .remove(0);
+        assert_eq!(
+            UpdateRequest::CompleteInsertion(inst.clone()).kind(),
+            "complete-insertion"
+        );
+        assert_eq!(
+            UpdateRequest::CompleteDeletion(inst.clone()).kind(),
+            "complete-deletion"
+        );
+        assert_eq!(
+            UpdateRequest::Replacement {
+                old: inst.clone(),
+                new: inst
+            }
+            .kind(),
+            "replacement"
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! Partial updates — manipulating one component of a view object
+//! (paper §5 delegates these to the thesis \[4\]; we realize them by
+//! *reduction to replacement*: fetch the stored instance, apply the
+//! component edit, and run it through VO-R). This guarantees partial
+//! updates obey exactly the same translator and global-integrity rules as
+//! complete updates.
+
+use crate::instance::{assemble, VoInstanceNode};
+use crate::object::NodeId;
+use crate::update::pipeline::ViewObjectUpdater;
+use vo_relational::prelude::*;
+use vo_structural::prelude::*;
+
+/// A partial update against one node of the object, addressed by the
+/// instance's pivot key.
+#[derive(Debug, Clone)]
+pub enum PartialOp {
+    /// Add one tuple under `node` (its connecting attributes are aligned
+    /// to the parent automatically by link propagation).
+    InsertChild {
+        /// Pivot key selecting the instance.
+        pivot_key: Key,
+        /// Target node.
+        node: NodeId,
+        /// Tuple to add.
+        tuple: Tuple,
+    },
+    /// Remove the tuple with `key` from `node`.
+    DeleteChild {
+        /// Pivot key selecting the instance.
+        pivot_key: Key,
+        /// Target node.
+        node: NodeId,
+        /// Key of the tuple to remove.
+        key: Key,
+    },
+    /// Replace the tuple with `old_key` under `node` by `new`.
+    ModifyChild {
+        /// Pivot key selecting the instance.
+        pivot_key: Key,
+        /// Target node.
+        node: NodeId,
+        /// Key of the tuple being replaced.
+        old_key: Key,
+        /// Replacing tuple.
+        new: Tuple,
+    },
+    /// Replace the pivot tuple itself (children follow by propagation).
+    ModifyPivot {
+        /// Current pivot key.
+        pivot_key: Key,
+        /// Replacing pivot tuple.
+        new: Tuple,
+    },
+}
+
+impl ViewObjectUpdater {
+    /// Translate and apply a partial update by reduction to VO-R.
+    pub fn apply_partial(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        op: PartialOp,
+    ) -> Result<Vec<DbOp>> {
+        let pivot_key = match &op {
+            PartialOp::InsertChild { pivot_key, .. }
+            | PartialOp::DeleteChild { pivot_key, .. }
+            | PartialOp::ModifyChild { pivot_key, .. }
+            | PartialOp::ModifyPivot { pivot_key, .. } => pivot_key.clone(),
+        };
+        let pivot_tuple = db
+            .table(self.object().pivot())?
+            .get(&pivot_key)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTuple {
+                relation: self.object().pivot().to_owned(),
+                key: pivot_key.to_string(),
+            })?;
+        let old = assemble(schema, self.object(), db, pivot_tuple)?;
+        let mut new = old.clone();
+        match op {
+            PartialOp::InsertChild { node, tuple, .. } => {
+                let parent = self.object().node(node).parent.ok_or_else(|| {
+                    Error::ConstraintViolation(
+                        "cannot InsertChild at the pivot; use a complete insertion".into(),
+                    )
+                })?;
+                // attach under every instance of the parent whose linking
+                // values match; if the tuple's linking values don't match
+                // any parent, link propagation will rewrite them when the
+                // parent is the pivot — otherwise reject ambiguity
+                let mut attached = false;
+                attach(&mut new.root, parent, node, &tuple, &mut attached);
+                if !attached {
+                    return Err(Error::ConstraintViolation(format!(
+                        "no instance of node {parent} to attach the new child under"
+                    )));
+                }
+            }
+            PartialOp::DeleteChild { node, key, .. } => {
+                let rel = &self.object().node(node).relation;
+                let rel_schema = schema.catalog().relation(rel)?.clone();
+                let mut removed = false;
+                remove(&mut new.root, node, &key, &rel_schema, &mut removed);
+                if !removed {
+                    return Err(Error::NoSuchTuple {
+                        relation: rel.clone(),
+                        key: key.to_string(),
+                    });
+                }
+            }
+            PartialOp::ModifyChild {
+                node,
+                old_key,
+                new: newt,
+                ..
+            } => {
+                let rel = &self.object().node(node).relation;
+                let rel_schema = schema.catalog().relation(rel)?.clone();
+                let mut modified = false;
+                modify(
+                    &mut new.root,
+                    node,
+                    &old_key,
+                    &newt,
+                    &rel_schema,
+                    &mut modified,
+                );
+                if !modified {
+                    return Err(Error::NoSuchTuple {
+                        relation: rel.clone(),
+                        key: old_key.to_string(),
+                    });
+                }
+            }
+            PartialOp::ModifyPivot { new: newt, .. } => {
+                new.root.tuple = newt;
+            }
+        }
+        self.replace(schema, db, old, new)
+    }
+}
+
+fn attach(
+    inst: &mut VoInstanceNode,
+    parent: NodeId,
+    node: NodeId,
+    tuple: &Tuple,
+    attached: &mut bool,
+) {
+    if inst.node == parent {
+        inst.push_child(VoInstanceNode::leaf(node, tuple.clone()));
+        *attached = true;
+    }
+    for children in inst.children.values_mut() {
+        for c in children.iter_mut() {
+            if c.node != node {
+                attach(c, parent, node, tuple, attached);
+            }
+        }
+    }
+}
+
+fn remove(
+    inst: &mut VoInstanceNode,
+    node: NodeId,
+    key: &Key,
+    rel_schema: &RelationSchema,
+    removed: &mut bool,
+) {
+    for children in inst.children.values_mut() {
+        let before = children.len();
+        children.retain(|c| !(c.node == node && c.tuple.key(rel_schema) == *key));
+        if children.len() != before {
+            *removed = true;
+        }
+        for c in children.iter_mut() {
+            remove(c, node, key, rel_schema, removed);
+        }
+    }
+}
+
+fn modify(
+    inst: &mut VoInstanceNode,
+    node: NodeId,
+    old_key: &Key,
+    new: &Tuple,
+    rel_schema: &RelationSchema,
+    modified: &mut bool,
+) {
+    for children in inst.children.values_mut() {
+        for c in children.iter_mut() {
+            if c.node == node && c.tuple.key(rel_schema) == *old_key {
+                c.tuple = new.clone();
+                *modified = true;
+            }
+            modify(c, node, old_key, new, rel_schema, modified);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translator::Translator;
+    use crate::treegen::generate_omega;
+    use crate::university::university_database;
+
+    fn setup() -> (StructuralSchema, Database, ViewObjectUpdater) {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        (schema, db, updater)
+    }
+
+    fn node_id(u: &ViewObjectUpdater, rel: &str) -> NodeId {
+        u.object()
+            .nodes()
+            .iter()
+            .find(|n| n.relation == rel)
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn insert_child_grade() {
+        let (schema, mut db, updater) = setup();
+        let gid = node_id(&updater, "GRADES");
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::InsertChild {
+                    pivot_key: Key::single("CS345"),
+                    node: gid,
+                    tuple: Tuple::new(&grades, vec!["CS345".into(), 9.into(), "B".into()]).unwrap(),
+                },
+            )
+            .unwrap();
+        assert!(db
+            .table("GRADES")
+            .unwrap()
+            .contains_key(&Key(vec!["CS345".into(), 9.into()])));
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_child_grade_cascades_nothing_else() {
+        let (schema, mut db, updater) = setup();
+        let gid = node_id(&updater, "GRADES");
+        updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::DeleteChild {
+                    pivot_key: Key::single("CS345"),
+                    node: gid,
+                    key: Key(vec!["CS345".into(), 2.into()]),
+                },
+            )
+            .unwrap();
+        assert!(!db
+            .table("GRADES")
+            .unwrap()
+            .contains_key(&Key(vec!["CS345".into(), 2.into()])));
+        // the student survives (outside the island)
+        assert!(db.table("STUDENT").unwrap().contains_key(&Key::single(2)));
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn modify_child_grade_value() {
+        let (schema, mut db, updater) = setup();
+        let gid = node_id(&updater, "GRADES");
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::ModifyChild {
+                    pivot_key: Key::single("CS345"),
+                    node: gid,
+                    old_key: Key(vec!["CS345".into(), 1.into()]),
+                    new: Tuple::new(&grades, vec!["CS345".into(), 1.into(), "F".into()]).unwrap(),
+                },
+            )
+            .unwrap();
+        let g = db
+            .table("GRADES")
+            .unwrap()
+            .get(&Key(vec!["CS345".into(), 1.into()]))
+            .unwrap()
+            .clone();
+        assert_eq!(g.values()[2], Value::text("F"));
+    }
+
+    #[test]
+    fn modify_pivot_rekeys_entity() {
+        let (schema, mut db, updater) = setup();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::ModifyPivot {
+                    pivot_key: Key::single("EE282"),
+                    new: Tuple::new(
+                        &courses,
+                        vec![
+                            "EE283".into(),
+                            "Computer Architecture".into(),
+                            "graduate".into(),
+                            "Electrical Engineering".into(),
+                        ],
+                    )
+                    .unwrap(),
+                },
+            )
+            .unwrap();
+        assert!(db
+            .table("COURSES")
+            .unwrap()
+            .contains_key(&Key::single("EE283")));
+        assert!(db
+            .table("GRADES")
+            .unwrap()
+            .contains_key(&Key(vec!["EE283".into(), 1.into()])));
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_pivot_rejected() {
+        let (schema, mut db, updater) = setup();
+        let gid = node_id(&updater, "GRADES");
+        let err = updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::DeleteChild {
+                    pivot_key: Key::single("NOPE"),
+                    node: gid,
+                    key: Key(vec!["NOPE".into(), 1.into()]),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::NoSuchTuple { .. }));
+    }
+
+    #[test]
+    fn unknown_child_key_rejected() {
+        let (schema, mut db, updater) = setup();
+        let gid = node_id(&updater, "GRADES");
+        let err = updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::DeleteChild {
+                    pivot_key: Key::single("CS345"),
+                    node: gid,
+                    key: Key(vec!["CS345".into(), 999.into()]),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::NoSuchTuple { .. }));
+    }
+
+    #[test]
+    fn partial_respects_translator() {
+        let (schema, mut db, _) = setup();
+        let omega = generate_omega(&schema).unwrap();
+        let mut t = Translator::permissive(&omega);
+        t.allow_replacement = false;
+        let updater = ViewObjectUpdater::new(&schema, omega, t).unwrap();
+        let gid = node_id(&updater, "GRADES");
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        let err = updater
+            .apply_partial(
+                &schema,
+                &mut db,
+                PartialOp::InsertChild {
+                    pivot_key: Key::single("CS345"),
+                    node: gid,
+                    tuple: Tuple::new(&grades, vec!["CS345".into(), 9.into(), "B".into()]).unwrap(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::ConstraintViolation(_)));
+    }
+}

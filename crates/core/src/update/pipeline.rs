@@ -1,0 +1,295 @@
+//! The end-to-end update pipeline: steps 1–3 produce an operation list,
+//! step 4 applies it transactionally under the structural consistency
+//! check, rolling back on any violation.
+
+use crate::instance::VoInstance;
+use crate::island::{analyze, IslandAnalysis};
+use crate::object::ViewObject;
+use crate::translator::Translator;
+use crate::update::delete::translate_complete_deletion;
+use crate::update::insert::translate_complete_insertion;
+use crate::update::replace::translate_replacement;
+use crate::update::UpdateRequest;
+use vo_relational::prelude::*;
+use vo_structural::prelude::*;
+
+/// Bundles a view object with its island analysis and translator; the
+/// analysis is computed once at construction (the paper chooses the
+/// translator at view-object generation time for the same reason: all the
+/// expensive reasoning happens once, every update reuses it).
+#[derive(Debug, Clone)]
+pub struct ViewObjectUpdater {
+    object: ViewObject,
+    analysis: IslandAnalysis,
+    translator: Translator,
+    /// When true (the default), every applied update re-verifies the full
+    /// structural consistency of the database and rolls back on violation.
+    pub strict: bool,
+}
+
+impl ViewObjectUpdater {
+    /// Build an updater; computes the island analysis.
+    pub fn new(
+        schema: &StructuralSchema,
+        object: ViewObject,
+        translator: Translator,
+    ) -> Result<Self> {
+        let analysis = analyze(schema, &object)?;
+        Ok(ViewObjectUpdater {
+            object,
+            analysis,
+            translator,
+            strict: true,
+        })
+    }
+
+    /// The object.
+    pub fn object(&self) -> &ViewObject {
+        &self.object
+    }
+
+    /// The island analysis.
+    pub fn analysis(&self) -> &IslandAnalysis {
+        &self.analysis
+    }
+
+    /// The translator.
+    pub fn translator(&self) -> &Translator {
+        &self.translator
+    }
+
+    /// Translate a request into database operations without applying them.
+    pub fn translate(
+        &self,
+        schema: &StructuralSchema,
+        db: &Database,
+        request: UpdateRequest,
+    ) -> Result<Vec<DbOp>> {
+        match request {
+            UpdateRequest::CompleteInsertion(inst) => translate_complete_insertion(
+                schema,
+                &self.object,
+                &self.analysis,
+                &self.translator,
+                db,
+                &inst,
+            ),
+            UpdateRequest::CompleteDeletion(inst) => translate_complete_deletion(
+                schema,
+                &self.object,
+                &self.analysis,
+                &self.translator,
+                db,
+                &inst,
+            ),
+            UpdateRequest::Replacement { old, new } => translate_replacement(
+                schema,
+                &self.object,
+                &self.analysis,
+                &self.translator,
+                db,
+                &old,
+                new,
+            ),
+        }
+    }
+
+    /// Translate and apply a request transactionally; in strict mode the
+    /// whole batch rolls back unless the database ends structurally
+    /// consistent.
+    pub fn apply(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        request: UpdateRequest,
+    ) -> Result<Vec<DbOp>> {
+        let ops = self.translate(schema, db, request)?;
+        if self.strict {
+            db.apply_all_checked(&ops, consistency_check(schema))?;
+        } else {
+            db.apply_all(&ops)?;
+        }
+        Ok(ops)
+    }
+
+    /// Convenience: insert an instance.
+    pub fn insert(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        instance: VoInstance,
+    ) -> Result<Vec<DbOp>> {
+        self.apply(schema, db, UpdateRequest::CompleteInsertion(instance))
+    }
+
+    /// Convenience: delete an instance.
+    pub fn delete(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        instance: VoInstance,
+    ) -> Result<Vec<DbOp>> {
+        self.apply(schema, db, UpdateRequest::CompleteDeletion(instance))
+    }
+
+    /// Convenience: replace `old` with `new`.
+    pub fn replace(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        old: VoInstance,
+        new: VoInstance,
+    ) -> Result<Vec<DbOp>> {
+        self.apply(schema, db, UpdateRequest::Replacement { old, new })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::assemble;
+    use crate::treegen::generate_omega;
+    use crate::university::university_database;
+
+    #[test]
+    fn roundtrip_delete_then_reinsert_restores_database() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("EE282"))
+            .unwrap()
+            .clone();
+        let inst = assemble(&schema, &omega, &db, t).unwrap();
+        let before = db.total_tuples();
+        updater.delete(&schema, &mut db, inst.clone()).unwrap();
+        assert!(db.total_tuples() < before);
+        updater.insert(&schema, &mut db, inst).unwrap();
+        assert_eq!(db.total_tuples(), before);
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replacement_equals_delete_plus_insert_for_disjoint_keys() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+
+        // path A: replacement
+        let mut db_a = db.clone();
+        let old = assemble(
+            &schema,
+            &omega,
+            &db_a,
+            db_a.table("COURSES")
+                .unwrap()
+                .get(&Key::single("EE282"))
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
+        let mut new = old.clone();
+        new.root.tuple = new
+            .root
+            .tuple
+            .with_named(&courses, "course_id", "EE500".into())
+            .unwrap();
+        updater
+            .replace(&schema, &mut db_a, old.clone(), new.clone())
+            .unwrap();
+
+        // path B: delete then insert (with links propagated the same way)
+        let mut db_b = db.clone();
+        updater.delete(&schema, &mut db_b, old).unwrap();
+        let fixed = crate::update::propagate::propagate_links(&schema, &omega, new).unwrap();
+        updater.insert(&schema, &mut db_b, fixed).unwrap();
+
+        for rel in db.relation_names() {
+            let a: Vec<_> = db_a.table(rel).unwrap().scan().cloned().collect();
+            let b: Vec<_> = db_b.table(rel).unwrap().scan().cloned().collect();
+            assert_eq!(a, b, "relation {rel} differs between paths");
+        }
+    }
+
+    #[test]
+    fn strict_mode_rolls_back_inconsistent_outcomes() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let mut translator = Translator::permissive(&omega);
+        // forbid the out-of-object repairs that would fix dependencies
+        translator.allow_out_of_object_repairs = false;
+        let updater = ViewObjectUpdater::new(&schema, omega.clone(), translator).unwrap();
+        // build an instance whose new student has no PEOPLE row
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        let student = db.table("STUDENT").unwrap().schema().clone();
+        let gid = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "GRADES")
+            .unwrap()
+            .id;
+        let sid = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "STUDENT")
+            .unwrap()
+            .id;
+        let mut root = crate::instance::VoInstanceNode::leaf(
+            0,
+            Tuple::new(
+                &courses,
+                vec![
+                    "CS700".into(),
+                    "X".into(),
+                    "graduate".into(),
+                    "Computer Science".into(),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut g = crate::instance::VoInstanceNode::leaf(
+            gid,
+            Tuple::new(&grades, vec!["CS700".into(), 77.into(), "A".into()]).unwrap(),
+        );
+        g.push_child(crate::instance::VoInstanceNode::leaf(
+            sid,
+            Tuple::new(&student, vec![77.into(), "MS".into()]).unwrap(),
+        ));
+        root.push_child(g);
+        let inst = crate::instance::VoInstance {
+            object: omega.name().to_owned(),
+            root,
+        };
+        let before = db.total_tuples();
+        let err = updater.insert(&schema, &mut db, inst).unwrap_err();
+        assert!(err.to_string().contains("not permitted") || matches!(err, Error::Rolledback(_)));
+        assert_eq!(db.total_tuples(), before);
+    }
+
+    #[test]
+    fn translate_does_not_mutate() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        let inst = assemble(&schema, &omega, &db, t).unwrap();
+        let before = db.total_tuples();
+        let ops = updater
+            .translate(&schema, &db, UpdateRequest::CompleteDeletion(inst))
+            .unwrap();
+        assert!(!ops.is_empty());
+        assert_eq!(db.total_tuples(), before);
+    }
+}

@@ -1,0 +1,197 @@
+//! Step 2 — propagation within the view object (paper §5.3).
+//!
+//! When a replacing instance changes key attributes high in the tree, the
+//! inherited key components of every descendant must follow: "a change to
+//! `A_j` has to be propagated down to `R_j`'s children in the dependency
+//! island". We propagate over *every* direct edge (not only island edges):
+//! for reference edges this rewrites the child-selecting values (e.g. a
+//! changed `COURSES.dept_name` re-targets the DEPARTMENT child), which is
+//! exactly the hierarchical consistency local validation demands.
+
+use crate::instance::{VoInstance, VoInstanceNode};
+use crate::object::ViewObject;
+use vo_relational::prelude::*;
+use vo_structural::prelude::*;
+
+/// Rewrite the connecting attributes of every child tuple (over direct
+/// edges) to match its parent, top-down. Returns the corrected instance.
+pub fn propagate_links(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    mut instance: VoInstance,
+) -> Result<VoInstance> {
+    propagate_node(schema, object, &mut instance.root)?;
+    Ok(instance)
+}
+
+fn propagate_node(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    inst: &mut VoInstanceNode,
+) -> Result<()> {
+    let node = object.node(inst.node);
+    let rel_schema = schema.catalog().relation(&node.relation)?.clone();
+    let child_ids: Vec<_> = inst.children.keys().copied().collect();
+    for child_id in child_ids {
+        let child_node = object.node(child_id);
+        let edge = child_node.edge.as_ref().expect("non-root");
+        if edge.is_direct() {
+            let t = edge.steps[0].resolve(schema)?;
+            let parent_vals: Vec<Value> = t
+                .source_attrs()
+                .iter()
+                .map(|a| inst.tuple.get_named(&rel_schema, a).cloned())
+                .collect::<Result<_>>()?;
+            let target_attrs: Vec<String> = t.target_attrs().to_vec();
+            let child_schema = schema.catalog().relation(&child_node.relation)?.clone();
+            if let Some(children) = inst.children.get_mut(&child_id) {
+                for c in children.iter_mut() {
+                    for (attr, val) in target_attrs.iter().zip(parent_vals.iter()) {
+                        c.tuple = c.tuple.with_named(&child_schema, attr, val.clone())?;
+                    }
+                }
+            }
+        }
+        if let Some(children) = inst.children.get_mut(&child_id) {
+            for c in children.iter_mut() {
+                propagate_node(schema, object, c)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::instantiate_all;
+    use crate::treegen::generate_omega;
+    use crate::university::university_database;
+    use crate::update::validate::validate_instance;
+
+    #[test]
+    fn pivot_key_change_flows_to_island_children() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let mut inst = instantiate_all(&schema, &omega, &db)
+            .unwrap()
+            .into_iter()
+            .find(|i| i.key(&schema, &omega).unwrap() == Key::single("CS345"))
+            .unwrap();
+        // rename the course; children still carry CS345
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        inst.root.tuple = inst
+            .root
+            .tuple
+            .with_named(&courses, "course_id", "EES345".into())
+            .unwrap();
+        assert!(validate_instance(&schema, &omega, &inst).is_err());
+
+        let fixed = propagate_links(&schema, &omega, inst).unwrap();
+        validate_instance(&schema, &omega, &fixed).unwrap();
+        let gra = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "GRADES")
+            .unwrap()
+            .id;
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        for t in fixed.tuples_of(gra) {
+            assert_eq!(
+                t.get_named(&grades, "course_id").unwrap(),
+                &Value::text("EES345")
+            );
+        }
+        // the peninsula follows too
+        let cur = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "CURRICULUM")
+            .unwrap()
+            .id;
+        let curriculum = db.table("CURRICULUM").unwrap().schema().clone();
+        for t in fixed.tuples_of(cur) {
+            assert_eq!(
+                t.get_named(&curriculum, "course_id").unwrap(),
+                &Value::text("EES345")
+            );
+        }
+    }
+
+    #[test]
+    fn reference_retarget_flows_to_department_child() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let mut inst = instantiate_all(&schema, &omega, &db)
+            .unwrap()
+            .into_iter()
+            .find(|i| i.key(&schema, &omega).unwrap() == Key::single("CS345"))
+            .unwrap();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        inst.root.tuple = inst
+            .root
+            .tuple
+            .with_named(&courses, "dept_name", "Engineering Economic Systems".into())
+            .unwrap();
+        let fixed = propagate_links(&schema, &omega, inst).unwrap();
+        let dep = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "DEPARTMENT")
+            .unwrap()
+            .id;
+        let dept_schema = db.table("DEPARTMENT").unwrap().schema().clone();
+        let deps = fixed.tuples_of(dep);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(
+            deps[0].get_named(&dept_schema, "dept_name").unwrap(),
+            &Value::text("Engineering Economic Systems")
+        );
+    }
+
+    #[test]
+    fn deep_propagation_through_grades_to_student() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let mut inst = instantiate_all(&schema, &omega, &db)
+            .unwrap()
+            .into_iter()
+            .find(|i| i.key(&schema, &omega).unwrap() == Key::single("CS345"))
+            .unwrap();
+        // change a grade's ssn; the STUDENT child underneath must follow
+        let gra = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "GRADES")
+            .unwrap()
+            .id;
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        if let Some(gs) = inst.root.children.get_mut(&gra) {
+            gs[0].tuple = gs[0].tuple.with_named(&grades, "ssn", 99.into()).unwrap();
+        }
+        let fixed = propagate_links(&schema, &omega, inst).unwrap();
+        let stu = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "STUDENT")
+            .unwrap()
+            .id;
+        let student = db.table("STUDENT").unwrap().schema().clone();
+        let ssns: Vec<i64> = fixed
+            .tuples_of(stu)
+            .iter()
+            .map(|t| t.get_named(&student, "ssn").unwrap().as_int().unwrap())
+            .collect();
+        assert!(ssns.contains(&99));
+        validate_instance(&schema, &omega, &fixed).unwrap();
+    }
+
+    #[test]
+    fn idempotent_on_consistent_instances() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let inst = instantiate_all(&schema, &omega, &db).unwrap().remove(0);
+        let fixed = propagate_links(&schema, &omega, inst.clone()).unwrap();
+        assert_eq!(fixed, inst);
+    }
+}

@@ -1,0 +1,336 @@
+//! Keller's five validity criteria for view-update translations
+//! (PODS 1985; paper §4: "this enumeration is based on five validity
+//! criteria that must all be satisfied").
+//!
+//! The criteria are syntactic conditions on a candidate translation — a
+//! sequence of base-table operations implementing one view update. They
+//! "characterize the nature of the ambiguity in view-update translation":
+//! many translations satisfy them, and semantics (the dialog) picks one.
+
+use crate::viewdef::SpjView;
+use std::collections::BTreeMap;
+use vo_relational::prelude::*;
+
+/// The five criteria, as machine-checkable judgments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// 1 — No database side effects: the view after the translation equals
+    /// the view before, modified exactly as requested.
+    NoSideEffects,
+    /// 2 — Only one-step changes: each base tuple is inserted, deleted, or
+    /// replaced at most once.
+    OneStepChanges,
+    /// 3 — No unnecessary changes: no proper subset of the translation
+    /// also implements the request.
+    NoUnnecessaryChanges,
+    /// 4 — Simplest replacements: attribute changes are expressed as
+    /// replacements that touch the fewest attributes.
+    SimplestReplacements,
+    /// 5 — No delete-insert pairs on the same relation: such a pair must
+    /// be a replacement instead.
+    NoDeleteInsertPairs,
+}
+
+/// All five criteria in order.
+pub const ALL_CRITERIA: [Criterion; 5] = [
+    Criterion::NoSideEffects,
+    Criterion::OneStepChanges,
+    Criterion::NoUnnecessaryChanges,
+    Criterion::SimplestReplacements,
+    Criterion::NoDeleteInsertPairs,
+];
+
+/// A criterion violation found in a candidate translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriterionViolation {
+    /// Which criterion failed.
+    pub criterion: Criterion,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// The intended effect on the view, for the side-effect check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewDelta {
+    /// Exactly these rows disappear from the view.
+    RowsRemoved(Vec<Vec<Value>>),
+    /// Exactly these rows appear in the view.
+    RowsAdded(Vec<Vec<Value>>),
+    /// `old` rows become `new` rows.
+    RowsReplaced {
+        /// Rows expected to vanish.
+        old: Vec<Vec<Value>>,
+        /// Rows expected to appear.
+        new: Vec<Vec<Value>>,
+    },
+}
+
+/// Check the *syntactic* criteria (2 and 5) on an operation list.
+pub fn check_syntactic(ops: &[DbOp]) -> Vec<CriterionViolation> {
+    let mut out = Vec::new();
+    // criterion 2: each (relation, key) touched at most once
+    let mut touched: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for op in ops {
+        let key = match op {
+            DbOp::Insert { relation, tuple } => (relation.clone(), format!("ins:{tuple}")),
+            DbOp::Delete { relation, key } => (relation.clone(), key.to_string()),
+            DbOp::Replace {
+                relation, old_key, ..
+            } => (relation.clone(), old_key.to_string()),
+        };
+        *touched.entry(key).or_insert(0) += 1;
+    }
+    for ((rel, key), n) in &touched {
+        if *n > 1 {
+            out.push(CriterionViolation {
+                criterion: Criterion::OneStepChanges,
+                detail: format!("{rel} {key} touched {n} times"),
+            });
+        }
+    }
+    // criterion 5: no delete + insert on the same relation
+    for (i, a) in ops.iter().enumerate() {
+        for b in &ops[i + 1..] {
+            let pair = matches!(
+                (a, b),
+                (DbOp::Delete { relation: r1, .. }, DbOp::Insert { relation: r2, .. })
+                | (DbOp::Insert { relation: r1, .. }, DbOp::Delete { relation: r2, .. })
+                if r1 == r2
+            );
+            if pair {
+                out.push(CriterionViolation {
+                    criterion: Criterion::NoDeleteInsertPairs,
+                    detail: format!(
+                        "delete and insert on {} should be a replacement",
+                        a.relation()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Check criterion 1 semantically: apply `ops` to a scratch copy and
+/// compare the view's rows against the declared delta.
+pub fn check_side_effects(
+    view: &SpjView,
+    db: &Database,
+    ops: &[DbOp],
+    delta: &ViewDelta,
+) -> Result<Vec<CriterionViolation>> {
+    let before = view.evaluate(db)?;
+    let mut scratch = db.clone();
+    scratch.apply_all(ops)?;
+    let after = view.evaluate(&scratch)?;
+
+    let mut expected: Vec<Vec<Value>> = before.rows.clone();
+    match delta {
+        ViewDelta::RowsRemoved(rows) => {
+            for r in rows {
+                if let Some(pos) = expected.iter().position(|x| x == r) {
+                    expected.remove(pos);
+                }
+            }
+        }
+        ViewDelta::RowsAdded(rows) => expected.extend(rows.iter().cloned()),
+        ViewDelta::RowsReplaced { old, new } => {
+            for r in old {
+                if let Some(pos) = expected.iter().position(|x| x == r) {
+                    expected.remove(pos);
+                }
+            }
+            expected.extend(new.iter().cloned());
+        }
+    }
+    let mut got = after.rows.clone();
+    expected.sort();
+    got.sort();
+    if expected == got {
+        Ok(Vec::new())
+    } else {
+        Ok(vec![CriterionViolation {
+            criterion: Criterion::NoSideEffects,
+            detail: format!(
+                "view has {} rows after translation, expected {}",
+                got.len(),
+                expected.len()
+            ),
+        }])
+    }
+}
+
+/// Check criterion 3 by minimality probing: no single op can be dropped
+/// while still realizing the delta. (Full subset enumeration is
+/// exponential; single-op omission catches the practically relevant
+/// redundancies.)
+pub fn check_minimality(
+    view: &SpjView,
+    db: &Database,
+    ops: &[DbOp],
+    delta: &ViewDelta,
+) -> Result<Vec<CriterionViolation>> {
+    for skip in 0..ops.len() {
+        let subset: Vec<DbOp> = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, o)| o.clone())
+            .collect();
+        let mut scratch = db.clone();
+        if scratch.apply_all(&subset).is_err() {
+            continue;
+        }
+        if check_side_effects(view, db, &subset, delta)?.is_empty() {
+            return Ok(vec![CriterionViolation {
+                criterion: Criterion::NoUnnecessaryChanges,
+                detail: format!("operation {} is unnecessary: {}", skip, ops[skip]),
+            }]);
+        }
+    }
+    Ok(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vo_core::university::university_database;
+
+    fn course_view() -> SpjView {
+        SpjView::new("cv", "COURSES")
+            .join(
+                "DEPARTMENT",
+                &[("COURSES", "dept_name", "DEPARTMENT", "dept_name")],
+            )
+            .column("COURSES", "course_id")
+            .column_as("DEPARTMENT", "dept_name", "department")
+    }
+
+    #[test]
+    fn syntactic_catches_double_touch() {
+        let (_, db) = university_database();
+        let schema = db.table("DEPARTMENT").unwrap().schema().clone();
+        let t = Tuple::new(&schema, vec!["X".into()]).unwrap();
+        let ops = vec![
+            DbOp::Delete {
+                relation: "COURSES".into(),
+                key: Key::single("CS345"),
+            },
+            DbOp::Delete {
+                relation: "COURSES".into(),
+                key: Key::single("CS345"),
+            },
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: t.clone(),
+            },
+            DbOp::Delete {
+                relation: "DEPARTMENT".into(),
+                key: Key::single("Y"),
+            },
+        ];
+        let v = check_syntactic(&ops);
+        assert!(v.iter().any(|x| x.criterion == Criterion::OneStepChanges));
+        assert!(v
+            .iter()
+            .any(|x| x.criterion == Criterion::NoDeleteInsertPairs));
+    }
+
+    #[test]
+    fn clean_ops_pass_syntactic() {
+        let ops = vec![DbOp::Delete {
+            relation: "COURSES".into(),
+            key: Key::single("CS345"),
+        }];
+        assert!(check_syntactic(&ops).is_empty());
+    }
+
+    #[test]
+    fn side_effect_check_accepts_exact_delta() {
+        let (_, db) = university_database();
+        let view = course_view();
+        let before = view.evaluate(&db).unwrap();
+        let removed: Vec<Vec<Value>> = before
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::text("EE282"))
+            .cloned()
+            .collect();
+        // deleting EE282 (no curriculum rows; grades remain dangling in the
+        // view sense but GRADES is not part of this view)
+        let ops = vec![DbOp::Delete {
+            relation: "COURSES".into(),
+            key: Key::single("EE282"),
+        }];
+        let v = check_side_effects(&view, &db, &ops, &ViewDelta::RowsRemoved(removed)).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn side_effect_check_flags_collateral_damage() {
+        let (_, db) = university_database();
+        let view = course_view();
+        // deleting the whole CS department removes CS101 *and* CS345 rows;
+        // claiming only CS345 was removed is a side effect
+        let before = view.evaluate(&db).unwrap();
+        let removed: Vec<Vec<Value>> = before
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::text("CS345"))
+            .cloned()
+            .collect();
+        let ops = vec![DbOp::Delete {
+            relation: "DEPARTMENT".into(),
+            key: Key::single("Computer Science"),
+        }];
+        let v = check_side_effects(&view, &db, &ops, &ViewDelta::RowsRemoved(removed)).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].criterion, Criterion::NoSideEffects);
+    }
+
+    #[test]
+    fn minimality_flags_redundant_op() {
+        let (_, db) = university_database();
+        let view = course_view();
+        let before = view.evaluate(&db).unwrap();
+        let removed: Vec<Vec<Value>> = before
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::text("EE282"))
+            .cloned()
+            .collect();
+        let ops = vec![
+            DbOp::Delete {
+                relation: "COURSES".into(),
+                key: Key::single("EE282"),
+            },
+            // gratuitous extra change that does not affect the view
+            DbOp::Delete {
+                relation: "GRADES".into(),
+                key: Key(vec!["CS101".into(), 1.into()]),
+            },
+        ];
+        let v = check_minimality(&view, &db, &ops, &ViewDelta::RowsRemoved(removed)).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].criterion, Criterion::NoUnnecessaryChanges);
+    }
+
+    #[test]
+    fn minimality_passes_tight_translation() {
+        let (_, db) = university_database();
+        let view = course_view();
+        let before = view.evaluate(&db).unwrap();
+        let removed: Vec<Vec<Value>> = before
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::text("EE282"))
+            .cloned()
+            .collect();
+        let ops = vec![DbOp::Delete {
+            relation: "COURSES".into(),
+            key: Key::single("EE282"),
+        }];
+        let v = check_minimality(&view, &db, &ops, &ViewDelta::RowsRemoved(removed)).unwrap();
+        assert!(v.is_empty());
+    }
+}

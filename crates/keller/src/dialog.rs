@@ -1,0 +1,166 @@
+//! Choosing a Keller translator by dialog at view-definition time
+//! (\[14\]: "Choosing a view update translator by dialog at view definition
+//! time", VLDB 1986).
+//!
+//! The dialog walks the relations of the view asking which relation
+//! deletions should target, which relations insertions may create tuples
+//! in, and which relations updates may modify. Like the view-object dialog
+//! (vo-core), the run happens once; the resulting [`KellerTranslator`]
+//! serves every later update.
+
+use crate::translate::KellerTranslator;
+use crate::viewdef::SpjView;
+use std::collections::BTreeSet;
+use vo_relational::prelude::Result;
+
+/// A question in the Keller dialog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KellerQuestion {
+    /// What the question decides.
+    pub topic: KellerTopic,
+    /// The display text.
+    pub text: String,
+}
+
+/// Topics of the Keller dialog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KellerTopic {
+    /// Should deletions delete from this relation?
+    DeleteFrom(String),
+    /// May insertions create tuples in this relation?
+    InsertInto(String),
+    /// May updates modify this relation's tuples?
+    UpdateIn(String),
+}
+
+/// Supplies yes/no answers for the Keller dialog.
+pub trait KellerResponder {
+    /// Answer one question.
+    fn answer(&mut self, question: &KellerQuestion) -> bool;
+}
+
+impl<F: FnMut(&KellerQuestion) -> bool> KellerResponder for F {
+    fn answer(&mut self, question: &KellerQuestion) -> bool {
+        self(question)
+    }
+}
+
+/// Run the dialog; returns the translator and the transcript.
+pub fn choose_keller_translator(
+    view: &SpjView,
+    responder: &mut dyn KellerResponder,
+) -> Result<(KellerTranslator, Vec<(KellerQuestion, bool)>)> {
+    let mut transcript = Vec::new();
+    let mut ask = |q: KellerQuestion, r: &mut dyn KellerResponder| {
+        let a = r.answer(&q);
+        transcript.push((q, a));
+        a
+    };
+
+    let mut delete_from = None;
+    for rel in &view.relations {
+        let q = KellerQuestion {
+            topic: KellerTopic::DeleteFrom(rel.clone()),
+            text: format!(
+                "When a tuple of view {} is deleted, should the deletion be \
+                 translated into a deletion on relation {rel}?",
+                view.name
+            ),
+        };
+        if ask(q, responder) {
+            delete_from = Some(rel.clone());
+            break; // first YES wins; later questions are irrelevant
+        }
+    }
+
+    let mut insert_into = BTreeSet::new();
+    for rel in &view.relations {
+        let q = KellerQuestion {
+            topic: KellerTopic::InsertInto(rel.clone()),
+            text: format!(
+                "When a tuple is inserted into view {}, may missing base \
+                 tuples be inserted into relation {rel}?",
+                view.name
+            ),
+        };
+        if ask(q, responder) {
+            insert_into.insert(rel.clone());
+        }
+    }
+
+    let mut update_allowed = BTreeSet::new();
+    for rel in &view.relations {
+        let q = KellerQuestion {
+            topic: KellerTopic::UpdateIn(rel.clone()),
+            text: format!(
+                "May updates to view {} columns sourced from relation {rel} \
+                 modify {rel}'s base tuples?",
+                view.name
+            ),
+        };
+        if ask(q, responder) {
+            update_allowed.insert(rel.clone());
+        }
+    }
+
+    Ok((
+        KellerTranslator {
+            view: view.clone(),
+            delete_from,
+            insert_into,
+            update_allowed,
+        },
+        transcript,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> SpjView {
+        SpjView::new("cd", "COURSES")
+            .join(
+                "DEPARTMENT",
+                &[("COURSES", "dept_name", "DEPARTMENT", "dept_name")],
+            )
+            .column("COURSES", "course_id")
+            .column_as("DEPARTMENT", "dept_name", "department")
+    }
+
+    #[test]
+    fn first_delete_yes_wins_and_stops_asking() {
+        let v = view();
+        let mut all_yes = |_q: &KellerQuestion| true;
+        let (t, transcript) = choose_keller_translator(&v, &mut all_yes).unwrap();
+        assert_eq!(t.delete_from.as_deref(), Some("COURSES"));
+        // one delete question + 2 insert + 2 update
+        assert_eq!(transcript.len(), 5);
+    }
+
+    #[test]
+    fn all_no_rejects_everything() {
+        let v = view();
+        let mut all_no = |_q: &KellerQuestion| false;
+        let (t, transcript) = choose_keller_translator(&v, &mut all_no).unwrap();
+        assert!(t.delete_from.is_none());
+        assert!(t.insert_into.is_empty());
+        assert!(t.update_allowed.is_empty());
+        assert_eq!(transcript.len(), 6); // 2 delete + 2 insert + 2 update
+    }
+
+    #[test]
+    fn selective_answers() {
+        let v = view();
+        let mut r = |q: &KellerQuestion| match &q.topic {
+            KellerTopic::DeleteFrom(rel) => rel == "DEPARTMENT",
+            KellerTopic::InsertInto(rel) => rel == "COURSES",
+            KellerTopic::UpdateIn(_) => true,
+        };
+        let (t, _) = choose_keller_translator(&v, &mut r).unwrap();
+        assert_eq!(t.delete_from.as_deref(), Some("DEPARTMENT"));
+        assert!(t.insert_into.contains("COURSES"));
+        assert!(!t.insert_into.contains("DEPARTMENT"));
+        assert_eq!(t.update_allowed.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # vo-keller — updating relational databases through flat views
+//!
+//! Keller's approach to view updates (PODS 1985, VLDB 1986; the paper's
+//! §4), implemented as the **baseline** the view-object model builds on:
+//!
+//! - [`viewdef`] — select-project-join view definitions over keyed base
+//!   relations;
+//! - [`criteria`] — the five validity criteria that bound the space of
+//!   legal translations;
+//! - [`enumerate`] — materialization of the candidate-translation space
+//!   for a given request;
+//! - [`dialog`] — translator choice by dialog at view-definition time;
+//! - [`translate`] — the chosen translator, applied to every later update.
+//!
+//! The crate is deliberately *structural-model-blind*: deleting a course
+//! through a flat view leaves its grades orphaned, and updating a join
+//! attribute is rejected as ambiguous. Those are the exact limitations
+//! (paper §5) that motivate translating updates through view objects.
+
+pub mod criteria;
+pub mod dialog;
+pub mod enumerate;
+pub mod translate;
+pub mod viewdef;
+
+pub use criteria::{
+    check_minimality, check_side_effects, check_syntactic, Criterion, CriterionViolation,
+    ViewDelta, ALL_CRITERIA,
+};
+pub use dialog::{choose_keller_translator, KellerQuestion, KellerResponder, KellerTopic};
+pub use enumerate::{enumerate_deletions, enumerate_insertion, enumerate_replacements, Candidate};
+pub use translate::KellerTranslator;
+pub use viewdef::{JoinCond, SpjView, ViewColumn};

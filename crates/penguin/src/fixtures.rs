@@ -1,0 +1,242 @@
+//! Domain fixtures.
+//!
+//! - The paper's **university** database (Figure 1) is re-exported from
+//!   `vo-core` (it anchors the figure reproductions there).
+//! - A **hospital** database reflecting the paper's motivating domain (the
+//!   work was funded by the National Library of Medicine; the thesis's
+//!   PENGUIN prototype targeted medical applications): patients admitted
+//!   to wards, attended by physicians, with orders and lab results.
+
+pub use vo_core::university::{seed_figure4, university_database, university_schema};
+
+use vo_core::prelude::*;
+
+/// The hospital structural schema:
+///
+/// ```text
+/// WARD(ward_id*)                  PHYSICIAN(phys_id*, name, specialty)
+/// PATIENT(mrn*, name, ward_id)    PATIENT —> WARD
+/// ADMISSION(mrn*, adm_no*, reason, attending)
+///     PATIENT —* ADMISSION, ADMISSION —> PHYSICIAN
+/// ORDERS(mrn*, adm_no*, order_no*, item)     ADMISSION —* ORDERS
+/// LABRESULT(mrn*, adm_no*, order_no*, value) ORDERS —⊃ LABRESULT
+/// ```
+pub fn hospital_schema() -> StructuralSchema {
+    StructuralSchemaBuilder::new()
+        .relation("WARD", &[("ward_id", DataType::Text)], &["ward_id"])
+        .relation(
+            "PHYSICIAN",
+            &[
+                ("phys_id", DataType::Int),
+                ("name", DataType::Text),
+                ("specialty", DataType::Text),
+            ],
+            &["phys_id"],
+        )
+        .relation(
+            "PATIENT",
+            &[
+                ("mrn", DataType::Int),
+                ("name", DataType::Text),
+                ("ward_id", DataType::Text),
+            ],
+            &["mrn"],
+        )
+        .relation(
+            "ADMISSION",
+            &[
+                ("mrn", DataType::Int),
+                ("adm_no", DataType::Int),
+                ("reason", DataType::Text),
+                ("attending", DataType::Int),
+            ],
+            &["mrn", "adm_no"],
+        )
+        .relation(
+            "ORDERS",
+            &[
+                ("mrn", DataType::Int),
+                ("adm_no", DataType::Int),
+                ("order_no", DataType::Int),
+                ("item", DataType::Text),
+            ],
+            &["mrn", "adm_no", "order_no"],
+        )
+        .relation(
+            "LABRESULT",
+            &[
+                ("mrn", DataType::Int),
+                ("adm_no", DataType::Int),
+                ("order_no", DataType::Int),
+                ("value", DataType::Float),
+            ],
+            &["mrn", "adm_no", "order_no"],
+        )
+        .references(
+            "patient_ward",
+            "PATIENT",
+            &["ward_id"],
+            "WARD",
+            &["ward_id"],
+        )
+        .owns(
+            "patient_admission",
+            "PATIENT",
+            &["mrn"],
+            "ADMISSION",
+            &["mrn"],
+        )
+        .references(
+            "admission_physician",
+            "ADMISSION",
+            &["attending"],
+            "PHYSICIAN",
+            &["phys_id"],
+        )
+        .owns(
+            "admission_orders",
+            "ADMISSION",
+            &["mrn", "adm_no"],
+            "ORDERS",
+            &["mrn", "adm_no"],
+        )
+        .subset(
+            "orders_lab",
+            "ORDERS",
+            &["mrn", "adm_no", "order_no"],
+            "LABRESULT",
+            &["mrn", "adm_no", "order_no"],
+        )
+        .build()
+        .expect("the hospital schema is valid")
+}
+
+/// Seed a small, consistent hospital data set: `patients` patients, two
+/// admissions each, two orders per admission, lab results on the even
+/// orders.
+pub fn seed_hospital(db: &mut Database, patients: i64) -> Result<()> {
+    for w in ["ICU", "East", "West"] {
+        db.insert("WARD", vec![w.into()])?;
+    }
+    for p in 1..=4i64 {
+        db.insert(
+            "PHYSICIAN",
+            vec![
+                p.into(),
+                format!("dr-{p}").into(),
+                if p % 2 == 0 { "cardiology" } else { "oncology" }.into(),
+            ],
+        )?;
+    }
+    for mrn in 1..=patients {
+        let ward = ["ICU", "East", "West"][(mrn % 3) as usize];
+        db.insert(
+            "PATIENT",
+            vec![mrn.into(), format!("patient-{mrn}").into(), ward.into()],
+        )?;
+        for adm in 1..=2i64 {
+            db.insert(
+                "ADMISSION",
+                vec![
+                    mrn.into(),
+                    adm.into(),
+                    if adm == 1 { "chest pain" } else { "follow-up" }.into(),
+                    ((mrn + adm) % 4 + 1).into(),
+                ],
+            )?;
+            for ord in 1..=2i64 {
+                db.insert(
+                    "ORDERS",
+                    vec![
+                        mrn.into(),
+                        adm.into(),
+                        ord.into(),
+                        if ord == 1 { "ecg" } else { "troponin" }.into(),
+                    ],
+                )?;
+                if ord % 2 == 0 {
+                    db.insert(
+                        "LABRESULT",
+                        vec![
+                            mrn.into(),
+                            adm.into(),
+                            ord.into(),
+                            (0.01 * (mrn * adm) as f64).into(),
+                        ],
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A freshly seeded hospital database.
+pub fn hospital_database(patients: i64) -> (StructuralSchema, Database) {
+    let schema = hospital_schema();
+    let mut db = Database::from_schema(schema.catalog());
+    seed_hospital(&mut db, patients).expect("seed data is valid");
+    (schema, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_is_consistent() {
+        let (schema, db) = hospital_database(6);
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+        assert_eq!(db.table("PATIENT").unwrap().len(), 6);
+        assert_eq!(db.table("ADMISSION").unwrap().len(), 12);
+        assert_eq!(db.table("ORDERS").unwrap().len(), 24);
+        assert_eq!(db.table("LABRESULT").unwrap().len(), 12);
+    }
+
+    #[test]
+    fn patient_object_island_spans_admission_orders_lab() {
+        let (schema, _) = hospital_database(2);
+        let tree = generate_tree(&schema, "PATIENT", &MetricWeights::default()).unwrap();
+        let obj = prune_by_relations(
+            &schema,
+            &tree,
+            "patient_chart",
+            &["WARD", "ADMISSION", "PHYSICIAN", "ORDERS", "LABRESULT"],
+        )
+        .unwrap();
+        let analysis = analyze(&schema, &obj).unwrap();
+        // island: PATIENT —* ADMISSION —* ORDERS —⊃ LABRESULT
+        assert_eq!(analysis.island.len(), 4);
+        assert!(analysis.island_has_relation("LABRESULT"));
+        assert!(!analysis.island_has_relation("WARD"));
+        assert!(!analysis.island_has_relation("PHYSICIAN"));
+    }
+
+    #[test]
+    fn deleting_a_patient_chart_cascades_three_levels() {
+        let (schema, mut db) = hospital_database(3);
+        let tree = generate_tree(&schema, "PATIENT", &MetricWeights::default()).unwrap();
+        let obj = prune_by_relations(
+            &schema,
+            &tree,
+            "patient_chart",
+            &["ADMISSION", "ORDERS", "LABRESULT"],
+        )
+        .unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, obj.clone(), Translator::permissive(&obj)).unwrap();
+        let t = db
+            .table("PATIENT")
+            .unwrap()
+            .get(&Key::single(1))
+            .unwrap()
+            .clone();
+        let inst = assemble(&schema, &obj, &db, t).unwrap();
+        updater.delete(&schema, &mut db, inst).unwrap();
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+        assert_eq!(db.table("PATIENT").unwrap().len(), 2);
+        assert_eq!(db.table("ADMISSION").unwrap().len(), 4);
+        assert_eq!(db.table("ORDERS").unwrap().len(), 8);
+        assert_eq!(db.table("LABRESULT").unwrap().len(), 4);
+    }
+}

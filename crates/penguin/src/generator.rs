@@ -1,0 +1,281 @@
+//! Workload and schema generators for the experiment harness.
+//!
+//! Two families:
+//!
+//! - [`seed_university_scaled`] populates the paper's Figure 1 schema at a
+//!   parameterized scale (the benchmark workload: `scale` departments,
+//!   each with people, courses, grades and curricula in fixed ratios);
+//! - [`synthetic_schema`] builds structural schemas of controlled *shape*
+//!   (chains, stars, ownership trees) and size, for the view-object
+//!   generation sweeps (experiment G1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vo_core::prelude::*;
+
+/// Deterministically seed the university schema at `scale`: per
+/// department — 20 people (12 students, 5 faculty, 3 staff), 8 courses,
+/// 4 grades per course, 2 curriculum rows per course.
+pub fn seed_university_scaled(db: &mut Database, scale: i64, seed: u64) -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grades = ["A", "B", "C", "D"];
+    let levels = ["graduate", "undergraduate"];
+    for d in 0..scale {
+        let dept = format!("dept-{d}");
+        db.insert("DEPARTMENT", vec![dept.clone().into()])?;
+        let people_base = d * 20;
+        for i in 0..20i64 {
+            let ssn = people_base + i + 1;
+            db.insert(
+                "PEOPLE",
+                vec![
+                    ssn.into(),
+                    format!("person-{ssn}").into(),
+                    dept.clone().into(),
+                ],
+            )?;
+            if i < 12 {
+                db.insert(
+                    "STUDENT",
+                    vec![ssn.into(), if i % 2 == 0 { "MS" } else { "PhD" }.into()],
+                )?;
+            } else if i < 17 {
+                db.insert("FACULTY", vec![ssn.into(), "Professor".into()])?;
+            } else {
+                db.insert("STAFF", vec![ssn.into(), "Administrator".into()])?;
+            }
+        }
+        for c in 0..8i64 {
+            let cid = format!("C{d}-{c}");
+            db.insert(
+                "COURSES",
+                vec![
+                    cid.clone().into(),
+                    format!("course {d}.{c}").into(),
+                    levels[(c % 2) as usize].into(),
+                    dept.clone().into(),
+                ],
+            )?;
+            // 4 distinct students of this department
+            let mut chosen = std::collections::BTreeSet::new();
+            while chosen.len() < 4 {
+                chosen.insert(people_base + 1 + rng.gen_range(0..12));
+            }
+            for ssn in chosen {
+                db.insert(
+                    "GRADES",
+                    vec![
+                        cid.clone().into(),
+                        ssn.into(),
+                        grades[rng.gen_range(0..grades.len())].into(),
+                    ],
+                )?;
+            }
+            for deg in ["MS", "PhD"] {
+                db.insert("CURRICULUM", vec![deg.into(), cid.clone().into()])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A scaled university database (schema from `vo-core`).
+pub fn university_scaled(scale: i64, seed: u64) -> (StructuralSchema, Database) {
+    let schema = vo_core::university::university_schema();
+    let mut db = Database::from_schema(schema.catalog());
+    seed_university_scaled(&mut db, scale, seed).expect("generated data is valid");
+    (schema, db)
+}
+
+/// Shapes of synthetic structural schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaShape {
+    /// `R0 —* R1 —* R2 —* ...` — a single ownership chain.
+    OwnershipChain,
+    /// `R0 —* Ri` for all i — a flat ownership star around the pivot.
+    OwnershipStar,
+    /// Each `Ri —> R(i/2)` — a reference tree toward the root.
+    ReferenceTree,
+}
+
+/// Build a synthetic schema of `n` relations in the given shape. Relation
+/// `R0` is the intended pivot. Keys grow along ownership chains (each
+/// owned relation adds one key attribute), as the structural model
+/// requires.
+pub fn synthetic_schema(shape: SchemaShape, n: usize) -> StructuralSchema {
+    assert!(n >= 1);
+    let mut b = StructuralSchemaBuilder::new();
+    match shape {
+        SchemaShape::OwnershipChain => {
+            // R_i has key k0..ki
+            for i in 0..n {
+                let attrs: Vec<(String, DataType)> = (0..=i)
+                    .map(|j| (format!("k{j}"), DataType::Int))
+                    .chain([(format!("v{i}"), DataType::Text)])
+                    .collect();
+                let attr_refs: Vec<(&str, DataType)> =
+                    attrs.iter().map(|(s, t)| (s.as_str(), *t)).collect();
+                let keys: Vec<String> = (0..=i).map(|j| format!("k{j}")).collect();
+                let key_refs: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+                b = b.relation(&format!("R{i}"), &attr_refs, &key_refs);
+            }
+            for i in 1..n {
+                let from_keys: Vec<String> = (0..i).map(|j| format!("k{j}")).collect();
+                let from_refs: Vec<&str> = from_keys.iter().map(|s| s.as_str()).collect();
+                b = b.owns(
+                    &format!("own{i}"),
+                    &format!("R{}", i - 1),
+                    &from_refs,
+                    &format!("R{i}"),
+                    &from_refs,
+                );
+            }
+        }
+        SchemaShape::OwnershipStar => {
+            b = b.relation(
+                "R0",
+                &[("k0", DataType::Int), ("v0", DataType::Text)],
+                &["k0"],
+            );
+            for i in 1..n {
+                b = b
+                    .relation(
+                        &format!("R{i}"),
+                        &[
+                            ("k0", DataType::Int),
+                            (&format!("k{i}"), DataType::Int),
+                            (&format!("v{i}"), DataType::Text),
+                        ],
+                        &["k0", &format!("k{i}")],
+                    )
+                    .owns(&format!("own{i}"), "R0", &["k0"], &format!("R{i}"), &["k0"]);
+            }
+        }
+        SchemaShape::ReferenceTree => {
+            for i in 0..n {
+                b = b.relation(
+                    &format!("R{i}"),
+                    &[
+                        (&format!("k{i}"), DataType::Int),
+                        ("parent", DataType::Int),
+                        (&format!("v{i}"), DataType::Text),
+                    ],
+                    &[&format!("k{i}")],
+                );
+            }
+            for i in 1..n {
+                let parent = (i - 1) / 2;
+                b = b.references(
+                    &format!("ref{i}"),
+                    &format!("R{i}"),
+                    &["parent"],
+                    &format!("R{parent}"),
+                    &[&format!("k{parent}")],
+                );
+            }
+        }
+    }
+    b.build()
+        .expect("synthetic schemas are valid by construction")
+}
+
+/// Populate an ownership-chain schema: `fanout` children per tuple per
+/// level, one root tuple.
+pub fn seed_ownership_chain(db: &mut Database, depth: usize, fanout: i64) -> Result<()> {
+    // R0 root
+    db.insert("R0", vec![0i64.into(), "root".into()])?;
+    let mut level_keys: Vec<Vec<Value>> = vec![vec![Value::Int(0)]];
+    for i in 1..depth {
+        let mut next = Vec::new();
+        for parent in &level_keys {
+            for c in 0..fanout {
+                let mut vals: Vec<Value> = parent.clone();
+                vals.push(Value::Int(c));
+                let mut row = vals.clone();
+                row.push(Value::text(format!("n{i}-{c}")));
+                db.insert(&format!("R{i}"), row)?;
+                next.push(vals);
+            }
+        }
+        level_keys = next;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_university_is_consistent() {
+        let (schema, db) = university_scaled(3, 42);
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+        assert_eq!(db.table("DEPARTMENT").unwrap().len(), 3);
+        assert_eq!(db.table("COURSES").unwrap().len(), 24);
+        assert_eq!(db.table("GRADES").unwrap().len(), 96);
+        assert_eq!(db.table("PEOPLE").unwrap().len(), 60);
+    }
+
+    #[test]
+    fn scaling_is_linear_and_deterministic() {
+        let (_, db1) = university_scaled(2, 7);
+        let (_, db2) = university_scaled(2, 7);
+        assert_eq!(db1.total_tuples(), db2.total_tuples());
+        let g1: Vec<_> = db1.table("GRADES").unwrap().scan().cloned().collect();
+        let g2: Vec<_> = db2.table("GRADES").unwrap().scan().cloned().collect();
+        assert_eq!(g1, g2);
+        let (_, db4) = university_scaled(4, 7);
+        assert_eq!(
+            db4.table("COURSES").unwrap().len(),
+            2 * db1.table("COURSES").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn chain_schema_generates_deep_trees() {
+        let schema = synthetic_schema(SchemaShape::OwnershipChain, 5);
+        assert_eq!(schema.catalog().len(), 5);
+        let w = MetricWeights {
+            threshold: 0.05,
+            ..Default::default()
+        };
+        let tree = generate_tree(&schema, "R0", &w).unwrap();
+        assert_eq!(tree.len(), 5); // the whole chain
+        let obj = prune_by_relations(&schema, &tree, "chain", &["R1", "R2", "R3", "R4"]).unwrap();
+        let analysis = analyze(&schema, &obj).unwrap();
+        assert_eq!(analysis.island.len(), 5); // all ownership ⇒ all island
+    }
+
+    #[test]
+    fn star_schema_fans_out() {
+        let schema = synthetic_schema(SchemaShape::OwnershipStar, 9);
+        let tree = generate_tree(&schema, "R0", &MetricWeights::default()).unwrap();
+        assert_eq!(tree.len(), 9);
+        assert_eq!(tree.nodes[0].children.len(), 8);
+    }
+
+    #[test]
+    fn reference_tree_builds() {
+        let schema = synthetic_schema(SchemaShape::ReferenceTree, 7);
+        assert_eq!(schema.connections().len(), 6);
+        // from R0, children reach via inverse references
+        let w = MetricWeights {
+            threshold: 0.2,
+            ..Default::default()
+        };
+        let tree = generate_tree(&schema, "R0", &w).unwrap();
+        assert!(tree.len() >= 3);
+    }
+
+    #[test]
+    fn chain_seeding_consistent() {
+        let schema = synthetic_schema(SchemaShape::OwnershipChain, 4);
+        let mut db = Database::from_schema(schema.catalog());
+        seed_ownership_chain(&mut db, 4, 3).unwrap();
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+        assert_eq!(db.table("R0").unwrap().len(), 1);
+        assert_eq!(db.table("R1").unwrap().len(), 3);
+        assert_eq!(db.table("R2").unwrap().len(), 9);
+        assert_eq!(db.table("R3").unwrap().len(), 27);
+    }
+}

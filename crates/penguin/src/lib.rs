@@ -1,0 +1,28 @@
+//! # vo-penguin — the PENGUIN system facade
+//!
+//! A batteries-included front end over the whole stack (paper §3: "a first
+//! prototype of our view-object model has been implemented in the PENGUIN
+//! system"):
+//!
+//! - [`system::Penguin`] owns the structural schema, the database, and a
+//!   registry of view objects with their dialog-chosen translators;
+//! - [`voql`] is a small declarative query/update language on view objects
+//!   (`GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5`);
+//! - [`fixtures`] provides the paper's university database (Figure 1) and
+//!   a hospital domain matching the paper's medical-informatics context;
+//! - [`generator`] produces scaled and synthetic workloads for the
+//!   experiment harness.
+
+pub mod catalog;
+pub mod fixtures;
+pub mod generator;
+pub mod system;
+pub mod voql;
+
+pub use catalog::SavedSystem;
+pub use fixtures::{hospital_database, hospital_schema, seed_hospital};
+pub use generator::{
+    seed_ownership_chain, seed_university_scaled, synthetic_schema, university_scaled, SchemaShape,
+};
+pub use system::{Penguin, RegisteredObject};
+pub use voql::{parse as parse_voql, run as run_voql, VoqlOutcome, VoqlStatement};

@@ -1,0 +1,319 @@
+//! The PENGUIN facade: one object that owns the structural schema, the
+//! database, and the registry of view objects with their translators
+//! (paper §3: "a first prototype of our view-object model has been
+//! implemented in the PENGUIN system").
+
+use std::collections::BTreeMap;
+use vo_core::prelude::*;
+
+/// A registered view object: definition, island analysis, and (once
+/// chosen) its translator-backed updater.
+#[derive(Debug, Clone)]
+pub struct RegisteredObject {
+    /// The object definition.
+    pub object: ViewObject,
+    /// Cached island/peninsula analysis.
+    pub analysis: IslandAnalysis,
+    /// The updater, present once a translator has been chosen.
+    pub updater: Option<ViewObjectUpdater>,
+    /// Transcript of the dialog that chose the translator.
+    pub transcript: Option<DialogTranscript>,
+}
+
+/// The PENGUIN system: schema + database + object registry.
+#[derive(Debug, Clone)]
+pub struct Penguin {
+    schema: StructuralSchema,
+    db: Database,
+    objects: BTreeMap<String, RegisteredObject>,
+}
+
+impl Penguin {
+    /// Create a system over a structural schema with an empty database.
+    pub fn new(schema: StructuralSchema) -> Self {
+        let db = Database::from_schema(schema.catalog());
+        Penguin {
+            schema,
+            db,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// Create a system over an existing database.
+    pub fn with_database(schema: StructuralSchema, db: Database) -> Self {
+        Penguin {
+            schema,
+            db,
+            objects: BTreeMap::new(),
+        }
+    }
+
+    /// The structural schema.
+    pub fn schema(&self) -> &StructuralSchema {
+        &self.schema
+    }
+
+    /// The database (read access).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The database (write access — bypasses view objects; prefer the
+    /// object-based update API).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Run a SQL statement directly against the base relations.
+    pub fn sql(&mut self, sql: &str) -> Result<SqlOutcome> {
+        self.db.run_sql(sql)
+    }
+
+    /// Generate the template tree for a pivot.
+    pub fn template_tree(&self, pivot: &str, weights: &MetricWeights) -> Result<TemplateTree> {
+        generate_tree(&self.schema, pivot, weights)
+    }
+
+    /// Define and register a view object by pruning a pivot's template
+    /// tree down to the named relations (shallowest copies win).
+    pub fn define_object(
+        &mut self,
+        name: &str,
+        pivot: &str,
+        relations: &[&str],
+    ) -> Result<&RegisteredObject> {
+        let tree = generate_tree(&self.schema, pivot, &MetricWeights::default())?;
+        let object = prune_by_relations(&self.schema, &tree, name, relations)?;
+        self.register_object(object)
+    }
+
+    /// Register a pre-built view object.
+    pub fn register_object(&mut self, object: ViewObject) -> Result<&RegisteredObject> {
+        let name = object.name().to_owned();
+        if self.objects.contains_key(&name) {
+            return Err(Error::DuplicateRelation(format!("view object {name}")));
+        }
+        // definitions may arrive from deserialization; re-validate
+        object.validate(&self.schema)?;
+        let analysis = analyze(&self.schema, &object)?;
+        self.objects.insert(
+            name.clone(),
+            RegisteredObject {
+                object,
+                analysis,
+                updater: None,
+                transcript: None,
+            },
+        );
+        Ok(&self.objects[&name])
+    }
+
+    /// Look up a registered object.
+    pub fn object(&self, name: &str) -> Result<&RegisteredObject> {
+        self.objects
+            .get(name)
+            .ok_or_else(|| Error::NoSuchRelation(format!("view object {name}")))
+    }
+
+    /// Names of all registered objects.
+    pub fn object_names(&self) -> Vec<&str> {
+        self.objects.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Run the translator-choice dialog for an object (paper §6); the
+    /// resulting translator serves every later update on it.
+    pub fn choose_translator(
+        &mut self,
+        name: &str,
+        responder: &mut dyn Responder,
+    ) -> Result<&DialogTranscript> {
+        let reg = self
+            .objects
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchRelation(format!("view object {name}")))?;
+        let (translator, transcript) =
+            choose_translator(&self.schema, &reg.object, &reg.analysis, responder)?;
+        reg.updater = Some(ViewObjectUpdater::new(
+            &self.schema,
+            reg.object.clone(),
+            translator,
+        )?);
+        reg.transcript = Some(transcript);
+        Ok(reg.transcript.as_ref().expect("just set"))
+    }
+
+    /// Install an explicit translator (e.g. deserialized or hand-built).
+    pub fn install_translator(&mut self, name: &str, translator: Translator) -> Result<()> {
+        let reg = self
+            .objects
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchRelation(format!("view object {name}")))?;
+        reg.updater = Some(ViewObjectUpdater::new(
+            &self.schema,
+            reg.object.clone(),
+            translator,
+        )?);
+        Ok(())
+    }
+
+    fn updater(&self, name: &str) -> Result<&ViewObjectUpdater> {
+        self.object(name)?.updater.as_ref().ok_or_else(|| {
+            Error::ConstraintViolation(format!(
+                "no translator chosen for view object {name}; run the dialog first"
+            ))
+        })
+    }
+
+    /// Execute a query on an object.
+    pub fn query(&self, name: &str, query: &VoQuery) -> Result<Vec<VoInstance>> {
+        let reg = self.object(name)?;
+        query.execute(&self.schema, &reg.object, &self.db)
+    }
+
+    /// All instances of an object.
+    pub fn instantiate_all(&self, name: &str) -> Result<Vec<VoInstance>> {
+        let reg = self.object(name)?;
+        instantiate_all(&self.schema, &reg.object, &self.db)
+    }
+
+    /// The instance anchored on `pivot_key`, if present.
+    pub fn instance_by_key(&self, name: &str, pivot_key: &Key) -> Result<VoInstance> {
+        let reg = self.object(name)?;
+        let tuple = self
+            .db
+            .table(reg.object.pivot())?
+            .get(pivot_key)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchTuple {
+                relation: reg.object.pivot().to_owned(),
+                key: pivot_key.to_string(),
+            })?;
+        assemble(&self.schema, &reg.object, &self.db, tuple)
+    }
+
+    /// Insert an instance through an object.
+    pub fn insert_instance(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
+        let updater = self.updater(name)?.clone();
+        updater.insert(&self.schema, &mut self.db, instance)
+    }
+
+    /// Delete an instance through an object.
+    pub fn delete_instance(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
+        let updater = self.updater(name)?.clone();
+        updater.delete(&self.schema, &mut self.db, instance)
+    }
+
+    /// Replace an instance through an object.
+    pub fn replace_instance(
+        &mut self,
+        name: &str,
+        old: VoInstance,
+        new: VoInstance,
+    ) -> Result<Vec<DbOp>> {
+        let updater = self.updater(name)?.clone();
+        updater.replace(&self.schema, &mut self.db, old, new)
+    }
+
+    /// Apply a partial update through an object.
+    pub fn apply_partial(&mut self, name: &str, op: PartialOp) -> Result<Vec<DbOp>> {
+        let updater = self.updater(name)?.clone();
+        updater.apply_partial(&self.schema, &mut self.db, op)
+    }
+
+    /// Verify the whole database against the structural model.
+    pub fn check_consistency(&self) -> Result<Vec<Violation>> {
+        check_database(&self.schema, &self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vo_core::university::{seed_figure4, university_schema};
+
+    fn system() -> Penguin {
+        let mut p = Penguin::new(university_schema());
+        seed_figure4(p.database_mut()).unwrap();
+        p
+    }
+
+    #[test]
+    fn define_query_update_cycle() {
+        let mut p = system();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        assert_eq!(p.object_names(), vec!["omega"]);
+        assert_eq!(p.object("omega").unwrap().object.complexity(), 5);
+
+        // updates require a translator
+        let inst = p.instance_by_key("omega", &Key::single("CS345")).unwrap();
+        assert!(p.delete_instance("omega", inst.clone()).is_err());
+
+        let mut responder = paper_dialog_responder();
+        p.choose_translator("omega", &mut responder).unwrap();
+        p.delete_instance("omega", inst).unwrap();
+        assert!(p.check_consistency().unwrap().is_empty());
+        assert_eq!(p.database().table("COURSES").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_object_rejected() {
+        let mut p = system();
+        p.define_object("o", "COURSES", &["GRADES"]).unwrap();
+        assert!(p.define_object("o", "COURSES", &["GRADES"]).is_err());
+    }
+
+    #[test]
+    fn query_through_facade() {
+        let mut p = system();
+        p.define_object("omega", "COURSES", &["GRADES", "STUDENT"])
+            .unwrap();
+        let obj = &p.object("omega").unwrap().object;
+        let stu = obj
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "STUDENT")
+            .unwrap()
+            .id;
+        let q = VoQuery::new()
+            .with_predicate(0, Expr::attr("level").eq(Expr::lit("graduate")))
+            .with_count(stu, CmpOp::Lt, 5);
+        let hits = p.query("omega", &q).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn sql_passthrough() {
+        let mut p = system();
+        let out = p
+            .sql("SELECT course_id FROM COURSES ORDER BY course_id")
+            .unwrap();
+        match out {
+            SqlOutcome::Rows(rs) => assert_eq!(rs.len(), 3),
+            _ => panic!("expected rows"),
+        }
+    }
+
+    #[test]
+    fn install_translator_directly() {
+        let mut p = system();
+        p.define_object("o", "COURSES", &["GRADES"]).unwrap();
+        let obj = p.object("o").unwrap().object.clone();
+        p.install_translator("o", Translator::permissive(&obj))
+            .unwrap();
+        let inst = p.instance_by_key("o", &Key::single("EE282")).unwrap();
+        p.delete_instance("o", inst).unwrap();
+        assert!(p.check_consistency().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let p = system();
+        assert!(p.object("nope").is_err());
+        assert!(p.instantiate_all("nope").is_err());
+    }
+}

@@ -1,0 +1,665 @@
+//! VOQL — a small declarative query/update language on view objects
+//! (the paper's query model "specifies a query language that supports
+//! ad-hoc, declarative queries on view objects").
+//!
+//! Grammar:
+//!
+//! ```text
+//! GET <object> [WHERE cond (AND cond)*] [ORDER BY attr (, attr)*] [LIMIT n]
+//! DELETE <object> [WHERE cond (AND cond)*]
+//! UPDATE <object> SET attr = literal (, attr = literal)* [WHERE cond (AND cond)*]
+//! SHOW OBJECTS
+//! SHOW OBJECT <object>
+//! SHOW SCHEMA
+//!
+//! cond := [REL.]attr (= | <> | < | <= | > | >=) literal
+//!       | COUNT(REL) (= | <> | < | <= | > | >=) integer
+//!       | EXISTS(REL)
+//! ```
+//!
+//! Conditions referencing a relation name apply to that relation's node in
+//! the object (bare attributes go to the pivot). Figure 4's request reads:
+//!
+//! ```text
+//! GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5
+//! ```
+
+use crate::system::Penguin;
+use vo_core::prelude::*;
+
+/// A parsed VOQL statement.
+#[derive(Debug, Clone)]
+pub enum VoqlStatement {
+    /// Retrieve matching instances of an object.
+    Get {
+        /// Object name.
+        object: String,
+        /// Compiled query.
+        query: VoQuery,
+    },
+    /// Delete matching instances through the object's translator.
+    Delete {
+        /// Object name.
+        object: String,
+        /// Compiled query selecting instances to remove.
+        query: VoQuery,
+    },
+    /// Modify pivot attributes of matching instances through the object's
+    /// translator (each instance goes through VO-R).
+    Update {
+        /// Object name.
+        object: String,
+        /// Pivot-attribute assignments.
+        assignments: Vec<(String, Value)>,
+        /// Compiled query selecting instances to modify.
+        query: VoQuery,
+    },
+    /// List registered objects.
+    ShowObjects,
+    /// Print an object's tree.
+    ShowObject(String),
+    /// Print the structural schema.
+    ShowSchema,
+}
+
+/// Result of executing a VOQL statement.
+#[derive(Debug, Clone)]
+pub enum VoqlOutcome {
+    /// Instances returned by GET.
+    Instances(Vec<VoInstance>),
+    /// Number of instances deleted.
+    Deleted(usize),
+    /// Number of instances updated.
+    Updated(usize),
+    /// Informational text (SHOW ...).
+    Text(String),
+}
+
+// ------------------------------------------------------------ tokenizer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Sym(&'static str),
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        if c.is_ascii_whitespace() {
+            pos += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = pos;
+            while pos < bytes.len()
+                && ((bytes[pos] as char).is_ascii_alphanumeric()
+                    || bytes[pos] == b'_'
+                    || bytes[pos] == b'.')
+            {
+                pos += 1;
+            }
+            out.push(Tok::Word(src[start..pos].to_owned()));
+        } else if c.is_ascii_digit()
+            || (c == '-' && pos + 1 < bytes.len() && (bytes[pos + 1] as char).is_ascii_digit())
+        {
+            let start = pos;
+            pos += 1;
+            let mut float = false;
+            while pos < bytes.len() && ((bytes[pos] as char).is_ascii_digit() || bytes[pos] == b'.')
+            {
+                if bytes[pos] == b'.' {
+                    float = true;
+                }
+                pos += 1;
+            }
+            let text = &src[start..pos];
+            if float {
+                out.push(Tok::Float(text.parse().map_err(|_| Error::SqlParse {
+                    position: start,
+                    message: "bad float".into(),
+                })?));
+            } else {
+                out.push(Tok::Int(text.parse().map_err(|_| Error::SqlParse {
+                    position: start,
+                    message: "bad integer".into(),
+                })?));
+            }
+        } else if c == '\'' {
+            let start = pos;
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                if pos >= bytes.len() {
+                    return Err(Error::SqlParse {
+                        position: start,
+                        message: "unterminated string".into(),
+                    });
+                }
+                if bytes[pos] == b'\'' {
+                    if pos + 1 < bytes.len() && bytes[pos + 1] == b'\'' {
+                        s.push('\'');
+                        pos += 2;
+                        continue;
+                    }
+                    pos += 1;
+                    break;
+                }
+                s.push(bytes[pos] as char);
+                pos += 1;
+            }
+            out.push(Tok::Str(s));
+        } else {
+            let sym: &'static str = match c {
+                '(' => "(",
+                ')' => ")",
+                ',' => ",",
+                '=' => "=",
+                '<' => {
+                    if src[pos..].starts_with("<=") {
+                        "<="
+                    } else if src[pos..].starts_with("<>") {
+                        "<>"
+                    } else {
+                        "<"
+                    }
+                }
+                '>' => {
+                    if src[pos..].starts_with(">=") {
+                        ">="
+                    } else {
+                        ">"
+                    }
+                }
+                other => {
+                    return Err(Error::SqlParse {
+                        position: pos,
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            };
+            pos += sym.len();
+            out.push(Tok::Sym(sym));
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct P<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    object: Option<&'a ViewObject>,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::SqlParse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn peek_word(&self) -> Option<&str> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Word(w)) => Some(w.as_str()),
+            _ => None,
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self
+            .peek_word()
+            .map(|x| x.eq_ignore_ascii_case(w))
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Word(w) => Ok(w),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        match self.next()? {
+            Tok::Sym("=") => Ok(CmpOp::Eq),
+            Tok::Sym("<>") => Ok(CmpOp::Ne),
+            Tok::Sym("<") => Ok(CmpOp::Lt),
+            Tok::Sym("<=") => Ok(CmpOp::Le),
+            Tok::Sym(">") => Ok(CmpOp::Gt),
+            Tok::Sym(">=") => Ok(CmpOp::Ge),
+            other => Err(self.err(format!("expected comparison, got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Tok::Int(i) => Ok(Value::Int(i)),
+            Tok::Float(x) => Ok(Value::Float(x)),
+            Tok::Str(s) => Ok(Value::Text(s)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Tok::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Tok::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(self.err(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    /// Resolve a relation name to a node id of the current object.
+    fn node_of(&self, relation: &str) -> Result<NodeId> {
+        let object = self.object.ok_or_else(|| self.err("no object in scope"))?;
+        object
+            .nodes()
+            .iter()
+            .find(|n| n.relation.eq_ignore_ascii_case(relation))
+            .map(|n| n.id)
+            .ok_or_else(|| {
+                self.err(format!(
+                    "relation {relation} is not part of object {}",
+                    object.name()
+                ))
+            })
+    }
+
+    fn conditions(&mut self) -> Result<VoQuery> {
+        let mut q = VoQuery::new();
+        loop {
+            if self.eat_word("COUNT") {
+                self.expect_sym("(")?;
+                let rel = self.word()?;
+                self.expect_sym(")")?;
+                let op = self.cmp_op()?;
+                let n = match self.next()? {
+                    Tok::Int(i) if i >= 0 => i as usize,
+                    other => {
+                        return Err(self.err(format!("expected non-negative count, got {other:?}")))
+                    }
+                };
+                q = q.with_count(self.node_of(&rel)?, op, n);
+            } else if self.eat_word("EXISTS") {
+                self.expect_sym("(")?;
+                let rel = self.word()?;
+                self.expect_sym(")")?;
+                q = q.with_exists(self.node_of(&rel)?);
+            } else {
+                let name = self.word()?;
+                let (node, attr) = match name.split_once('.') {
+                    Some((rel, attr)) => (self.node_of(rel)?, attr.to_owned()),
+                    None => (0, name),
+                };
+                let op = self.cmp_op()?;
+                let v = self.literal()?;
+                q = q.with_predicate(
+                    node,
+                    Expr::Cmp(op, Box::new(Expr::attr(attr)), Box::new(Expr::Lit(v))),
+                );
+            }
+            if !self.eat_word("AND") {
+                break;
+            }
+        }
+        Ok(q)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.toks.get(self.pos), Some(Tok::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Sym(x) if x == s => Ok(()),
+            other => Err(self.err(format!("expected {s}, got {other:?}"))),
+        }
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing tokens"));
+        }
+        Ok(())
+    }
+}
+
+/// Parse a VOQL statement. Needs the system to resolve object structure
+/// for WHERE conditions.
+pub fn parse(penguin: &Penguin, src: &str) -> Result<VoqlStatement> {
+    let toks = tokenize(src)?;
+    let mut p = P {
+        toks,
+        pos: 0,
+        object: None,
+    };
+    if p.eat_word("SHOW") {
+        if p.eat_word("OBJECTS") {
+            p.finish()?;
+            return Ok(VoqlStatement::ShowObjects);
+        }
+        if p.eat_word("OBJECT") {
+            let name = p.word()?;
+            p.finish()?;
+            return Ok(VoqlStatement::ShowObject(name));
+        }
+        if p.eat_word("SCHEMA") {
+            p.finish()?;
+            return Ok(VoqlStatement::ShowSchema);
+        }
+        return Err(p.err("expected OBJECTS, OBJECT or SCHEMA"));
+    }
+    let is_get = p.eat_word("GET");
+    let is_delete = !is_get && p.eat_word("DELETE");
+    let is_update = !is_get && !is_delete && p.eat_word("UPDATE");
+    if !is_get && !is_delete && !is_update {
+        return Err(p.err("expected GET, DELETE, UPDATE or SHOW"));
+    }
+    let object_name = p.word()?;
+    let reg = penguin.object(&object_name)?;
+    p.object = Some(&reg.object);
+    let mut assignments: Vec<(String, Value)> = Vec::new();
+    if is_update {
+        if !p.eat_word("SET") {
+            return Err(p.err("expected SET"));
+        }
+        loop {
+            let attr = p.word()?;
+            if attr.contains('.') {
+                return Err(p.err("UPDATE assignments address pivot attributes only"));
+            }
+            p.expect_sym("=")?;
+            let v = p.literal()?;
+            assignments.push((attr, v));
+            if !p.eat_sym(",") {
+                break;
+            }
+        }
+    }
+    let mut query = if p.eat_word("WHERE") {
+        p.conditions()?
+    } else {
+        VoQuery::new()
+    };
+    if p.eat_word("ORDER") {
+        if !p.eat_word("BY") {
+            return Err(p.err("expected BY after ORDER"));
+        }
+        loop {
+            let attr = p.word()?;
+            query.order_by.push(attr);
+            if !p.eat_word("AND") && !p.eat_sym(",") {
+                break;
+            }
+        }
+    }
+    if p.eat_word("LIMIT") {
+        match p.next()? {
+            Tok::Int(n) if n >= 0 => query.limit = Some(n as usize),
+            other => return Err(p.err(format!("expected non-negative LIMIT, got {other:?}"))),
+        }
+    }
+    p.finish()?;
+    if is_get {
+        Ok(VoqlStatement::Get {
+            object: object_name,
+            query,
+        })
+    } else if is_update {
+        Ok(VoqlStatement::Update {
+            object: object_name,
+            assignments,
+            query,
+        })
+    } else {
+        Ok(VoqlStatement::Delete {
+            object: object_name,
+            query,
+        })
+    }
+}
+
+/// Parse and execute a VOQL statement.
+pub fn run(penguin: &mut Penguin, src: &str) -> Result<VoqlOutcome> {
+    match parse(penguin, src)? {
+        VoqlStatement::Get { object, query } => {
+            Ok(VoqlOutcome::Instances(penguin.query(&object, &query)?))
+        }
+        VoqlStatement::Delete { object, query } => {
+            let matches = penguin.query(&object, &query)?;
+            let n = matches.len();
+            for inst in matches {
+                penguin.delete_instance(&object, inst)?;
+            }
+            Ok(VoqlOutcome::Deleted(n))
+        }
+        VoqlStatement::Update {
+            object,
+            assignments,
+            query,
+        } => {
+            let matches = penguin.query(&object, &query)?;
+            let pivot_rel = penguin.object(&object)?.object.pivot().to_owned();
+            let pivot_schema = penguin.schema().catalog().relation(&pivot_rel)?.clone();
+            let n = matches.len();
+            for inst in matches {
+                let pivot_key = inst.root.tuple.key(&pivot_schema);
+                let mut new_tuple = inst.root.tuple.clone();
+                for (attr, v) in &assignments {
+                    new_tuple = new_tuple.with_named(&pivot_schema, attr, v.clone())?;
+                }
+                penguin.apply_partial(
+                    &object,
+                    PartialOp::ModifyPivot {
+                        pivot_key,
+                        new: new_tuple,
+                    },
+                )?;
+            }
+            Ok(VoqlOutcome::Updated(n))
+        }
+        VoqlStatement::ShowObjects => Ok(VoqlOutcome::Text(penguin.object_names().join("\n"))),
+        VoqlStatement::ShowObject(name) => {
+            let reg = penguin.object(&name)?;
+            Ok(VoqlOutcome::Text(
+                reg.object.to_tree_string(penguin.schema()),
+            ))
+        }
+        VoqlStatement::ShowSchema => Ok(VoqlOutcome::Text(penguin.schema().to_graph_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vo_core::university::{seed_figure4, university_schema};
+
+    fn system() -> Penguin {
+        let mut p = Penguin::new(university_schema());
+        seed_figure4(p.database_mut()).unwrap();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn figure_4_voql() {
+        let mut p = system();
+        let out = run(
+            &mut p,
+            "GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5",
+        )
+        .unwrap();
+        match out {
+            VoqlOutcome::Instances(is) => {
+                assert_eq!(is.len(), 1);
+            }
+            other => panic!("expected instances, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_condition() {
+        let mut p = system();
+        let out = run(&mut p, "GET omega WHERE GRADES.grade = 'A'").unwrap();
+        match out {
+            VoqlOutcome::Instances(is) => assert_eq!(is.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_condition() {
+        let mut p = system();
+        p.sql("INSERT INTO COURSES VALUES ('X1', 'Empty', 'graduate', NULL)")
+            .unwrap();
+        let out = run(&mut p, "GET omega WHERE EXISTS(GRADES)").unwrap();
+        match out {
+            VoqlOutcome::Instances(is) => assert_eq!(is.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_through_voql() {
+        let mut p = system();
+        let mut responder = paper_dialog_responder();
+        p.choose_translator("omega", &mut responder).unwrap();
+        let out = run(&mut p, "DELETE omega WHERE course_id = 'EE282'").unwrap();
+        match out {
+            VoqlOutcome::Deleted(n) => assert_eq!(n, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(p.check_consistency().unwrap().is_empty());
+        assert_eq!(p.database().table("COURSES").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn show_statements() {
+        let mut p = system();
+        match run(&mut p, "SHOW OBJECTS").unwrap() {
+            VoqlOutcome::Text(t) => assert_eq!(t, "omega"),
+            other => panic!("{other:?}"),
+        }
+        match run(&mut p, "SHOW OBJECT omega").unwrap() {
+            VoqlOutcome::Text(t) => assert!(t.contains("COURSES")),
+            other => panic!("{other:?}"),
+        }
+        match run(&mut p, "SHOW SCHEMA").unwrap() {
+            VoqlOutcome::Text(t) => assert!(t.contains("—*")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_through_voql() {
+        let mut p = system();
+        let mut responder = paper_dialog_responder();
+        p.choose_translator("omega", &mut responder).unwrap();
+        let out = run(
+            &mut p,
+            "UPDATE omega SET title = 'Renamed' WHERE dept_name = 'Computer Science'",
+        )
+        .unwrap();
+        match out {
+            VoqlOutcome::Updated(n) => assert_eq!(n, 2),
+            other => panic!("{other:?}"),
+        }
+        let t = p
+            .database()
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        assert_eq!(t.values()[1], Value::text("Renamed"));
+        assert!(p.check_consistency().unwrap().is_empty());
+
+        // key updates flow through VO-R (children follow)
+        run(
+            &mut p,
+            "UPDATE omega SET course_id = 'CS999' WHERE course_id = 'CS345'",
+        )
+        .unwrap();
+        assert!(p
+            .database()
+            .table("GRADES")
+            .unwrap()
+            .contains_key(&Key(vec!["CS999".into(), 1.into()])));
+        assert!(p.check_consistency().unwrap().is_empty());
+
+        // malformed updates rejected
+        assert!(run(&mut p, "UPDATE omega SET GRADES.grade = 'A'").is_err());
+        assert!(run(&mut p, "UPDATE omega title = 'x'").is_err());
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut p = system();
+        let out = run(&mut p, "GET omega ORDER BY course_id LIMIT 2").unwrap();
+        match out {
+            VoqlOutcome::Instances(is) => {
+                assert_eq!(is.len(), 2);
+                let ids: Vec<&Value> = is.iter().map(|i| i.root.tuple.get(0)).collect();
+                assert_eq!(ids, vec![&Value::text("CS101"), &Value::text("CS345")]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // descending unsupported; bad limit rejected
+        assert!(run(&mut p, "GET omega LIMIT -1").is_err());
+        assert!(run(&mut p, "GET omega ORDER course_id").is_err());
+    }
+
+    #[test]
+    fn order_by_with_where() {
+        let mut p = system();
+        let out = run(
+            &mut p,
+            "GET omega WHERE level = 'graduate' ORDER BY dept_name, course_id",
+        )
+        .unwrap();
+        match out {
+            VoqlOutcome::Instances(is) => {
+                assert_eq!(is.len(), 2);
+                assert_eq!(is[0].root.tuple.get(0), &Value::text("CS345"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut p = system();
+        assert!(run(&mut p, "GET nope").is_err());
+        assert!(run(&mut p, "GET omega WHERE PEOPLE.name = 'x'").is_err());
+        assert!(run(&mut p, "FETCH omega").is_err());
+        assert!(run(&mut p, "GET omega WHERE COUNT(STUDENT) < -1").is_err());
+        assert!(run(&mut p, "GET omega trailing").is_err());
+    }
+}

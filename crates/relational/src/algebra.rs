@@ -1,0 +1,636 @@
+//! Relational algebra: logical plans and their evaluator.
+//!
+//! Plans are composable trees evaluated against a [`Database`] into a
+//! [`ResultSet`]. Joins are hash equi-joins; `Scan` yields columns
+//! qualified as `relation.attribute` so multi-relation plans never collide,
+//! and [`crate::predicate::resolve_column`] lets predicates use bare names
+//! when unambiguous.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::predicate::{resolve_column, Expr};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Plan {
+    /// Scan a base relation; columns come out as `relation.attribute`.
+    Scan { relation: String },
+    /// Keep rows where `pred` is definitely true.
+    Select { input: Box<Plan>, pred: Expr },
+    /// Keep (and reorder to) the named columns.
+    Project {
+        input: Box<Plan>,
+        columns: Vec<String>,
+    },
+    /// Hash equi-join on pairs of column names `(left, right)`.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+    },
+    /// Rename columns via `(old, new)` pairs.
+    Rename {
+        input: Box<Plan>,
+        mapping: Vec<(String, String)>,
+    },
+    /// Set union (schemas must have equal arity; columns taken from left).
+    Union { left: Box<Plan>, right: Box<Plan> },
+    /// Set difference (left minus right, positional).
+    Difference { left: Box<Plan>, right: Box<Plan> },
+    /// Cartesian product.
+    Product { left: Box<Plan>, right: Box<Plan> },
+    /// Sort by the named columns ascending.
+    Sort { input: Box<Plan>, by: Vec<String> },
+    /// Keep the first `n` rows.
+    Limit { input: Box<Plan>, n: usize },
+    /// Remove duplicate rows.
+    Distinct { input: Box<Plan> },
+}
+
+impl Plan {
+    /// Scan constructor.
+    pub fn scan(relation: impl Into<String>) -> Plan {
+        Plan::Scan {
+            relation: relation.into(),
+        }
+    }
+
+    /// Wrap in a selection.
+    pub fn select(self, pred: Expr) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, columns: Vec<String>) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Join with another plan on `(left, right)` column pairs.
+    pub fn join(self, right: Plan, on: Vec<(String, String)>) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// Wrap in a rename.
+    pub fn rename(self, mapping: Vec<(String, String)>) -> Plan {
+        Plan::Rename {
+            input: Box::new(self),
+            mapping,
+        }
+    }
+
+    /// Wrap in a sort.
+    pub fn sort(self, by: Vec<String>) -> Plan {
+        Plan::Sort {
+            input: Box::new(self),
+            by,
+        }
+    }
+
+    /// Wrap in a limit.
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Wrap in a distinct.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Base relations referenced anywhere in the plan.
+    pub fn relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_relations<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Plan::Scan { relation } => out.push(relation),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Rename { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Distinct { input } => input.collect_relations(out),
+            Plan::Join { left, right, .. }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::Product { left, right } => {
+                left.collect_relations(out);
+                right.collect_relations(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan { relation } => write!(f, "Scan({relation})"),
+            Plan::Select { input, pred } => write!(f, "Select[{pred}]({input})"),
+            Plan::Project { input, columns } => {
+                write!(f, "Project[{}]({input})", columns.join(","))
+            }
+            Plan::Join { left, right, on } => {
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                write!(f, "Join[{}]({left}, {right})", conds.join(" AND "))
+            }
+            Plan::Rename { input, mapping } => {
+                let ms: Vec<String> = mapping.iter().map(|(o, n)| format!("{o}->{n}")).collect();
+                write!(f, "Rename[{}]({input})", ms.join(","))
+            }
+            Plan::Union { left, right } => write!(f, "Union({left}, {right})"),
+            Plan::Difference { left, right } => write!(f, "Diff({left}, {right})"),
+            Plan::Product { left, right } => write!(f, "Product({left}, {right})"),
+            Plan::Sort { input, by } => write!(f, "Sort[{}]({input})", by.join(",")),
+            Plan::Limit { input, n } => write!(f, "Limit[{n}]({input})"),
+            Plan::Distinct { input } => write!(f, "Distinct({input})"),
+        }
+    }
+}
+
+/// A materialized query result: named columns and rows of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names (possibly qualified `rel.attr`).
+    pub columns: Vec<String>,
+    /// Rows, each with `columns.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// An empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a (possibly bare) column name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        resolve_column(&self.columns, name)
+    }
+
+    /// The value of `column` in row `row`.
+    pub fn value(&self, row: usize, column: &str) -> Result<&Value> {
+        let idx = self.column_index(column)?;
+        Ok(&self.rows[row][idx])
+    }
+
+    /// Render as an aligned text table (for examples and experiments).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Database {
+    /// Evaluate a logical plan to a materialized result.
+    pub fn execute(&self, plan: &Plan) -> Result<ResultSet> {
+        match plan {
+            Plan::Scan { relation } => {
+                let table = self.table(relation)?;
+                let columns: Vec<String> = table
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| format!("{}.{}", relation, a.name))
+                    .collect();
+                let rows: Vec<Vec<Value>> = table.scan().map(|t| t.values().to_vec()).collect();
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::Select { input, pred } => {
+                let mut rs = self.execute(input)?;
+                let cols = rs.columns.clone();
+                let mut err = None;
+                rs.rows.retain(|row| {
+                    if err.is_some() {
+                        return false;
+                    }
+                    match pred.eval_truth(&cols, row) {
+                        Ok(t) => t.is_true(),
+                        Err(e) => {
+                            err = Some(e);
+                            false
+                        }
+                    }
+                });
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(rs),
+                }
+            }
+            Plan::Project { input, columns } => {
+                let rs = self.execute(input)?;
+                let indices: Vec<usize> = columns
+                    .iter()
+                    .map(|c| rs.column_index(c))
+                    .collect::<Result<_>>()?;
+                let out_cols: Vec<String> =
+                    indices.iter().map(|&i| rs.columns[i].clone()).collect();
+                let rows = rs
+                    .rows
+                    .iter()
+                    .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                Ok(ResultSet {
+                    columns: out_cols,
+                    rows,
+                })
+            }
+            Plan::Join { left, right, on } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                if on.is_empty() {
+                    return Err(Error::InvalidPlan(
+                        "join requires at least one column pair (use Product otherwise)".into(),
+                    ));
+                }
+                let l_idx: Vec<usize> = on
+                    .iter()
+                    .map(|(lc, _)| l.column_index(lc))
+                    .collect::<Result<_>>()?;
+                let r_idx: Vec<usize> = on
+                    .iter()
+                    .map(|(_, rc)| r.column_index(rc))
+                    .collect::<Result<_>>()?;
+                // build hash on the smaller side (right by convention here)
+                let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (ri, row) in r.rows.iter().enumerate() {
+                    let k: Vec<Value> = r_idx.iter().map(|&i| row[i].clone()).collect();
+                    // NULL never joins
+                    if k.iter().any(|v| v.is_null()) {
+                        continue;
+                    }
+                    index.entry(k).or_default().push(ri);
+                }
+                let mut columns = l.columns.clone();
+                columns.extend(r.columns.iter().cloned());
+                let mut rows = Vec::new();
+                for lrow in &l.rows {
+                    let k: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
+                    if k.iter().any(|v| v.is_null()) {
+                        continue;
+                    }
+                    if let Some(matches) = index.get(&k) {
+                        for &ri in matches {
+                            let mut row = lrow.clone();
+                            row.extend(r.rows[ri].iter().cloned());
+                            rows.push(row);
+                        }
+                    }
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::Rename { input, mapping } => {
+                let mut rs = self.execute(input)?;
+                for (old, new) in mapping {
+                    let idx = rs.column_index(old)?;
+                    rs.columns[idx] = new.clone();
+                }
+                Ok(rs)
+            }
+            Plan::Union { left, right } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(Error::InvalidPlan(format!(
+                        "union arity mismatch: {} vs {}",
+                        l.columns.len(),
+                        r.columns.len()
+                    )));
+                }
+                let mut rows = l.rows;
+                rows.extend(r.rows);
+                rows.sort();
+                rows.dedup();
+                Ok(ResultSet {
+                    columns: l.columns,
+                    rows,
+                })
+            }
+            Plan::Difference { left, right } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(Error::InvalidPlan(format!(
+                        "difference arity mismatch: {} vs {}",
+                        l.columns.len(),
+                        r.columns.len()
+                    )));
+                }
+                let rset: std::collections::BTreeSet<&Vec<Value>> = r.rows.iter().collect();
+                let rows = l
+                    .rows
+                    .iter()
+                    .filter(|row| !rset.contains(row))
+                    .cloned()
+                    .collect();
+                Ok(ResultSet {
+                    columns: l.columns,
+                    rows,
+                })
+            }
+            Plan::Product { left, right } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                let mut columns = l.columns.clone();
+                columns.extend(r.columns.iter().cloned());
+                let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+                for lrow in &l.rows {
+                    for rrow in &r.rows {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+                Ok(ResultSet { columns, rows })
+            }
+            Plan::Sort { input, by } => {
+                let mut rs = self.execute(input)?;
+                let indices: Vec<usize> = by
+                    .iter()
+                    .map(|c| rs.column_index(c))
+                    .collect::<Result<_>>()?;
+                rs.rows.sort_by(|a, b| {
+                    for &i in &indices {
+                        let ord = a[i].cmp(&b[i]);
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(rs)
+            }
+            Plan::Limit { input, n } => {
+                let mut rs = self.execute(input)?;
+                rs.rows.truncate(*n);
+                Ok(rs)
+            }
+            Plan::Distinct { input } => {
+                let mut rs = self.execute(input)?;
+                rs.rows.sort();
+                rs.rows.dedup();
+                Ok(rs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, RelationSchema};
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(
+            RelationSchema::new(
+                "DEPARTMENT",
+                vec![AttributeDef::required("dept_name", DataType::Text)],
+                &["dept_name"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.create_relation(
+            RelationSchema::new(
+                "COURSES",
+                vec![
+                    AttributeDef::required("course_id", DataType::Text),
+                    AttributeDef::required("title", DataType::Text),
+                    AttributeDef::required("dept_name", DataType::Text),
+                    AttributeDef::required("units", DataType::Int),
+                ],
+                &["course_id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        for dn in ["CS", "EE", "Math"] {
+            d.insert("DEPARTMENT", vec![dn.into()]).unwrap();
+        }
+        d.insert(
+            "COURSES",
+            vec!["CS345".into(), "DB".into(), "CS".into(), 3.into()],
+        )
+        .unwrap();
+        d.insert(
+            "COURSES",
+            vec!["CS101".into(), "Intro".into(), "CS".into(), 5.into()],
+        )
+        .unwrap();
+        d.insert(
+            "COURSES",
+            vec!["EE282".into(), "Arch".into(), "EE".into(), 4.into()],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn scan_qualifies_columns() {
+        let d = db();
+        let rs = d.execute(&Plan::scan("COURSES")).unwrap();
+        assert_eq!(rs.columns[0], "COURSES.course_id");
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn select_project() {
+        let d = db();
+        let plan = Plan::scan("COURSES")
+            .select(Expr::attr("dept_name").eq(Expr::lit("CS")))
+            .project(vec!["course_id".into(), "units".into()]);
+        let rs = d.execute(&plan).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns, vec!["COURSES.course_id", "COURSES.units"]);
+    }
+
+    #[test]
+    fn hash_join() {
+        let d = db();
+        let plan = Plan::scan("COURSES").join(
+            Plan::scan("DEPARTMENT"),
+            vec![("COURSES.dept_name".into(), "DEPARTMENT.dept_name".into())],
+        );
+        let rs = d.execute(&plan).unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.columns.len(), 5);
+        // every row's two dept_name columns agree
+        for i in 0..rs.len() {
+            assert_eq!(
+                rs.value(i, "COURSES.dept_name").unwrap(),
+                rs.value(i, "DEPARTMENT.dept_name").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn join_skips_nulls() {
+        let mut d = db();
+        d.create_relation(
+            RelationSchema::new(
+                "REF",
+                vec![
+                    AttributeDef::required("id", DataType::Int),
+                    AttributeDef::nullable("dept_name", DataType::Text),
+                ],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.insert("REF", vec![1.into(), Value::Null]).unwrap();
+        d.insert("REF", vec![2.into(), "CS".into()]).unwrap();
+        let plan = Plan::scan("REF").join(
+            Plan::scan("DEPARTMENT"),
+            vec![("REF.dept_name".into(), "DEPARTMENT.dept_name".into())],
+        );
+        let rs = d.execute(&plan).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.value(0, "REF.id").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn union_difference_distinct() {
+        let d = db();
+        let cs = Plan::scan("COURSES")
+            .select(Expr::attr("dept_name").eq(Expr::lit("CS")))
+            .project(vec!["dept_name".into()]);
+        let ee = Plan::scan("COURSES")
+            .select(Expr::attr("dept_name").eq(Expr::lit("EE")))
+            .project(vec!["dept_name".into()]);
+        let u = Plan::Union {
+            left: Box::new(cs.clone()),
+            right: Box::new(ee),
+        };
+        let rs = d.execute(&u).unwrap();
+        assert_eq!(rs.len(), 2); // CS, EE deduped
+
+        let all = Plan::scan("DEPARTMENT").project(vec!["dept_name".into()]);
+        let diff = Plan::Difference {
+            left: Box::new(all),
+            right: Box::new(cs.distinct()),
+        };
+        let rs = d.execute(&diff).unwrap();
+        assert_eq!(rs.len(), 2); // EE, Math
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let d = db();
+        let plan = Plan::scan("COURSES")
+            .sort(vec!["units".into()])
+            .project(vec!["course_id".into()])
+            .limit(1);
+        let rs = d.execute(&plan).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::text("CS345")); // 3 units is smallest
+    }
+
+    #[test]
+    fn rename_changes_column() {
+        let d = db();
+        let plan =
+            Plan::scan("DEPARTMENT").rename(vec![("DEPARTMENT.dept_name".into(), "d".into())]);
+        let rs = d.execute(&plan).unwrap();
+        assert_eq!(rs.columns, vec!["d"]);
+    }
+
+    #[test]
+    fn product_counts() {
+        let d = db();
+        let plan = Plan::Product {
+            left: Box::new(Plan::scan("DEPARTMENT")),
+            right: Box::new(Plan::scan("COURSES")),
+        };
+        let rs = d.execute(&plan).unwrap();
+        assert_eq!(rs.len(), 9);
+    }
+
+    #[test]
+    fn union_arity_mismatch_rejected() {
+        let d = db();
+        let u = Plan::Union {
+            left: Box::new(Plan::scan("DEPARTMENT")),
+            right: Box::new(Plan::scan("COURSES")),
+        };
+        assert!(matches!(d.execute(&u), Err(Error::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn relations_listing() {
+        let plan = Plan::scan("A").join(Plan::scan("B"), vec![("x".into(), "y".into())]);
+        assert_eq!(plan.relations(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn table_string_renders() {
+        let d = db();
+        let rs = d.execute(&Plan::scan("DEPARTMENT")).unwrap();
+        let s = rs.to_table_string();
+        assert!(s.contains("DEPARTMENT.dept_name"));
+        assert!(s.contains("'CS'"));
+    }
+}

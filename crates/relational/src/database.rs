@@ -1,0 +1,402 @@
+//! The database: a set of tables plus the `DbOp` mutation protocol.
+//!
+//! Every higher layer (structural integrity maintenance, Keller view
+//! updates, view-object translation) expresses its effects as lists of
+//! [`DbOp`] — insert / delete / replace on keyed relations — which are the
+//! three database operations the paper's algorithms emit. Batches apply
+//! transactionally: any failure rolls back every op already applied.
+
+use crate::error::{Error, Result};
+use crate::schema::{DatabaseSchema, RelationSchema};
+use crate::table::Table;
+use crate::tuple::{Key, Tuple};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One primitive mutation on a keyed relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbOp {
+    /// Insert `tuple` into `relation`.
+    Insert { relation: String, tuple: Tuple },
+    /// Delete the tuple with `key` from `relation`.
+    Delete { relation: String, key: Key },
+    /// Replace the tuple at `old_key` in `relation` with `tuple` (whose key
+    /// may differ — a key replacement).
+    Replace {
+        relation: String,
+        old_key: Key,
+        tuple: Tuple,
+    },
+}
+
+impl DbOp {
+    /// The relation this operation targets.
+    pub fn relation(&self) -> &str {
+        match self {
+            DbOp::Insert { relation, .. }
+            | DbOp::Delete { relation, .. }
+            | DbOp::Replace { relation, .. } => relation,
+        }
+    }
+
+    /// True when this op is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, DbOp::Insert { .. })
+    }
+
+    /// True when this op is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, DbOp::Delete { .. })
+    }
+
+    /// True when this op is a replacement.
+    pub fn is_replace(&self) -> bool {
+        matches!(self, DbOp::Replace { .. })
+    }
+}
+
+impl fmt::Display for DbOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbOp::Insert { relation, tuple } => write!(f, "INSERT {relation} {tuple}"),
+            DbOp::Delete { relation, key } => write!(f, "DELETE {relation} {key}"),
+            DbOp::Replace {
+                relation,
+                old_key,
+                tuple,
+            } => {
+                write!(f, "REPLACE {relation} {old_key} -> {tuple}")
+            }
+        }
+    }
+}
+
+/// An in-memory relational database.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a database with empty tables for every relation in `schema`.
+    pub fn from_schema(schema: &DatabaseSchema) -> Self {
+        let mut db = Database::new();
+        for rel in schema.iter() {
+            db.tables
+                .insert(rel.name().to_owned(), Table::new(rel.clone()));
+        }
+        db
+    }
+
+    /// Create a new empty relation.
+    pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
+        if self.tables.contains_key(schema.name()) {
+            return Err(Error::DuplicateRelation(schema.name().to_owned()));
+        }
+        self.tables
+            .insert(schema.name().to_owned(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Drop a relation and all its tuples.
+    pub fn drop_relation(&mut self, name: &str) -> Result<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+    }
+
+    /// All relation names, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Reconstruct the schema catalog from the stored tables.
+    pub fn schema(&self) -> DatabaseSchema {
+        let mut cat = DatabaseSchema::new();
+        for t in self.tables.values() {
+            cat.add(t.schema().clone()).expect("table names are unique");
+        }
+        cat
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Convenience: insert a tuple built from raw values.
+    pub fn insert(&mut self, relation: &str, values: Vec<crate::value::Value>) -> Result<()> {
+        let table = self.table_mut(relation)?;
+        let tuple = Tuple::new(table.schema(), values)?;
+        table.insert(tuple)
+    }
+
+    /// Apply one op, returning the op that undoes it.
+    pub fn apply(&mut self, op: &DbOp) -> Result<DbOp> {
+        match op {
+            DbOp::Insert { relation, tuple } => {
+                let table = self.table_mut(relation)?;
+                let key = tuple.key(table.schema());
+                table.insert(tuple.clone())?;
+                Ok(DbOp::Delete {
+                    relation: relation.clone(),
+                    key,
+                })
+            }
+            DbOp::Delete { relation, key } => {
+                let table = self.table_mut(relation)?;
+                let old = table.delete(key)?;
+                Ok(DbOp::Insert {
+                    relation: relation.clone(),
+                    tuple: old,
+                })
+            }
+            DbOp::Replace {
+                relation,
+                old_key,
+                tuple,
+            } => {
+                let table = self.table_mut(relation)?;
+                let new_key = tuple.key(table.schema());
+                let old = table.replace(old_key, tuple.clone())?;
+                Ok(DbOp::Replace {
+                    relation: relation.clone(),
+                    old_key: new_key,
+                    tuple: old,
+                })
+            }
+        }
+    }
+
+    /// Apply a batch of ops transactionally: if any op fails, every
+    /// already-applied op is undone (in reverse order) and the error is
+    /// wrapped in [`Error::Rolledback`].
+    pub fn apply_all(&mut self, ops: &[DbOp]) -> Result<()> {
+        let mut undo: Vec<DbOp> = Vec::with_capacity(ops.len());
+        for op in ops {
+            match self.apply(op) {
+                Ok(u) => undo.push(u),
+                Err(e) => {
+                    for u in undo.iter().rev() {
+                        self.apply(u)
+                            .expect("undo of a just-applied op must succeed");
+                    }
+                    return Err(Error::Rolledback(Box::new(e)));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a batch and then run `check`; if the check fails, roll the
+    /// whole batch back. This is how global-integrity validation vetoes a
+    /// translated update (paper §5: "the transaction cannot be completed
+    /// and has to be rolled back").
+    pub fn apply_all_checked(
+        &mut self,
+        ops: &[DbOp],
+        check: impl FnOnce(&Database) -> Result<()>,
+    ) -> Result<()> {
+        let mut undo: Vec<DbOp> = Vec::with_capacity(ops.len());
+        for op in ops {
+            match self.apply(op) {
+                Ok(u) => undo.push(u),
+                Err(e) => {
+                    for u in undo.iter().rev() {
+                        self.apply(u)
+                            .expect("undo of a just-applied op must succeed");
+                    }
+                    return Err(Error::Rolledback(Box::new(e)));
+                }
+            }
+        }
+        if let Err(e) = check(self) {
+            for u in undo.iter().rev() {
+                self.apply(u)
+                    .expect("undo of a just-applied op must succeed");
+            }
+            return Err(Error::Rolledback(Box::new(e)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeDef;
+    use crate::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(
+            RelationSchema::new(
+                "DEPARTMENT",
+                vec![AttributeDef::required("dept_name", DataType::Text)],
+                &["dept_name"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.create_relation(
+            RelationSchema::new(
+                "COURSES",
+                vec![
+                    AttributeDef::required("course_id", DataType::Text),
+                    AttributeDef::required("dept_name", DataType::Text),
+                ],
+                &["course_id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let mut d = db();
+        assert_eq!(d.relation_names(), vec!["COURSES", "DEPARTMENT"]);
+        d.drop_relation("COURSES").unwrap();
+        assert!(matches!(d.table("COURSES"), Err(Error::NoSuchRelation(_))));
+        assert!(matches!(
+            d.drop_relation("COURSES"),
+            Err(Error::NoSuchRelation(_))
+        ));
+    }
+
+    #[test]
+    fn apply_returns_inverse() {
+        let mut d = db();
+        let schema = d.table("DEPARTMENT").unwrap().schema().clone();
+        let t = Tuple::new(&schema, vec!["CS".into()]).unwrap();
+        let ins = DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: t,
+        };
+        let undo = d.apply(&ins).unwrap();
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 1);
+        d.apply(&undo).unwrap();
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn replace_inverse_restores_original() {
+        let mut d = db();
+        d.insert("COURSES", vec!["CS345".into(), "CS".into()])
+            .unwrap();
+        let schema = d.table("COURSES").unwrap().schema().clone();
+        let newt = Tuple::new(&schema, vec!["EES345".into(), "EES".into()]).unwrap();
+        let rep = DbOp::Replace {
+            relation: "COURSES".into(),
+            old_key: Key::single("CS345"),
+            tuple: newt,
+        };
+        let undo = d.apply(&rep).unwrap();
+        assert!(d
+            .table("COURSES")
+            .unwrap()
+            .contains_key(&Key::single("EES345")));
+        d.apply(&undo).unwrap();
+        let t = d
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        assert_eq!(t.get(1), &Value::text("CS"));
+    }
+
+    #[test]
+    fn batch_rolls_back_on_failure() {
+        let mut d = db();
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        let dept = d.table("DEPARTMENT").unwrap().schema().clone();
+        let ops = vec![
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["EE".into()]).unwrap(),
+            },
+            // fails: duplicate key
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["CS".into()]).unwrap(),
+            },
+        ];
+        let err = d.apply_all(&ops).unwrap_err();
+        assert!(matches!(err, Error::Rolledback(_)));
+        // EE insert was rolled back
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn checked_batch_rolls_back_on_veto() {
+        let mut d = db();
+        let dept = d.table("DEPARTMENT").unwrap().schema().clone();
+        let ops = vec![DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: Tuple::new(&dept, vec!["EE".into()]).unwrap(),
+        }];
+        let err = d
+            .apply_all_checked(&ops, |_| Err(Error::ConstraintViolation("vetoed".into())))
+            .unwrap_err();
+        assert!(matches!(err, Error::Rolledback(_)));
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 0);
+        // and succeeds when the check passes
+        d.apply_all_checked(&ops, |_| Ok(())).unwrap();
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let d = db();
+        let cat = d.schema();
+        assert!(cat.contains("COURSES"));
+        assert!(cat.contains("DEPARTMENT"));
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn total_tuples_counts_all_relations() {
+        let mut d = db();
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        d.insert("COURSES", vec!["CS345".into(), "CS".into()])
+            .unwrap();
+        d.insert("COURSES", vec!["CS346".into(), "CS".into()])
+            .unwrap();
+        assert_eq!(d.total_tuples(), 3);
+    }
+
+    #[test]
+    fn op_accessors() {
+        let op = DbOp::Delete {
+            relation: "X".into(),
+            key: Key::single(1),
+        };
+        assert_eq!(op.relation(), "X");
+        assert!(op.is_delete());
+        assert!(!op.is_insert());
+        assert!(!op.is_replace());
+        assert!(op.to_string().starts_with("DELETE X"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Predicate expressions with SQL three-valued logic.
+//!
+//! Expressions are evaluated against a *row context* — a parallel pair of
+//! column names and values — which lets the same AST run over base tables
+//! (attribute names) and derived results (possibly qualified column names).
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Three-valued logical truth, as in SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// NULL was involved; truth cannot be determined.
+    Unknown,
+}
+
+impl Truth {
+    /// Logical AND under three-valued logic.
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Logical OR under three-valued logic.
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Logical NOT under three-valued logic.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// SQL WHERE semantics: only definite truth selects a row.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// From a plain boolean.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A predicate/scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to a column of the row context.
+    Attr(String),
+    /// A literal value.
+    Lit(Value),
+    /// Binary comparison; NULL operands yield `Unknown`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `IS NULL` test (never `Unknown`).
+    IsNull(Box<Expr>),
+    /// Constant truth — the neutral element for `and_also`.
+    True,
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn attr(name: impl Into<String>) -> Expr {
+        Expr::Attr(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// Conjoin, treating `Expr::True` as the neutral element so chains of
+    /// optional conditions stay small.
+    pub fn and_also(self, other: Expr) -> Expr {
+        match (self, other) {
+            (Expr::True, e) | (e, Expr::True) => e,
+            (a, b) => a.and(b),
+        }
+    }
+
+    /// Evaluate to a scalar value. Logical nodes evaluate to booleans with
+    /// NULL standing in for `Unknown`.
+    pub fn eval_value(&self, columns: &[String], row: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Attr(name) => {
+                let idx = resolve_column(columns, name)?;
+                Ok(row[idx].clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::True => Ok(Value::Bool(true)),
+            _ => Ok(match self.eval_truth(columns, row)? {
+                Truth::True => Value::Bool(true),
+                Truth::False => Value::Bool(false),
+                Truth::Unknown => Value::Null,
+            }),
+        }
+    }
+
+    /// Evaluate to a three-valued truth.
+    pub fn eval_truth(&self, columns: &[String], row: &[Value]) -> Result<Truth> {
+        match self {
+            Expr::True => Ok(Truth::True),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval_value(columns, row)?;
+                let rv = r.eval_value(columns, row)?;
+                if lv.is_null() || rv.is_null() {
+                    return Ok(Truth::Unknown);
+                }
+                let ord = lv.cmp(&rv);
+                let b = match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                };
+                Ok(Truth::from_bool(b))
+            }
+            Expr::And(a, b) => Ok(a.eval_truth(columns, row)?.and(b.eval_truth(columns, row)?)),
+            Expr::Or(a, b) => Ok(a.eval_truth(columns, row)?.or(b.eval_truth(columns, row)?)),
+            Expr::Not(e) => Ok(e.eval_truth(columns, row)?.not()),
+            Expr::IsNull(e) => Ok(Truth::from_bool(e.eval_value(columns, row)?.is_null())),
+            Expr::Attr(_) | Expr::Lit(_) => {
+                let v = self.eval_value(columns, row)?;
+                match v {
+                    Value::Bool(b) => Ok(Truth::from_bool(b)),
+                    Value::Null => Ok(Truth::Unknown),
+                    other => Err(Error::InvalidExpression(format!(
+                        "expected boolean, found {other}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Attr(name) => out.push(name),
+            Expr::Lit(_) | Expr::True => {}
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_columns(out),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(a) => f.write_str(a),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::True => f.write_str("TRUE"),
+        }
+    }
+}
+
+/// Resolve a column reference against a list of column names.
+///
+/// Accepts exact matches first; otherwise a reference `x` matches a single
+/// qualified column ending in `.x`, and a qualified reference `t.x` matches
+/// an unqualified column `x` only if unambiguous.
+pub fn resolve_column(columns: &[String], name: &str) -> Result<usize> {
+    if let Some(i) = columns.iter().position(|c| c == name) {
+        return Ok(i);
+    }
+    let suffix_matches: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            c.rsplit_once('.')
+                .map(|(_, tail)| tail == name)
+                .unwrap_or(false)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match suffix_matches.len() {
+        1 => Ok(suffix_matches[0]),
+        0 => {
+            // qualified reference against unqualified columns
+            if let Some((_, tail)) = name.rsplit_once('.') {
+                if let Some(i) = columns.iter().position(|c| c == tail) {
+                    return Ok(i);
+                }
+            }
+            Err(Error::InvalidExpression(format!("unknown column {name}")))
+        }
+        _ => Err(Error::InvalidExpression(format!("ambiguous column {name}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> (Vec<String>, Vec<Value>) {
+        (
+            vec!["a".into(), "b".into(), "t.c".into()],
+            vec![Value::Int(3), Value::Null, Value::text("x")],
+        )
+    }
+
+    #[test]
+    fn three_valued_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+        assert!(!Unknown.is_true());
+    }
+
+    #[test]
+    fn comparison_basics() {
+        let (cols, row) = ctx();
+        let t = Expr::attr("a")
+            .gt(Expr::lit(2))
+            .eval_truth(&cols, &row)
+            .unwrap();
+        assert_eq!(t, Truth::True);
+        let t = Expr::attr("a")
+            .le(Expr::lit(2))
+            .eval_truth(&cols, &row)
+            .unwrap();
+        assert_eq!(t, Truth::False);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        let (cols, row) = ctx();
+        let t = Expr::attr("b")
+            .eq(Expr::lit(1))
+            .eval_truth(&cols, &row)
+            .unwrap();
+        assert_eq!(t, Truth::Unknown);
+        // but IS NULL is definite
+        let t = Expr::attr("b").is_null().eval_truth(&cols, &row).unwrap();
+        assert_eq!(t, Truth::True);
+        let t = Expr::attr("a").is_null().eval_truth(&cols, &row).unwrap();
+        assert_eq!(t, Truth::False);
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let (cols, row) = ctx();
+        // bare name matches single qualified column
+        let v = Expr::attr("c").eval_value(&cols, &row).unwrap();
+        assert_eq!(v, Value::text("x"));
+        // qualified name matches unqualified column
+        let v = Expr::attr("u.a").eval_value(&cols, &row).unwrap();
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn ambiguous_resolution_rejected() {
+        let cols: Vec<String> = vec!["t.x".into(), "u.x".into()];
+        let row = vec![Value::Int(1), Value::Int(2)];
+        let r = Expr::attr("x").eval_value(&cols, &row);
+        assert!(matches!(r, Err(Error::InvalidExpression(_))));
+    }
+
+    #[test]
+    fn and_also_neutral() {
+        let e = Expr::True.and_also(Expr::attr("a").eq(Expr::lit(1)));
+        assert_eq!(e, Expr::attr("a").eq(Expr::lit(1)));
+        let e = Expr::attr("a").eq(Expr::lit(1)).and_also(Expr::True);
+        assert_eq!(e, Expr::attr("a").eq(Expr::lit(1)));
+    }
+
+    #[test]
+    fn referenced_columns_deduped() {
+        let e = Expr::attr("a")
+            .eq(Expr::lit(1))
+            .and(Expr::attr("b").lt(Expr::attr("a")));
+        assert_eq!(e.referenced_columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn non_boolean_condition_is_error() {
+        let (cols, row) = ctx();
+        let r = Expr::attr("a").eval_truth(&cols, &row);
+        assert!(matches!(r, Err(Error::InvalidExpression(_))));
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::attr("a")
+            .eq(Expr::lit(1))
+            .and(Expr::attr("b").is_null().not());
+        assert_eq!(e.to_string(), "((a = 1) AND (NOT (b IS NULL)))");
+    }
+}

@@ -1,0 +1,1088 @@
+//! A SQL subset: lexer, recursive-descent parser, and executor.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! SELECT [DISTINCT] * | col [, col]* FROM t [JOIN t2 ON a = b [AND c = d]*]*
+//!     [WHERE expr] [ORDER BY col [, col]*] [LIMIT n];
+//! INSERT INTO t VALUES (v, ...);
+//! DELETE FROM t [WHERE expr];
+//! UPDATE t SET col = v [, col = v]* [WHERE expr];
+//! ```
+//!
+//! The SELECT path compiles to a [`Plan`] (and is run through the
+//! [`crate::optimizer`]); DML paths compile to [`DbOp`] lists applied
+//! transactionally.
+
+use crate::aggregate::{aggregate_rows, AggFunc, AggSpec};
+use crate::algebra::{Plan, ResultSet};
+use crate::database::{Database, DbOp};
+use crate::error::{Error, Result};
+use crate::optimizer::optimize;
+use crate::predicate::{CmpOp, Expr};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Outcome of running one SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutcome {
+    /// A SELECT's rows.
+    Rows(ResultSet),
+    /// Number of tuples affected by a DML statement.
+    Count(usize),
+    /// An EXPLAIN's plan rendering (the optimized logical plan).
+    Plan(String),
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::SqlParse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Token)>> {
+        let bytes = self.src.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+                continue;
+            }
+            let start = self.pos;
+            if c.is_ascii_alphabetic() || c == '_' {
+                let mut end = self.pos;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_alphanumeric()
+                        || bytes[end] == b'_'
+                        || bytes[end] == b'.')
+                {
+                    end += 1;
+                }
+                let word = &self.src[self.pos..end];
+                self.pos = end;
+                out.push((start, Token::Ident(word.to_owned())));
+            } else if c.is_ascii_digit() || (c == '-' && self.peek_digit_after_minus(bytes)) {
+                let mut end = self.pos + 1;
+                let mut is_float = false;
+                while end < bytes.len()
+                    && ((bytes[end] as char).is_ascii_digit() || bytes[end] == b'.')
+                {
+                    if bytes[end] == b'.' {
+                        is_float = true;
+                    }
+                    end += 1;
+                }
+                let text = &self.src[self.pos..end];
+                self.pos = end;
+                let tok = if is_float {
+                    Token::Float(text.parse().map_err(|_| self.error("bad float literal"))?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| self.error("bad int literal"))?)
+                };
+                out.push((start, tok));
+            } else if c == '\'' {
+                let mut end = self.pos + 1;
+                let mut s = String::new();
+                loop {
+                    if end >= bytes.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    if bytes[end] == b'\'' {
+                        // doubled quote escapes a quote
+                        if end + 1 < bytes.len() && bytes[end + 1] == b'\'' {
+                            s.push('\'');
+                            end += 2;
+                            continue;
+                        }
+                        end += 1;
+                        break;
+                    }
+                    s.push(bytes[end] as char);
+                    end += 1;
+                }
+                self.pos = end;
+                out.push((start, Token::Str(s)));
+            } else {
+                let sym: &'static str = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ';' => ";",
+                    '*' => "*",
+                    '=' => "=",
+                    '<' => {
+                        if self.src[self.pos..].starts_with("<=") {
+                            "<="
+                        } else if self.src[self.pos..].starts_with("<>") {
+                            "<>"
+                        } else {
+                            "<"
+                        }
+                    }
+                    '>' => {
+                        if self.src[self.pos..].starts_with(">=") {
+                            ">="
+                        } else {
+                            ">"
+                        }
+                    }
+                    other => return Err(self.error(format!("unexpected character {other:?}"))),
+                };
+                self.pos += sym.len();
+                out.push((start, Token::Symbol(sym)));
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek_digit_after_minus(&self, bytes: &[u8]) -> bool {
+        self.pos + 1 < bytes.len() && (bytes[self.pos + 1] as char).is_ascii_digit()
+    }
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT compiled down to a plan.
+    Select(Plan),
+    /// SELECT with GROUP BY / aggregate functions.
+    SelectAggregate {
+        /// The pre-aggregation plan (scans, joins, WHERE).
+        input: Plan,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregate outputs.
+        aggs: Vec<AggSpec>,
+        /// HAVING predicate over the aggregate output (TRUE when absent).
+        having: Expr,
+        /// ORDER BY columns over the aggregate output.
+        order_by: Vec<String>,
+        /// LIMIT, if present.
+        limit: Option<usize>,
+    },
+    /// INSERT INTO relation VALUES (...)
+    Insert {
+        relation: String,
+        values: Vec<Value>,
+    },
+    /// DELETE FROM relation WHERE ...
+    Delete { relation: String, pred: Expr },
+    /// UPDATE relation SET a = v WHERE ...
+    Update {
+        relation: String,
+        assignments: Vec<(String, Value)>,
+        pred: Expr,
+    },
+    /// EXPLAIN SELECT ... — show the optimized plan instead of running it.
+    Explain(Box<Statement>),
+}
+
+impl Parser {
+    fn new(tokens: Vec<(usize, Token)>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        let position = self
+            .tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX);
+        Error::SqlParse {
+            position,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if let Some(Token::Symbol(sym)) = self.peek() {
+            if *sym == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {s}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(w) => Ok(w),
+            other => Err(self.error(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Token::Int(i) => Ok(Value::Int(i)),
+            Token::Float(x) => Ok(Value::Float(x)),
+            Token::Str(s) => Ok(Value::Text(s)),
+            Token::Ident(w) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            Token::Ident(w) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Token::Ident(w) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(self.error(format!("expected literal, got {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword("explain") {
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
+        if self.eat_keyword("select") {
+            self.select_stmt()
+        } else if self.eat_keyword("insert") {
+            self.insert_stmt()
+        } else if self.eat_keyword("delete") {
+            self.delete_stmt()
+        } else if self.eat_keyword("update") {
+            self.update_stmt()
+        } else {
+            Err(self.error("expected SELECT, INSERT, DELETE or UPDATE"))
+        }
+    }
+
+    /// Parse one select item: a bare column or an aggregate call with an
+    /// optional alias.
+    fn select_item(&mut self) -> Result<(Option<String>, Option<AggSpec>)> {
+        let word = self.ident()?;
+        let agg_kind = match word.to_ascii_lowercase().as_str() {
+            "count" | "sum" | "avg" | "min" | "max"
+                if matches!(self.peek(), Some(Token::Symbol("("))) =>
+            {
+                Some(word.to_ascii_lowercase())
+            }
+            _ => None,
+        };
+        let Some(kind) = agg_kind else {
+            return Ok((Some(word), None));
+        };
+        self.expect_symbol("(")?;
+        let func = if self.eat_symbol("*") {
+            if kind != "count" {
+                return Err(self.error("only COUNT accepts *"));
+            }
+            AggFunc::CountStar
+        } else {
+            let col = self.ident()?;
+            match kind.as_str() {
+                "count" => AggFunc::Count(col),
+                "sum" => AggFunc::Sum(col),
+                "avg" => AggFunc::Avg(col),
+                "min" => AggFunc::Min(col),
+                "max" => AggFunc::Max(col),
+                _ => unreachable!(),
+            }
+        };
+        self.expect_symbol(")")?;
+        let alias = if self.eat_keyword("as") {
+            self.ident()?
+        } else {
+            func.to_string().to_ascii_lowercase()
+        };
+        Ok((None, Some(AggSpec { func, alias })))
+    }
+
+    fn select_stmt(&mut self) -> Result<Statement> {
+        let distinct = self.eat_keyword("distinct");
+        let star = self.eat_symbol("*");
+        let mut columns = Vec::new();
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        if !star {
+            loop {
+                match self.select_item()? {
+                    (Some(col), None) => columns.push(col),
+                    (None, Some(spec)) => aggs.push(spec),
+                    _ => unreachable!(),
+                }
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("from")?;
+        let base = self.ident()?;
+        let mut plan = Plan::scan(base);
+        while self.eat_keyword("join") {
+            let rel = self.ident()?;
+            self.expect_keyword("on")?;
+            let mut on = Vec::new();
+            loop {
+                let l = self.ident()?;
+                self.expect_symbol("=")?;
+                let r = self.ident()?;
+                on.push((l, r));
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+            plan = plan.join(Plan::scan(rel), on);
+        }
+        if self.eat_keyword("where") {
+            let pred = self.expr()?;
+            plan = plan.select(pred);
+        }
+        // aggregate path: any aggregate item or a GROUP BY clause
+        let mut group_by: Vec<String> = Vec::new();
+        let grouped = if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.ident()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            true
+        } else {
+            false
+        };
+        if !aggs.is_empty() || grouped {
+            if star {
+                return Err(self.error("SELECT * cannot be combined with aggregation"));
+            }
+            // bare columns must all appear in GROUP BY
+            for c in &columns {
+                if !group_by.contains(c) {
+                    return Err(self.error(format!(
+                        "column {c} must appear in GROUP BY or an aggregate"
+                    )));
+                }
+            }
+            let having = if self.eat_keyword("having") {
+                self.expr()?
+            } else {
+                Expr::True
+            };
+            let order_by = if self.eat_keyword("order") {
+                self.expect_keyword("by")?;
+                let mut by = Vec::new();
+                loop {
+                    by.push(self.ident()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                by
+            } else {
+                Vec::new()
+            };
+            let limit = if self.eat_keyword("limit") {
+                match self.next()? {
+                    Token::Int(n) if n >= 0 => Some(n as usize),
+                    _ => return Err(self.error("expected non-negative LIMIT count")),
+                }
+            } else {
+                None
+            };
+            return Ok(Statement::SelectAggregate {
+                input: plan,
+                group_by,
+                aggs,
+                having,
+                order_by,
+                limit,
+            });
+        }
+        if !star {
+            plan = plan.project(columns);
+        }
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            let mut by = Vec::new();
+            loop {
+                by.push(self.ident()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            plan = plan.sort(by);
+        }
+        if self.eat_keyword("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => plan = plan.limit(n as usize),
+                _ => return Err(self.error("expected non-negative LIMIT count")),
+            }
+        }
+        if distinct {
+            plan = plan.distinct();
+        }
+        Ok(Statement::Select(plan))
+    }
+
+    fn insert_stmt(&mut self) -> Result<Statement> {
+        self.expect_keyword("into")?;
+        let relation = self.ident()?;
+        self.expect_keyword("values")?;
+        self.expect_symbol("(")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.literal()?);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_symbol(")")?;
+        Ok(Statement::Insert { relation, values })
+    }
+
+    fn delete_stmt(&mut self) -> Result<Statement> {
+        self.expect_keyword("from")?;
+        let relation = self.ident()?;
+        let pred = if self.eat_keyword("where") {
+            self.expr()?
+        } else {
+            Expr::True
+        };
+        Ok(Statement::Delete { relation, pred })
+    }
+
+    fn update_stmt(&mut self) -> Result<Statement> {
+        let relation = self.ident()?;
+        self.expect_keyword("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol("=")?;
+            let v = self.literal()?;
+            assignments.push((col, v));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let pred = if self.eat_keyword("where") {
+            self.expr()?
+        } else {
+            Expr::True
+        };
+        Ok(Statement::Update {
+            relation,
+            assignments,
+            pred,
+        })
+    }
+
+    // expr := or_expr
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let rhs = self.not_expr()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("not") {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        if self.eat_symbol("(") {
+            let e = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        let lhs = self.operand()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            let e = lhs.is_null();
+            return Ok(if negated { e.not() } else { e });
+        }
+        let op = match self.next()? {
+            Token::Symbol("=") => CmpOp::Eq,
+            Token::Symbol("<>") => CmpOp::Ne,
+            Token::Symbol("<") => CmpOp::Lt,
+            Token::Symbol("<=") => CmpOp::Le,
+            Token::Symbol(">") => CmpOp::Gt,
+            Token::Symbol(">=") => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison, got {other:?}"))),
+        };
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn operand(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Ident(w))
+                if !w.eq_ignore_ascii_case("null")
+                    && !w.eq_ignore_ascii_case("true")
+                    && !w.eq_ignore_ascii_case("false") =>
+            {
+                self.pos += 1;
+                Ok(Expr::attr(w))
+            }
+            _ => Ok(Expr::Lit(self.literal()?)),
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.eat_symbol(";");
+        if self.pos != self.tokens.len() {
+            return Err(self.error("trailing tokens after statement"));
+        }
+        Ok(())
+    }
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.statement()?;
+    p.finish()?;
+    Ok(stmt)
+}
+
+impl Database {
+    /// Parse and run one SQL statement.
+    pub fn run_sql(&mut self, sql: &str) -> Result<SqlOutcome> {
+        self.run_statement(parse(sql)?)
+    }
+
+    fn run_statement(&mut self, statement: Statement) -> Result<SqlOutcome> {
+        match statement {
+            Statement::Explain(inner) => match *inner {
+                Statement::Select(plan) => Ok(SqlOutcome::Plan(optimize(plan).to_string())),
+                Statement::SelectAggregate {
+                    input,
+                    group_by,
+                    aggs,
+                    having,
+                    ..
+                } => {
+                    let aggs_s: Vec<String> = aggs
+                        .iter()
+                        .map(|a| format!("{} AS {}", a.func, a.alias))
+                        .collect();
+                    Ok(SqlOutcome::Plan(format!(
+                        "Aggregate[group by {}; {}; having {}]({})",
+                        group_by.join(","),
+                        aggs_s.join(", "),
+                        having,
+                        optimize(input)
+                    )))
+                }
+                other => Err(Error::SqlParse {
+                    position: 0,
+                    message: format!("EXPLAIN supports SELECT only, got {other:?}"),
+                }),
+            },
+            Statement::Select(plan) => {
+                let plan = optimize(plan);
+                Ok(SqlOutcome::Rows(self.execute(&plan)?))
+            }
+            Statement::SelectAggregate {
+                input,
+                group_by,
+                aggs,
+                having,
+                order_by,
+                limit,
+            } => {
+                let input = optimize(input);
+                let rs = self.execute(&input)?;
+                let mut out = aggregate_rows(&rs, &group_by, &aggs)?;
+                if having != Expr::True {
+                    let cols = out.columns.clone();
+                    let mut err = None;
+                    out.rows.retain(|row| {
+                        if err.is_some() {
+                            return false;
+                        }
+                        match having.eval_truth(&cols, row) {
+                            Ok(t) => t.is_true(),
+                            Err(e) => {
+                                err = Some(e);
+                                false
+                            }
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
+                if !order_by.is_empty() {
+                    let idx: Vec<usize> = order_by
+                        .iter()
+                        .map(|c| out.column_index(c))
+                        .collect::<Result<_>>()?;
+                    out.rows.sort_by(|a, b| {
+                        for &i in &idx {
+                            let ord = a[i].cmp(&b[i]);
+                            if ord != std::cmp::Ordering::Equal {
+                                return ord;
+                            }
+                        }
+                        std::cmp::Ordering::Equal
+                    });
+                }
+                if let Some(n) = limit {
+                    out.rows.truncate(n);
+                }
+                Ok(SqlOutcome::Rows(out))
+            }
+            Statement::Insert { relation, values } => {
+                self.insert(&relation, values)?;
+                Ok(SqlOutcome::Count(1))
+            }
+            Statement::Delete { relation, pred } => {
+                let table = self.table(&relation)?;
+                let schema = table.schema().clone();
+                let keys: Vec<_> = table
+                    .select(&pred)?
+                    .into_iter()
+                    .map(|t| t.key(&schema))
+                    .collect();
+                let ops: Vec<DbOp> = keys
+                    .into_iter()
+                    .map(|key| DbOp::Delete {
+                        relation: relation.clone(),
+                        key,
+                    })
+                    .collect();
+                self.apply_all(&ops)?;
+                Ok(SqlOutcome::Count(ops.len()))
+            }
+            Statement::Update {
+                relation,
+                assignments,
+                pred,
+            } => {
+                let table = self.table(&relation)?;
+                let schema = table.schema().clone();
+                let matches: Vec<Tuple> = table.select(&pred)?.into_iter().cloned().collect();
+                let mut ops = Vec::with_capacity(matches.len());
+                for old in matches {
+                    let mut new = old.clone();
+                    for (col, v) in &assignments {
+                        new = new.with_named(&schema, col, v.clone())?;
+                    }
+                    ops.push(DbOp::Replace {
+                        relation: relation.clone(),
+                        old_key: old.key(&schema),
+                        tuple: new,
+                    });
+                }
+                self.apply_all(&ops)?;
+                Ok(SqlOutcome::Count(ops.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, RelationSchema};
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_relation(
+            RelationSchema::new(
+                "DEPARTMENT",
+                vec![AttributeDef::required("dept_name", DataType::Text)],
+                &["dept_name"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.create_relation(
+            RelationSchema::new(
+                "COURSES",
+                vec![
+                    AttributeDef::required("course_id", DataType::Text),
+                    AttributeDef::required("title", DataType::Text),
+                    AttributeDef::required("dept_name", DataType::Text),
+                    AttributeDef::nullable("units", DataType::Int),
+                ],
+                &["course_id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        d.run_sql("INSERT INTO DEPARTMENT VALUES ('CS')").unwrap();
+        d.run_sql("INSERT INTO DEPARTMENT VALUES ('EE')").unwrap();
+        d.run_sql("INSERT INTO COURSES VALUES ('CS345', 'Databases', 'CS', 3)")
+            .unwrap();
+        d.run_sql("INSERT INTO COURSES VALUES ('CS101', 'Intro', 'CS', 5)")
+            .unwrap();
+        d.run_sql("INSERT INTO COURSES VALUES ('EE282', 'Arch', 'EE', 4)")
+            .unwrap();
+        d
+    }
+
+    fn rows(o: SqlOutcome) -> ResultSet {
+        match o {
+            SqlOutcome::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star() {
+        let mut d = db();
+        let r = rows(d.run_sql("SELECT * FROM COURSES").unwrap());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.columns.len(), 4);
+    }
+
+    #[test]
+    fn select_where_projection() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql("SELECT course_id FROM COURSES WHERE dept_name = 'CS' ORDER BY course_id")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], Value::text("CS101"));
+        assert_eq!(r.rows[1][0], Value::text("CS345"));
+    }
+
+    #[test]
+    fn select_join() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql(
+                "SELECT course_id FROM COURSES JOIN DEPARTMENT \
+                 ON COURSES.dept_name = DEPARTMENT.dept_name WHERE units >= 4",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn complex_where() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql(
+                "SELECT course_id FROM COURSES \
+                 WHERE (dept_name = 'CS' AND units < 4) OR title = 'Arch'",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let mut d = db();
+        d.run_sql("INSERT INTO COURSES VALUES ('X1', 'T', 'CS', NULL)")
+            .unwrap();
+        let r = rows(
+            d.run_sql("SELECT course_id FROM COURSES WHERE units IS NULL")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+        let r = rows(
+            d.run_sql("SELECT course_id FROM COURSES WHERE units IS NOT NULL")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 3);
+        let r = rows(
+            d.run_sql("SELECT course_id FROM COURSES WHERE NOT dept_name = 'CS'")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delete_with_predicate() {
+        let mut d = db();
+        let o = d
+            .run_sql("DELETE FROM COURSES WHERE dept_name = 'CS'")
+            .unwrap();
+        assert_eq!(o, SqlOutcome::Count(2));
+        assert_eq!(d.table("COURSES").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn update_non_key() {
+        let mut d = db();
+        let o = d
+            .run_sql("UPDATE COURSES SET units = 6 WHERE course_id = 'CS345'")
+            .unwrap();
+        assert_eq!(o, SqlOutcome::Count(1));
+        let r = rows(
+            d.run_sql("SELECT units FROM COURSES WHERE course_id = 'CS345'")
+                .unwrap(),
+        );
+        assert_eq!(r.rows[0][0], Value::Int(6));
+    }
+
+    #[test]
+    fn update_key_change() {
+        let mut d = db();
+        d.run_sql("UPDATE COURSES SET course_id = 'EES345' WHERE course_id = 'CS345'")
+            .unwrap();
+        let r = rows(
+            d.run_sql("SELECT title FROM COURSES WHERE course_id = 'EES345'")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let mut d = db();
+        let r = rows(d.run_sql("SELECT DISTINCT dept_name FROM COURSES").unwrap());
+        assert_eq!(r.len(), 2);
+        let r = rows(d.run_sql("SELECT * FROM COURSES LIMIT 1").unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn string_escape() {
+        let mut d = db();
+        d.run_sql("INSERT INTO DEPARTMENT VALUES ('O''Brien Hall')")
+            .unwrap();
+        let r = rows(
+            d.run_sql("SELECT * FROM DEPARTMENT WHERE dept_name = 'O''Brien Hall'")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let mut d = db();
+        d.run_sql("INSERT INTO COURSES VALUES ('N1', 'Neg', 'CS', -2)")
+            .unwrap();
+        let r = rows(
+            d.run_sql("SELECT course_id FROM COURSES WHERE units < 0")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let mut d = db();
+        let e = d.run_sql("SELEKT * FROM X").unwrap_err();
+        assert!(matches!(e, Error::SqlParse { .. }));
+        let e = d.run_sql("SELECT * FROM COURSES WHERE").unwrap_err();
+        assert!(matches!(e, Error::SqlParse { .. }));
+        let e = d.run_sql("SELECT * FROM COURSES extra junk").unwrap_err();
+        assert!(matches!(e, Error::SqlParse { .. }));
+    }
+
+    #[test]
+    fn explain_shows_optimized_plan() {
+        let mut d = db();
+        match d
+            .run_sql("EXPLAIN SELECT course_id FROM COURSES WHERE dept_name = 'CS'")
+            .unwrap()
+        {
+            SqlOutcome::Plan(p) => {
+                assert!(p.contains("Scan(COURSES)"));
+                assert!(p.contains("Select"));
+            }
+            other => panic!("expected plan, got {other:?}"),
+        }
+        match d
+            .run_sql("EXPLAIN SELECT dept_name, COUNT(*) AS n FROM COURSES GROUP BY dept_name HAVING n > 1")
+            .unwrap()
+        {
+            SqlOutcome::Plan(p) => {
+                assert!(p.contains("Aggregate[group by dept_name"));
+                assert!(p.contains("COUNT(*) AS n"));
+            }
+            other => panic!("expected plan, got {other:?}"),
+        }
+        // EXPLAIN of DML is rejected
+        assert!(d.run_sql("EXPLAIN DELETE FROM COURSES").is_err());
+    }
+
+    #[test]
+    fn group_by_count() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql(
+                "SELECT dept_name, COUNT(*) AS n FROM COURSES \
+                 GROUP BY dept_name ORDER BY dept_name",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::text("CS"), Value::Int(2)]);
+        assert_eq!(r.rows[1], vec![Value::text("EE"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn group_by_having() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql(
+                "SELECT dept_name, COUNT(*) AS n FROM COURSES \
+                 GROUP BY dept_name HAVING n > 1",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], Value::text("CS"));
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql("SELECT COUNT(*) AS n, SUM(units) AS total, MIN(units) AS lo FROM COURSES")
+                .unwrap(),
+        );
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Int(3), Value::Int(12), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn aggregate_with_join_and_where() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql(
+                "SELECT DEPARTMENT.dept_name, AVG(units) AS avg_units \
+                 FROM COURSES JOIN DEPARTMENT \
+                 ON COURSES.dept_name = DEPARTMENT.dept_name \
+                 WHERE units >= 3 GROUP BY DEPARTMENT.dept_name \
+                 ORDER BY DEPARTMENT.dept_name",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][1], Value::Float(4.0)); // CS: (3+5)/2
+    }
+
+    #[test]
+    fn default_aggregate_alias() {
+        let mut d = db();
+        let r = rows(d.run_sql("SELECT COUNT(*) FROM COURSES").unwrap());
+        assert_eq!(r.columns, vec!["count(*)"]);
+    }
+
+    #[test]
+    fn bare_column_must_be_grouped() {
+        let mut d = db();
+        let e = d.run_sql("SELECT title, COUNT(*) FROM COURSES GROUP BY dept_name");
+        assert!(matches!(e, Err(Error::SqlParse { .. })));
+        let e = d.run_sql("SELECT * FROM COURSES GROUP BY dept_name");
+        assert!(matches!(e, Err(Error::SqlParse { .. })));
+        let e = d.run_sql("SELECT SUM(*) FROM COURSES");
+        assert!(matches!(e, Err(Error::SqlParse { .. })));
+    }
+
+    #[test]
+    fn aggregate_limit() {
+        let mut d = db();
+        let r = rows(
+            d.run_sql(
+                "SELECT dept_name, COUNT(*) AS n FROM COURSES \
+                 GROUP BY dept_name ORDER BY n LIMIT 1",
+            )
+            .unwrap(),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], Value::text("EE"));
+    }
+
+    #[test]
+    fn dml_failures_do_not_corrupt() {
+        let mut d = db();
+        // key collision mid-update: set both CS courses to same id
+        let e = d.run_sql("UPDATE COURSES SET course_id = 'SAME' WHERE dept_name = 'CS'");
+        assert!(e.is_err());
+        // both original rows still present
+        assert_eq!(d.table("COURSES").unwrap().len(), 3);
+        let r = rows(
+            d.run_sql("SELECT course_id FROM COURSES WHERE dept_name = 'CS'")
+                .unwrap(),
+        );
+        assert_eq!(r.len(), 2);
+    }
+}

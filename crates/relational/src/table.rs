@@ -1,0 +1,364 @@
+//! Keyed table storage with secondary indexes.
+
+use crate::error::{Error, Result};
+use crate::predicate::Expr;
+use crate::schema::RelationSchema;
+use crate::tuple::{Key, Tuple};
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One stored relation: a primary-key ordered map of tuples plus optional
+/// secondary indexes.
+///
+/// All mutations re-validate tuples against the schema and keep secondary
+/// indexes consistent. The primary index is a `BTreeMap` so scans are
+/// deterministic, which keeps query results and experiment output stable.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: RelationSchema,
+    rows: BTreeMap<Key, Tuple>,
+    /// Secondary indexes, keyed by the indexed attribute positions.
+    indexes: HashMap<Vec<usize>, BTreeMap<Vec<Value>, BTreeSet<Key>>>,
+}
+
+impl Table {
+    /// An empty table for `schema`.
+    pub fn new(schema: RelationSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple; rejects key conflicts.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        let tuple = Tuple::new(&self.schema, tuple.into_values())?;
+        let key = tuple.key(&self.schema);
+        if self.rows.contains_key(&key) {
+            return Err(Error::KeyConflict {
+                relation: self.schema.name().to_owned(),
+                key: key.to_string(),
+            });
+        }
+        self.index_add(&key, &tuple);
+        self.rows.insert(key, tuple);
+        Ok(())
+    }
+
+    /// Delete by key, returning the removed tuple.
+    pub fn delete(&mut self, key: &Key) -> Result<Tuple> {
+        match self.rows.remove(key) {
+            Some(t) => {
+                self.index_remove(key, &t);
+                Ok(t)
+            }
+            None => Err(Error::NoSuchTuple {
+                relation: self.schema.name().to_owned(),
+                key: key.to_string(),
+            }),
+        }
+    }
+
+    /// Replace the tuple at `old_key` with `new` (whose key may differ).
+    /// Rejects when the new key would collide with a third tuple. Returns
+    /// the displaced tuple.
+    pub fn replace(&mut self, old_key: &Key, new: Tuple) -> Result<Tuple> {
+        let new = Tuple::new(&self.schema, new.into_values())?;
+        let new_key = new.key(&self.schema);
+        if !self.rows.contains_key(old_key) {
+            return Err(Error::NoSuchTuple {
+                relation: self.schema.name().to_owned(),
+                key: old_key.to_string(),
+            });
+        }
+        if new_key != *old_key && self.rows.contains_key(&new_key) {
+            return Err(Error::KeyConflict {
+                relation: self.schema.name().to_owned(),
+                key: new_key.to_string(),
+            });
+        }
+        let old = self.rows.remove(old_key).expect("checked above");
+        self.index_remove(old_key, &old);
+        self.index_add(&new_key, &new);
+        self.rows.insert(new_key, new);
+        Ok(old)
+    }
+
+    /// Fetch by key.
+    pub fn get(&self, key: &Key) -> Option<&Tuple> {
+        self.rows.get(key)
+    }
+
+    /// True when a tuple with this key exists.
+    pub fn contains_key(&self, key: &Key) -> bool {
+        self.rows.contains_key(key)
+    }
+
+    /// Iterate all tuples in key order.
+    pub fn scan(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.values()
+    }
+
+    /// Iterate `(key, tuple)` pairs in key order.
+    pub fn scan_entries(&self) -> impl Iterator<Item = (&Key, &Tuple)> {
+        self.rows.iter()
+    }
+
+    /// Tuples whose named attributes equal `values`, using a secondary
+    /// index when one exists, otherwise scanning.
+    pub fn find_by_attrs(&self, attrs: &[String], values: &[Value]) -> Result<Vec<&Tuple>> {
+        let indices = self.schema.indices_of(attrs)?;
+        if let Some(index) = self.indexes.get(&indices) {
+            let keys = index.get(values).cloned().unwrap_or_default();
+            return Ok(keys.iter().filter_map(|k| self.rows.get(k)).collect());
+        }
+        Ok(self
+            .rows
+            .values()
+            .filter(|t| {
+                indices
+                    .iter()
+                    .zip(values.iter())
+                    .all(|(&i, v)| t.get(i) == v)
+            })
+            .collect())
+    }
+
+    /// Keys of tuples whose named attributes equal `values`.
+    pub fn keys_by_attrs(&self, attrs: &[String], values: &[Value]) -> Result<Vec<Key>> {
+        Ok(self
+            .find_by_attrs(attrs, values)?
+            .into_iter()
+            .map(|t| t.key(&self.schema))
+            .collect())
+    }
+
+    /// Tuples satisfying `pred` (WHERE semantics: only definite truth).
+    pub fn select(&self, pred: &Expr) -> Result<Vec<&Tuple>> {
+        let columns: Vec<String> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        let mut out = Vec::new();
+        for t in self.rows.values() {
+            if pred.eval_truth(&columns, t.values())?.is_true() {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Create (or refresh) a secondary index over `attrs`.
+    pub fn create_index(&mut self, attrs: &[String]) -> Result<()> {
+        let indices = self.schema.indices_of(attrs)?;
+        let mut index: BTreeMap<Vec<Value>, BTreeSet<Key>> = BTreeMap::new();
+        for (key, tuple) in &self.rows {
+            index
+                .entry(tuple.project(&indices))
+                .or_default()
+                .insert(key.clone());
+        }
+        self.indexes.insert(indices, index);
+        Ok(())
+    }
+
+    /// True when a secondary index over `attrs` exists.
+    pub fn has_index(&self, attrs: &[String]) -> bool {
+        self.schema
+            .indices_of(attrs)
+            .map(|idx| self.indexes.contains_key(&idx))
+            .unwrap_or(false)
+    }
+
+    fn index_add(&mut self, key: &Key, tuple: &Tuple) {
+        for (indices, index) in self.indexes.iter_mut() {
+            index
+                .entry(tuple.project(indices))
+                .or_default()
+                .insert(key.clone());
+        }
+    }
+
+    fn index_remove(&mut self, key: &Key, tuple: &Tuple) {
+        for (indices, index) in self.indexes.iter_mut() {
+            let proj = tuple.project(indices);
+            if let Some(set) = index.get_mut(&proj) {
+                set.remove(key);
+                if set.is_empty() {
+                    index.remove(&proj);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeDef;
+    use crate::value::DataType;
+
+    fn people() -> Table {
+        let schema = RelationSchema::new(
+            "PEOPLE",
+            vec![
+                AttributeDef::required("ssn", DataType::Int),
+                AttributeDef::required("name", DataType::Text),
+                AttributeDef::nullable("dept_name", DataType::Text),
+            ],
+            &["ssn"],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(t: &Table, ssn: i64, name: &str, dept: Option<&str>) -> Tuple {
+        let d = dept.map(Value::from).unwrap_or(Value::Null);
+        Tuple::new(t.schema(), vec![ssn.into(), name.into(), d]).unwrap()
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", Some("CS"))).unwrap();
+        assert_eq!(t.len(), 1);
+        let k = Key::single(1);
+        assert!(t.contains_key(&k));
+        assert_eq!(t.get(&k).unwrap().get(1), &Value::text("ann"));
+        let removed = t.delete(&k).unwrap();
+        assert_eq!(removed.get(1), &Value::text("ann"));
+        assert!(t.is_empty());
+        assert!(matches!(t.delete(&k), Err(Error::NoSuchTuple { .. })));
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_key() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", None)).unwrap();
+        let r = t.insert(row(&t, 1, "bob", None));
+        assert!(matches!(r, Err(Error::KeyConflict { .. })));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replace_same_key_and_key_change() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", Some("CS"))).unwrap();
+        // non-key update
+        let old = t
+            .replace(&Key::single(1), row(&t, 1, "ann", Some("EE")))
+            .unwrap();
+        assert_eq!(old.get(2), &Value::text("CS"));
+        // key change
+        t.replace(&Key::single(1), row(&t, 2, "ann", Some("EE")))
+            .unwrap();
+        assert!(!t.contains_key(&Key::single(1)));
+        assert!(t.contains_key(&Key::single(2)));
+    }
+
+    #[test]
+    fn replace_rejects_collision_with_third_tuple() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", None)).unwrap();
+        t.insert(row(&t, 2, "bob", None)).unwrap();
+        let r = t.replace(&Key::single(1), row(&t, 2, "ann", None));
+        assert!(matches!(r, Err(Error::KeyConflict { .. })));
+        // table unchanged
+        assert_eq!(t.get(&Key::single(1)).unwrap().get(1), &Value::text("ann"));
+        assert_eq!(t.get(&Key::single(2)).unwrap().get(1), &Value::text("bob"));
+    }
+
+    #[test]
+    fn select_with_predicate() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", Some("CS"))).unwrap();
+        t.insert(row(&t, 2, "bob", Some("EE"))).unwrap();
+        t.insert(row(&t, 3, "cam", None)).unwrap();
+        let hits = t
+            .select(&Expr::attr("dept_name").eq(Expr::lit("CS")))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get(1), &Value::text("ann"));
+        // NULL dept row is not selected by dept <> 'CS' either (3VL)
+        let hits = t
+            .select(&Expr::attr("dept_name").ne(Expr::lit("CS")))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get(1), &Value::text("bob"));
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", Some("CS"))).unwrap();
+        t.insert(row(&t, 2, "bob", Some("CS"))).unwrap();
+        t.insert(row(&t, 3, "cam", Some("EE"))).unwrap();
+        t.create_index(&["dept_name".to_string()]).unwrap();
+        assert!(t.has_index(&["dept_name".to_string()]));
+
+        let cs = t
+            .find_by_attrs(&["dept_name".to_string()], &[Value::text("CS")])
+            .unwrap();
+        assert_eq!(cs.len(), 2);
+
+        // index maintained across delete and replace
+        t.delete(&Key::single(1)).unwrap();
+        let cs = t
+            .find_by_attrs(&["dept_name".to_string()], &[Value::text("CS")])
+            .unwrap();
+        assert_eq!(cs.len(), 1);
+        t.replace(&Key::single(2), row(&t, 2, "bob", Some("EE")))
+            .unwrap();
+        let cs = t
+            .find_by_attrs(&["dept_name".to_string()], &[Value::text("CS")])
+            .unwrap();
+        assert!(cs.is_empty());
+        let ee = t
+            .find_by_attrs(&["dept_name".to_string()], &[Value::text("EE")])
+            .unwrap();
+        assert_eq!(ee.len(), 2);
+    }
+
+    #[test]
+    fn find_without_index_scans() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", Some("CS"))).unwrap();
+        t.insert(row(&t, 2, "bob", Some("EE"))).unwrap();
+        let hits = t
+            .find_by_attrs(&["name".to_string()], &[Value::text("bob")])
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].key(t.schema()), Key::single(2));
+    }
+
+    #[test]
+    fn keys_by_attrs() {
+        let mut t = people();
+        t.insert(row(&t, 1, "ann", Some("CS"))).unwrap();
+        t.insert(row(&t, 2, "bob", Some("CS"))).unwrap();
+        let keys = t
+            .keys_by_attrs(&["dept_name".to_string()], &[Value::text("CS")])
+            .unwrap();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&Key::single(1)));
+        assert!(keys.contains(&Key::single(2)));
+    }
+}

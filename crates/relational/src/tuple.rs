@@ -1,0 +1,222 @@
+//! Tuples and keys.
+
+use crate::error::{Error, Result};
+use crate::schema::RelationSchema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple: an ordered list of values conforming to some relation schema.
+///
+/// Tuples are plain data; conformance to a schema is checked at
+/// construction ([`Tuple::new`]) and at every table mutation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Build a tuple validated against `schema`: arity, types, and
+    /// NULLability must all conform.
+    pub fn new(schema: &RelationSchema, values: Vec<Value>) -> Result<Self> {
+        if values.len() != schema.arity() {
+            return Err(Error::ArityMismatch {
+                relation: schema.name().to_owned(),
+                expected: schema.arity(),
+                found: values.len(),
+            });
+        }
+        for (v, a) in values.iter().zip(schema.attributes()) {
+            if v.is_null() {
+                if !a.nullable {
+                    return Err(Error::NullViolation {
+                        relation: schema.name().to_owned(),
+                        attribute: a.name.clone(),
+                    });
+                }
+            } else if !v.conforms_to(a.ty) {
+                return Err(Error::TypeMismatch {
+                    relation: schema.name().to_owned(),
+                    attribute: a.name.clone(),
+                    expected: a.ty.to_string(),
+                    found: format!("{v}"),
+                });
+            }
+        }
+        Ok(Tuple(values))
+    }
+
+    /// Build a tuple without schema validation. Used internally by
+    /// operators whose output schema is synthesized (projections, joins).
+    pub fn raw(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume the tuple, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Value at position `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Value of the named attribute under `schema`.
+    pub fn get_named(&self, schema: &RelationSchema, attr: &str) -> Result<&Value> {
+        Ok(&self.0[schema.index_of(attr)?])
+    }
+
+    /// Return a copy with the named attribute replaced. Re-validates.
+    pub fn with_named(&self, schema: &RelationSchema, attr: &str, value: Value) -> Result<Tuple> {
+        let idx = schema.index_of(attr)?;
+        let mut vals = self.0.clone();
+        vals[idx] = value;
+        Tuple::new(schema, vals)
+    }
+
+    /// Extract this tuple's primary key under `schema`.
+    pub fn key(&self, schema: &RelationSchema) -> Key {
+        Key(schema
+            .key_indices()
+            .iter()
+            .map(|&i| self.0[i].clone())
+            .collect())
+    }
+
+    /// Project to the given attribute indices (no validation).
+    pub fn project(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.0[i].clone()).collect()
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A primary-key value: the key attributes of one tuple, in key order.
+///
+/// `Key` is the handle by which tuples are addressed in tables and in
+/// [`crate::database::DbOp`] operation lists.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub Vec<Value>);
+
+impl Key {
+    /// Build a key from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Key(values)
+    }
+
+    /// Single-component convenience constructor.
+    pub fn single(v: impl Into<Value>) -> Self {
+        Key(vec![v.into()])
+    }
+
+    /// Key components.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttributeDef;
+    use crate::value::DataType;
+
+    fn grades_schema() -> RelationSchema {
+        RelationSchema::new(
+            "GRADES",
+            vec![
+                AttributeDef::required("course_id", DataType::Text),
+                AttributeDef::required("student_id", DataType::Int),
+                AttributeDef::nullable("grade", DataType::Text),
+            ],
+            &["course_id", "student_id"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validated_construction() {
+        let s = grades_schema();
+        let t = Tuple::new(&s, vec!["CS345".into(), 7.into(), Value::Null]).unwrap();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get_named(&s, "course_id").unwrap(), &Value::text("CS345"));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let s = grades_schema();
+        let r = Tuple::new(&s, vec!["CS345".into()]);
+        assert!(matches!(r, Err(Error::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let s = grades_schema();
+        let r = Tuple::new(&s, vec!["CS345".into(), "oops".into(), Value::Null]);
+        assert!(matches!(r, Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_null_in_required() {
+        let s = grades_schema();
+        let r = Tuple::new(&s, vec![Value::Null, 7.into(), Value::Null]);
+        assert!(matches!(r, Err(Error::NullViolation { .. })));
+    }
+
+    #[test]
+    fn key_extraction_follows_key_order() {
+        let s = grades_schema();
+        let t = Tuple::new(&s, vec!["CS345".into(), 7.into(), "A".into()]).unwrap();
+        assert_eq!(t.key(&s), Key(vec!["CS345".into(), 7.into()]));
+    }
+
+    #[test]
+    fn with_named_replaces_and_revalidates() {
+        let s = grades_schema();
+        let t = Tuple::new(&s, vec!["CS345".into(), 7.into(), "A".into()]).unwrap();
+        let t2 = t.with_named(&s, "grade", "B".into()).unwrap();
+        assert_eq!(t2.get_named(&s, "grade").unwrap(), &Value::text("B"));
+        assert!(t.with_named(&s, "student_id", Value::Null).is_err());
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let s = grades_schema();
+        let t = Tuple::new(&s, vec!["CS345".into(), 7.into(), Value::Null]).unwrap();
+        assert_eq!(t.to_string(), "('CS345', 7, NULL)");
+        assert_eq!(t.key(&s).to_string(), "('CS345', 7)");
+    }
+}

@@ -1,0 +1,958 @@
+//! Global integrity maintenance over the structural model.
+//!
+//! This module implements the integrity rules of Definitions 2.2–2.4 as an
+//! executable engine:
+//!
+//! - [`check_database`] scans for violations (orphan owned tuples, dangling
+//!   references, subset tuples without their general entity).
+//! - [`plan_delete`] computes the full set of [`DbOp`]s implied by deleting
+//!   one tuple: cascades across ownership and subset connections, and
+//!   policy-driven repair (cascade / nullify / restrict) of referencing
+//!   tuples.
+//! - [`plan_key_replacement`] propagates a key change to owned and subset
+//!   children (recursively — their keys change too) and to referencing
+//!   tuples.
+//! - [`missing_dependencies`] / [`plan_completion`] find and repair the
+//!   dependencies a newly inserted tuple requires (owner, general entity,
+//!   referenced tuple), inserting stub tuples recursively — the process
+//!   the paper's VO-CI global-validation step describes.
+//!
+//! All planners are *read-only*: they return operation lists which callers
+//! apply transactionally via [`Database::apply_all`].
+
+use crate::connection::ConnectionKind;
+use crate::schema::{StructuralSchema, Traversal};
+use std::collections::{BTreeMap, BTreeSet};
+use vo_relational::prelude::*;
+
+/// A detected integrity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An owned tuple whose owner is missing (ownership rule 1).
+    OrphanOwned {
+        connection: String,
+        relation: String,
+        key: Key,
+    },
+    /// A referencing tuple pointing at a non-existent target with non-NULL
+    /// connecting attributes (reference rule 1).
+    DanglingReference {
+        connection: String,
+        relation: String,
+        key: Key,
+    },
+    /// A subset tuple without its general entity (subset rule 1).
+    SubsetWithoutParent {
+        connection: String,
+        relation: String,
+        key: Key,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::OrphanOwned {
+                connection,
+                relation,
+                key,
+            } => {
+                write!(
+                    f,
+                    "orphan owned tuple {relation}{key} (connection {connection})"
+                )
+            }
+            Violation::DanglingReference {
+                connection,
+                relation,
+                key,
+            } => {
+                write!(
+                    f,
+                    "dangling reference {relation}{key} (connection {connection})"
+                )
+            }
+            Violation::SubsetWithoutParent {
+                connection,
+                relation,
+                key,
+            } => write!(
+                f,
+                "subset tuple without parent {relation}{key} (connection {connection})"
+            ),
+        }
+    }
+}
+
+/// What to do with referencing tuples when their referenced tuple is
+/// deleted (reference rule 2 offers exactly these choices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefDeleteAction {
+    /// Reject the deletion.
+    Restrict,
+    /// Delete the referencing tuples too.
+    Cascade,
+    /// Set the referencing attributes to NULL (fails when they are key
+    /// attributes, which are non-nullable).
+    #[default]
+    Nullify,
+}
+
+/// What to do with referencing tuples when their referenced tuple's key is
+/// modified (reference rule 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefModifyAction {
+    /// Propagate the new key into the referencing attributes.
+    #[default]
+    Propagate,
+    /// Set the referencing attributes to NULL.
+    Nullify,
+    /// Delete the referencing tuples.
+    Cascade,
+}
+
+/// Per-connection integrity policy with defaults.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityPolicy {
+    delete_overrides: BTreeMap<String, RefDeleteAction>,
+    modify_overrides: BTreeMap<String, RefModifyAction>,
+    /// Default action for reference connections on deletion.
+    pub on_delete: RefDeleteAction,
+    /// Default action for reference connections on key modification.
+    pub on_modify: RefModifyAction,
+}
+
+impl IntegrityPolicy {
+    /// Policy using the given defaults for every connection.
+    pub fn uniform(on_delete: RefDeleteAction, on_modify: RefModifyAction) -> Self {
+        IntegrityPolicy {
+            on_delete,
+            on_modify,
+            ..Default::default()
+        }
+    }
+
+    /// Override the delete action for one named connection.
+    pub fn with_delete_action(mut self, connection: &str, action: RefDeleteAction) -> Self {
+        self.delete_overrides.insert(connection.to_owned(), action);
+        self
+    }
+
+    /// Override the modify action for one named connection.
+    pub fn with_modify_action(mut self, connection: &str, action: RefModifyAction) -> Self {
+        self.modify_overrides.insert(connection.to_owned(), action);
+        self
+    }
+
+    /// Effective delete action for a connection.
+    pub fn delete_action(&self, connection: &str) -> RefDeleteAction {
+        self.delete_overrides
+            .get(connection)
+            .copied()
+            .unwrap_or(self.on_delete)
+    }
+
+    /// Effective modify action for a connection.
+    pub fn modify_action(&self, connection: &str) -> RefModifyAction {
+        self.modify_overrides
+            .get(connection)
+            .copied()
+            .unwrap_or(self.on_modify)
+    }
+}
+
+/// Scan the whole database for structural violations.
+pub fn check_database(schema: &StructuralSchema, db: &Database) -> Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    for conn in schema.connections() {
+        let r1 = db.table(&conn.from)?;
+        let r2 = db.table(&conn.to)?;
+        match conn.kind {
+            ConnectionKind::Ownership | ConnectionKind::Subset => {
+                // every R2 tuple needs a connected R1 tuple
+                for t2 in r2.scan() {
+                    let vals = conn.to_values(r2.schema(), t2)?;
+                    if vals.iter().any(Value::is_null) {
+                        // key attrs cannot be NULL; defensive
+                        continue;
+                    }
+                    let owners = r1.find_by_attrs(&conn.from_attrs, &vals)?;
+                    if owners.is_empty() {
+                        let v = if conn.kind == ConnectionKind::Ownership {
+                            Violation::OrphanOwned {
+                                connection: conn.name.clone(),
+                                relation: conn.to.clone(),
+                                key: t2.key(r2.schema()),
+                            }
+                        } else {
+                            Violation::SubsetWithoutParent {
+                                connection: conn.name.clone(),
+                                relation: conn.to.clone(),
+                                key: t2.key(r2.schema()),
+                            }
+                        };
+                        out.push(v);
+                    }
+                }
+            }
+            ConnectionKind::Reference => {
+                // every R1 tuple is connected or has NULL X1
+                for t1 in r1.scan() {
+                    let vals = conn.from_values(r1.schema(), t1)?;
+                    if vals.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let targets = r2.find_by_attrs(&conn.to_attrs, &vals)?;
+                    if targets.is_empty() {
+                        out.push(Violation::DanglingReference {
+                            connection: conn.name.clone(),
+                            relation: conn.from.clone(),
+                            key: t1.key(r1.schema()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A consistency check suitable for [`Database::apply_all_checked`].
+pub fn consistency_check(schema: &StructuralSchema) -> impl Fn(&Database) -> Result<()> + '_ {
+    move |db| {
+        let violations = check_database(schema, db)?;
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::ConstraintViolation(format!(
+                "{} violation(s), first: {}",
+                violations.len(),
+                violations[0]
+            )))
+        }
+    }
+}
+
+/// Plan the deletion of one tuple with full structural propagation.
+///
+/// Returns the operations in a safe application order (replacements of
+/// referencing tuples first would also work; order is irrelevant to the
+/// engine, which checks nothing across relations — the point of the plan is
+/// that *after* all ops apply, [`check_database`] is clean).
+pub fn plan_delete(
+    schema: &StructuralSchema,
+    db: &Database,
+    relation: &str,
+    key: &Key,
+    policy: &IntegrityPolicy,
+) -> Result<Vec<DbOp>> {
+    // Phase 1: transitive closure of deletions.
+    let mut to_delete: BTreeSet<(String, Key)> = BTreeSet::new();
+    let mut work: Vec<(String, Key)> = vec![(relation.to_owned(), key.clone())];
+    while let Some((rel, k)) = work.pop() {
+        if !to_delete.insert((rel.clone(), k.clone())) {
+            continue;
+        }
+        let table = db.table(&rel)?;
+        let tuple = table.get(&k).ok_or_else(|| Error::NoSuchTuple {
+            relation: rel.clone(),
+            key: k.to_string(),
+        })?;
+        // cascade over ownership and subset
+        for conn in schema.dependents_of(&rel) {
+            let vals = conn.from_values(table.schema(), tuple)?;
+            let child = db.table(&conn.to)?;
+            for k2 in child.keys_by_attrs(&conn.to_attrs, &vals)? {
+                work.push((conn.to.clone(), k2));
+            }
+        }
+        // reference cascade when the policy says so
+        for conn in schema.referencers_of(&rel) {
+            if policy.delete_action(&conn.name) == RefDeleteAction::Cascade {
+                let vals = conn.to_values(table.schema(), tuple)?;
+                let referencing = db.table(&conn.from)?;
+                for k1 in referencing.keys_by_attrs(&conn.from_attrs, &vals)? {
+                    work.push((conn.from.clone(), k1));
+                }
+            }
+        }
+    }
+
+    // Phase 2: repair remaining referencing tuples (nullify or restrict).
+    // Accumulate all nullifications per referencing tuple so that a tuple
+    // referencing two deleted targets gets a single Replace.
+    let mut pending: BTreeMap<(String, Key), Tuple> = BTreeMap::new();
+    for (rel, k) in &to_delete {
+        let table = db.table(rel)?;
+        let tuple = table.get(k).expect("collected above");
+        for conn in schema.referencers_of(rel) {
+            match policy.delete_action(&conn.name) {
+                RefDeleteAction::Cascade => {} // handled in phase 1
+                action => {
+                    let vals = conn.to_values(table.schema(), tuple)?;
+                    let referencing = db.table(&conn.from)?;
+                    let ref_schema = referencing.schema().clone();
+                    for k1 in referencing.keys_by_attrs(&conn.from_attrs, &vals)? {
+                        if to_delete.contains(&(conn.from.clone(), k1.clone())) {
+                            continue;
+                        }
+                        if action == RefDeleteAction::Restrict {
+                            return Err(Error::ConstraintViolation(format!(
+                                "deletion restricted: {}{k1} references {rel}{k} via {}",
+                                conn.from, conn.name
+                            )));
+                        }
+                        // Nullify
+                        let entry = pending
+                            .entry((conn.from.clone(), k1.clone()))
+                            .or_insert_with(|| referencing.get(&k1).expect("listed").clone());
+                        let mut t = entry.clone();
+                        for attr in &conn.from_attrs {
+                            t = t.with_named(&ref_schema, attr, Value::Null).map_err(|e| {
+                                Error::ConstraintViolation(format!(
+                                    "cannot nullify {}.{attr} (connection {}): {e}",
+                                    conn.from, conn.name
+                                ))
+                            })?;
+                        }
+                        *entry = t;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut ops: Vec<DbOp> = Vec::with_capacity(pending.len() + to_delete.len());
+    for ((rel, k), tuple) in pending {
+        ops.push(DbOp::Replace {
+            relation: rel,
+            old_key: k,
+            tuple,
+        });
+    }
+    for (rel, k) in to_delete {
+        ops.push(DbOp::Delete {
+            relation: rel,
+            key: k,
+        });
+    }
+    Ok(ops)
+}
+
+/// Plan the replacement of one tuple, propagating key changes.
+///
+/// When `new` changes connecting attributes, the change propagates:
+///
+/// - across ownership and subset connections, rewriting the inherited key
+///   components of every connected child (recursively, since the child's
+///   own key changes);
+/// - across incoming reference connections, per the policy's
+///   [`RefModifyAction`].
+pub fn plan_key_replacement(
+    schema: &StructuralSchema,
+    db: &Database,
+    relation: &str,
+    old_key: &Key,
+    new: Tuple,
+    policy: &IntegrityPolicy,
+) -> Result<Vec<DbOp>> {
+    let mut ops = Vec::new();
+    let mut visited: BTreeSet<(String, Key)> = BTreeSet::new();
+    let mut work: Vec<(String, Key, Tuple)> = vec![(relation.to_owned(), old_key.clone(), new)];
+    let mut extra_deletes: Vec<(String, Key)> = Vec::new();
+
+    while let Some((rel, okey, newt)) = work.pop() {
+        if !visited.insert((rel.clone(), okey.clone())) {
+            continue;
+        }
+        let table = db.table(&rel)?;
+        let rel_schema = table.schema().clone();
+        let old = table
+            .get(&okey)
+            .ok_or_else(|| Error::NoSuchTuple {
+                relation: rel.clone(),
+                key: okey.to_string(),
+            })?
+            .clone();
+        let newt = Tuple::new(&rel_schema, newt.into_values())?;
+        if old == newt {
+            continue;
+        }
+        ops.push(DbOp::Replace {
+            relation: rel.clone(),
+            old_key: okey.clone(),
+            tuple: newt.clone(),
+        });
+
+        // propagate to owned / subset children whose inherited attributes changed
+        for conn in schema.dependents_of(&rel) {
+            let old_vals = conn.from_values(&rel_schema, &old)?;
+            let new_vals = conn.from_values(&rel_schema, &newt)?;
+            if old_vals == new_vals {
+                continue;
+            }
+            let child = db.table(&conn.to)?;
+            let child_schema = child.schema().clone();
+            for k2 in child.keys_by_attrs(&conn.to_attrs, &old_vals)? {
+                let ct = child.get(&k2).expect("listed").clone();
+                let mut nt = ct;
+                for (attr, v) in conn.to_attrs.iter().zip(new_vals.iter()) {
+                    nt = nt.with_named(&child_schema, attr, v.clone())?;
+                }
+                work.push((conn.to.clone(), k2, nt));
+            }
+        }
+
+        // repair referencing tuples when referenced key values changed
+        for conn in schema.referencers_of(&rel) {
+            let old_vals = conn.to_values(&rel_schema, &old)?;
+            let new_vals = conn.to_values(&rel_schema, &newt)?;
+            if old_vals == new_vals {
+                continue;
+            }
+            let referencing = db.table(&conn.from)?;
+            let ref_schema = referencing.schema().clone();
+            for k1 in referencing.keys_by_attrs(&conn.from_attrs, &old_vals)? {
+                match policy.modify_action(&conn.name) {
+                    RefModifyAction::Propagate => {
+                        let rt = referencing.get(&k1).expect("listed").clone();
+                        let mut nt = rt;
+                        for (attr, v) in conn.from_attrs.iter().zip(new_vals.iter()) {
+                            nt = nt.with_named(&ref_schema, attr, v.clone())?;
+                        }
+                        work.push((conn.from.clone(), k1, nt));
+                    }
+                    RefModifyAction::Nullify => {
+                        let rt = referencing.get(&k1).expect("listed").clone();
+                        let mut nt = rt;
+                        for attr in &conn.from_attrs {
+                            nt = nt.with_named(&ref_schema, attr, Value::Null).map_err(|e| {
+                                Error::ConstraintViolation(format!(
+                                    "cannot nullify {}.{attr}: {e}",
+                                    conn.from
+                                ))
+                            })?;
+                        }
+                        work.push((conn.from.clone(), k1, nt));
+                    }
+                    RefModifyAction::Cascade => {
+                        extra_deletes.push((conn.from.clone(), k1));
+                    }
+                }
+            }
+        }
+    }
+
+    for (rel, k) in extra_deletes {
+        // full structural deletion of each cascaded referencing tuple
+        let sub = plan_delete(schema, db, &rel, &k, policy)?;
+        ops.extend(sub);
+    }
+    Ok(ops)
+}
+
+/// One unmet dependency of a (possibly not-yet-inserted) tuple: the target
+/// relation that must contain a matching tuple, and the connecting values
+/// it must carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingDependency {
+    /// Name of the violated connection.
+    pub connection: String,
+    /// Relation that must contain the missing tuple.
+    pub relation: String,
+    /// Attribute names on the target relation.
+    pub attrs: Vec<String>,
+    /// Required values for those attributes.
+    pub values: Vec<Value>,
+}
+
+/// Dependencies of `tuple` (as a member of `relation`) that the database
+/// does not currently satisfy: a missing owner, general entity, or
+/// referenced tuple.
+pub fn missing_dependencies(
+    schema: &StructuralSchema,
+    db: &Database,
+    relation: &str,
+    tuple: &Tuple,
+) -> Result<Vec<MissingDependency>> {
+    let rel_schema = db.table(relation)?.schema().clone();
+    let mut out = Vec::new();
+    for dep in schema.dependencies_of(relation) {
+        let vals = values_on_side(&dep, &rel_schema, tuple, true)?;
+        if vals.iter().any(Value::is_null) {
+            // NULL reference is explicitly legal (reference rule 1); NULLs
+            // cannot occur in key-side dependencies.
+            continue;
+        }
+        let target = db.table(dep.target())?;
+        if target.find_by_attrs(dep.target_attrs(), &vals)?.is_empty() {
+            out.push(MissingDependency {
+                connection: dep.connection.name.clone(),
+                relation: dep.target().to_owned(),
+                attrs: dep.target_attrs().to_vec(),
+                values: vals,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Values of the connecting attributes on the source (`source = true`) or
+/// target side of a traversal, taken from a tuple of that side's relation.
+fn values_on_side(
+    t: &Traversal<'_>,
+    schema: &RelationSchema,
+    tuple: &Tuple,
+    source: bool,
+) -> Result<Vec<Value>> {
+    let attrs = if source {
+        t.source_attrs()
+    } else {
+        t.target_attrs()
+    };
+    attrs
+        .iter()
+        .map(|a| tuple.get_named(schema, a).cloned())
+        .collect()
+}
+
+/// Build a stub tuple for `relation` carrying `values` in `attrs`; other
+/// attributes get NULL when nullable and a type-appropriate default
+/// otherwise.
+pub fn stub_tuple(schema: &RelationSchema, attrs: &[String], values: &[Value]) -> Result<Tuple> {
+    let mut out: Vec<Value> = Vec::with_capacity(schema.arity());
+    for a in schema.attributes() {
+        if let Some(pos) = attrs.iter().position(|x| *x == a.name) {
+            out.push(values[pos].clone());
+        } else if a.nullable {
+            out.push(Value::Null);
+        } else {
+            out.push(match a.ty {
+                DataType::Int => Value::Int(0),
+                DataType::Float => Value::Float(0.0),
+                DataType::Text => Value::Text(String::new()),
+                DataType::Bool => Value::Bool(false),
+            });
+        }
+    }
+    Tuple::new(schema, out)
+}
+
+/// Recursively plan the stub insertions needed so that `tuple` (already
+/// planned for insertion into `relation`) satisfies all its dependencies.
+/// `allow` gates which relations the caller may touch (the translator's
+/// per-relation insert permission); a required-but-forbidden insertion
+/// aborts the plan.
+pub fn plan_completion(
+    schema: &StructuralSchema,
+    db: &Database,
+    relation: &str,
+    tuple: &Tuple,
+    allow: &dyn Fn(&str) -> bool,
+) -> Result<Vec<DbOp>> {
+    let mut ops = Vec::new();
+    // planned: dependencies already scheduled in this plan
+    let mut planned: BTreeSet<(String, Vec<Value>)> = BTreeSet::new();
+    let mut work: Vec<(String, Tuple)> = vec![(relation.to_owned(), tuple.clone())];
+    while let Some((rel, t)) = work.pop() {
+        for dep in missing_dependencies(schema, db, &rel, &t)? {
+            if !planned.insert((dep.relation.clone(), dep.values.clone())) {
+                continue;
+            }
+            if !allow(&dep.relation) {
+                return Err(Error::ConstraintViolation(format!(
+                    "required insertion into {} is not permitted",
+                    dep.relation
+                )));
+            }
+            let target_schema = db.table(&dep.relation)?.schema().clone();
+            let stub = stub_tuple(&target_schema, &dep.attrs, &dep.values)?;
+            ops.push(DbOp::Insert {
+                relation: dep.relation.clone(),
+                tuple: stub.clone(),
+            });
+            work.push((dep.relation, stub));
+        }
+    }
+    // parents before children: dependencies were discovered child-first
+    ops.reverse();
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection::Connection;
+
+    /// University-like mini schema:
+    /// DEPARTMENT(dept_name*) <— COURSES(course_id*, dept_name)
+    /// COURSES —* GRADES(course_id*, ssn*, grade)
+    /// STUDENT(ssn*, degree) —* GRADES
+    /// CURRICULUM(degree*, course_id*) —> COURSES
+    fn setup() -> (StructuralSchema, Database) {
+        let mut cat = DatabaseSchema::new();
+        cat.add(
+            RelationSchema::new(
+                "DEPARTMENT",
+                vec![AttributeDef::required("dept_name", DataType::Text)],
+                &["dept_name"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(
+            RelationSchema::new(
+                "COURSES",
+                vec![
+                    AttributeDef::required("course_id", DataType::Text),
+                    AttributeDef::nullable("dept_name", DataType::Text),
+                ],
+                &["course_id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(
+            RelationSchema::new(
+                "STUDENT",
+                vec![
+                    AttributeDef::required("ssn", DataType::Int),
+                    AttributeDef::nullable("degree", DataType::Text),
+                ],
+                &["ssn"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(
+            RelationSchema::new(
+                "GRADES",
+                vec![
+                    AttributeDef::required("course_id", DataType::Text),
+                    AttributeDef::required("ssn", DataType::Int),
+                    AttributeDef::nullable("grade", DataType::Text),
+                ],
+                &["course_id", "ssn"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(
+            RelationSchema::new(
+                "CURRICULUM",
+                vec![
+                    AttributeDef::required("degree", DataType::Text),
+                    AttributeDef::required("course_id", DataType::Text),
+                ],
+                &["degree", "course_id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut s = StructuralSchema::new(cat.clone());
+        s.add_connection(Connection::reference(
+            "courses_dept",
+            "COURSES",
+            &["dept_name"],
+            "DEPARTMENT",
+            &["dept_name"],
+        ))
+        .unwrap();
+        s.add_connection(Connection::ownership(
+            "courses_grades",
+            "COURSES",
+            &["course_id"],
+            "GRADES",
+            &["course_id"],
+        ))
+        .unwrap();
+        s.add_connection(Connection::ownership(
+            "student_grades",
+            "STUDENT",
+            &["ssn"],
+            "GRADES",
+            &["ssn"],
+        ))
+        .unwrap();
+        s.add_connection(Connection::reference(
+            "curriculum_courses",
+            "CURRICULUM",
+            &["course_id"],
+            "COURSES",
+            &["course_id"],
+        ))
+        .unwrap();
+
+        let mut db = Database::from_schema(&cat);
+        db.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        db.insert("COURSES", vec!["CS345".into(), "CS".into()])
+            .unwrap();
+        db.insert("COURSES", vec!["CS101".into(), "CS".into()])
+            .unwrap();
+        db.insert("STUDENT", vec![1.into(), "MS".into()]).unwrap();
+        db.insert("STUDENT", vec![2.into(), "PhD".into()]).unwrap();
+        db.insert("GRADES", vec!["CS345".into(), 1.into(), "A".into()])
+            .unwrap();
+        db.insert("GRADES", vec!["CS345".into(), 2.into(), "B".into()])
+            .unwrap();
+        db.insert("GRADES", vec!["CS101".into(), 1.into(), "A".into()])
+            .unwrap();
+        db.insert("CURRICULUM", vec!["MS".into(), "CS345".into()])
+            .unwrap();
+        (s, db)
+    }
+
+    #[test]
+    fn clean_database_has_no_violations() {
+        let (s, db) = setup();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detects_orphan_owned() {
+        let (s, mut db) = setup();
+        db.insert("GRADES", vec!["GHOST".into(), 1.into(), Value::Null])
+            .unwrap();
+        let v = check_database(&s, &db).unwrap();
+        assert!(v.iter().any(|x| matches!(x, Violation::OrphanOwned { connection, .. } if connection == "courses_grades")));
+    }
+
+    #[test]
+    fn detects_dangling_reference() {
+        let (s, mut db) = setup();
+        db.insert("COURSES", vec!["EE1".into(), "EE".into()])
+            .unwrap();
+        let v = check_database(&s, &db).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(
+            matches!(&v[0], Violation::DanglingReference { relation, .. } if relation == "COURSES")
+        );
+    }
+
+    #[test]
+    fn null_reference_is_legal() {
+        let (s, mut db) = setup();
+        db.insert("COURSES", vec!["X1".into(), Value::Null])
+            .unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_cascades_over_ownership() {
+        let (s, mut db) = setup();
+        // CURRICULUM references CS345 → restrict would veto; use cascade for it
+        let policy = IntegrityPolicy::default()
+            .with_delete_action("curriculum_courses", RefDeleteAction::Cascade);
+        let ops = plan_delete(&s, &db, "COURSES", &Key::single("CS345"), &policy).unwrap();
+        db.apply_all(&ops).unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+        assert_eq!(db.table("GRADES").unwrap().len(), 1); // only CS101's grade
+        assert_eq!(db.table("CURRICULUM").unwrap().len(), 0);
+        assert_eq!(db.table("COURSES").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_restrict_vetoes() {
+        let (s, db) = setup();
+        let policy =
+            IntegrityPolicy::uniform(RefDeleteAction::Restrict, RefModifyAction::Propagate);
+        let r = plan_delete(&s, &db, "COURSES", &Key::single("CS345"), &policy);
+        assert!(matches!(r, Err(Error::ConstraintViolation(_))));
+    }
+
+    #[test]
+    fn delete_nullify_fails_on_key_reference() {
+        let (s, db) = setup();
+        // CURRICULUM's referencing attrs are part of its key → cannot nullify
+        let policy = IntegrityPolicy::default(); // Nullify
+        let r = plan_delete(&s, &db, "COURSES", &Key::single("CS345"), &policy);
+        assert!(matches!(r, Err(Error::ConstraintViolation(_))));
+    }
+
+    #[test]
+    fn delete_nullify_works_on_nonkey_reference() {
+        let (s, mut db) = setup();
+        // delete the department; COURSES.dept_name is nullable non-key
+        let ops = plan_delete(
+            &s,
+            &db,
+            "DEPARTMENT",
+            &Key::single("CS"),
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        db.apply_all(&ops).unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        assert!(t.get(1).is_null());
+    }
+
+    #[test]
+    fn delete_of_student_cascades_grades() {
+        let (s, mut db) = setup();
+        let ops = plan_delete(
+            &s,
+            &db,
+            "STUDENT",
+            &Key::single(1),
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        db.apply_all(&ops).unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+        assert_eq!(db.table("GRADES").unwrap().len(), 1); // only ssn=2 grade left
+    }
+
+    #[test]
+    fn key_replacement_propagates_to_owned_and_referencing() {
+        let (s, mut db) = setup();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let new = Tuple::new(&courses, vec!["EES345".into(), "CS".into()]).unwrap();
+        let ops = plan_key_replacement(
+            &s,
+            &db,
+            "COURSES",
+            &Key::single("CS345"),
+            new,
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        db.apply_all(&ops).unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+        // grades re-keyed
+        let g = db.table("GRADES").unwrap();
+        assert!(g.contains_key(&Key(vec!["EES345".into(), 1.into()])));
+        assert!(!g.contains_key(&Key(vec!["CS345".into(), 1.into()])));
+        // curriculum re-keyed (propagate)
+        let c = db.table("CURRICULUM").unwrap();
+        assert!(c.contains_key(&Key(vec!["MS".into(), "EES345".into()])));
+    }
+
+    #[test]
+    fn key_replacement_cascade_deletes_referencing() {
+        let (s, mut db) = setup();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let new = Tuple::new(&courses, vec!["EES345".into(), "CS".into()]).unwrap();
+        let policy = IntegrityPolicy::default()
+            .with_modify_action("curriculum_courses", RefModifyAction::Cascade);
+        let ops =
+            plan_key_replacement(&s, &db, "COURSES", &Key::single("CS345"), new, &policy).unwrap();
+        db.apply_all(&ops).unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+        assert_eq!(db.table("CURRICULUM").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn nonkey_replacement_produces_single_op() {
+        let (s, db) = setup();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let new = Tuple::new(&courses, vec!["CS345".into(), Value::Null]).unwrap();
+        let ops = plan_key_replacement(
+            &s,
+            &db,
+            "COURSES",
+            &Key::single("CS345"),
+            new,
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].is_replace());
+    }
+
+    #[test]
+    fn identical_replacement_is_noop() {
+        let (s, db) = setup();
+        let old = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        let ops = plan_key_replacement(
+            &s,
+            &db,
+            "COURSES",
+            &Key::single("CS345"),
+            old,
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn missing_dependencies_found() {
+        let (s, db) = setup();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let t = Tuple::new(&courses, vec!["EE282".into(), "EE".into()]).unwrap();
+        let deps = missing_dependencies(&s, &db, "COURSES", &t).unwrap();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].relation, "DEPARTMENT");
+        assert_eq!(deps[0].values, vec![Value::text("EE")]);
+    }
+
+    #[test]
+    fn completion_inserts_stub_parents() {
+        let (s, mut db) = setup();
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        let t = Tuple::new(&grades, vec!["EE282".into(), 9.into(), "A".into()]).unwrap();
+        let ops = plan_completion(&s, &db, "GRADES", &t, &|_| true).unwrap();
+        // needs COURSES(EE282) and STUDENT(9); the stub course has NULL dept
+        db.apply_all(&ops).unwrap();
+        db.table_mut("GRADES").unwrap().insert(t).unwrap();
+        assert!(check_database(&s, &db).unwrap().is_empty());
+        assert!(db
+            .table("COURSES")
+            .unwrap()
+            .contains_key(&Key::single("EE282")));
+        assert!(db.table("STUDENT").unwrap().contains_key(&Key::single(9)));
+    }
+
+    #[test]
+    fn completion_respects_permission_gate() {
+        let (s, db) = setup();
+        let grades = db.table("GRADES").unwrap().schema().clone();
+        let t = Tuple::new(&grades, vec!["EE282".into(), 9.into(), "A".into()]).unwrap();
+        let r = plan_completion(&s, &db, "GRADES", &t, &|rel| rel != "STUDENT");
+        assert!(matches!(r, Err(Error::ConstraintViolation(_))));
+    }
+
+    #[test]
+    fn stub_tuple_defaults() {
+        let schema = RelationSchema::new(
+            "X",
+            vec![
+                AttributeDef::required("k", DataType::Text),
+                AttributeDef::required("n", DataType::Int),
+                AttributeDef::nullable("m", DataType::Float),
+            ],
+            &["k"],
+        )
+        .unwrap();
+        let t = stub_tuple(&schema, &["k".to_string()], &[Value::text("a")]).unwrap();
+        assert_eq!(t.values(), &[Value::text("a"), Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn consistency_check_closure() {
+        let (s, mut db) = setup();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        // inserting a dangling course through the checked path rolls back
+        let bad = Tuple::new(&courses, vec!["EE9".into(), "EE".into()]).unwrap();
+        let ops = vec![DbOp::Insert {
+            relation: "COURSES".into(),
+            tuple: bad,
+        }];
+        let err = db
+            .apply_all_checked(&ops, consistency_check(&s))
+            .unwrap_err();
+        assert!(matches!(err, Error::Rolledback(_)));
+        assert_eq!(db.table("COURSES").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Course-catalog scenario: multiple applications sharing one database
+//! through differently-configured view objects (the paper's central
+//! motivation — "definition of multiple view objects with different
+//! configurations offers a view mechanism at a higher level of
+//! abstraction").
+//!
+//! ```text
+//! cargo run --example course_catalog
+//! ```
+//!
+//! A *registrar* application works with ω (course + curriculum + grades +
+//! students) and may restructure courses; an *advisor* application works
+//! with ω′ (course + faculty + students) and is read-mostly: its
+//! translator forbids everything but grade-neutral lookups.
+
+use penguin_vo::prelude::*;
+
+fn main() -> Result<()> {
+    let mut penguin = Penguin::with_database(university_schema(), {
+        let schema = university_schema();
+        let mut db = Database::from_schema(schema.catalog());
+        seed_figure4(&mut db)?;
+        db
+    });
+
+    // two perspectives on the same data
+    penguin.define_object(
+        "registrar",
+        "COURSES",
+        &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+    )?;
+    penguin.define_object("advisor", "COURSES", &["FACULTY", "STUDENT"])?;
+    println!("objects registered: {:?}", penguin.object_names());
+
+    // the registrar's translator allows the full §6 repertoire
+    let mut registrar_dialog = paper_dialog_responder();
+    penguin.choose_translator("registrar", &mut registrar_dialog)?;
+
+    // the advisor's translator forbids every update
+    let mut read_only = FnResponder(|_: &QuestionTopic| false);
+    penguin.choose_translator("advisor", &mut read_only)?;
+
+    // both see the same course, shaped differently
+    println!("\nregistrar's view of CS345:");
+    let reg_inst = penguin.instance_by_key("registrar", &Key::single("CS345"))?;
+    print!(
+        "{}",
+        reg_inst.to_display_string(
+            penguin.schema(),
+            &penguin.object("registrar")?.object.clone()
+        )?
+    );
+    println!("\nadvisor's view of CS345:");
+    let adv_inst = penguin.instance_by_key("advisor", &Key::single("CS345"))?;
+    print!(
+        "{}",
+        adv_inst.to_display_string(penguin.schema(), &penguin.object("advisor")?.object.clone())?
+    );
+
+    // VOQL queries per application
+    println!("\nadvisor: graduate courses taught in departments with faculty:");
+    match run_voql(
+        &mut penguin,
+        "GET advisor WHERE level = 'graduate' AND EXISTS(FACULTY)",
+    )? {
+        VoqlOutcome::Instances(is) => {
+            for i in &is {
+                println!("  course {}", i.root.tuple);
+            }
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // the registrar restructures: drop a grade, add a new enrollee
+    println!("\nregistrar: partial updates on CS345");
+    let grades_node = penguin
+        .object("registrar")?
+        .object
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "GRADES")
+        .unwrap()
+        .id;
+    let grades_schema = penguin.schema().catalog().relation("GRADES")?.clone();
+    penguin.apply_partial(
+        "registrar",
+        PartialOp::DeleteChild {
+            pivot_key: Key::single("CS345"),
+            node: grades_node,
+            key: Key(vec!["CS345".into(), 3.into()]),
+        },
+    )?;
+    penguin.apply_partial(
+        "registrar",
+        PartialOp::InsertChild {
+            pivot_key: Key::single("CS345"),
+            node: grades_node,
+            tuple: Tuple::new(&grades_schema, vec!["CS345".into(), 8.into(), "B".into()])?,
+        },
+    )?;
+    println!(
+        "  grades for CS345 now: {}",
+        penguin
+            .database()
+            .table("GRADES")?
+            .keys_by_attrs(&["course_id".to_string()], &[Value::text("CS345")])?
+            .len()
+    );
+
+    // the advisor cannot write at all
+    let err = penguin
+        .delete_instance(
+            "advisor",
+            penguin.instance_by_key("advisor", &Key::single("CS101"))?,
+        )
+        .unwrap_err();
+    println!("\nadvisor attempting a deletion is refused:\n  {err}");
+
+    println!(
+        "\nglobal consistency: {} violation(s)",
+        penguin.check_consistency()?.len()
+    );
+    Ok(())
+}

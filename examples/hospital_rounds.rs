@@ -1,0 +1,119 @@
+//! Hospital scenario: a patient-chart view object over a clinical schema
+//! (the paper's research context was medical informatics — the work was
+//! supported by the National Library of Medicine).
+//!
+//! ```text
+//! cargo run --example hospital_rounds
+//! ```
+//!
+//! The chart object's dependency island spans three ownership/subset
+//! levels (PATIENT —* ADMISSION —* ORDERS —⊃ LABRESULT), so complete
+//! deletions cascade deep, while WARD and PHYSICIAN — referenced
+//! abstractions — are never touched.
+
+use penguin_vo::prelude::*;
+
+fn main() -> Result<()> {
+    let (schema, db) = hospital_database(5);
+    let mut penguin = Penguin::with_database(schema, db);
+    penguin.define_object(
+        "chart",
+        "PATIENT",
+        &["WARD", "ADMISSION", "PHYSICIAN", "ORDERS", "LABRESULT"],
+    )?;
+    let object = penguin.object("chart")?.object.clone();
+    println!("patient chart object:");
+    print!("{}", object.to_tree_string(penguin.schema()));
+
+    let analysis = penguin.object("chart")?.analysis.clone();
+    let island: Vec<&str> = analysis
+        .island
+        .iter()
+        .map(|&i| object.node(i).relation.as_str())
+        .collect();
+    println!("\ndependency island: {island:?}");
+
+    // a permissive translator via the dialog
+    let mut all_yes = AllYes;
+    let transcript = penguin.choose_translator("chart", &mut all_yes)?.clone();
+    println!("dialog asked {} questions", transcript.len());
+
+    // show one chart
+    println!("\nchart for patient 1:");
+    let inst = penguin.instance_by_key("chart", &Key::single(1))?;
+    print!("{}", inst.to_display_string(penguin.schema(), &object)?);
+
+    // ward rounds: add a lab result to an existing order (partial update)
+    let lab_node = object
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "LABRESULT")
+        .unwrap()
+        .id;
+    let lab_schema = penguin.schema().catalog().relation("LABRESULT")?.clone();
+    penguin.apply_partial(
+        "chart",
+        PartialOp::InsertChild {
+            pivot_key: Key::single(1),
+            node: lab_node,
+            tuple: Tuple::new(&lab_schema, vec![1.into(), 1.into(), 1.into(), 0.42.into()])?,
+        },
+    )?;
+    println!(
+        "\nadded a lab result; LABRESULT now has {} rows",
+        penguin.database().table("LABRESULT")?.len()
+    );
+
+    // transfer the patient to another ward: replacement retargets the
+    // reference; the ward entity itself is shared and untouched
+    let patient_schema = penguin.schema().catalog().relation("PATIENT")?.clone();
+    let old = penguin.instance_by_key("chart", &Key::single(1))?;
+    let mut new = old.clone();
+    new.root.tuple = new
+        .root
+        .tuple
+        .with_named(&patient_schema, "ward_id", "ICU".into())?;
+    penguin.replace_instance("chart", old, new)?;
+    println!(
+        "patient 1 transferred; wards still: {:?}",
+        penguin
+            .database()
+            .table("WARD")?
+            .scan()
+            .map(|t| t.values()[0].clone())
+            .collect::<Vec<_>>()
+    );
+
+    // discharge-and-purge: complete deletion cascades through the island
+    let before = (
+        penguin.database().table("ADMISSION")?.len(),
+        penguin.database().table("ORDERS")?.len(),
+        penguin.database().table("LABRESULT")?.len(),
+    );
+    let chart = penguin.instance_by_key("chart", &Key::single(2))?;
+    let ops = penguin.delete_instance("chart", chart)?;
+    let after = (
+        penguin.database().table("ADMISSION")?.len(),
+        penguin.database().table("ORDERS")?.len(),
+        penguin.database().table("LABRESULT")?.len(),
+    );
+    println!(
+        "\npurging patient 2 issued {} ops; admissions {} -> {}, orders {} -> {}, labs {} -> {}",
+        ops.len(),
+        before.0,
+        after.0,
+        before.1,
+        after.1,
+        before.2,
+        after.2
+    );
+    println!(
+        "physicians untouched: {}",
+        penguin.database().table("PHYSICIAN")?.len()
+    );
+    println!(
+        "consistency violations: {}",
+        penguin.check_consistency()?.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the whole stack in one file.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the paper's university database, generates the view object ω of
+//! Figure 2, runs Figure 4's query, chooses a translator through the §6
+//! dialog, and performs the paper's worked replacement (CS345 → EES345).
+
+use penguin_vo::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. the Figure 1 schema + Figure 4 data
+    let (schema, db) = university_database();
+    println!("schema:\n{}", schema.to_graph_string());
+
+    // 2. generate ω: pivot COURSES, include DEPARTMENT, CURRICULUM,
+    //    GRADES, STUDENT (Figure 2)
+    let omega = generate_omega(&schema)?;
+    println!("view object omega (complexity {}):", omega.complexity());
+    print!("{}", omega.to_tree_string(&schema));
+
+    // 3. Figure 4's query: graduate courses with fewer than 5 students
+    let student = omega
+        .nodes()
+        .iter()
+        .find(|n| n.relation == "STUDENT")
+        .expect("omega includes STUDENT")
+        .id;
+    let hits = VoQuery::new()
+        .with_predicate(0, Expr::attr("level").eq(Expr::lit("graduate")))
+        .with_count(student, CmpOp::Lt, 5)
+        .execute(&schema, &omega, &db)?;
+    println!("\nFigure 4 query returned {} instance(s):", hits.len());
+    for inst in &hits {
+        print!("{}", inst.to_display_string(&schema, &omega)?);
+    }
+
+    // 4. choose a translator once, at definition time (§6)
+    let analysis = analyze(&schema, &omega)?;
+    let mut responder = paper_dialog_responder();
+    let (translator, transcript) = choose_translator(&schema, &omega, &analysis, &mut responder)?;
+    println!(
+        "\ndialog asked {} questions; translator chosen.",
+        transcript.len()
+    );
+
+    // 5. the worked replacement: CS345 → EES345 in a brand-new department
+    let mut db = db;
+    let updater = ViewObjectUpdater::new(&schema, omega.clone(), translator)?;
+    let old = hits.into_iter().next().expect("CS345 instance");
+    let courses = schema.catalog().relation("COURSES")?;
+    let mut new = old.clone();
+    new.root.tuple = new
+        .root
+        .tuple
+        .with_named(courses, "course_id", "EES345".into())?
+        .with_named(courses, "dept_name", "Engineering Economic Systems".into())?;
+    let ops = updater.replace(&schema, &mut db, old, new)?;
+    println!(
+        "\nreplacement translated into {} database operations:",
+        ops.len()
+    );
+    for op in &ops {
+        println!("  {op}");
+    }
+    println!(
+        "\ndatabase consistent: {}",
+        check_database(&schema, &db)?.is_empty()
+    );
+    Ok(())
+}

@@ -1,0 +1,315 @@
+//! Integration tests for the subtler corners of the view-object model:
+//! multiple copies of one relation in a single object (§3: "multiple
+//! copies of a non-pivot relation can be included in one object"),
+//! peninsulas with nullable foreign keys, objects anchored on referenced
+//! abstractions, and custom metric configurations.
+
+use penguin_vo::prelude::*;
+
+/// Keep BOTH copies of PEOPLE from Figure 2(b)'s template tree in one
+/// object: the department's people and the enrolled students' people.
+#[test]
+fn object_with_two_people_copies() {
+    let (schema, db) = university_database();
+    let tree = generate_tree(&schema, "COURSES", &MetricWeights::default()).unwrap();
+    let people = tree.nodes_on("PEOPLE");
+    assert_eq!(people.len(), 2);
+    // template node 0 is the pivot; keep the pivot, both PEOPLE copies,
+    // and the chain nodes leading to them
+    let mut selections = vec![Selection::all_attrs(0)];
+    for &p in &people {
+        // keep the full path so edges stay direct
+        let mut at = p;
+        while let Some(parent) = tree.nodes[at].parent {
+            selections.push(Selection::all_attrs(at));
+            at = parent;
+        }
+    }
+    selections.sort_by_key(|s| s.template_node);
+    selections.dedup_by_key(|s| s.template_node);
+    let object = prune(&schema, &tree, "two_people", &selections).unwrap();
+    let copies = object
+        .nodes()
+        .iter()
+        .filter(|n| n.relation == "PEOPLE")
+        .count();
+    assert_eq!(copies, 2);
+    object.validate(&schema).unwrap();
+
+    // instantiation binds different people sets to the two copies
+    let inst = assemble(
+        &schema,
+        &object,
+        &db,
+        db.table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    let ids: Vec<NodeId> = object
+        .nodes()
+        .iter()
+        .filter(|n| n.relation == "PEOPLE")
+        .map(|n| n.id)
+        .collect();
+    let people_schema = schema.catalog().relation("PEOPLE").unwrap();
+    let set_a: Vec<i64> = inst
+        .tuples_of(ids[0])
+        .iter()
+        .map(|t| t.get_named(people_schema, "ssn").unwrap().as_int().unwrap())
+        .collect();
+    let set_b: Vec<i64> = inst
+        .tuples_of(ids[1])
+        .iter()
+        .map(|t| t.get_named(people_schema, "ssn").unwrap().as_int().unwrap())
+        .collect();
+    // one copy holds the whole department's people (via DEPARTMENT), the
+    // other only the enrolled students (via GRADES→STUDENT)
+    assert_ne!(set_a.len(), set_b.len());
+    assert!(set_a.len().max(set_b.len()) >= 12); // dept roster incl. faculty
+    assert_eq!(set_a.len().min(set_b.len()), 3); // the 3 enrolled students
+}
+
+/// An object anchored on DEPARTMENT has PEOPLE and COURSES as peninsulas
+/// whose foreign keys are nullable — the dialog offers NULLify, and VO-CD
+/// uses it.
+#[test]
+fn nullable_fk_peninsula_nullifies_on_delete() {
+    let (schema, mut db) = university_database();
+    let mut b = ViewObjectBuilder::new("dept_obj", "DEPARTMENT", &["dept_name"]);
+    b.child(
+        0,
+        "PEOPLE",
+        &["ssn", "name", "dept_name"],
+        VoEdge::single("people_dept", false),
+    );
+    b.child(
+        0,
+        "COURSES",
+        &["course_id", "title", "level", "dept_name"],
+        VoEdge::single("courses_dept", false),
+    );
+    let object = b.build(&schema).unwrap();
+    let analysis = analyze(&schema, &object).unwrap();
+    assert_eq!(analysis.island.len(), 1);
+    assert_eq!(analysis.peninsulas.len(), 2);
+
+    // the dialog offers the NULLify question for both peninsulas (their
+    // referencing attributes are nullable non-key)
+    let mut responder = AllYes;
+    let (translator, transcript) =
+        choose_translator(&schema, &object, &analysis, &mut responder).unwrap();
+    let nullify_questions = transcript
+        .entries
+        .iter()
+        .filter(|(q, _)| matches!(q.topic, QuestionTopic::PeninsulaNullify(_)))
+        .count();
+    assert_eq!(nullify_questions, 2);
+    assert_eq!(
+        translator.peninsula_action("PEOPLE"),
+        PeninsulaAction::NullifyForeignKey
+    );
+
+    // delete the Electrical Engineering department: its people and
+    // courses get NULLed department references, nothing else cascades...
+    // except EE282's grades, which hang off the *course*? No: courses are
+    // only re-pointed, not deleted, so grades survive.
+    let updater = ViewObjectUpdater::new(&schema, object.clone(), translator).unwrap();
+    let inst = assemble(
+        &schema,
+        &object,
+        &db,
+        db.table("DEPARTMENT")
+            .unwrap()
+            .get(&Key::single("Electrical Engineering"))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    let courses_before = db.table("COURSES").unwrap().len();
+    let grades_before = db.table("GRADES").unwrap().len();
+    updater.delete(&schema, &mut db, inst).unwrap();
+    assert!(check_database(&schema, &db).unwrap().is_empty());
+    assert_eq!(db.table("COURSES").unwrap().len(), courses_before);
+    assert_eq!(db.table("GRADES").unwrap().len(), grades_before);
+    let ee282 = db
+        .table("COURSES")
+        .unwrap()
+        .get(&Key::single("EE282"))
+        .unwrap()
+        .clone();
+    let courses_schema = schema.catalog().relation("COURSES").unwrap();
+    assert!(ee282
+        .get_named(courses_schema, "dept_name")
+        .unwrap()
+        .is_null());
+    // person 30 (EE staff) lost their department but survives
+    let p30 = db
+        .table("PEOPLE")
+        .unwrap()
+        .get(&Key::single(30))
+        .unwrap()
+        .clone();
+    let people_schema = schema.catalog().relation("PEOPLE").unwrap();
+    assert!(p30.get_named(people_schema, "dept_name").unwrap().is_null());
+}
+
+/// A subset-heavy object: PEOPLE with its three specializations. The
+/// island spans all of them; deleting a person removes their
+/// specialization rows and owned grades.
+#[test]
+fn specialization_island_updates() {
+    let (schema, mut db) = university_database();
+    let mut b = ViewObjectBuilder::new("person_obj", "PEOPLE", &["ssn", "name", "dept_name"]);
+    b.child(
+        0,
+        "STUDENT",
+        &["ssn", "degree_program"],
+        VoEdge::single("people_student", true),
+    );
+    b.child(
+        0,
+        "FACULTY",
+        &["ssn", "rank"],
+        VoEdge::single("people_faculty", true),
+    );
+    b.child(
+        0,
+        "STAFF",
+        &["ssn", "title"],
+        VoEdge::single("people_staff", true),
+    );
+    let object = b.build(&schema).unwrap();
+    let analysis = analyze(&schema, &object).unwrap();
+    assert_eq!(analysis.island.len(), 4); // pivot + three subset nodes
+
+    let updater =
+        ViewObjectUpdater::new(&schema, object.clone(), Translator::permissive(&object)).unwrap();
+    // person 1 is a student with grades in CS345 and CS101
+    let inst = assemble(
+        &schema,
+        &object,
+        &db,
+        db.table("PEOPLE")
+            .unwrap()
+            .get(&Key::single(1))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    updater.delete(&schema, &mut db, inst).unwrap();
+    assert!(check_database(&schema, &db).unwrap().is_empty());
+    assert!(!db.table("STUDENT").unwrap().contains_key(&Key::single(1)));
+    assert!(db
+        .table("GRADES")
+        .unwrap()
+        .keys_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
+        .unwrap()
+        .is_empty());
+
+    // re-keying a person flows through subset rows and grades
+    let inst = assemble(
+        &schema,
+        &object,
+        &db,
+        db.table("PEOPLE")
+            .unwrap()
+            .get(&Key::single(2))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    let people_schema = schema.catalog().relation("PEOPLE").unwrap();
+    let mut new = inst.clone();
+    new.root.tuple = new
+        .root
+        .tuple
+        .with_named(people_schema, "ssn", 222.into())
+        .unwrap();
+    updater.replace(&schema, &mut db, inst, new).unwrap();
+    assert!(check_database(&schema, &db).unwrap().is_empty());
+    assert!(db.table("STUDENT").unwrap().contains_key(&Key::single(222)));
+    // grades followed the key change: none under the old ssn, some under
+    // the new one
+    assert!(db
+        .table("GRADES")
+        .unwrap()
+        .keys_by_attrs(&["ssn".to_string()], &[Value::Int(2)])
+        .unwrap()
+        .is_empty());
+    assert!(!db
+        .table("GRADES")
+        .unwrap()
+        .keys_by_attrs(&["ssn".to_string()], &[Value::Int(222)])
+        .unwrap()
+        .is_empty());
+}
+
+/// Custom metric weights change which objects are generatable; the
+/// weights validate their domain.
+#[test]
+fn metric_configuration_controls_reach() {
+    let (schema, _) = university_database();
+    // reference-hostile metric: COURSES can only reach its owned GRADES
+    let w = MetricWeights {
+        ownership: 0.9,
+        subset: 0.85,
+        reference: 0.1,
+        inv_ownership: 0.8,
+        inv_reference: 0.1,
+        inv_subset: 0.8,
+        threshold: 0.3,
+    };
+    let tree = generate_tree(&schema, "COURSES", &w).unwrap();
+    let rels: std::collections::BTreeSet<&str> =
+        tree.nodes.iter().map(|n| n.relation.as_str()).collect();
+    assert!(rels.contains("GRADES"));
+    assert!(!rels.contains("DEPARTMENT"));
+    assert!(!rels.contains("CURRICULUM"));
+
+    // invalid weights are rejected at generation time
+    let bad = MetricWeights {
+        ownership: 1.5,
+        ..Default::default()
+    };
+    assert!(generate_tree(&schema, "COURSES", &bad).is_err());
+}
+
+/// VoQuery ordering and limits compose with everything else.
+#[test]
+fn ordered_limited_queries() {
+    let (schema, db) = university_database();
+    let omega = generate_omega(&schema).unwrap();
+    let hits = VoQuery::new()
+        .with_order_by(&["level", "course_id"])
+        .with_limit(2)
+        .execute(&schema, &omega, &db)
+        .unwrap();
+    assert_eq!(hits.len(), 2);
+    // 'graduate' < 'undergraduate'; CS345 < EE282
+    assert_eq!(hits[0].root.tuple.get(0), &Value::text("CS345"));
+    assert_eq!(hits[1].root.tuple.get(0), &Value::text("EE282"));
+}
+
+/// Saved systems round-trip through JSON with objects over both domains.
+#[test]
+fn multi_domain_saved_system() {
+    let (schema, db) = hospital_database(3);
+    let mut penguin = Penguin::with_database(schema, db);
+    penguin
+        .define_object("chart", "PATIENT", &["ADMISSION", "ORDERS", "WARD"])
+        .unwrap();
+    let obj = penguin.object("chart").unwrap().object.clone();
+    penguin
+        .install_translator("chart", Translator::permissive(&obj))
+        .unwrap();
+    let saved = vo_penguin::SavedSystem::capture(&penguin);
+    let mut restored = saved.restore().unwrap();
+    // the restored system updates correctly
+    let inst = restored.instance_by_key("chart", &Key::single(2)).unwrap();
+    restored.delete_instance("chart", inst).unwrap();
+    assert!(restored.check_consistency().unwrap().is_empty());
+    assert_eq!(restored.database().table("PATIENT").unwrap().len(), 2);
+}

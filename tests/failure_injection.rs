@@ -1,0 +1,198 @@
+//! Failure-injection tests: every failure path must leave the database
+//! exactly as it was (the paper's "the transaction cannot be completed and
+//! has to be rolled back"), across all layers.
+
+use penguin_vo::prelude::*;
+use proptest::prelude::*;
+
+fn snapshot(db: &Database) -> Vec<(String, Vec<Tuple>)> {
+    db.relation_names()
+        .iter()
+        .map(|r| {
+            (
+                (*r).to_owned(),
+                db.table(r).unwrap().scan().cloned().collect(),
+            )
+        })
+        .collect()
+}
+
+// A batch with a poisoned op at an arbitrary position rolls back wholly.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn poisoned_batches_roll_back(pos in 0usize..6, seed in 0u64..100) {
+        let (_, mut db) = university_scaled(1, seed);
+        let dept = db.table("DEPARTMENT").unwrap().schema().clone();
+        let mut ops: Vec<DbOp> = (0..5)
+            .map(|i| DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec![format!("new-{i}").into()]).unwrap(),
+            })
+            .collect();
+        // poison: delete a tuple that does not exist
+        ops.insert(
+            pos.min(ops.len()),
+            DbOp::Delete { relation: "DEPARTMENT".into(), key: Key::single("ghost") },
+        );
+        let before = snapshot(&db);
+        let err = db.apply_all(&ops).unwrap_err();
+        prop_assert!(matches!(err, Error::Rolledback(_)));
+        prop_assert_eq!(snapshot(&db), before);
+    }
+
+    /// Vetoed checked batches roll back wholly.
+    #[test]
+    fn vetoed_batches_roll_back(n in 1usize..6, seed in 0u64..100) {
+        let (_, mut db) = university_scaled(1, seed);
+        let dept = db.table("DEPARTMENT").unwrap().schema().clone();
+        let ops: Vec<DbOp> = (0..n)
+            .map(|i| DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec![format!("new-{i}").into()]).unwrap(),
+            })
+            .collect();
+        let before = snapshot(&db);
+        let err = db
+            .apply_all_checked(&ops, |_| Err(Error::ConstraintViolation("veto".into())))
+            .unwrap_err();
+        prop_assert!(matches!(err, Error::Rolledback(_)));
+        prop_assert_eq!(snapshot(&db), before);
+    }
+}
+
+/// Every permission a translator can deny leads to a clean rejection.
+#[test]
+fn each_denied_permission_rejects_cleanly() {
+    let (schema, db) = university_database();
+    let omega = generate_omega(&schema).unwrap();
+    let old = assemble(
+        &schema,
+        &omega,
+        &db,
+        db.table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    let courses = schema.catalog().relation("COURSES").unwrap();
+    // a request that exercises key replacement + department insertion
+    let mut new = old.clone();
+    new.root.tuple = new
+        .root
+        .tuple
+        .with_named(courses, "course_id", "EES345".into())
+        .unwrap()
+        .with_named(courses, "dept_name", "Engineering Economic Systems".into())
+        .unwrap();
+
+    type Tweak = fn(&mut Translator);
+    let tweaks: Vec<(&str, Tweak)> = vec![
+        ("replacement off", |t| t.allow_replacement = false),
+        ("courses key replacement off", |t| {
+            let mut p = t.policy("COURSES");
+            p.allow_key_replacement = false;
+            t.set_policy("COURSES", p);
+        }),
+        ("courses db key replace off", |t| {
+            let mut p = t.policy("COURSES");
+            p.allow_db_key_replace = false;
+            t.set_policy("COURSES", p);
+        }),
+        ("department insert off", |t| {
+            let mut p = t.policy("DEPARTMENT");
+            p.allow_insert = false;
+            t.set_policy("DEPARTMENT", p);
+        }),
+    ];
+    for (label, tweak) in tweaks {
+        let mut translator = Translator::permissive(&omega);
+        tweak(&mut translator);
+        let mut db2 = db.clone();
+        let updater = ViewObjectUpdater::new(&schema, omega.clone(), translator).unwrap();
+        let before = snapshot(&db2);
+        let err = updater
+            .replace(&schema, &mut db2, old.clone(), new.clone())
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::ConstraintViolation(_) | Error::Rolledback(_)),
+            "{label}: unexpected error {err}"
+        );
+        assert_eq!(snapshot(&db2), before, "{label}: database changed");
+    }
+}
+
+/// A concurrent writer invalidating the old instance mid-flight is caught.
+#[test]
+fn stale_instances_never_corrupt() {
+    let (schema, mut db) = university_database();
+    let omega = generate_omega(&schema).unwrap();
+    let updater =
+        ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+    let old = assemble(
+        &schema,
+        &omega,
+        &db,
+        db.table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    // another writer renames the course first
+    db.run_sql("UPDATE COURSES SET title = 'Sniped' WHERE course_id = 'CS345'")
+        .unwrap();
+    let before = snapshot(&db);
+    let mut new = old.clone();
+    let courses = schema.catalog().relation("COURSES").unwrap();
+    new.root.tuple = new
+        .root
+        .tuple
+        .with_named(courses, "course_id", "EES345".into())
+        .unwrap();
+    assert!(updater.replace(&schema, &mut db, old.clone(), new).is_err());
+    assert_eq!(snapshot(&db), before);
+
+    // deletions of instances deleted by someone else are also rejected
+    db.run_sql("DELETE FROM CURRICULUM WHERE course_id = 'CS345'")
+        .unwrap();
+    db.run_sql("DELETE FROM GRADES WHERE course_id = 'CS345'")
+        .unwrap();
+    db.run_sql("DELETE FROM COURSES WHERE course_id = 'CS345'")
+        .unwrap();
+    let before = snapshot(&db);
+    assert!(updater.delete(&schema, &mut db, old).is_err());
+    assert_eq!(snapshot(&db), before);
+}
+
+/// Saved systems with tampered data fail restoration, never half-load.
+#[test]
+fn tampered_saved_system_fails_closed() {
+    let (schema, db) = university_database();
+    let mut penguin = Penguin::with_database(schema, db);
+    penguin
+        .define_object("omega", "COURSES", &["GRADES"])
+        .unwrap();
+    let saved = vo_penguin::SavedSystem::capture(&penguin);
+    let json = saved.to_json().unwrap();
+
+    // duplicate a course row in the serialized data
+    let tampered = json.replacen("\"CS345\"", "\"CS101\"", 1);
+    if let Ok(s) = vo_penguin::SavedSystem::from_json(&tampered) {
+        // either the key now collides (restore fails) or the structural
+        // check downstream rejects it; both are acceptable fail-closed
+        if let Ok(p) = s.restore() {
+            // restored: the data must still be internally key-consistent
+            for rel in p.database().relation_names() {
+                let t = p.database().table(rel).unwrap();
+                for (k, tuple) in t.scan_entries() {
+                    assert_eq!(k, &tuple.key(t.schema()));
+                }
+            }
+        }
+    }
+}

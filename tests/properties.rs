@@ -1,0 +1,448 @@
+//! Property-based tests over the core invariants:
+//!
+//! - storage: value ordering is a total order; insert/delete/replace keep
+//!   tables key-consistent;
+//! - optimizer: rewritten plans are semantics-preserving;
+//! - structural model: planned deletions and key replacements always leave
+//!   a consistent database;
+//! - view objects: delete-then-reinsert is an exact database round trip,
+//!   and replacement by an arbitrary edit either fails cleanly or leaves a
+//!   consistent database whose instance equals the requested one.
+
+use penguin_vo::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- values --
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Text),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_order_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        if a.cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+            prop_assert_eq!(&a, &b);
+        } else {
+            prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        }
+        // transitivity
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // equality implies equal hashes
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            a.hash(&mut h1);
+            b.hash(&mut h2);
+            prop_assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+}
+
+// ---------------------------------------------------------------- tables --
+
+fn course_table() -> Table {
+    let schema = RelationSchema::new(
+        "T",
+        vec![
+            AttributeDef::required("k", DataType::Int),
+            AttributeDef::nullable("v", DataType::Text),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    Table::new(schema)
+}
+
+#[derive(Debug, Clone)]
+enum TableOp {
+    Insert(i64, Option<String>),
+    Delete(i64),
+    Replace(i64, i64, Option<String>),
+}
+
+fn arb_table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        (0i64..20, proptest::option::of("[a-z]{0,4}")).prop_map(|(k, v)| TableOp::Insert(k, v)),
+        (0i64..20).prop_map(TableOp::Delete),
+        (0i64..20, 0i64..20, proptest::option::of("[a-z]{0,4}"))
+            .prop_map(|(a, b, v)| TableOp::Replace(a, b, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any op sequence, a table's stored keys equal its tuples' keys
+    /// and secondary indexes return exactly what a scan would.
+    #[test]
+    fn table_ops_keep_indexes_consistent(ops in proptest::collection::vec(arb_table_op(), 1..40)) {
+        let mut t = course_table();
+        t.create_index(&["v".to_string()]).unwrap();
+        for op in ops {
+            match op {
+                TableOp::Insert(k, v) => {
+                    let tuple = Tuple::new(
+                        t.schema(),
+                        vec![k.into(), v.map(Value::from).unwrap_or(Value::Null)],
+                    )
+                    .unwrap();
+                    let _ = t.insert(tuple);
+                }
+                TableOp::Delete(k) => {
+                    let _ = t.delete(&Key::single(k));
+                }
+                TableOp::Replace(a, b, v) => {
+                    let tuple = Tuple::new(
+                        t.schema(),
+                        vec![b.into(), v.map(Value::from).unwrap_or(Value::Null)],
+                    )
+                    .unwrap();
+                    let _ = t.replace(&Key::single(a), tuple);
+                }
+            }
+            // invariant: key map is coherent
+            for (key, tuple) in t.scan_entries() {
+                prop_assert_eq!(key, &tuple.key(t.schema()));
+            }
+            // invariant: index lookups match scans
+            let schema = t.schema().clone();
+            for probe in ["", "a", "ab"] {
+                let via_index = t
+                    .find_by_attrs(&["v".to_string()], &[Value::text(probe)])
+                    .unwrap()
+                    .len();
+                let via_scan = t
+                    .scan()
+                    .filter(|x| x.get_named(&schema, "v").unwrap() == &Value::text(probe))
+                    .count();
+                prop_assert_eq!(via_index, via_scan);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- optimizer --
+
+fn arb_course_pred() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        ("[a-d]{1}").prop_map(|s| Expr::attr("dept_name").eq(Expr::lit(format!("dept-{s}")))),
+        Just(Expr::attr("level").eq(Expr::lit("graduate"))),
+        Just(Expr::attr("title").is_null()),
+        (0i64..5).prop_map(|n| Expr::lit(n).lt(Expr::lit(3))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|e| e.not()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer never changes query results.
+    #[test]
+    fn optimizer_preserves_semantics(pred in arb_course_pred(), project in any::<bool>()) {
+        let (_, db) = university_scaled(2, 99);
+        let mut plan = Plan::scan("COURSES")
+            .join(
+                Plan::scan("GRADES"),
+                vec![("COURSES.course_id".into(), "GRADES.course_id".into())],
+            )
+            .select(pred);
+        if project {
+            plan = plan.project(vec!["COURSES.course_id".into(), "GRADES.ssn".into()]);
+        }
+        let optimized = vo_relational::optimizer::optimize(plan.clone());
+        let mut a = db.execute(&plan).unwrap();
+        let mut b = db.execute(&optimized).unwrap();
+        a.rows.sort();
+        b.rows.sort();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+}
+
+// ------------------------------------------------------ structural model --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structural deletions keep the database consistent from any seed.
+    #[test]
+    fn planned_deletions_stay_consistent(seed in 0u64..500, course in 0i64..8) {
+        let (schema, mut db) = university_scaled(1, seed);
+        let key = Key::single(format!("C0-{course}"));
+        // CURRICULUM's foreign key is part of its key, so NULLify is not
+        // available; cascade over references instead.
+        let policy = IntegrityPolicy::uniform(
+            RefDeleteAction::Cascade,
+            RefModifyAction::Propagate,
+        );
+        let ops = plan_delete(&schema, &db, "COURSES", &key, &policy).unwrap();
+        db.apply_all(&ops).unwrap();
+        prop_assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+
+    /// Structural key replacements keep the database consistent.
+    #[test]
+    fn planned_key_replacements_stay_consistent(seed in 0u64..500, course in 0i64..8) {
+        let (schema, mut db) = university_scaled(1, seed);
+        let key = Key::single(format!("C0-{course}"));
+        let courses = db.table("COURSES").unwrap().schema().clone();
+        let old = db.table("COURSES").unwrap().get(&key).unwrap().clone();
+        let new = old.with_named(&courses, "course_id", "RENAMED".into()).unwrap();
+        let ops = plan_key_replacement(
+            &schema,
+            &db,
+            "COURSES",
+            &key,
+            new,
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        db.apply_all(&ops).unwrap();
+        prop_assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+}
+
+// ----------------------------------------------------------- view objects --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Deleting an instance and re-inserting it restores the database
+    /// tuple-for-tuple.
+    #[test]
+    fn delete_insert_roundtrip(seed in 0u64..200, course in 0i64..8) {
+        let (schema, mut db) = university_scaled(1, seed);
+        let omega = generate_omega(&schema).unwrap();
+        let updater = ViewObjectUpdater::new(
+            &schema,
+            omega.clone(),
+            Translator::permissive(&omega),
+        )
+        .unwrap();
+        let key = Key::single(format!("C0-{course}"));
+        let pivot = db.table("COURSES").unwrap().get(&key).unwrap().clone();
+        let inst = assemble(&schema, &omega, &db, pivot).unwrap();
+
+        let snapshot: Vec<(String, Vec<Tuple>)> = db
+            .relation_names()
+            .iter()
+            .map(|r| ((*r).to_owned(), db.table(r).unwrap().scan().cloned().collect()))
+            .collect();
+
+        updater.delete(&schema, &mut db, inst.clone()).unwrap();
+        prop_assert!(check_database(&schema, &db).unwrap().is_empty());
+        updater.insert(&schema, &mut db, inst).unwrap();
+
+        for (rel, tuples) in snapshot {
+            let now: Vec<Tuple> = db.table(&rel).unwrap().scan().cloned().collect();
+            prop_assert_eq!(now, tuples, "relation {} differs after round trip", rel);
+        }
+    }
+
+    /// Any single-attribute edit to an instance either fails cleanly (no
+    /// change) or succeeds into a consistent database that re-assembles to
+    /// the requested instance.
+    #[test]
+    fn replacement_is_sound_or_rejected(
+        seed in 0u64..200,
+        course in 0i64..8,
+        new_title in "[a-z]{1,6}",
+        change_key in any::<bool>(),
+        new_key in "[A-Z]{1,4}",
+    ) {
+        let (schema, mut db) = university_scaled(1, seed);
+        let omega = generate_omega(&schema).unwrap();
+        let updater = ViewObjectUpdater::new(
+            &schema,
+            omega.clone(),
+            Translator::permissive(&omega),
+        )
+        .unwrap();
+        let key = Key::single(format!("C0-{course}"));
+        let pivot = db.table("COURSES").unwrap().get(&key).unwrap().clone();
+        let old = assemble(&schema, &omega, &db, pivot).unwrap();
+        let courses = schema.catalog().relation("COURSES").unwrap();
+        let mut new = old.clone();
+        new.root.tuple = new
+            .root
+            .tuple
+            .with_named(courses, "title", new_title.clone().into())
+            .unwrap();
+        if change_key {
+            new.root.tuple = new
+                .root
+                .tuple
+                .with_named(courses, "course_id", new_key.clone().into())
+                .unwrap();
+        }
+        let before = db.total_tuples();
+        match updater.replace(&schema, &mut db, old, new) {
+            Ok(_) => {
+                prop_assert!(check_database(&schema, &db).unwrap().is_empty());
+                let expect_key =
+                    if change_key { Key::single(new_key) } else { key };
+                let stored = db.table("COURSES").unwrap().get(&expect_key).cloned();
+                prop_assert!(stored.is_some());
+                let stored = stored.unwrap();
+                prop_assert_eq!(
+                    stored.get_named(courses, "title").unwrap(),
+                    &Value::text(new_title)
+                );
+            }
+            Err(_) => {
+                // clean failure: nothing changed
+                prop_assert_eq!(db.total_tuples(), before);
+                prop_assert!(check_database(&schema, &db).unwrap().is_empty());
+            }
+        }
+    }
+
+    /// Figure-4-style count queries agree with filtering all instances by
+    /// hand.
+    #[test]
+    fn count_queries_match_manual_filtering(seed in 0u64..200, bound in 0usize..8) {
+        let (schema, db) = university_scaled(1, seed);
+        let omega = generate_omega(&schema).unwrap();
+        let stu = omega.nodes().iter().find(|n| n.relation == "STUDENT").unwrap().id;
+        let via_query = VoQuery::new()
+            .with_count(stu, CmpOp::Lt, bound)
+            .execute(&schema, &omega, &db)
+            .unwrap()
+            .len();
+        let via_manual = instantiate_all(&schema, &omega, &db)
+            .unwrap()
+            .into_iter()
+            .filter(|i| i.tuples_of(stu).len() < bound)
+            .count();
+        prop_assert_eq!(via_query, via_manual);
+    }
+}
+
+// -------------------------------------------------------------- sql layer --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inserted text values survive a SQL round trip (quoting included).
+    #[test]
+    fn sql_text_roundtrip(name in "[a-zA-Z' ]{1,12}") {
+        let schema = RelationSchema::new(
+            "T",
+            vec![AttributeDef::required("k", DataType::Text)],
+            &["k"],
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.create_relation(schema).unwrap();
+        let quoted = name.replace('\'', "''");
+        db.run_sql(&format!("INSERT INTO T VALUES ('{quoted}')")).unwrap();
+        match db.run_sql(&format!("SELECT * FROM T WHERE k = '{quoted}'")).unwrap() {
+            SqlOutcome::Rows(rows) => {
+                prop_assert_eq!(rows.len(), 1);
+                prop_assert_eq!(rows.rows[0][0].clone(), Value::text(name));
+            }
+            _ => prop_assert!(false, "expected rows"),
+        }
+    }
+}
+
+// ---------------------------------------------------------- keller layer --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any course in any seeded database, the root-relation deletion
+    /// candidate satisfies the validity criteria, and the chosen
+    /// translator emits exactly that candidate's operations.
+    #[test]
+    fn keller_deletion_candidates_consistent(seed in 0u64..100, course in 0i64..8) {
+        let (_, db) = university_scaled(1, seed);
+        let view = SpjView::new("cd", "COURSES")
+            .join(
+                "DEPARTMENT",
+                &[("COURSES", "dept_name", "DEPARTMENT", "dept_name")],
+            )
+            .column("COURSES", "course_id")
+            .column("COURSES", "title")
+            .column_as("DEPARTMENT", "dept_name", "department");
+        let cid = format!("C0-{course}");
+        let rows = view.evaluate(&db).unwrap();
+        let row = rows
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text(cid.clone()))
+            .cloned()
+            .unwrap();
+        let cands = vo_keller::enumerate_deletions(&view, &db, &row).unwrap();
+        let courses_cand =
+            cands.iter().find(|c| c.target == "COURSES").unwrap();
+        prop_assert!(courses_cand.valid, "{:?}", courses_cand.violations);
+        prop_assert!(vo_keller::check_syntactic(&courses_cand.ops).is_empty());
+
+        let translator = vo_keller::KellerTranslator {
+            view: view.clone(),
+            delete_from: Some("COURSES".into()),
+            insert_into: Default::default(),
+            update_allowed: Default::default(),
+        };
+        let ops = translator.translate_delete(&db, &row).unwrap();
+        prop_assert_eq!(&ops, &courses_cand.ops);
+    }
+
+    /// Keller insertions either fail cleanly or leave the view containing
+    /// exactly the new row.
+    #[test]
+    fn keller_insertions_are_exact(seed in 0u64..100, n in 0i64..1000) {
+        let (_, mut db) = university_scaled(1, seed);
+        let view = SpjView::new("cd", "COURSES")
+            .join(
+                "DEPARTMENT",
+                &[("COURSES", "dept_name", "DEPARTMENT", "dept_name")],
+            )
+            .column("COURSES", "course_id")
+            .column("COURSES", "title")
+            .column_as("DEPARTMENT", "dept_name", "department");
+        let translator = vo_keller::KellerTranslator {
+            view: view.clone(),
+            delete_from: None,
+            insert_into: ["COURSES".to_string(), "DEPARTMENT".to_string()]
+                .into_iter()
+                .collect(),
+            update_allowed: Default::default(),
+        };
+        let row = vec![
+            Value::text(format!("NEW-{n}")),
+            Value::text("t"),
+            Value::text(format!("dept-new-{}", n % 3)),
+        ];
+        match translator.translate_insert(&db, &row) {
+            Ok(ops) => {
+                db.apply_all(&ops).unwrap();
+                let after = view.evaluate(&db).unwrap();
+                prop_assert!(after.rows.contains(&row));
+            }
+            Err(_) => {}
+        }
+    }
+}
