@@ -2,11 +2,12 @@
 //! translator and (ii) hand-written direct base-table operations, plus the
 //! definition-time vs per-update dialog ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use vo_bench::{banner, median_time, us, TextTable};
 use vo_core::prelude::*;
 use vo_keller::{KellerTranslator, SpjView};
 use vo_penguin::university_scaled;
+
+const RUNS: usize = 11;
 
 fn flat_view() -> SpjView {
     SpjView::new("course_flat", "COURSES")
@@ -19,9 +20,9 @@ fn flat_view() -> SpjView {
         .column_as("DEPARTMENT", "dept_name", "department")
 }
 
-fn bench_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("baseline");
-    group.sample_size(20);
+fn main() {
+    banner("B1", "view-object vs flat-view vs direct updates");
+    let mut t = TextTable::new(&["case", "scale", "median_us"]);
 
     for scale in [1i64, 8, 32] {
         let (schema, db) = university_scaled(scale, 42);
@@ -51,55 +52,43 @@ fn bench_baseline(c: &mut Criterion) {
             Value::text("dept-0"),
         ];
 
-        group.bench_with_input(
-            BenchmarkId::new("delete/view_object", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| {
-                    translate_complete_deletion(
-                        black_box(&schema),
-                        &omega,
-                        &analysis,
-                        &vo_translator,
-                        &db,
-                        &inst,
-                    )
-                    .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("delete/keller", scale), &scale, |b, _| {
-            b.iter(|| keller.translate_delete(black_box(&db), &view_row).unwrap())
+        let d = median_time(RUNS, || {
+            translate_complete_deletion(&schema, &omega, &analysis, &vo_translator, &db, &inst)
+                .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("delete/direct", scale), &scale, |b, _| {
-            b.iter(|| {
-                let grades = db.table("GRADES").unwrap();
-                let mut ops: Vec<DbOp> = grades
-                    .keys_by_attrs(&["course_id".to_string()], &[Value::text("C0-0")])
+        t.row(&["delete/view_object".into(), scale.to_string(), us(d)]);
+
+        let d = median_time(RUNS, || keller.translate_delete(&db, &view_row).unwrap());
+        t.row(&["delete/keller".into(), scale.to_string(), us(d)]);
+
+        let d = median_time(RUNS, || {
+            let grades = db.table("GRADES").unwrap();
+            let mut ops: Vec<DbOp> = grades
+                .keys_by_attrs(&["course_id".to_string()], &[Value::text("C0-0")])
+                .unwrap()
+                .into_iter()
+                .map(|key| DbOp::Delete {
+                    relation: "GRADES".into(),
+                    key,
+                })
+                .collect();
+            let cur = db.table("CURRICULUM").unwrap();
+            ops.extend(
+                cur.keys_by_attrs(&["course_id".to_string()], &[Value::text("C0-0")])
                     .unwrap()
                     .into_iter()
                     .map(|key| DbOp::Delete {
-                        relation: "GRADES".into(),
+                        relation: "CURRICULUM".into(),
                         key,
-                    })
-                    .collect();
-                let cur = db.table("CURRICULUM").unwrap();
-                ops.extend(
-                    cur.keys_by_attrs(&["course_id".to_string()], &[Value::text("C0-0")])
-                        .unwrap()
-                        .into_iter()
-                        .map(|key| DbOp::Delete {
-                            relation: "CURRICULUM".into(),
-                            key,
-                        }),
-                );
-                ops.push(DbOp::Delete {
-                    relation: "COURSES".into(),
-                    key: Key::single("C0-0"),
-                });
-                ops
-            })
+                    }),
+            );
+            ops.push(DbOp::Delete {
+                relation: "COURSES".into(),
+                key: Key::single("C0-0"),
+            });
+            ops
         });
+        t.row(&["delete/direct".into(), scale.to_string(), us(d)]);
 
         // replacement: non-key title change, both layers can express it
         let courses = db.table("COURSES").unwrap().schema().clone();
@@ -109,47 +98,37 @@ fn bench_baseline(c: &mut Criterion) {
             .tuple
             .with_named(&courses, "title", "renamed".into())
             .unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("update/view_object", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| {
-                    translate_replacement(
-                        black_box(&schema),
-                        &omega,
-                        &analysis,
-                        &vo_translator,
-                        &db,
-                        &inst,
-                        new.clone(),
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        let d = median_time(RUNS, || {
+            translate_replacement(
+                &schema,
+                &omega,
+                &analysis,
+                &vo_translator,
+                &db,
+                &inst,
+                new.clone(),
+            )
+            .unwrap()
+        });
+        t.row(&["update/view_object".into(), scale.to_string(), us(d)]);
+
         let mut new_row = view_row.clone();
         new_row[1] = Value::text("renamed");
-        group.bench_with_input(BenchmarkId::new("update/keller", scale), &scale, |b, _| {
-            b.iter(|| {
-                keller
-                    .translate_update(black_box(&db), &view_row, &new_row)
-                    .unwrap()
-            })
+        let d = median_time(RUNS, || {
+            keller.translate_update(&db, &view_row, &new_row).unwrap()
         });
+        t.row(&["update/keller".into(), scale.to_string(), us(d)]);
     }
 
     // dialog cost: run the full dialog per update vs once
     let (schema, _) = university_scaled(1, 42);
     let omega = generate_omega(&schema).unwrap();
     let analysis = analyze(&schema, &omega).unwrap();
-    group.bench_function("dialog/definition_time", |b| {
-        b.iter(|| {
-            let mut r = paper_dialog_responder();
-            choose_translator(black_box(&schema), &omega, &analysis, &mut r).unwrap()
-        })
+    let d = median_time(RUNS, || {
+        let mut r = paper_dialog_responder();
+        choose_translator(&schema, &omega, &analysis, &mut r).unwrap()
     });
-    group.finish();
-}
+    t.row(&["dialog/definition_time".into(), "-".into(), us(d)]);
 
-criterion_group!(benches, bench_baseline);
-criterion_main!(benches);
+    println!("{}", t.render());
+}

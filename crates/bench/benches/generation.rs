@@ -2,28 +2,28 @@
 //! tree expansion, pruning) versus schema size and shape, plus the
 //! cached-vs-recomputed island-analysis ablation from DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use vo_bench::{banner, median_time, us, TextTable};
 use vo_core::prelude::*;
 use vo_penguin::{synthetic_schema, SchemaShape};
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generation");
-    group.sample_size(20);
+const RUNS: usize = 11;
+
+fn main() {
+    banner("G1", "view-object generation cost");
+    let mut t = TextTable::new(&["case", "n", "median_us"]);
 
     // the paper's own schema
     let schema = university_schema();
-    group.bench_function("university/subgraph", |b| {
-        b.iter(|| {
-            extract_subgraph(black_box(&schema), "COURSES", &MetricWeights::default()).unwrap()
-        })
+    let d = median_time(RUNS, || {
+        extract_subgraph(&schema, "COURSES", &MetricWeights::default()).unwrap()
     });
-    group.bench_function("university/tree", |b| {
-        b.iter(|| generate_tree(black_box(&schema), "COURSES", &MetricWeights::default()).unwrap())
+    t.row(&["university/subgraph".into(), "-".into(), us(d)]);
+    let d = median_time(RUNS, || {
+        generate_tree(&schema, "COURSES", &MetricWeights::default()).unwrap()
     });
-    group.bench_function("university/omega_end_to_end", |b| {
-        b.iter(|| generate_omega(black_box(&schema)).unwrap())
-    });
+    t.row(&["university/tree".into(), "-".into(), us(d)]);
+    let d = median_time(RUNS, || generate_omega(&schema).unwrap());
+    t.row(&["university/omega_end_to_end".into(), "-".into(), us(d)]);
 
     // synthetic shapes at growing sizes
     for n in [8usize, 32, 128, 512] {
@@ -41,23 +41,16 @@ fn bench_generation(c: &mut Criterion) {
                 threshold: 0.2,
                 ..Default::default()
             };
-            group.bench_with_input(BenchmarkId::new(format!("tree/{label}"), n), &n, |b, _| {
-                b.iter(|| generate_tree(black_box(&schema), "R0", &w).unwrap())
-            });
+            let d = median_time(RUNS, || generate_tree(&schema, "R0", &w).unwrap());
+            t.row(&[format!("tree/{label}"), n.to_string(), us(d)]);
         }
     }
-    group.finish();
 
     // ablation: island analysis cached (once per object) vs per update
-    let mut group = c.benchmark_group("island_analysis");
-    group.sample_size(20);
     let schema = university_schema();
     let omega = generate_omega(&schema).unwrap();
-    group.bench_function("analyze_once", |b| {
-        b.iter(|| analyze(black_box(&schema), black_box(&omega)).unwrap())
-    });
-    group.finish();
-}
+    let d = median_time(RUNS, || analyze(&schema, &omega).unwrap());
+    t.row(&["island/analyze_once".into(), "-".into(), us(d)]);
 
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);
+    println!("{}", t.render());
+}

@@ -1,18 +1,20 @@
 //! Bench I1 — instantiation throughput (Figure 4's operation) versus
 //! database scale and object complexity, including queries with count
-//! conditions and contracted-path edges.
+//! conditions, contracted-path edges, and the set-at-a-time engine
+//! against the tuple-at-a-time legacy path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use vo_bench::{banner, median_time, us, TextTable};
 use vo_core::prelude::*;
 use vo_penguin::university_scaled;
 
-fn bench_instantiate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("instantiate");
-    group.sample_size(20);
+const RUNS: usize = 11;
+
+fn main() {
+    banner("I1", "instantiation throughput vs scale");
+    let mut t = TextTable::new(&["case", "scale", "median_us"]);
 
     for scale in [1i64, 8, 32] {
-        let (schema, db) = university_scaled(scale, 42);
+        let (schema, mut db) = university_scaled(scale, 42);
         let omega = generate_omega(&schema).unwrap();
         let pivot = db
             .table("COURSES")
@@ -21,16 +23,26 @@ fn bench_instantiate(c: &mut Criterion) {
             .unwrap()
             .clone();
 
-        group.bench_with_input(BenchmarkId::new("one_instance", scale), &scale, |b, _| {
-            b.iter(|| assemble(black_box(&schema), &omega, &db, pivot.clone()).unwrap())
+        let d = median_time(RUNS, || {
+            assemble(&schema, &omega, &db, pivot.clone()).unwrap()
         });
+        t.row(&["one_instance".into(), scale.to_string(), us(d)]);
 
-        let n_courses = db.table("COURSES").unwrap().len() as u64;
-        group.throughput(Throughput::Elements(n_courses));
-        group.bench_with_input(BenchmarkId::new("all_instances", scale), &scale, |b, _| {
-            b.iter(|| instantiate_all(black_box(&schema), &omega, &db).unwrap())
+        let d = median_time(RUNS, || {
+            instantiate_all_legacy(&schema, &omega, &db).unwrap()
         });
-        group.throughput(Throughput::Elements(1));
+        t.row(&["all_instances/legacy".into(), scale.to_string(), us(d)]);
+
+        let d = median_time(RUNS, || instantiate_all(&schema, &omega, &db).unwrap());
+        t.row(&["all_instances/batched".into(), scale.to_string(), us(d)]);
+
+        // batched with every edge index provisioned (the PENGUIN default)
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        for (rel, attrs) in plan.required_indexes() {
+            db.ensure_index(&rel, &attrs).unwrap();
+        }
+        let d = median_time(RUNS, || instantiate_all(&schema, &omega, &db).unwrap());
+        t.row(&["all_instances/indexed".into(), scale.to_string(), us(d)]);
 
         // Figure 4's query: pivot predicate + count condition
         let student = omega
@@ -42,20 +54,13 @@ fn bench_instantiate(c: &mut Criterion) {
         let q = VoQuery::new()
             .with_predicate(0, Expr::attr("level").eq(Expr::lit("graduate")))
             .with_count(student, CmpOp::Lt, 5);
-        group.bench_with_input(BenchmarkId::new("figure4_query", scale), &scale, |b, _| {
-            b.iter(|| q.execute(black_box(&schema), &omega, &db).unwrap())
-        });
+        let d = median_time(RUNS, || q.execute(&schema, &omega, &db).unwrap());
+        t.row(&["figure4_query".into(), scale.to_string(), us(d)]);
 
         // contracted-path instantiation (omega-prime)
         let op = generate_omega_prime(&schema).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("omega_prime_instance", scale),
-            &scale,
-            |b, _| b.iter(|| assemble(black_box(&schema), &op, &db, pivot.clone()).unwrap()),
-        );
+        let d = median_time(RUNS, || assemble(&schema, &op, &db, pivot.clone()).unwrap());
+        t.row(&["omega_prime_instance".into(), scale.to_string(), us(d)]);
     }
-    group.finish();
+    println!("{}", t.render());
 }
-
-criterion_group!(benches, bench_instantiate);
-criterion_main!(benches);

@@ -3,21 +3,24 @@
 //! propagation. These bound the cost of the paper's step 4 (global
 //! validation) at different database sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use vo_bench::{banner, median_time, us, TextTable};
 use vo_core::prelude::*;
 use vo_penguin::{seed_ownership_chain, synthetic_schema, university_scaled, SchemaShape};
 
-fn bench_integrity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("integrity");
-    group.sample_size(20);
+const RUNS: usize = 11;
+
+fn main() {
+    banner(
+        "S1",
+        "structural substrate: validation and cascade planning",
+    );
+    let mut t = TextTable::new(&["case", "param", "median_us"]);
 
     // full consistency scan vs database size
     for scale in [1i64, 8, 32] {
         let (schema, db) = university_scaled(scale, 42);
-        group.bench_with_input(BenchmarkId::new("check_database", scale), &scale, |b, _| {
-            b.iter(|| check_database(black_box(&schema), &db).unwrap())
-        });
+        let d = median_time(RUNS, || check_database(&schema, &db).unwrap());
+        t.row(&["check_database".into(), scale.to_string(), us(d)]);
     }
 
     // deletion planning vs cascade depth/fanout
@@ -26,15 +29,10 @@ fn bench_integrity(c: &mut Criterion) {
         let mut db = Database::from_schema(schema.catalog());
         seed_ownership_chain(&mut db, depth, fanout).unwrap();
         let policy = IntegrityPolicy::default();
-        group.bench_with_input(
-            BenchmarkId::new("plan_delete", format!("d{depth}f{fanout}")),
-            &depth,
-            |b, _| {
-                b.iter(|| {
-                    plan_delete(black_box(&schema), &db, "R0", &Key::single(0), &policy).unwrap()
-                })
-            },
-        );
+        let d = median_time(RUNS, || {
+            plan_delete(&schema, &db, "R0", &Key::single(0), &policy).unwrap()
+        });
+        t.row(&["plan_delete".into(), format!("d{depth}f{fanout}"), us(d)]);
     }
 
     // key-replacement propagation on the university schema
@@ -51,28 +49,26 @@ fn bench_integrity(c: &mut Criterion) {
     )
     .unwrap();
     let policy = IntegrityPolicy::default();
-    group.bench_function("plan_key_replacement/course", |b| {
-        b.iter(|| {
-            plan_key_replacement(
-                black_box(&schema),
-                &db,
-                "COURSES",
-                &Key::single("C0-0"),
-                new.clone(),
-                &policy,
-            )
-            .unwrap()
-        })
+    let d = median_time(RUNS, || {
+        plan_key_replacement(
+            &schema,
+            &db,
+            "COURSES",
+            &Key::single("C0-0"),
+            new.clone(),
+            &policy,
+        )
+        .unwrap()
     });
+    t.row(&["plan_key_replacement/course".into(), "-".into(), us(d)]);
 
     // dependency completion for a fresh tuple
     let grades = db.table("GRADES").unwrap().schema().clone();
     let fresh = Tuple::new(&grades, vec!["C0-0".into(), 900_000.into(), "A".into()]).unwrap();
-    group.bench_function("plan_completion/grade", |b| {
-        b.iter(|| plan_completion(black_box(&schema), &db, "GRADES", &fresh, &|_| true).unwrap())
+    let d = median_time(RUNS, || {
+        plan_completion(&schema, &db, "GRADES", &fresh, &|_| true).unwrap()
     });
-    group.finish();
-}
+    t.row(&["plan_completion/grade".into(), "-".into(), us(d)]);
 
-criterion_group!(benches, bench_integrity);
-criterion_main!(benches);
+    println!("{}", t.render());
+}

@@ -2,15 +2,16 @@
 //! optimizer on/off, secondary index vs scan, SQL parse overhead, and
 //! aggregation. These bound what any layer above can hope for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use vo_bench::{banner, median_time, us, TextTable};
 use vo_core::prelude::*;
 use vo_penguin::university_scaled;
 use vo_relational::optimizer::optimize;
 
-fn bench_relational(c: &mut Criterion) {
-    let mut group = c.benchmark_group("relational");
-    group.sample_size(20);
+const RUNS: usize = 11;
+
+fn main() {
+    banner("R1", "relational engine ablations");
+    let mut t = TextTable::new(&["case", "scale", "median_us"]);
 
     for scale in [4i64, 32] {
         let (_, db) = university_scaled(scale, 42);
@@ -25,82 +26,63 @@ fn bench_relational(c: &mut Criterion) {
             .select(Expr::attr("COURSES.dept_name").eq(Expr::lit("dept-0")));
         let optimized = optimize(raw.clone());
         assert_ne!(raw, optimized, "pushdown should fire");
-        group.bench_with_input(
-            BenchmarkId::new("join/unoptimized", scale),
-            &scale,
-            |b, _| b.iter(|| db.execute(black_box(&raw)).unwrap()),
-        );
-        group.bench_with_input(BenchmarkId::new("join/optimized", scale), &scale, |b, _| {
-            b.iter(|| db.execute(black_box(&optimized)).unwrap())
-        });
+        let d = median_time(RUNS, || db.execute(&raw).unwrap());
+        t.row(&["join/unoptimized".into(), scale.to_string(), us(d)]);
+        let d = median_time(RUNS, || db.execute(&optimized).unwrap());
+        t.row(&["join/optimized".into(), scale.to_string(), us(d)]);
 
         // index vs scan
         let mut indexed = db.clone();
         indexed
-            .table_mut("GRADES")
-            .unwrap()
-            .create_index(&["ssn".to_string()])
+            .create_index("GRADES", &["ssn".to_string()])
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("lookup/scan", scale), &scale, |b, _| {
-            b.iter(|| {
-                db.table("GRADES")
-                    .unwrap()
-                    .find_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
-                    .unwrap()
-            })
+        let d = median_time(RUNS, || {
+            db.table("GRADES")
+                .unwrap()
+                .find_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
+                .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("lookup/indexed", scale), &scale, |b, _| {
-            b.iter(|| {
-                indexed
-                    .table("GRADES")
-                    .unwrap()
-                    .find_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
-                    .unwrap()
-            })
+        t.row(&["lookup/scan".into(), scale.to_string(), us(d)]);
+        let d = median_time(RUNS, || {
+            indexed
+                .table("GRADES")
+                .unwrap()
+                .find_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
+                .unwrap()
         });
+        t.row(&["lookup/indexed".into(), scale.to_string(), us(d)]);
 
         // aggregation
-        group.bench_with_input(
-            BenchmarkId::new("aggregate/group_count", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| {
-                    db.execute_aggregate(
-                        black_box(&Plan::scan("GRADES")),
-                        &["GRADES.course_id".to_string()],
-                        &[AggSpec {
-                            func: AggFunc::CountStar,
-                            alias: "n".into(),
-                        }],
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        let d = median_time(RUNS, || {
+            db.execute_aggregate(
+                &Plan::scan("GRADES"),
+                &["GRADES.course_id".to_string()],
+                &[AggSpec {
+                    func: AggFunc::CountStar,
+                    alias: "n".into(),
+                }],
+            )
+            .unwrap()
+        });
+        t.row(&["aggregate/group_count".into(), scale.to_string(), us(d)]);
     }
 
     // SQL front end
     let (_, mut db) = university_scaled(4, 42);
-    group.bench_function("sql/parse_only", |b| {
-        b.iter(|| {
-            vo_relational::sql::parse(black_box(
-                "SELECT course_id, title FROM COURSES \
-                 JOIN DEPARTMENT ON COURSES.dept_name = DEPARTMENT.dept_name \
-                 WHERE level = 'graduate' ORDER BY course_id LIMIT 10",
-            ))
-            .unwrap()
-        })
+    let d = median_time(RUNS, || {
+        vo_relational::sql::parse(
+            "SELECT course_id, title FROM COURSES \
+             JOIN DEPARTMENT ON COURSES.dept_name = DEPARTMENT.dept_name \
+             WHERE level = 'graduate' ORDER BY course_id LIMIT 10",
+        )
+        .unwrap()
     });
-    group.bench_function("sql/run_select", |b| {
-        b.iter(|| {
-            db.run_sql(black_box(
-                "SELECT course_id FROM COURSES WHERE level = 'graduate' LIMIT 10",
-            ))
+    t.row(&["sql/parse_only".into(), "-".into(), us(d)]);
+    let d = median_time(RUNS, || {
+        db.run_sql("SELECT course_id FROM COURSES WHERE level = 'graduate' LIMIT 10")
             .unwrap()
-        })
     });
-    group.finish();
-}
+    t.row(&["sql/run_select".into(), "-".into(), us(d)]);
 
-criterion_group!(benches, bench_relational);
-criterion_main!(benches);
+    println!("{}", t.render());
+}

@@ -1,10 +1,11 @@
 //! Benches A1–A3 — translation throughput of the three view-object update
 //! algorithms (VO-CD, VO-CI, VO-R) versus database scale and change kind.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use vo_bench::{banner, median_time, us, TextTable};
 use vo_core::prelude::*;
 use vo_penguin::university_scaled;
+
+const RUNS: usize = 11;
 
 struct Setup {
     schema: StructuralSchema,
@@ -28,9 +29,12 @@ fn setup(scale: i64) -> Setup {
     }
 }
 
-fn bench_updates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("updates");
-    group.sample_size(20);
+fn main() {
+    banner(
+        "A1-A3",
+        "update translation throughput (VO-CD, VO-CI, VO-R)",
+    );
+    let mut t = TextTable::new(&["case", "scale", "median_us"]);
 
     for scale in [1i64, 8, 32] {
         let s = setup(scale);
@@ -43,23 +47,18 @@ fn bench_updates(c: &mut Criterion) {
         let inst = assemble(&s.schema, &s.omega, &s.db, pivot).unwrap();
 
         // VO-CD: translate only
-        group.bench_with_input(
-            BenchmarkId::new("vo_cd/translate", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| {
-                    translate_complete_deletion(
-                        black_box(&s.schema),
-                        &s.omega,
-                        &s.analysis,
-                        &s.translator,
-                        &s.db,
-                        &inst,
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        let d = median_time(RUNS, || {
+            translate_complete_deletion(
+                &s.schema,
+                &s.omega,
+                &s.analysis,
+                &s.translator,
+                &s.db,
+                &inst,
+            )
+            .unwrap()
+        });
+        t.row(&["vo_cd/translate".into(), scale.to_string(), us(d)]);
 
         // VO-CD: translate + apply + undo (round trip on a clone-free path)
         let ops = translate_complete_deletion(
@@ -71,36 +70,30 @@ fn bench_updates(c: &mut Criterion) {
             &inst,
         )
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("vo_cd/apply", scale), &scale, |b, _| {
-            let mut db = s.db.clone();
-            b.iter(|| {
-                let undo: Vec<DbOp> = ops.iter().map(|op| db.apply(op).unwrap()).collect();
-                for u in undo.iter().rev() {
-                    db.apply(u).unwrap();
-                }
-            })
+        let mut db = s.db.clone();
+        let d = median_time(RUNS, || {
+            let undo: Vec<DbOp> = ops.iter().map(|op| db.apply(op).unwrap()).collect();
+            for u in undo.iter().rev() {
+                db.apply(u).unwrap();
+            }
         });
+        t.row(&["vo_cd/apply".into(), scale.to_string(), us(d)]);
 
         // VO-CI: re-insert the (deleted) instance
         let mut deleted = s.db.clone();
         deleted.apply_all(&ops).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("vo_ci/translate", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| {
-                    translate_complete_insertion(
-                        black_box(&s.schema),
-                        &s.omega,
-                        &s.analysis,
-                        &s.translator,
-                        &deleted,
-                        &inst,
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        let d = median_time(RUNS, || {
+            translate_complete_insertion(
+                &s.schema,
+                &s.omega,
+                &s.analysis,
+                &s.translator,
+                &deleted,
+                &inst,
+            )
+            .unwrap()
+        });
+        t.row(&["vo_ci/translate".into(), scale.to_string(), us(d)]);
 
         // VO-R: non-key change and key change
         let courses = s.db.table("COURSES").unwrap().schema().clone();
@@ -110,20 +103,19 @@ fn bench_updates(c: &mut Criterion) {
             .tuple
             .with_named(&courses, "title", "renamed".into())
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("vo_r/nonkey", scale), &scale, |b, _| {
-            b.iter(|| {
-                translate_replacement(
-                    black_box(&s.schema),
-                    &s.omega,
-                    &s.analysis,
-                    &s.translator,
-                    &s.db,
-                    &inst,
-                    new_title.clone(),
-                )
-                .unwrap()
-            })
+        let d = median_time(RUNS, || {
+            translate_replacement(
+                &s.schema,
+                &s.omega,
+                &s.analysis,
+                &s.translator,
+                &s.db,
+                &inst,
+                new_title.clone(),
+            )
+            .unwrap()
         });
+        t.row(&["vo_r/nonkey".into(), scale.to_string(), us(d)]);
 
         let mut new_key = inst.clone();
         new_key.root.tuple = new_key
@@ -131,20 +123,19 @@ fn bench_updates(c: &mut Criterion) {
             .tuple
             .with_named(&courses, "course_id", "C0-X".into())
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("vo_r/key", scale), &scale, |b, _| {
-            b.iter(|| {
-                translate_replacement(
-                    black_box(&s.schema),
-                    &s.omega,
-                    &s.analysis,
-                    &s.translator,
-                    &s.db,
-                    &inst,
-                    new_key.clone(),
-                )
-                .unwrap()
-            })
+        let d = median_time(RUNS, || {
+            translate_replacement(
+                &s.schema,
+                &s.omega,
+                &s.analysis,
+                &s.translator,
+                &s.db,
+                &inst,
+                new_key.clone(),
+            )
+            .unwrap()
         });
+        t.row(&["vo_r/key".into(), scale.to_string(), us(d)]);
     }
 
     // strict-vs-fast apply ablation (full consistency check per update)
@@ -157,24 +148,20 @@ fn bench_updates(c: &mut Criterion) {
             .unwrap()
             .clone();
     let inst = assemble(&s.schema, &s.omega, &s.db, pivot).unwrap();
-    group.bench_function("pipeline/strict_roundtrip", |b| {
-        let mut db = s.db.clone();
-        b.iter(|| {
-            updater.delete(&s.schema, &mut db, inst.clone()).unwrap();
-            updater.insert(&s.schema, &mut db, inst.clone()).unwrap();
-        })
+    let mut db = s.db.clone();
+    let d = median_time(RUNS, || {
+        updater.delete(&s.schema, &mut db, inst.clone()).unwrap();
+        updater.insert(&s.schema, &mut db, inst.clone()).unwrap();
     });
+    t.row(&["pipeline/strict_roundtrip".into(), "8".into(), us(d)]);
     let mut fast = updater.clone();
     fast.strict = false;
-    group.bench_function("pipeline/fast_roundtrip", |b| {
-        let mut db = s.db.clone();
-        b.iter(|| {
-            fast.delete(&s.schema, &mut db, inst.clone()).unwrap();
-            fast.insert(&s.schema, &mut db, inst.clone()).unwrap();
-        })
+    let mut db = s.db.clone();
+    let d = median_time(RUNS, || {
+        fast.delete(&s.schema, &mut db, inst.clone()).unwrap();
+        fast.insert(&s.schema, &mut db, inst.clone()).unwrap();
     });
-    group.finish();
-}
+    t.row(&["pipeline/fast_roundtrip".into(), "8".into(), us(d)]);
 
-criterion_group!(benches, bench_updates);
-criterion_main!(benches);
+    println!("{}", t.render());
+}

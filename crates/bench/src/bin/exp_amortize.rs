@@ -18,6 +18,7 @@ fn main() {
     amortization();
     baseline_soundness();
     baseline_cost();
+    batched_instantiation();
 }
 
 fn amortization() {
@@ -302,4 +303,66 @@ fn baseline_cost() {
     print!("{}", table.render());
     println!("(expected ordering: direct < view-object < flat-view join; the object");
     println!(" translator pays for generality but avoids the baseline's full join)\n");
+}
+
+fn batched_instantiation() {
+    banner(
+        "B1d",
+        "Set-at-a-time instantiation: tuple-at-a-time vs batched vs batched+indexed",
+    );
+    let mut table = TextTable::new(&[
+        "scale",
+        "instances",
+        "legacy_us",
+        "batched_us",
+        "indexed_us",
+        "batched_speedup",
+    ]);
+    let mut counter_lines = Vec::new();
+    for scale in [1i64, 4, 10, 16, 32] {
+        let (schema, mut db) = university_scaled(scale, 7);
+        let omega = generate_omega(&schema).unwrap();
+
+        let d_legacy = median_time(5, || instantiate_all_legacy(&schema, &omega, &db).unwrap());
+
+        // batched, hash-join fallback (no secondary indexes yet)
+        let before = vo_relational::stats::snapshot();
+        let d_batched = median_time(5, || instantiate_all(&schema, &omega, &db).unwrap());
+        let batched_delta = before.delta(&vo_relational::stats::snapshot());
+
+        // batched with every edge index provisioned (what `register_object` does)
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        for (rel, attrs) in plan.required_indexes() {
+            db.ensure_index(&rel, &attrs).unwrap();
+        }
+        let before = vo_relational::stats::snapshot();
+        let instances = instantiate_all(&schema, &omega, &db).unwrap();
+        let indexed_delta = before.delta(&vo_relational::stats::snapshot());
+        let d_indexed = median_time(5, || instantiate_all(&schema, &omega, &db).unwrap());
+
+        let speedup = d_legacy.as_secs_f64() / d_batched.as_secs_f64().max(1e-9);
+        table.row(&[
+            scale.to_string(),
+            instances.len().to_string(),
+            us(d_legacy),
+            us(d_batched),
+            us(d_indexed),
+            format!("{speedup:.1}x"),
+        ]);
+        counter_lines.push(format!(
+            "scale {scale:>2}  batched[{batched_delta}]\n          indexed[{indexed_delta}]"
+        ));
+        assert_eq!(
+            indexed_delta.fallback_scans, 0,
+            "indexed batched instantiation must never fall back to a scan"
+        );
+    }
+    print!("{}", table.render());
+    println!("access-path counters (medians run 6x, one measured pass shown for indexed):");
+    for line in counter_lines {
+        println!("  {line}");
+    }
+    println!("(the batched engine replaces per-pivot probe chains with one join pass per");
+    println!(" edge step; with provisioned indexes every lookup is an index probe —");
+    println!(" fallback_scans stays 0 — and the speedup grows with database scale)\n");
 }

@@ -1,0 +1,352 @@
+//! JSON codecs for view-object definitions and translators.
+//!
+//! These are the types a saved PENGUIN system persists. Decoding a
+//! [`ViewObject`] requires the structural schema so the full Definition
+//! 3.1–3.2 validation re-runs — a tampered document cannot produce an
+//! object the in-memory API could not have built.
+
+use crate::object::{Step, ViewObject, VoEdge, VoNode};
+use crate::translator::{
+    OutDeleteAction, OutModifyAction, PeninsulaAction, RelationPolicy, Translator,
+};
+use std::collections::BTreeMap;
+use vo_relational::prelude::*;
+use vo_structural::prelude::*;
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::Serialization(msg.into())
+}
+
+fn strings_to_json(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::str(s.clone())).collect())
+}
+
+fn strings_from_json(json: &Json) -> Result<Vec<String>> {
+    json.elements()?
+        .iter()
+        .map(|s| s.as_str().map(str::to_owned))
+        .collect()
+}
+
+impl Step {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("connection", Json::str(self.connection.clone())),
+            ("parent_is_from", Json::Bool(self.parent_is_from)),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(Step {
+            connection: json.field("connection")?.as_str()?.to_owned(),
+            parent_is_from: json.field("parent_is_from")?.as_bool()?,
+        })
+    }
+}
+
+impl VoEdge {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "steps",
+            Json::Arr(self.steps.iter().map(|s| s.to_json()).collect()),
+        )])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(VoEdge {
+            steps: json
+                .field("steps")?
+                .elements()?
+                .iter()
+                .map(Step::from_json)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl VoNode {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Int(self.id as i64)),
+            ("relation", Json::str(self.relation.clone())),
+            ("attrs", strings_to_json(&self.attrs)),
+            (
+                "parent",
+                match self.parent {
+                    Some(p) => Json::Int(p as i64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "edge",
+                match &self.edge {
+                    Some(e) => e.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(|&c| Json::Int(c as i64)).collect()),
+            ),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let parent = match json.field("parent")? {
+            Json::Null => None,
+            other => Some(other.as_usize()?),
+        };
+        let edge = match json.field("edge")? {
+            Json::Null => None,
+            other => Some(VoEdge::from_json(other)?),
+        };
+        Ok(VoNode {
+            id: json.field("id")?.as_usize()?,
+            relation: json.field("relation")?.as_str()?.to_owned(),
+            attrs: strings_from_json(json.field("attrs")?)?,
+            parent,
+            edge,
+            children: json
+                .field("children")?
+                .elements()?
+                .iter()
+                .map(|c| c.as_usize())
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl ViewObject {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name())),
+            (
+                "nodes",
+                Json::Arr(self.nodes().iter().map(|n| n.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Decode from JSON and re-validate against `schema` (full Definition
+    /// 3.1–3.2 checking via [`ViewObject::from_nodes`]).
+    pub fn from_json(json: &Json, schema: &StructuralSchema) -> Result<Self> {
+        let name = json.field("name")?.as_str()?.to_owned();
+        let nodes = json
+            .field("nodes")?
+            .elements()?
+            .iter()
+            .map(VoNode::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        for (i, n) in nodes.iter().enumerate() {
+            if n.id != i {
+                return Err(bad(format!(
+                    "object {name}: node at position {i} claims id {}",
+                    n.id
+                )));
+            }
+        }
+        ViewObject::from_nodes(name, nodes, schema)
+    }
+}
+
+impl RelationPolicy {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("allow_insert", Json::Bool(self.allow_insert)),
+            ("allow_modify", Json::Bool(self.allow_modify)),
+            (
+                "allow_key_replacement",
+                Json::Bool(self.allow_key_replacement),
+            ),
+            (
+                "allow_db_key_replace",
+                Json::Bool(self.allow_db_key_replace),
+            ),
+            ("allow_delete_adopt", Json::Bool(self.allow_delete_adopt)),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(RelationPolicy {
+            allow_insert: json.field("allow_insert")?.as_bool()?,
+            allow_modify: json.field("allow_modify")?.as_bool()?,
+            allow_key_replacement: json.field("allow_key_replacement")?.as_bool()?,
+            allow_db_key_replace: json.field("allow_db_key_replace")?.as_bool()?,
+            allow_delete_adopt: json.field("allow_delete_adopt")?.as_bool()?,
+        })
+    }
+}
+
+impl PeninsulaAction {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::str(match self {
+            PeninsulaAction::NullifyForeignKey => "nullify_foreign_key",
+            PeninsulaAction::DeleteReferencing => "delete_referencing",
+            PeninsulaAction::Reject => "reject",
+        })
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json.as_str()? {
+            "nullify_foreign_key" => Ok(PeninsulaAction::NullifyForeignKey),
+            "delete_referencing" => Ok(PeninsulaAction::DeleteReferencing),
+            "reject" => Ok(PeninsulaAction::Reject),
+            other => Err(bad(format!("unknown peninsula action `{other}`"))),
+        }
+    }
+}
+
+impl OutDeleteAction {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::str(match self {
+            OutDeleteAction::Restrict => "restrict",
+            OutDeleteAction::Cascade => "cascade",
+            OutDeleteAction::Nullify => "nullify",
+        })
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json.as_str()? {
+            "restrict" => Ok(OutDeleteAction::Restrict),
+            "cascade" => Ok(OutDeleteAction::Cascade),
+            "nullify" => Ok(OutDeleteAction::Nullify),
+            other => Err(bad(format!(
+                "unknown out-of-object delete action `{other}`"
+            ))),
+        }
+    }
+}
+
+impl OutModifyAction {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::str(match self {
+            OutModifyAction::Propagate => "propagate",
+            OutModifyAction::Nullify => "nullify",
+            OutModifyAction::Cascade => "cascade",
+        })
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json.as_str()? {
+            "propagate" => Ok(OutModifyAction::Propagate),
+            "nullify" => Ok(OutModifyAction::Nullify),
+            "cascade" => Ok(OutModifyAction::Cascade),
+            other => Err(bad(format!(
+                "unknown out-of-object modify action `{other}`"
+            ))),
+        }
+    }
+}
+
+impl Translator {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("object", Json::str(self.object.clone())),
+            ("allow_insertion", Json::Bool(self.allow_insertion)),
+            ("allow_deletion", Json::Bool(self.allow_deletion)),
+            ("allow_replacement", Json::Bool(self.allow_replacement)),
+            (
+                "relation_policies",
+                Json::Obj(
+                    self.relation_policies
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "peninsula_actions",
+                Json::Obj(
+                    self.peninsula_actions
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "allow_out_of_object_repairs",
+                Json::Bool(self.allow_out_of_object_repairs),
+            ),
+            ("out_of_object_delete", self.out_of_object_delete.to_json()),
+            ("out_of_object_modify", self.out_of_object_modify.to_json()),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut relation_policies = BTreeMap::new();
+        for (k, v) in json.field("relation_policies")?.entries()? {
+            relation_policies.insert(k.clone(), RelationPolicy::from_json(v)?);
+        }
+        let mut peninsula_actions = BTreeMap::new();
+        for (k, v) in json.field("peninsula_actions")?.entries()? {
+            peninsula_actions.insert(k.clone(), PeninsulaAction::from_json(v)?);
+        }
+        Ok(Translator {
+            object: json.field("object")?.as_str()?.to_owned(),
+            allow_insertion: json.field("allow_insertion")?.as_bool()?,
+            allow_deletion: json.field("allow_deletion")?.as_bool()?,
+            allow_replacement: json.field("allow_replacement")?.as_bool()?,
+            relation_policies,
+            peninsula_actions,
+            allow_out_of_object_repairs: json.field("allow_out_of_object_repairs")?.as_bool()?,
+            out_of_object_delete: OutDeleteAction::from_json(json.field("out_of_object_delete")?)?,
+            out_of_object_modify: OutModifyAction::from_json(json.field("out_of_object_modify")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::treegen::generate_omega;
+    use crate::university::university_schema;
+    use vo_relational::json::parse;
+
+    #[test]
+    fn view_object_roundtrip_revalidates() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let text = omega.to_json().pretty();
+        let back = ViewObject::from_json(&parse(&text).unwrap(), &schema).unwrap();
+        assert_eq!(omega, back);
+    }
+
+    #[test]
+    fn tampered_object_rejected() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        // strip the pivot key attribute from the root projection
+        let text = omega.to_json().pretty().replacen("\"course_id\",", "", 1);
+        let parsed = parse(&text).unwrap();
+        assert!(ViewObject::from_json(&parsed, &schema).is_err());
+    }
+
+    #[test]
+    fn translator_roundtrip() {
+        let schema = university_schema();
+        let omega = generate_omega(&schema).unwrap();
+        let mut t = Translator::permissive(&omega);
+        t.peninsula_actions
+            .insert("CURRICULUM".into(), PeninsulaAction::Reject);
+        t.out_of_object_modify = OutModifyAction::Cascade;
+        let back = Translator::from_json(&parse(&t.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+}

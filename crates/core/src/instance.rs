@@ -198,6 +198,10 @@ fn assemble_node(
 
 /// Follow the (possibly multi-step) edge from `parent`'s tuple to the
 /// tuples of `child`'s relation, deduplicating terminal tuples by key.
+///
+/// This is the tuple-at-a-time path, retained as the semantic reference
+/// for the batched engine ([`follow_edge_batch`]). Step resolution and
+/// attribute-position lookups are hoisted out of the per-tuple loop.
 pub fn follow_edge(
     schema: &StructuralSchema,
     object: &ViewObject,
@@ -211,54 +215,384 @@ pub fn follow_edge(
         .edge
         .as_ref()
         .ok_or_else(|| Error::InvalidPlan("child node without edge".into()))?;
-    debug_assert_eq!(object.node(child).parent, Some(parent));
-    let mut frontier: Vec<(String, Tuple)> =
-        vec![(object.node(parent).relation.clone(), parent_tuple.clone())];
+    if object.node(child).parent != Some(parent) {
+        return Err(Error::InvalidPlan(format!(
+            "node {child} is not a child of node {parent}"
+        )));
+    }
+    let mut at = object.node(parent).relation.clone();
+    let mut frontier: Vec<Tuple> = vec![parent_tuple.clone()];
     for step in &edge.steps {
         let t = step.resolve(schema)?;
+        if t.source() != at {
+            return Err(Error::InvalidPlan(format!(
+                "edge step over {} starts at {}, but the traversal is at {at}",
+                step.connection,
+                t.source()
+            )));
+        }
+        let src_indices = db.table(&at)?.schema().indices_of(t.source_attrs())?;
+        let target = db.table(t.target())?;
+        let target_indices = target.schema().indices_of(t.target_attrs())?;
         let mut next = Vec::new();
-        for (rel, tuple) in &frontier {
-            debug_assert_eq!(rel, t.source());
-            let src_schema = db.table(rel)?.schema().clone();
-            let vals: Vec<Value> = t
-                .source_attrs()
-                .iter()
-                .map(|a| tuple.get_named(&src_schema, a).cloned())
-                .collect::<Result<_>>()?;
+        for tuple in &frontier {
+            let vals = tuple.project(&src_indices);
             if vals.iter().any(Value::is_null) {
                 continue; // NULL never connects (Definition 2.1)
             }
-            let target = db.table(t.target())?;
-            for m in target.find_by_attrs(t.target_attrs(), &vals)? {
-                next.push((t.target().to_owned(), m.clone()));
+            for m in target.find_by_indices(&target_indices, &vals) {
+                next.push(m.clone());
             }
         }
+        at = t.target().to_owned();
         frontier = next;
     }
     // dedup terminals by key
-    let terminal_rel = &object.node(child).relation;
-    let term_schema = db.table(terminal_rel)?.schema().clone();
+    let term_schema = db.table(&object.node(child).relation)?.schema();
     let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::new();
-    for (_, t) in frontier {
-        if seen.insert(t.key(&term_schema)) {
+    for t in frontier {
+        if seen.insert(t.key(term_schema)) {
             out.push(t);
         }
     }
     Ok(out)
 }
 
-/// Assemble every instance of `object` (one per pivot tuple).
+/// One prepared traversal step: relation names and attribute positions
+/// resolved once, so executing the step is pure position arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepPlan {
+    /// Relation the step starts at.
+    pub source: String,
+    /// Relation the step arrives at.
+    pub target: String,
+    /// Positions of the connecting attributes in `source` tuples.
+    pub source_indices: Vec<usize>,
+    /// Names of the connecting attributes in `target` (the attributes a
+    /// secondary index must cover for indexed probing).
+    pub target_attrs: Vec<String>,
+    /// Positions of the connecting attributes in `target` tuples.
+    pub target_indices: Vec<usize>,
+}
+
+/// A fully resolved object edge: the prepared steps from the parent
+/// node's relation to the child node's relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgePlan {
+    /// Parent node id.
+    pub parent: NodeId,
+    /// Child node id (the node this edge instantiates).
+    pub child: NodeId,
+    /// Prepared steps, in traversal order (non-empty).
+    pub steps: Vec<StepPlan>,
+    /// The child node's relation (the last step's target).
+    pub terminal: String,
+}
+
+impl EdgePlan {
+    /// The `(relation, attrs)` pairs a database should index so every
+    /// step of this edge probes instead of scanning.
+    pub fn required_indexes(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.steps
+            .iter()
+            .map(|s| (s.target.as_str(), s.target_attrs.as_slice()))
+    }
+}
+
+/// Resolve the edge into `child` once: connection lookups, direction, and
+/// attribute positions. Fails with [`Error::InvalidPlan`] when the edge's
+/// step chain does not connect the parent's relation to the child's.
+pub fn plan_edge(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    db: &Database,
+    child: NodeId,
+) -> Result<EdgePlan> {
+    let node = object.node(child);
+    let edge = node
+        .edge
+        .as_ref()
+        .ok_or_else(|| Error::InvalidPlan("child node without edge".into()))?;
+    let parent = node
+        .parent
+        .ok_or_else(|| Error::InvalidPlan("child node without parent".into()))?;
+    let mut at = object.node(parent).relation.clone();
+    let mut steps = Vec::with_capacity(edge.steps.len());
+    for step in &edge.steps {
+        let t = step.resolve(schema)?;
+        if t.source() != at {
+            return Err(Error::InvalidPlan(format!(
+                "edge step over {} starts at {}, but the path is at {at}",
+                step.connection,
+                t.source()
+            )));
+        }
+        let source_indices = db.table(&at)?.schema().indices_of(t.source_attrs())?;
+        let target_indices = db
+            .table(t.target())?
+            .schema()
+            .indices_of(t.target_attrs())?;
+        steps.push(StepPlan {
+            source: at.clone(),
+            target: t.target().to_owned(),
+            source_indices,
+            target_attrs: t.target_attrs().to_vec(),
+            target_indices,
+        });
+        at = t.target().to_owned();
+    }
+    if at != node.relation {
+        return Err(Error::InvalidPlan(format!(
+            "edge into node {child} ends at {at}, expected {}",
+            node.relation
+        )));
+    }
+    Ok(EdgePlan {
+        parent,
+        child,
+        steps,
+        terminal: node.relation.clone(),
+    })
+}
+
+/// Execute one prepared step over a whole frontier: each input is a
+/// `(origin, tuple)` pair, and every match inherits its input's origin.
+/// With a secondary index on the target's connecting attributes each
+/// probe is an index lookup; otherwise ONE hash table is built over the
+/// target and probed for every input — never a per-input scan.
+fn probe_step(
+    step: &StepPlan,
+    db: &Database,
+    inputs: &[(usize, &Tuple)],
+) -> Result<Vec<(usize, Tuple)>> {
+    let target = db.table(&step.target)?;
+    let mut out = Vec::new();
+    if target.has_index_at(&step.target_indices) {
+        for &(origin, tuple) in inputs {
+            let vals = tuple.project(&step.source_indices);
+            if vals.iter().any(Value::is_null) {
+                continue; // NULL never connects (Definition 2.1)
+            }
+            let matches = target.find_by_indices(&step.target_indices, &vals);
+            vo_relational::stats::count_join_rows(matches.len() as u64);
+            out.extend(matches.into_iter().map(|m| (origin, m.clone())));
+        }
+    } else {
+        let groups = target.group_by_indices(&step.target_indices);
+        for &(origin, tuple) in inputs {
+            let vals = tuple.project(&step.source_indices);
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = groups.get(&vals) {
+                vo_relational::stats::count_join_rows(matches.len() as u64);
+                out.extend(matches.iter().map(|m| (origin, (*m).clone())));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Follow a prepared edge for every parent tuple at once. Returns one
+/// terminal list per parent, each deduplicated by key in first-seen
+/// order — exactly what [`follow_edge`] returns per parent, computed with
+/// one join pass per step over the whole frontier.
+pub fn follow_edge_batch(
+    plan: &EdgePlan,
+    db: &Database,
+    parents: &[&Tuple],
+) -> Result<Vec<Vec<Tuple>>> {
+    let Some((first, rest)) = plan.steps.split_first() else {
+        return Err(Error::InvalidPlan("edge plan without steps".into()));
+    };
+    let inputs: Vec<(usize, &Tuple)> = parents.iter().copied().enumerate().collect();
+    let mut frontier = probe_step(first, db, &inputs)?;
+    for step in rest {
+        let inputs: Vec<(usize, &Tuple)> = frontier.iter().map(|(o, t)| (*o, t)).collect();
+        frontier = probe_step(step, db, &inputs)?;
+    }
+    let term_schema = db.table(&plan.terminal)?.schema();
+    let mut out: Vec<Vec<Tuple>> = vec![Vec::new(); parents.len()];
+    let mut seen: Vec<std::collections::BTreeSet<Key>> =
+        vec![std::collections::BTreeSet::new(); parents.len()];
+    for (origin, t) in frontier {
+        if seen[origin].insert(t.key(term_schema)) {
+            out[origin].push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Every edge of an object resolved into [`EdgePlan`]s, stamped with the
+/// database structure epoch it was prepared against. A plan prepared at
+/// epoch `e` stays valid through any number of tuple-level updates; any
+/// structural change (relation created/dropped, index created, a table
+/// borrowed mutably) moves the epoch and invalidates it.
+#[derive(Debug, Clone)]
+pub struct ObjectPlan {
+    object: String,
+    /// One plan per non-root node; position `id - 1` holds node `id`'s.
+    edges: Vec<EdgePlan>,
+    epoch: u64,
+}
+
+impl ObjectPlan {
+    /// Name of the object this plan was prepared for.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// The structure epoch the plan was prepared at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when the plan was prepared at `db`'s current structure epoch.
+    pub fn is_current(&self, db: &Database) -> bool {
+        self.epoch == db.structure_epoch()
+    }
+
+    /// The prepared edge into node `child`.
+    pub fn edge(&self, child: NodeId) -> Result<&EdgePlan> {
+        self.edges
+            .get(child.wrapping_sub(1))
+            .filter(|e| e.child == child)
+            .ok_or_else(|| Error::InvalidPlan(format!("no edge plan for node {child}")))
+    }
+
+    /// All `(relation, attrs)` pairs the plan wants indexed, deduplicated.
+    pub fn required_indexes(&self) -> Vec<(String, Vec<String>)> {
+        let mut set = std::collections::BTreeSet::new();
+        for e in &self.edges {
+            for (rel, attrs) in e.required_indexes() {
+                set.insert((rel.to_owned(), attrs.to_vec()));
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+/// Prepare every edge of `object` against `db`'s current structure.
+pub fn plan_object(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    db: &Database,
+) -> Result<ObjectPlan> {
+    let mut edges = Vec::with_capacity(object.nodes().len().saturating_sub(1));
+    for node in object.nodes().iter().skip(1) {
+        edges.push(plan_edge(schema, object, db, node.id)?);
+    }
+    Ok(ObjectPlan {
+        object: object.name().to_owned(),
+        edges,
+        epoch: db.structure_epoch(),
+    })
+}
+
+/// Instantiate the object for every pivot in `pivots` using a prepared
+/// plan: one batched join pass per edge step over the whole frontier
+/// (set-at-a-time), instead of re-resolving and re-probing per tuple.
+/// Instances come back in pivot order and are node-for-node identical to
+/// per-tuple [`assemble`].
+pub fn instantiate_many_planned(
+    object: &ViewObject,
+    db: &Database,
+    plan: &ObjectPlan,
+    pivots: &[&Tuple],
+) -> Result<Vec<VoInstance>> {
+    if plan.object != object.name() {
+        return Err(Error::InvalidPlan(format!(
+            "plan prepared for object {}, used with {}",
+            plan.object,
+            object.name()
+        )));
+    }
+    let n = object.nodes().len();
+    // rows[id]: every tuple bound at node id across all instances, in
+    // parent-major order; parent_row[id][k]: index into rows[parent] of
+    // row k's parent.
+    let mut rows: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+    let mut parent_row: Vec<Vec<usize>> = vec![Vec::new(); n];
+    rows[0] = pivots.iter().map(|t| (*t).clone()).collect();
+    let order = object.preorder();
+    for &id in order.iter().skip(1) {
+        let eplan = plan.edge(id)?;
+        let parent_refs: Vec<&Tuple> = rows[eplan.parent].iter().collect();
+        let per_parent = follow_edge_batch(eplan, db, &parent_refs)?;
+        let mut r = Vec::new();
+        let mut pr = Vec::new();
+        for (j, terminals) in per_parent.into_iter().enumerate() {
+            for t in terminals {
+                r.push(t);
+                pr.push(j);
+            }
+        }
+        rows[id] = r;
+        parent_row[id] = pr;
+    }
+    // Stitch bottom-up: reverse preorder guarantees every child level is
+    // assembled before its parent attaches it.
+    let mut built: Vec<Vec<VoInstanceNode>> = vec![Vec::new(); n];
+    for &id in order.iter().rev() {
+        let mut insts: Vec<VoInstanceNode> = std::mem::take(&mut rows[id])
+            .into_iter()
+            .map(|t| VoInstanceNode::leaf(id, t))
+            .collect();
+        for &c in &object.node(id).children {
+            for (k, ci) in std::mem::take(&mut built[c]).into_iter().enumerate() {
+                insts[parent_row[c][k]].push_child(ci);
+            }
+        }
+        built[id] = insts;
+    }
+    let roots = std::mem::take(&mut built[0]);
+    vo_relational::stats::count_instances_built(roots.len() as u64);
+    Ok(roots
+        .into_iter()
+        .map(|root| VoInstance {
+            object: object.name().to_owned(),
+            root,
+        })
+        .collect())
+}
+
+/// Plan and batch-instantiate in one call.
+pub fn instantiate_many(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    db: &Database,
+    pivots: &[&Tuple],
+) -> Result<Vec<VoInstance>> {
+    let plan = plan_object(schema, object, db)?;
+    instantiate_many_planned(object, db, &plan, pivots)
+}
+
+/// Assemble every instance of `object` (one per pivot tuple), batched:
+/// edges are planned once and each edge step joins the whole frontier in
+/// one pass. Pivot tuples are borrowed from the table scan and cloned
+/// only into their instances.
 pub fn instantiate_all(
     schema: &StructuralSchema,
     object: &ViewObject,
     db: &Database,
 ) -> Result<Vec<VoInstance>> {
-    let pivot = db.table(object.pivot())?;
-    let tuples: Vec<Tuple> = pivot.scan().cloned().collect();
-    tuples
-        .into_iter()
-        .map(|t| assemble(schema, object, db, t))
+    let plan = plan_object(schema, object, db)?;
+    let pivots: Vec<&Tuple> = db.table(object.pivot())?.scan().collect();
+    instantiate_many_planned(object, db, &plan, &pivots)
+}
+
+/// The original tuple-at-a-time instantiation: one [`assemble`] per pivot
+/// tuple. Kept as the semantic oracle for the batched engine and as the
+/// baseline the experiments compare against.
+pub fn instantiate_all_legacy(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    db: &Database,
+) -> Result<Vec<VoInstance>> {
+    db.table(object.pivot())?
+        .scan()
+        .map(|t| assemble(schema, object, db, t.clone()))
         .collect()
 }
 
@@ -403,6 +737,102 @@ mod tests {
         let omega = generate_omega(&schema).unwrap();
         let all = instantiate_all(&schema, &omega, &db).unwrap();
         assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn follow_edge_rejects_non_child_node() {
+        // regression: this used to be a debug_assert, i.e. silently wrong
+        // answers in release builds when parent/child are not adjacent
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let stu = omega
+            .nodes()
+            .iter()
+            .find(|n| n.relation == "STUDENT")
+            .unwrap()
+            .id;
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .unwrap()
+            .clone();
+        // STUDENT's parent is GRADES, not the pivot
+        let err = follow_edge(&schema, &omega, &db, 0, stu, &t).unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)), "got {err}");
+        // and the pivot itself has no edge at all
+        let err = follow_edge(&schema, &omega, &db, 0, 0, &t).unwrap_err();
+        assert!(matches!(err, Error::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn batched_matches_legacy_on_university() {
+        let (schema, mut db) = university_database();
+        // add a NULL-linked and a dangling pivot so both paths must agree
+        // on the edge cases too
+        db.insert(
+            "COURSES",
+            vec![
+                "X1".into(),
+                "Detached".into(),
+                "graduate".into(),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        for object in [
+            generate_omega(&schema).unwrap(),
+            generate_omega_prime(&schema).unwrap(),
+        ] {
+            let legacy = instantiate_all_legacy(&schema, &object, &db).unwrap();
+            let batched = instantiate_all(&schema, &object, &db).unwrap();
+            assert_eq!(legacy, batched, "object {}", object.name());
+        }
+    }
+
+    #[test]
+    fn batched_is_equivalent_with_and_without_indexes() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let bare = instantiate_all(&schema, &omega, &db).unwrap();
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        for (rel, attrs) in plan.required_indexes() {
+            assert!(db.ensure_index(&rel, &attrs).unwrap());
+        }
+        let indexed = instantiate_all(&schema, &omega, &db).unwrap();
+        assert_eq!(bare, indexed);
+    }
+
+    #[test]
+    fn object_plan_tracks_structure_epoch() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        assert!(plan.is_current(&db));
+        // data changes keep the plan valid
+        db.insert(
+            "COURSES",
+            vec!["Z9".into(), "T".into(), "graduate".into(), Value::Null],
+        )
+        .unwrap();
+        assert!(plan.is_current(&db));
+        // an index build invalidates it
+        db.ensure_index("GRADES", &["course_id".to_string()])
+            .unwrap();
+        assert!(!plan.is_current(&db));
+    }
+
+    #[test]
+    fn plan_reports_required_indexes() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        let req = plan.required_indexes();
+        // every edge target appears: DEPARTMENT, CURRICULUM, GRADES, STUDENT
+        let rels: Vec<&str> = req.iter().map(|(r, _)| r.as_str()).collect();
+        for rel in ["CURRICULUM", "DEPARTMENT", "GRADES", "STUDENT"] {
+            assert!(rels.contains(&rel), "{rel} missing from {rels:?}");
+        }
     }
 
     #[test]

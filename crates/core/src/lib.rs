@@ -59,6 +59,7 @@
 //! updater.delete(&schema, &mut db, instance).unwrap();
 //! ```
 
+pub mod codec;
 pub mod dialog;
 pub mod instance;
 pub mod island;
@@ -76,7 +77,11 @@ pub mod prelude {
         choose_translator, paper_dialog_responder, paper_restrictive_responder, AllYes, Answer,
         DialogTranscript, FnResponder, Question, QuestionTopic, Responder, ScriptedResponder,
     };
-    pub use crate::instance::{assemble, follow_edge, instantiate_all, VoInstance, VoInstanceNode};
+    pub use crate::instance::{
+        assemble, follow_edge, follow_edge_batch, instantiate_all, instantiate_all_legacy,
+        instantiate_many, instantiate_many_planned, plan_edge, plan_object, EdgePlan, ObjectPlan,
+        StepPlan, VoInstance, VoInstanceNode,
+    };
     pub use crate::island::{analyze, IslandAnalysis, KeySplit};
     pub use crate::metric::{extract_subgraph, MetricWeights, Subgraph};
     pub use crate::object::{NodeId, Step, ViewObject, ViewObjectBuilder, VoEdge, VoNode};

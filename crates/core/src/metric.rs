@@ -14,12 +14,11 @@
 //! default weights reproduce the paper's Figure 2 exactly on the
 //! university schema (see `crate::treegen` tests).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vo_structural::prelude::*;
 
 /// Per-traversal weights and the relevance cut-off.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricWeights {
     /// Forward ownership `R1 —* R2` (owner to owned detail).
     pub ownership: f64,

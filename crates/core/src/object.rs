@@ -9,7 +9,6 @@
 //! *— STUDENT` collapses to a single COURSES→STUDENT edge when GRADES is
 //! excluded).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use vo_relational::prelude::*;
 use vo_structural::prelude::*;
@@ -20,7 +19,7 @@ pub type NodeId = usize;
 /// One traversal step over a named connection. `parent_is_from` orients the
 /// step: `true` traverses the connection forward (parent on the `from`
 /// side), `false` traverses the inverse connection `C⁻¹`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Step {
     /// Name of the structural connection.
     pub connection: String,
@@ -40,7 +39,7 @@ impl Step {
 }
 
 /// The edge from a node's parent to the node: a non-empty path of steps.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoEdge {
     /// Steps from the parent's relation to this node's relation.
     pub steps: Vec<Step>,
@@ -64,7 +63,7 @@ impl VoEdge {
 }
 
 /// One node of a view object: a projection on a base relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoNode {
     /// This node's arena index.
     pub id: NodeId,
@@ -82,7 +81,7 @@ pub struct VoNode {
 }
 
 /// A view object: a named tree of projections anchored on a pivot relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewObject {
     name: String,
     nodes: Vec<VoNode>,

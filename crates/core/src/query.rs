@@ -21,7 +21,7 @@
 //! composed dynamically with the object's structure to obtain a relational
 //! query".
 
-use crate::instance::{assemble, VoInstance};
+use crate::instance::{instantiate_many_planned, plan_object, VoInstance};
 use crate::object::{NodeId, ViewObject};
 use std::collections::BTreeMap;
 use vo_relational::prelude::*;
@@ -171,13 +171,15 @@ impl VoQuery {
         let plan = self.pivot_plan(schema, object)?;
         let keys = db.execute(&plan)?;
         let pivot = db.table(object.pivot())?;
+        let candidates: Vec<&Tuple> = keys
+            .rows
+            .iter()
+            .filter_map(|row| pivot.get(&Key::new(row.clone())))
+            .collect();
+        // assemble all candidate instances set-at-a-time
+        let object_plan = plan_object(schema, object, db)?;
         let mut out = Vec::new();
-        for row in &keys.rows {
-            let key = Key::new(row.clone());
-            let Some(tuple) = pivot.get(&key) else {
-                continue;
-            };
-            let inst = assemble(schema, object, db, tuple.clone())?;
+        for inst in instantiate_many_planned(object, db, &object_plan, &candidates)? {
             let inst = self.filter_instance(schema, object, db, inst)?;
             let Some(inst) = inst else { continue };
             out.push(inst);

@@ -9,12 +9,11 @@
 
 use crate::island::IslandAnalysis;
 use crate::object::ViewObject;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vo_structural::prelude::*;
 
 /// Per-relation permissions consulted during translation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelationPolicy {
     /// May new tuples be inserted during insertions/replacements?
     pub allow_insert: bool,
@@ -65,7 +64,7 @@ impl Default for RelationPolicy {
 /// "perform a replacement on the foreign key of each matching tuple", or
 /// the deletion alternative reference rule 2 offers, or nothing — in which
 /// case "the transaction cannot be completed and has to be rolled back").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PeninsulaAction {
     /// Replace the foreign key with NULL (impossible when the foreign key
     /// is part of the peninsula's key — then deletion fails).
@@ -78,7 +77,7 @@ pub enum PeninsulaAction {
 }
 
 /// A complete update translator for one view object.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Translator {
     /// Name of the object this translator belongs to.
     pub object: String,
@@ -104,7 +103,7 @@ pub struct Translator {
 }
 
 /// Serializable mirror of [`RefDeleteAction`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutDeleteAction {
     /// Reject.
     Restrict,
@@ -116,7 +115,7 @@ pub enum OutDeleteAction {
 }
 
 /// Serializable mirror of [`RefModifyAction`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutModifyAction {
     /// Rewrite referencing attributes to the new key.
     #[default]

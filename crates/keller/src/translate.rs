@@ -5,12 +5,11 @@ use crate::enumerate::{
     enumerate_insertion, expanded_rows, implied_assignment, participating_keys,
 };
 use crate::viewdef::SpjView;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use vo_relational::prelude::*;
 
 /// A view-update translator for one SPJ view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KellerTranslator {
     /// The view definition.
     pub view: SpjView,

@@ -6,11 +6,10 @@
 //! selecting rows, and projecting columns. This module defines such views
 //! and evaluates them against a database.
 
-use serde::{Deserialize, Serialize};
 use vo_relational::prelude::*;
 
 /// An equi-join condition between two relations of the view.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinCond {
     /// Left relation name.
     pub left_rel: String,
@@ -23,7 +22,7 @@ pub struct JoinCond {
 }
 
 /// One projected column of the view.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewColumn {
     /// Base relation the column comes from.
     pub relation: String,
@@ -34,7 +33,7 @@ pub struct ViewColumn {
 }
 
 /// A select-project-join view over base relations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpjView {
     /// View name.
     pub name: String,

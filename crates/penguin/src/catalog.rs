@@ -9,13 +9,12 @@
 //! dialog does not need to be re-run.
 
 use crate::system::Penguin;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 use vo_core::prelude::*;
 
 /// Serializable image of a PENGUIN system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedSystem {
     /// The structural schema (catalog + connections).
     pub schema: StructuralSchema,
@@ -68,14 +67,50 @@ impl SavedSystem {
 
     /// Serialize to a JSON string.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| Error::InvalidSchema(format!("serialization failed: {e}")))
+        let doc = Json::obj(vec![
+            ("schema", self.schema.to_json()),
+            ("data", self.data.to_json()),
+            (
+                "objects",
+                Json::Arr(self.objects.iter().map(|o| o.to_json()).collect()),
+            ),
+            (
+                "translators",
+                Json::Obj(
+                    self.translators
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        Ok(doc.pretty())
     }
 
-    /// Deserialize from a JSON string.
+    /// Deserialize from a JSON string. The structural schema, every
+    /// relation schema, every connection, and every object definition are
+    /// re-validated while decoding; tuples are re-validated on
+    /// [`SavedSystem::restore`].
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| Error::InvalidSchema(format!("deserialization failed: {e}")))
+        let doc = vo_relational::json::parse(json)?;
+        let schema = StructuralSchema::from_json(doc.field("schema")?)?;
+        let data = DatabaseSnapshot::from_json(doc.field("data")?)?;
+        let objects = doc
+            .field("objects")?
+            .elements()?
+            .iter()
+            .map(|o| ViewObject::from_json(o, &schema))
+            .collect::<Result<Vec<_>>>()?;
+        let mut translators = BTreeMap::new();
+        for (k, v) in doc.field("translators")?.entries()? {
+            translators.insert(k.clone(), Translator::from_json(v)?);
+        }
+        Ok(SavedSystem {
+            schema,
+            data,
+            objects,
+            translators,
+        })
     }
 
     /// Write to a file.

@@ -9,15 +9,13 @@
 //!   (chains, stars, ownership trees) and size, for the view-object
 //!   generation sweeps (experiment G1).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vo_core::prelude::*;
 
 /// Deterministically seed the university schema at `scale`: per
 /// department — 20 people (12 students, 5 faculty, 3 staff), 8 courses,
 /// 4 grades per course, 2 curriculum rows per course.
 pub fn seed_university_scaled(db: &mut Database, scale: i64, seed: u64) -> Result<()> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let grades = ["A", "B", "C", "D"];
     let levels = ["graduate", "undergraduate"];
     for d in 0..scale {
@@ -59,7 +57,7 @@ pub fn seed_university_scaled(db: &mut Database, scale: i64, seed: u64) -> Resul
             // 4 distinct students of this department
             let mut chosen = std::collections::BTreeSet::new();
             while chosen.len() < 4 {
-                chosen.insert(people_base + 1 + rng.gen_range(0..12));
+                chosen.insert(people_base + 1 + rng.gen_range_i64(0..12));
             }
             for ssn in chosen {
                 db.insert(

@@ -3,6 +3,7 @@
 //! (paper §3: "a first prototype of our view-object model has been
 //! implemented in the PENGUIN system").
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use vo_core::prelude::*;
 
@@ -26,6 +27,11 @@ pub struct Penguin {
     schema: StructuralSchema,
     db: Database,
     objects: BTreeMap<String, RegisteredObject>,
+    /// Prepared access plans per object, stamped with the database
+    /// structure epoch they were built at. Rebuilt lazily whenever the
+    /// epoch moves (index created, relation added/dropped, or a table
+    /// borrowed mutably); tuple-level updates leave them valid.
+    plans: RefCell<BTreeMap<String, ObjectPlan>>,
 }
 
 impl Penguin {
@@ -36,6 +42,7 @@ impl Penguin {
             schema,
             db,
             objects: BTreeMap::new(),
+            plans: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -45,6 +52,7 @@ impl Penguin {
             schema,
             db,
             objects: BTreeMap::new(),
+            plans: RefCell::new(BTreeMap::new()),
         }
     }
 
@@ -59,9 +67,34 @@ impl Penguin {
     }
 
     /// The database (write access — bypasses view objects; prefer the
-    /// object-based update API).
+    /// object-based update API). Drops every cached access plan up front:
+    /// the caller may change structure through the borrow, and plans
+    /// rebuild lazily on the next instantiation anyway.
     pub fn database_mut(&mut self) -> &mut Database {
+        self.plans.borrow_mut().clear();
         &mut self.db
+    }
+
+    /// Drop all cached access plans; they rebuild lazily at the current
+    /// structure epoch on the next instantiation. The epoch check makes
+    /// this automatic for structural changes routed through [`Database`];
+    /// the hook exists for callers that mutate structure out of band.
+    pub fn invalidate_plans(&self) {
+        self.plans.borrow_mut().clear();
+    }
+
+    /// The prepared plan for a registered object, rebuilt if the database
+    /// structure epoch moved since it was cached.
+    fn object_plan(&self, name: &str, object: &ViewObject) -> Result<ObjectPlan> {
+        let mut cache = self.plans.borrow_mut();
+        if let Some(p) = cache.get(name) {
+            if p.is_current(&self.db) {
+                return Ok(p.clone());
+            }
+        }
+        let p = plan_object(&self.schema, object, &self.db)?;
+        cache.insert(name.to_owned(), p.clone());
+        Ok(p)
     }
 
     /// Run a SQL statement directly against the base relations.
@@ -87,7 +120,10 @@ impl Penguin {
         self.register_object(object)
     }
 
-    /// Register a pre-built view object.
+    /// Register a pre-built view object. Prepares its access plan and
+    /// auto-provisions a secondary index on every edge target's
+    /// connecting attributes, so instantiation never falls back to a
+    /// relation scan.
     pub fn register_object(&mut self, object: ViewObject) -> Result<&RegisteredObject> {
         let name = object.name().to_owned();
         if self.objects.contains_key(&name) {
@@ -96,6 +132,13 @@ impl Penguin {
         // definitions may arrive from deserialization; re-validate
         object.validate(&self.schema)?;
         let analysis = analyze(&self.schema, &object)?;
+        let plan = plan_object(&self.schema, &object, &self.db)?;
+        for (rel, attrs) in plan.required_indexes() {
+            self.db.ensure_index(&rel, &attrs)?;
+        }
+        // re-plan at the post-provisioning epoch so the cache starts fresh
+        let plan = plan_object(&self.schema, &object, &self.db)?;
+        self.plans.borrow_mut().insert(name.clone(), plan);
         self.objects.insert(
             name.clone(),
             RegisteredObject {
@@ -170,10 +213,13 @@ impl Penguin {
         query.execute(&self.schema, &reg.object, &self.db)
     }
 
-    /// All instances of an object.
+    /// All instances of an object, via the cached prepared plan (batched,
+    /// one join pass per edge step).
     pub fn instantiate_all(&self, name: &str) -> Result<Vec<VoInstance>> {
         let reg = self.object(name)?;
-        instantiate_all(&self.schema, &reg.object, &self.db)
+        let plan = self.object_plan(name, &reg.object)?;
+        let pivots: Vec<&Tuple> = self.db.table(reg.object.pivot())?.scan().collect();
+        instantiate_many_planned(&reg.object, &self.db, &plan, &pivots)
     }
 
     /// The instance anchored on `pivot_key`, if present.
@@ -315,5 +361,66 @@ mod tests {
         let p = system();
         assert!(p.object("nope").is_err());
         assert!(p.instantiate_all("nope").is_err());
+    }
+
+    #[test]
+    fn registering_provisions_edge_indexes() {
+        let mut p = system();
+        p.define_object("omega", "COURSES", &["DEPARTMENT", "GRADES", "STUDENT"])
+            .unwrap();
+        // every edge target got an index on its connecting attributes
+        let db = p.database();
+        assert!(db
+            .table("GRADES")
+            .unwrap()
+            .has_index(&["course_id".to_string()]));
+        assert!(db
+            .table("DEPARTMENT")
+            .unwrap()
+            .has_index(&["dept_name".to_string()]));
+        assert!(db.table("STUDENT").unwrap().has_index(&["ssn".to_string()]));
+    }
+
+    #[test]
+    fn instantiation_probes_indexes_without_scans() {
+        let mut p = system();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        let before = vo_relational::stats::snapshot();
+        let all = p.instantiate_all("omega").unwrap();
+        let d = before.delta(&vo_relational::stats::snapshot());
+        assert_eq!(all.len(), 3);
+        assert_eq!(d.fallback_scans, 0, "indexed edges must not scan: {d}");
+        assert_eq!(d.hash_builds, 0);
+        assert!(d.index_probes > 0);
+        assert_eq!(d.instances_built, 3);
+    }
+
+    #[test]
+    fn cached_plan_survives_updates_and_refreshes_on_structure_change() {
+        let mut p = system();
+        p.define_object("omega", "COURSES", &["GRADES"]).unwrap();
+        let before = p.instantiate_all("omega").unwrap();
+        // data update through the object pipeline: plan stays cached and
+        // keeps answering correctly
+        let obj = p.object("omega").unwrap().object.clone();
+        p.install_translator("omega", Translator::permissive(&obj))
+            .unwrap();
+        let inst = p.instance_by_key("omega", &Key::single("EE282")).unwrap();
+        p.delete_instance("omega", inst).unwrap();
+        let after = p.instantiate_all("omega").unwrap();
+        assert_eq!(after.len(), before.len() - 1);
+        // structural change through database_mut: cache cleared, next
+        // instantiation replans and still agrees with the legacy path
+        p.database_mut()
+            .ensure_index("CURRICULUM", &["course_id".to_string()])
+            .unwrap();
+        let replanned = p.instantiate_all("omega").unwrap();
+        let legacy = instantiate_all_legacy(p.schema(), &obj, p.database()).unwrap();
+        assert_eq!(replanned, legacy);
     }
 }

@@ -13,12 +13,11 @@ use crate::algebra::{Plan, ResultSet};
 use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An aggregate function over a group of rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AggFunc {
     /// `COUNT(*)` — number of rows in the group.
     CountStar,
@@ -116,7 +115,7 @@ impl fmt::Display for AggFunc {
 }
 
 /// One output aggregate: the function plus its output column name.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggSpec {
     /// The function.
     pub func: AggFunc,

@@ -10,12 +10,11 @@ use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::predicate::{resolve_column, Expr};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A logical query plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Plan {
     /// Scan a base relation; columns come out as `relation.attribute`.
     Scan { relation: String },

@@ -1,0 +1,304 @@
+//! JSON codecs for the persistable relational types.
+//!
+//! Hand-written encoders/decoders against [`crate::json::Json`]; decoding
+//! re-validates everything it can locally (schemas via
+//! [`RelationSchema::new`]), while tuple-level validation happens when a
+//! snapshot is restored into a database.
+
+use crate::error::{Error, Result};
+use crate::json::Json;
+use crate::schema::{AttributeDef, RelationSchema};
+use crate::storage::{DatabaseSnapshot, RelationSnapshot};
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::Serialization(msg.into())
+}
+
+impl DataType {
+    /// Encode as a JSON string.
+    pub fn to_json(&self) -> Json {
+        Json::str(self.to_string())
+    }
+
+    /// Decode from a JSON string.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json.as_str()? {
+            "INT" => Ok(DataType::Int),
+            "FLOAT" => Ok(DataType::Float),
+            "TEXT" => Ok(DataType::Text),
+            "BOOL" => Ok(DataType::Bool),
+            other => Err(bad(format!("unknown data type `{other}`"))),
+        }
+    }
+}
+
+impl Value {
+    /// Encode as JSON. NULL, booleans, integers and text map onto the
+    /// corresponding JSON scalars; floats are wrapped in `{"float": …}` so
+    /// that `Text("1.5")` and `Float(1.5)` stay distinguishable and
+    /// non-finite floats (encoded as tagged strings) cannot collide with
+    /// text values.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Bool(b) => Json::Bool(*b),
+            Value::Int(i) => Json::Int(*i),
+            Value::Float(x) => Json::obj(vec![("float", Json::Float(*x))]),
+            Value::Text(s) => Json::str(s.clone()),
+        }
+    }
+
+    /// Decode from JSON (inverse of [`Value::to_json`]).
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json {
+            Json::Null => Ok(Value::Null),
+            Json::Bool(b) => Ok(Value::Bool(*b)),
+            Json::Int(i) => Ok(Value::Int(*i)),
+            Json::Str(s) => Ok(Value::Text(s.clone())),
+            Json::Obj(_) => {
+                let inner = json.field("float")?;
+                let x = match inner {
+                    Json::Str(s) => match s.as_str() {
+                        "NaN" => f64::NAN,
+                        "inf" => f64::INFINITY,
+                        "-inf" => f64::NEG_INFINITY,
+                        other => return Err(bad(format!("invalid float literal `{other}`"))),
+                    },
+                    other => other.as_f64()?,
+                };
+                Ok(Value::Float(x))
+            }
+            Json::Float(_) => Err(bad("bare float: expected {\"float\": …} wrapper")),
+            Json::Arr(_) => Err(bad("expected scalar value, got array")),
+        }
+    }
+}
+
+impl AttributeDef {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("ty", self.ty.to_json()),
+            ("nullable", Json::Bool(self.nullable)),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(AttributeDef {
+            name: json.field("name")?.as_str()?.to_owned(),
+            ty: DataType::from_json(json.field("ty")?)?,
+            nullable: json.field("nullable")?.as_bool()?,
+        })
+    }
+}
+
+impl RelationSchema {
+    /// Encode as JSON. The key is stored as attribute names.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name())),
+            (
+                "attributes",
+                Json::Arr(self.attributes().iter().map(|a| a.to_json()).collect()),
+            ),
+            (
+                "key",
+                Json::Arr(self.key_names().iter().map(|k| Json::str(*k)).collect()),
+            ),
+        ])
+    }
+
+    /// Decode from JSON, re-running full schema validation.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let name = json.field("name")?.as_str()?.to_owned();
+        let attributes = json
+            .field("attributes")?
+            .elements()?
+            .iter()
+            .map(AttributeDef::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        let key_owned = json
+            .field("key")?
+            .elements()?
+            .iter()
+            .map(|k| k.as_str().map(str::to_owned))
+            .collect::<Result<Vec<_>>>()?;
+        let key: Vec<&str> = key_owned.iter().map(String::as_str).collect();
+        RelationSchema::new(name, attributes, &key)
+    }
+}
+
+impl Tuple {
+    /// Encode as a JSON array of values.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.values().iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Decode from JSON. No schema validation here — snapshots re-validate
+    /// every tuple on restore.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(Tuple::raw(
+            json.elements()?
+                .iter()
+                .map(Value::from_json)
+                .collect::<Result<Vec<_>>>()?,
+        ))
+    }
+}
+
+impl RelationSnapshot {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", self.schema.to_json()),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|t| t.to_json()).collect()),
+            ),
+            (
+                "indexes",
+                Json::Arr(
+                    self.indexes
+                        .iter()
+                        .map(|idx| Json::Arr(idx.iter().map(|a| Json::str(a.clone())).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(RelationSnapshot {
+            schema: RelationSchema::from_json(json.field("schema")?)?,
+            rows: json
+                .field("rows")?
+                .elements()?
+                .iter()
+                .map(Tuple::from_json)
+                .collect::<Result<Vec<_>>>()?,
+            indexes: json
+                .field("indexes")?
+                .elements()?
+                .iter()
+                .map(|idx| {
+                    idx.elements()?
+                        .iter()
+                        .map(|a| a.as_str().map(str::to_owned))
+                        .collect::<Result<Vec<_>>>()
+                })
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl DatabaseSnapshot {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "relations",
+            Json::Arr(self.relations.iter().map(|r| r.to_json()).collect()),
+        )])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(DatabaseSnapshot {
+            relations: json
+                .field("relations")?
+                .elements()?
+                .iter()
+                .map(RelationSnapshot::from_json)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::json::parse;
+
+    #[test]
+    fn values_roundtrip() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Float(2.0),
+            Value::Float(-0.125),
+            Value::Float(f64::NAN),
+            Value::Float(f64::NEG_INFINITY),
+            Value::text("NaN"), // must NOT collide with Float(NaN)
+            Value::text("line\nbreak"),
+        ];
+        for v in &vals {
+            let encoded = v.to_json().pretty();
+            let back = Value::from_json(&parse(&encoded).unwrap()).unwrap();
+            // NaN != NaN under IEEE but our Value order treats them equal
+            assert_eq!(v, &back, "{encoded}");
+            assert_eq!(
+                std::mem::discriminant(v),
+                std::mem::discriminant(&back),
+                "{encoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_roundtrip_revalidates() {
+        let s = RelationSchema::new(
+            "GRADES",
+            vec![
+                AttributeDef::required("course_id", DataType::Text),
+                AttributeDef::required("ssn", DataType::Int),
+                AttributeDef::nullable("grade", DataType::Text),
+            ],
+            &["course_id", "ssn"],
+        )
+        .unwrap();
+        let back = RelationSchema::from_json(&parse(&s.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn tampered_schema_rejected() {
+        let json = parse(
+            r#"{"name": "X", "attributes": [{"name": "a", "ty": "INT", "nullable": true}], "key": ["a"]}"#,
+        )
+        .unwrap();
+        // nullable key attribute must be rejected by re-validation
+        assert!(RelationSchema::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::new(
+                "T",
+                vec![
+                    AttributeDef::required("k", DataType::Int),
+                    AttributeDef::nullable("v", DataType::Float),
+                ],
+                &["k"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("T", vec![1.into(), 1.5.into()]).unwrap();
+        db.insert("T", vec![2.into(), Value::Null]).unwrap();
+        let snap =
+            DatabaseSnapshot::capture_with_indexes(&db, &[("T", vec![vec!["v".into()]])]).unwrap();
+        let text = snap.to_json().pretty();
+        let back = DatabaseSnapshot::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(snap, back);
+        let restored = back.restore().unwrap();
+        assert!(restored.table("T").unwrap().has_index(&["v".to_string()]));
+    }
+}

@@ -75,6 +75,12 @@ impl fmt::Display for DbOp {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Bumped on every structural change (relation created or dropped,
+    /// index created, or a table borrowed mutably — the escape hatch
+    /// through which callers may alter structure). Plain data mutations
+    /// through [`Database::apply`] / [`Database::insert`] do not bump it,
+    /// so prepared access plans keyed on the epoch survive updates.
+    structure_epoch: u64,
 }
 
 impl Database {
@@ -93,11 +99,18 @@ impl Database {
         db
     }
 
+    /// The current structure epoch. Cached plans that recorded an earlier
+    /// epoch must be rebuilt before use.
+    pub fn structure_epoch(&self) -> u64 {
+        self.structure_epoch
+    }
+
     /// Create a new empty relation.
     pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
         if self.tables.contains_key(schema.name()) {
             return Err(Error::DuplicateRelation(schema.name().to_owned()));
         }
+        self.structure_epoch += 1;
         self.tables
             .insert(schema.name().to_owned(), Table::new(schema));
         Ok(())
@@ -105,6 +118,7 @@ impl Database {
 
     /// Drop a relation and all its tuples.
     pub fn drop_relation(&mut self, name: &str) -> Result<()> {
+        self.structure_epoch += 1;
         self.tables
             .remove(name)
             .map(|_| ())
@@ -118,11 +132,39 @@ impl Database {
             .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
     }
 
-    /// Mutably borrow a table.
+    /// Mutably borrow a table. Conservatively bumps the structure epoch:
+    /// the caller may create or drop indexes through the borrow.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.structure_epoch += 1;
         self.tables
             .get_mut(name)
             .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Mutable access for the data path (insert/delete/replace): does not
+    /// bump the structure epoch, since tuple-level changes cannot
+    /// invalidate a prepared access plan.
+    fn data_table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Create a secondary index over `attrs` of `relation`.
+    pub fn create_index(&mut self, relation: &str, attrs: &[String]) -> Result<()> {
+        self.structure_epoch += 1;
+        self.data_table_mut(relation)?.create_index(attrs)
+    }
+
+    /// Create a secondary index over `attrs` of `relation` unless one
+    /// already exists. Returns `true` when an index was built. Only a
+    /// fresh build bumps the structure epoch.
+    pub fn ensure_index(&mut self, relation: &str, attrs: &[String]) -> Result<bool> {
+        if self.table(relation)?.has_index(attrs) {
+            return Ok(false);
+        }
+        self.create_index(relation, attrs)?;
+        Ok(true)
     }
 
     /// All relation names, sorted.
@@ -146,7 +188,7 @@ impl Database {
 
     /// Convenience: insert a tuple built from raw values.
     pub fn insert(&mut self, relation: &str, values: Vec<crate::value::Value>) -> Result<()> {
-        let table = self.table_mut(relation)?;
+        let table = self.data_table_mut(relation)?;
         let tuple = Tuple::new(table.schema(), values)?;
         table.insert(tuple)
     }
@@ -155,7 +197,7 @@ impl Database {
     pub fn apply(&mut self, op: &DbOp) -> Result<DbOp> {
         match op {
             DbOp::Insert { relation, tuple } => {
-                let table = self.table_mut(relation)?;
+                let table = self.data_table_mut(relation)?;
                 let key = tuple.key(table.schema());
                 table.insert(tuple.clone())?;
                 Ok(DbOp::Delete {
@@ -164,7 +206,7 @@ impl Database {
                 })
             }
             DbOp::Delete { relation, key } => {
-                let table = self.table_mut(relation)?;
+                let table = self.data_table_mut(relation)?;
                 let old = table.delete(key)?;
                 Ok(DbOp::Insert {
                     relation: relation.clone(),
@@ -176,7 +218,7 @@ impl Database {
                 old_key,
                 tuple,
             } => {
-                let table = self.table_mut(relation)?;
+                let table = self.data_table_mut(relation)?;
                 let new_key = tuple.key(table.schema());
                 let old = table.replace(old_key, tuple.clone())?;
                 Ok(DbOp::Replace {

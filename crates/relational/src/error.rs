@@ -49,6 +49,8 @@ pub enum Error {
     Rolledback(Box<Error>),
     /// An integrity constraint external to the engine rejected the operation.
     ConstraintViolation(String),
+    /// A persisted document failed to parse or decode.
+    Serialization(String),
 }
 
 impl fmt::Display for Error {
@@ -105,6 +107,7 @@ impl fmt::Display for Error {
             }
             Error::Rolledback(cause) => write!(f, "transaction rolled back: {cause}"),
             Error::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
+            Error::Serialization(m) => write!(f, "serialization error: {m}"),
         }
     }
 }

@@ -1,0 +1,560 @@
+//! A minimal JSON document model, parser, and pretty-printer.
+//!
+//! The catalog layer persists whole PENGUIN systems (schema + data +
+//! objects + translators) as JSON. Rather than depend on an external
+//! serialization framework, the persisted type closure is small enough to
+//! hand-code against this document model: [`Json`] is the tree, [`parse`]
+//! reads a string, and [`Json::pretty`] renders one with stable,
+//! human-diffable formatting.
+//!
+//! Integers and floats are kept as distinct variants so `i64` values
+//! round-trip exactly; floats print with Rust's shortest-roundtrip
+//! formatting.
+
+use crate::error::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number without fraction or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Look up a field of an object; error if missing or not an object.
+    pub fn field(&self, name: &str) -> Result<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| bad(format!("missing field `{name}`"))),
+            other => Err(bad(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array elements; error for non-arrays.
+    pub fn elements(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(bad(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The object entries; error for non-objects.
+    pub fn entries(&self) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs),
+            other => Err(bad(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// The string payload; error otherwise.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(bad(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// The integer payload; error otherwise.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            other => Err(bad(format!("expected integer, got {}", other.kind()))),
+        }
+    }
+
+    /// `usize` convenience over [`Json::as_i64`].
+    pub fn as_usize(&self) -> Result<usize> {
+        let i = self.as_i64()?;
+        usize::try_from(i).map_err(|_| bad(format!("expected non-negative integer, got {i}")))
+    }
+
+    /// The numeric payload widened to `f64`; error otherwise.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(x) => Ok(*x),
+            other => Err(bad(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// The boolean payload; error otherwise.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(bad(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Render with two-space indentation and `\n` line endings.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => write_float(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    // JSON has no literals for non-finite numbers; encode them as tagged
+    // strings and let the Value codec recognise them on the way back in.
+    if x.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if x.is_infinite() {
+        out.push_str(if x > 0.0 { "\"inf\"" } else { "\"-inf\"" });
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep a fraction marker so the parser reads it back as Float.
+        let _ = write!(out, "{x:.1}");
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::Serialization(msg.into())
+}
+
+/// Parse a JSON document, rejecting trailing garbage.
+pub fn parse(input: &str) -> Result<Json> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(bad(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(bad(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json> {
+        if depth > MAX_DEPTH {
+            return Err(bad("document nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(bad(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(bad(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        let mut seen = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            if seen.insert(key.clone(), ()).is_some() {
+                return Err(bad(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(bad(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(bad("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(bad("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000C}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(bad("invalid low surrogate"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(c.ok_or_else(|| bad("invalid unicode escape"))?);
+                        }
+                        other => return Err(bad(format!("invalid escape `\\{}`", other as char))),
+                    }
+                }
+                b if b < 0x20 => return Err(bad("control character in string")),
+                _ => {
+                    // Re-scan as UTF-8: back up one byte and take the char.
+                    self.pos -= 1;
+                    let rest = &self.bytes[self.pos..];
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| bad("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(bad("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| bad("invalid unicode escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| bad("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| bad(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| bad(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for src in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let v = parse(src).unwrap();
+            assert_eq!(parse(&v.pretty()).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let v = Json::obj(vec![
+            ("name", Json::str("GRADES")),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::Int(1), Json::Null, Json::Float(2.5)]),
+                    Json::Arr(vec![]),
+                ]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nbreak \"quoted\" back\\slash tab\t unicode ü 🦀";
+        let v = Json::str(s);
+        let parsed = parse(&v.pretty()).unwrap();
+        assert_eq!(parsed.as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn surrogate_pair_parses() {
+        assert_eq!(parse("\"\\ud83e\\udd80\"").unwrap().as_str().unwrap(), "🦀");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for src in [
+            "{not json",
+            "[1, 2",
+            "{\"a\": }",
+            "\"unterminated",
+            "12trailing",
+            "[1] extra",
+            "{\"a\":1,\"a\":2}",
+            "nul",
+            "--1",
+        ] {
+            assert!(parse(src).is_err(), "accepted {src:?}");
+        }
+    }
+
+    #[test]
+    fn float_shape_preserved() {
+        // Integral floats keep a fraction marker so they parse back as Float.
+        assert_eq!(parse(&Json::Float(2.0).pretty()).unwrap(), Json::Float(2.0));
+        assert_eq!(parse(&Json::Int(2).pretty()).unwrap(), Json::Int(2));
+    }
+
+    #[test]
+    fn i64_extremes_roundtrip() {
+        for i in [i64::MIN, i64::MAX, 0, -1] {
+            assert_eq!(parse(&Json::Int(i).pretty()).unwrap(), Json::Int(i));
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_encode_as_strings() {
+        assert_eq!(Json::Float(f64::NAN).pretty(), "\"NaN\"");
+        assert_eq!(Json::Float(f64::INFINITY).pretty(), "\"inf\"");
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let src = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&src).is_err());
+    }
+}

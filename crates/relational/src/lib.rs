@@ -40,12 +40,16 @@
 
 pub mod aggregate;
 pub mod algebra;
+pub mod codec;
 pub mod database;
 pub mod error;
+pub mod json;
 pub mod optimizer;
 pub mod predicate;
+pub mod rng;
 pub mod schema;
 pub mod sql;
+pub mod stats;
 pub mod storage;
 pub mod table;
 pub mod tuple;
@@ -57,9 +61,12 @@ pub mod prelude {
     pub use crate::algebra::{Plan, ResultSet};
     pub use crate::database::{Database, DbOp};
     pub use crate::error::{Error, Result};
+    pub use crate::json::Json;
     pub use crate::predicate::{CmpOp, Expr, Truth};
+    pub use crate::rng::SmallRng;
     pub use crate::schema::{AttributeDef, DatabaseSchema, RelationSchema};
     pub use crate::sql::SqlOutcome;
+    pub use crate::stats::InstrumentationSnapshot;
     pub use crate::storage::{DatabaseSnapshot, RelationSnapshot};
     pub use crate::table::Table;
     pub use crate::tuple::{Key, Tuple};

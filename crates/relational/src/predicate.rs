@@ -6,7 +6,6 @@
 
 use crate::error::{Error, Result};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Three-valued logical truth, as in SQL.
@@ -67,7 +66,7 @@ impl Truth {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -98,7 +97,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A predicate/scalar expression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Reference to a column of the row context.
     Attr(String),

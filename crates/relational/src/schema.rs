@@ -8,11 +8,10 @@
 
 use crate::error::{Error, Result};
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A typed, possibly-nullable attribute of a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributeDef {
     /// Attribute name, unique within its relation.
     pub name: String,
@@ -43,7 +42,7 @@ impl AttributeDef {
 }
 
 /// Schema of one relation: named attributes and a primary key.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSchema {
     name: String,
     attributes: Vec<AttributeDef>,
@@ -212,7 +211,7 @@ impl RelationSchema {
 }
 
 /// The catalog of all relation schemas in a database.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatabaseSchema {
     relations: BTreeMap<String, RelationSchema>,
 }

@@ -1,0 +1,128 @@
+//! Lightweight global instrumentation counters for the access paths.
+//!
+//! The instantiation engine and the experiment binaries need to know *how*
+//! tables were accessed — index probe vs. full-scan fallback, hash builds,
+//! join rows produced — to prove that batched instantiation never silently
+//! degrades to scans. Counters are process-global relaxed atomics: cheap
+//! enough to leave on permanently, precise enough for the `exp_amortize`
+//! reports. Call [`reset`] before a measured region and [`snapshot`] after.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static INDEX_PROBES: AtomicU64 = AtomicU64::new(0);
+static FALLBACK_SCANS: AtomicU64 = AtomicU64::new(0);
+static HASH_BUILDS: AtomicU64 = AtomicU64::new(0);
+static JOIN_ROWS: AtomicU64 = AtomicU64::new(0);
+static INSTANCES_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Record one lookup answered by a secondary (or primary) index.
+pub fn count_index_probe() {
+    INDEX_PROBES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one lookup that fell back to a full relation scan.
+pub fn count_fallback_scan() {
+    FALLBACK_SCANS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one hash-table build over a relation (set-at-a-time join pass).
+pub fn count_hash_build() {
+    HASH_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `n` rows produced by a join step.
+pub fn count_join_rows(n: u64) {
+    JOIN_ROWS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record `n` view-object instances materialized.
+pub fn count_instances_built(n: u64) {
+    INSTANCES_BUILT.fetch_add(n, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of all counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrumentationSnapshot {
+    /// Lookups answered by an index.
+    pub index_probes: u64,
+    /// Lookups that degraded to a full scan.
+    pub fallback_scans: u64,
+    /// Hash-table builds for set-at-a-time joins.
+    pub hash_builds: u64,
+    /// Total rows produced by join steps.
+    pub join_rows: u64,
+    /// View-object instances materialized.
+    pub instances_built: u64,
+}
+
+impl InstrumentationSnapshot {
+    /// Counter deltas between `self` (earlier) and `later`.
+    pub fn delta(&self, later: &InstrumentationSnapshot) -> InstrumentationSnapshot {
+        InstrumentationSnapshot {
+            index_probes: later.index_probes - self.index_probes,
+            fallback_scans: later.fallback_scans - self.fallback_scans,
+            hash_builds: later.hash_builds - self.hash_builds,
+            join_rows: later.join_rows - self.join_rows,
+            instances_built: later.instances_built - self.instances_built,
+        }
+    }
+}
+
+impl std::fmt::Display for InstrumentationSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "index_probes={} fallback_scans={} hash_builds={} join_rows={} instances_built={}",
+            self.index_probes,
+            self.fallback_scans,
+            self.hash_builds,
+            self.join_rows,
+            self.instances_built
+        )
+    }
+}
+
+/// Read all counters.
+pub fn snapshot() -> InstrumentationSnapshot {
+    InstrumentationSnapshot {
+        index_probes: INDEX_PROBES.load(Ordering::Relaxed),
+        fallback_scans: FALLBACK_SCANS.load(Ordering::Relaxed),
+        hash_builds: HASH_BUILDS.load(Ordering::Relaxed),
+        join_rows: JOIN_ROWS.load(Ordering::Relaxed),
+        instances_built: INSTANCES_BUILT.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero all counters. Tests that assert on absolute counter values should
+/// prefer snapshot-delta arithmetic, since tests run concurrently.
+pub fn reset() {
+    INDEX_PROBES.store(0, Ordering::Relaxed);
+    FALLBACK_SCANS.store(0, Ordering::Relaxed);
+    HASH_BUILDS.store(0, Ordering::Relaxed);
+    JOIN_ROWS.store(0, Ordering::Relaxed);
+    INSTANCES_BUILT.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let before = snapshot();
+        count_index_probe();
+        count_fallback_scan();
+        count_hash_build();
+        count_join_rows(5);
+        count_instances_built(2);
+        let after = snapshot();
+        let d = before.delta(&after);
+        assert_eq!(d.index_probes, 1);
+        assert_eq!(d.fallback_scans, 1);
+        assert_eq!(d.hash_builds, 1);
+        assert_eq!(d.join_rows, 5);
+        assert_eq!(d.instances_built, 2);
+        let line = d.to_string();
+        assert!(line.contains("index_probes=1"));
+    }
+}

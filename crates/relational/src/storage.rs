@@ -9,11 +9,10 @@ use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 
 /// One relation's image: schema, rows in key order, and the attribute
 /// lists of its secondary indexes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RelationSnapshot {
     /// The relation schema.
     pub schema: RelationSchema,
@@ -24,7 +23,7 @@ pub struct RelationSnapshot {
 }
 
 /// A whole-database image.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DatabaseSnapshot {
     /// Relations in name order.
     pub relations: Vec<RelationSnapshot>,

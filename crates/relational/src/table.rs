@@ -124,12 +124,23 @@ impl Table {
     /// index when one exists, otherwise scanning.
     pub fn find_by_attrs(&self, attrs: &[String], values: &[Value]) -> Result<Vec<&Tuple>> {
         let indices = self.schema.indices_of(attrs)?;
-        if let Some(index) = self.indexes.get(&indices) {
-            let keys = index.get(values).cloned().unwrap_or_default();
-            return Ok(keys.iter().filter_map(|k| self.rows.get(k)).collect());
+        Ok(self.find_by_indices(&indices, values))
+    }
+
+    /// Tuples whose attributes at `indices` equal `values` — the
+    /// position-resolved form of [`Table::find_by_attrs`], for callers that
+    /// resolve names once and probe many times. Both paths return tuples in
+    /// primary-key order.
+    pub fn find_by_indices(&self, indices: &[usize], values: &[Value]) -> Vec<&Tuple> {
+        if let Some(index) = self.indexes.get(indices) {
+            crate::stats::count_index_probe();
+            return match index.get(values) {
+                Some(keys) => keys.iter().filter_map(|k| self.rows.get(k)).collect(),
+                None => Vec::new(),
+            };
         }
-        Ok(self
-            .rows
+        crate::stats::count_fallback_scan();
+        self.rows
             .values()
             .filter(|t| {
                 indices
@@ -137,7 +148,31 @@ impl Table {
                     .zip(values.iter())
                     .all(|(&i, v)| t.get(i) == v)
             })
-            .collect())
+            .collect()
+    }
+
+    /// Hash-build over the whole table: group every tuple by its values at
+    /// `indices`. Groups whose grouping values contain NULL are omitted
+    /// (NULL never connects, Definition 2.1); group member lists are in
+    /// primary-key order, matching [`Table::find_by_indices`]. One build
+    /// amortizes an unindexed equi-join over an arbitrary probe set.
+    pub fn group_by_indices(&self, indices: &[usize]) -> HashMap<Vec<Value>, Vec<&Tuple>> {
+        crate::stats::count_hash_build();
+        let mut groups: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        for t in self.rows.values() {
+            let vals = t.project(indices);
+            if vals.iter().any(Value::is_null) {
+                continue;
+            }
+            groups.entry(vals).or_default().push(t);
+        }
+        groups
+    }
+
+    /// True when a secondary index exists over the attribute positions
+    /// `indices`.
+    pub fn has_index_at(&self, indices: &[usize]) -> bool {
+        self.indexes.contains_key(indices)
     }
 
     /// Keys of tuples whose named attributes equal `values`.

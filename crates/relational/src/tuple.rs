@@ -3,14 +3,13 @@
 use crate::error::{Error, Result};
 use crate::schema::RelationSchema;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tuple: an ordered list of values conforming to some relation schema.
 ///
 /// Tuples are plain data; conformance to a schema is checked at
 /// construction ([`Tuple::new`]) and at every table mutation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple(Vec<Value>);
 
 impl Tuple {
@@ -115,7 +114,7 @@ impl fmt::Display for Tuple {
 ///
 /// `Key` is the handle by which tuples are addressed in tables and in
 /// [`crate::database::DbOp`] operation lists.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub Vec<Value>);
 
 impl Key {

@@ -8,13 +8,12 @@
 //! storage and sorting, where `Null` sorts first and floats use IEEE total
 //! ordering.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// The scalar type of an attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -39,7 +38,7 @@ impl fmt::Display for DataType {
 }
 
 /// A single atomic value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL (absence of a value).
     Null,

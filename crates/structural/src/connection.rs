@@ -11,12 +11,11 @@
 //! | reference | `⊆ K(R1)` or `⊆ NK(R1)` | `= K(R2)` | n:1 |
 //! | subset    | `= K(R1)`     | `= K(R2)`     | 1:\[0,1\]  |
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vo_relational::prelude::*;
 
 /// The three connection types of the structural model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConnectionKind {
     /// Owned tuples depend on a single owner tuple (`R1 —* R2`).
     Ownership,
@@ -39,7 +38,7 @@ impl fmt::Display for ConnectionKind {
 
 /// A directed, typed connection from relation `from` (`R1`) to relation
 /// `to` (`R2`) through the ordered attribute pair `⟨X1, X2⟩`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Connection {
     /// Unique connection name (used by policies and dialogs).
     pub name: String,

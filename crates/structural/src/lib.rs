@@ -33,6 +33,7 @@
 //! ```
 
 pub mod builder;
+pub mod codec;
 pub mod connection;
 pub mod integrity;
 pub mod schema;

@@ -2,7 +2,6 @@
 //! and whose edges are typed connections (paper §2).
 
 use crate::connection::{Connection, ConnectionKind};
-use serde::{Deserialize, Serialize};
 use vo_relational::prelude::*;
 
 /// A traversal step over a connection, in either the stored (forward)
@@ -74,7 +73,7 @@ impl<'a> Traversal<'a> {
 }
 
 /// A validated structural schema: catalog + connections.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StructuralSchema {
     catalog: DatabaseSchema,
     connections: Vec<Connection>,

@@ -3,7 +3,6 @@
 //! has to be rolled back"), across all layers.
 
 use penguin_vo::prelude::*;
-use proptest::prelude::*;
 
 fn snapshot(db: &Database) -> Vec<(String, Vec<Tuple>)> {
     db.relation_names()
@@ -17,12 +16,13 @@ fn snapshot(db: &Database) -> Vec<(String, Vec<Tuple>)> {
         .collect()
 }
 
-// A batch with a poisoned op at an arbitrary position rolls back wholly.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn poisoned_batches_roll_back(pos in 0usize..6, seed in 0u64..100) {
+/// A batch with a poisoned op at an arbitrary position rolls back wholly.
+#[test]
+fn poisoned_batches_roll_back() {
+    let mut rng = SmallRng::seed_from_u64(0xBAD);
+    for _ in 0..48 {
+        let pos = rng.gen_range(0..6);
+        let seed = rng.next_u64() % 100;
         let (_, mut db) = university_scaled(1, seed);
         let dept = db.table("DEPARTMENT").unwrap().schema().clone();
         let mut ops: Vec<DbOp> = (0..5)
@@ -34,17 +34,25 @@ proptest! {
         // poison: delete a tuple that does not exist
         ops.insert(
             pos.min(ops.len()),
-            DbOp::Delete { relation: "DEPARTMENT".into(), key: Key::single("ghost") },
+            DbOp::Delete {
+                relation: "DEPARTMENT".into(),
+                key: Key::single("ghost"),
+            },
         );
         let before = snapshot(&db);
         let err = db.apply_all(&ops).unwrap_err();
-        prop_assert!(matches!(err, Error::Rolledback(_)));
-        prop_assert_eq!(snapshot(&db), before);
+        assert!(matches!(err, Error::Rolledback(_)));
+        assert_eq!(snapshot(&db), before);
     }
+}
 
-    /// Vetoed checked batches roll back wholly.
-    #[test]
-    fn vetoed_batches_roll_back(n in 1usize..6, seed in 0u64..100) {
+/// Vetoed checked batches roll back wholly.
+#[test]
+fn vetoed_batches_roll_back() {
+    let mut rng = SmallRng::seed_from_u64(0xE70);
+    for _ in 0..48 {
+        let n = rng.gen_range(1..6);
+        let seed = rng.next_u64() % 100;
         let (_, mut db) = university_scaled(1, seed);
         let dept = db.table("DEPARTMENT").unwrap().schema().clone();
         let ops: Vec<DbOp> = (0..n)
@@ -57,8 +65,8 @@ proptest! {
         let err = db
             .apply_all_checked(&ops, |_| Err(Error::ConstraintViolation("veto".into())))
             .unwrap_err();
-        prop_assert!(matches!(err, Error::Rolledback(_)));
-        prop_assert_eq!(snapshot(&db), before);
+        assert!(matches!(err, Error::Rolledback(_)));
+        assert_eq!(snapshot(&db), before);
     }
 }
 
