@@ -2,7 +2,7 @@
 //! translator and (ii) hand-written direct base-table operations, plus the
 //! definition-time vs per-update dialog ablation.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{median_time, Reporter};
 use vo_core::prelude::*;
 use vo_keller::{KellerTranslator, SpjView};
 use vo_penguin::university_scaled;
@@ -21,8 +21,7 @@ fn flat_view() -> SpjView {
 }
 
 fn main() {
-    banner("B1", "view-object vs flat-view vs direct updates");
-    let mut t = TextTable::new(&["case", "scale", "median_us"]);
+    let mut t = Reporter::new("B1", "view-object vs flat-view vs direct updates", "scale");
 
     for scale in [1i64, 8, 32] {
         let (schema, db) = university_scaled(scale, 42);
@@ -56,10 +55,10 @@ fn main() {
             translate_complete_deletion(&schema, &omega, &analysis, &vo_translator, &db, &inst)
                 .unwrap()
         });
-        t.row(&["delete/view_object".into(), scale.to_string(), us(d)]);
+        t.measure("delete/view_object", &scale.to_string(), d);
 
         let d = median_time(RUNS, || keller.translate_delete(&db, &view_row).unwrap());
-        t.row(&["delete/keller".into(), scale.to_string(), us(d)]);
+        t.measure("delete/keller", &scale.to_string(), d);
 
         let d = median_time(RUNS, || {
             let grades = db.table("GRADES").unwrap();
@@ -88,7 +87,7 @@ fn main() {
             });
             ops
         });
-        t.row(&["delete/direct".into(), scale.to_string(), us(d)]);
+        t.measure("delete/direct", &scale.to_string(), d);
 
         // replacement: non-key title change, both layers can express it
         let courses = db.table("COURSES").unwrap().schema().clone();
@@ -110,14 +109,14 @@ fn main() {
             )
             .unwrap()
         });
-        t.row(&["update/view_object".into(), scale.to_string(), us(d)]);
+        t.measure("update/view_object", &scale.to_string(), d);
 
         let mut new_row = view_row.clone();
         new_row[1] = Value::text("renamed");
         let d = median_time(RUNS, || {
             keller.translate_update(&db, &view_row, &new_row).unwrap()
         });
-        t.row(&["update/keller".into(), scale.to_string(), us(d)]);
+        t.measure("update/keller", &scale.to_string(), d);
     }
 
     // dialog cost: run the full dialog per update vs once
@@ -128,7 +127,7 @@ fn main() {
         let mut r = paper_dialog_responder();
         choose_translator(&schema, &omega, &analysis, &mut r).unwrap()
     });
-    t.row(&["dialog/definition_time".into(), "-".into(), us(d)]);
+    t.measure("dialog/definition_time", "-", d);
 
-    println!("{}", t.render());
+    t.finish();
 }

@@ -2,28 +2,27 @@
 //! tree expansion, pruning) versus schema size and shape, plus the
 //! cached-vs-recomputed island-analysis ablation from DESIGN.md.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{median_time, Reporter};
 use vo_core::prelude::*;
 use vo_penguin::{synthetic_schema, SchemaShape};
 
 const RUNS: usize = 11;
 
 fn main() {
-    banner("G1", "view-object generation cost");
-    let mut t = TextTable::new(&["case", "n", "median_us"]);
+    let mut t = Reporter::new("G1", "view-object generation cost", "n");
 
     // the paper's own schema
     let schema = university_schema();
     let d = median_time(RUNS, || {
         extract_subgraph(&schema, "COURSES", &MetricWeights::default()).unwrap()
     });
-    t.row(&["university/subgraph".into(), "-".into(), us(d)]);
+    t.measure("university/subgraph", "-", d);
     let d = median_time(RUNS, || {
         generate_tree(&schema, "COURSES", &MetricWeights::default()).unwrap()
     });
-    t.row(&["university/tree".into(), "-".into(), us(d)]);
+    t.measure("university/tree", "-", d);
     let d = median_time(RUNS, || generate_omega(&schema).unwrap());
-    t.row(&["university/omega_end_to_end".into(), "-".into(), us(d)]);
+    t.measure("university/omega_end_to_end", "-", d);
 
     // synthetic shapes at growing sizes
     for n in [8usize, 32, 128, 512] {
@@ -42,7 +41,7 @@ fn main() {
                 ..Default::default()
             };
             let d = median_time(RUNS, || generate_tree(&schema, "R0", &w).unwrap());
-            t.row(&[format!("tree/{label}"), n.to_string(), us(d)]);
+            t.measure(&format!("tree/{label}"), &n.to_string(), d);
         }
     }
 
@@ -50,7 +49,7 @@ fn main() {
     let schema = university_schema();
     let omega = generate_omega(&schema).unwrap();
     let d = median_time(RUNS, || analyze(&schema, &omega).unwrap());
-    t.row(&["island/analyze_once".into(), "-".into(), us(d)]);
+    t.measure("island/analyze_once", "-", d);
 
-    println!("{}", t.render());
+    t.finish();
 }

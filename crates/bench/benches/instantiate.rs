@@ -3,15 +3,14 @@
 //! conditions, contracted-path edges, and the set-at-a-time engine
 //! against the tuple-at-a-time legacy path.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{median_time, Reporter};
 use vo_core::prelude::*;
 use vo_penguin::university_scaled;
 
 const RUNS: usize = 11;
 
 fn main() {
-    banner("I1", "instantiation throughput vs scale");
-    let mut t = TextTable::new(&["case", "scale", "median_us"]);
+    let mut t = Reporter::new("I1", "instantiation throughput vs scale", "scale");
 
     for scale in [1i64, 8, 32] {
         let (schema, mut db) = university_scaled(scale, 42);
@@ -26,15 +25,15 @@ fn main() {
         let d = median_time(RUNS, || {
             assemble(&schema, &omega, &db, pivot.clone()).unwrap()
         });
-        t.row(&["one_instance".into(), scale.to_string(), us(d)]);
+        t.measure("one_instance", &scale.to_string(), d);
 
         let d = median_time(RUNS, || {
             instantiate_all_legacy(&schema, &omega, &db).unwrap()
         });
-        t.row(&["all_instances/legacy".into(), scale.to_string(), us(d)]);
+        t.measure("all_instances/legacy", &scale.to_string(), d);
 
         let d = median_time(RUNS, || instantiate_all(&schema, &omega, &db).unwrap());
-        t.row(&["all_instances/batched".into(), scale.to_string(), us(d)]);
+        t.measure("all_instances/batched", &scale.to_string(), d);
 
         // batched with every edge index provisioned (the PENGUIN default)
         let plan = plan_object(&schema, &omega, &db).unwrap();
@@ -42,7 +41,7 @@ fn main() {
             db.ensure_index(&rel, &attrs).unwrap();
         }
         let d = median_time(RUNS, || instantiate_all(&schema, &omega, &db).unwrap());
-        t.row(&["all_instances/indexed".into(), scale.to_string(), us(d)]);
+        t.measure("all_instances/indexed", &scale.to_string(), d);
 
         // Figure 4's query: pivot predicate + count condition
         let student = omega
@@ -55,12 +54,12 @@ fn main() {
             .with_predicate(0, Expr::attr("level").eq(Expr::lit("graduate")))
             .with_count(student, CmpOp::Lt, 5);
         let d = median_time(RUNS, || q.execute(&schema, &omega, &db).unwrap());
-        t.row(&["figure4_query".into(), scale.to_string(), us(d)]);
+        t.measure("figure4_query", &scale.to_string(), d);
 
         // contracted-path instantiation (omega-prime)
         let op = generate_omega_prime(&schema).unwrap();
         let d = median_time(RUNS, || assemble(&schema, &op, &db, pivot.clone()).unwrap());
-        t.row(&["omega_prime_instance".into(), scale.to_string(), us(d)]);
+        t.measure("omega_prime_instance", &scale.to_string(), d);
     }
-    println!("{}", t.render());
+    t.finish();
 }

@@ -3,24 +3,24 @@
 //! propagation. These bound the cost of the paper's step 4 (global
 //! validation) at different database sizes.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{median_time, Reporter};
 use vo_core::prelude::*;
 use vo_penguin::{seed_ownership_chain, synthetic_schema, university_scaled, SchemaShape};
 
 const RUNS: usize = 11;
 
 fn main() {
-    banner(
+    let mut t = Reporter::new(
         "S1",
         "structural substrate: validation and cascade planning",
+        "param",
     );
-    let mut t = TextTable::new(&["case", "param", "median_us"]);
 
     // full consistency scan vs database size
     for scale in [1i64, 8, 32] {
         let (schema, db) = university_scaled(scale, 42);
         let d = median_time(RUNS, || check_database(&schema, &db).unwrap());
-        t.row(&["check_database".into(), scale.to_string(), us(d)]);
+        t.measure("check_database", &scale.to_string(), d);
     }
 
     // deletion planning vs cascade depth/fanout
@@ -32,7 +32,7 @@ fn main() {
         let d = median_time(RUNS, || {
             plan_delete(&schema, &db, "R0", &Key::single(0), &policy).unwrap()
         });
-        t.row(&["plan_delete".into(), format!("d{depth}f{fanout}"), us(d)]);
+        t.measure("plan_delete", &format!("d{depth}f{fanout}"), d);
     }
 
     // key-replacement propagation on the university schema
@@ -60,7 +60,7 @@ fn main() {
         )
         .unwrap()
     });
-    t.row(&["plan_key_replacement/course".into(), "-".into(), us(d)]);
+    t.measure("plan_key_replacement/course", "-", d);
 
     // dependency completion for a fresh tuple
     let grades = db.table("GRADES").unwrap().schema().clone();
@@ -68,7 +68,7 @@ fn main() {
     let d = median_time(RUNS, || {
         plan_completion(&schema, &db, "GRADES", &fresh, &|_| true).unwrap()
     });
-    t.row(&["plan_completion/grade".into(), "-".into(), us(d)]);
+    t.measure("plan_completion/grade", "-", d);
 
-    println!("{}", t.render());
+    t.finish();
 }

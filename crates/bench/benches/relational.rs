@@ -2,7 +2,7 @@
 //! optimizer on/off, secondary index vs scan, SQL parse overhead, and
 //! aggregation. These bound what any layer above can hope for.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{median_time, Reporter};
 use vo_core::prelude::*;
 use vo_penguin::university_scaled;
 use vo_relational::optimizer::optimize;
@@ -10,8 +10,7 @@ use vo_relational::optimizer::optimize;
 const RUNS: usize = 11;
 
 fn main() {
-    banner("R1", "relational engine ablations");
-    let mut t = TextTable::new(&["case", "scale", "median_us"]);
+    let mut t = Reporter::new("R1", "relational engine ablations", "scale");
 
     for scale in [4i64, 32] {
         let (_, db) = university_scaled(scale, 42);
@@ -27,9 +26,9 @@ fn main() {
         let optimized = optimize(raw.clone());
         assert_ne!(raw, optimized, "pushdown should fire");
         let d = median_time(RUNS, || db.execute(&raw).unwrap());
-        t.row(&["join/unoptimized".into(), scale.to_string(), us(d)]);
+        t.measure("join/unoptimized", &scale.to_string(), d);
         let d = median_time(RUNS, || db.execute(&optimized).unwrap());
-        t.row(&["join/optimized".into(), scale.to_string(), us(d)]);
+        t.measure("join/optimized", &scale.to_string(), d);
 
         // index vs scan
         let mut indexed = db.clone();
@@ -42,7 +41,7 @@ fn main() {
                 .find_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
                 .unwrap()
         });
-        t.row(&["lookup/scan".into(), scale.to_string(), us(d)]);
+        t.measure("lookup/scan", &scale.to_string(), d);
         let d = median_time(RUNS, || {
             indexed
                 .table("GRADES")
@@ -50,7 +49,7 @@ fn main() {
                 .find_by_attrs(&["ssn".to_string()], &[Value::Int(1)])
                 .unwrap()
         });
-        t.row(&["lookup/indexed".into(), scale.to_string(), us(d)]);
+        t.measure("lookup/indexed", &scale.to_string(), d);
 
         // aggregation
         let d = median_time(RUNS, || {
@@ -64,7 +63,7 @@ fn main() {
             )
             .unwrap()
         });
-        t.row(&["aggregate/group_count".into(), scale.to_string(), us(d)]);
+        t.measure("aggregate/group_count", &scale.to_string(), d);
     }
 
     // SQL front end
@@ -77,12 +76,12 @@ fn main() {
         )
         .unwrap()
     });
-    t.row(&["sql/parse_only".into(), "-".into(), us(d)]);
+    t.measure("sql/parse_only", "-", d);
     let d = median_time(RUNS, || {
         db.run_sql("SELECT course_id FROM COURSES WHERE level = 'graduate' LIMIT 10")
             .unwrap()
     });
-    t.row(&["sql/run_select".into(), "-".into(), us(d)]);
+    t.measure("sql/run_select", "-", d);
 
-    println!("{}", t.render());
+    t.finish();
 }

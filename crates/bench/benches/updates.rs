@@ -1,7 +1,7 @@
 //! Benches A1–A3 — translation throughput of the three view-object update
 //! algorithms (VO-CD, VO-CI, VO-R) versus database scale and change kind.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{median_time, Reporter};
 use vo_core::prelude::*;
 use vo_penguin::university_scaled;
 
@@ -30,11 +30,11 @@ fn setup(scale: i64) -> Setup {
 }
 
 fn main() {
-    banner(
+    let mut t = Reporter::new(
         "A1-A3",
         "update translation throughput (VO-CD, VO-CI, VO-R)",
+        "scale",
     );
-    let mut t = TextTable::new(&["case", "scale", "median_us"]);
 
     for scale in [1i64, 8, 32] {
         let s = setup(scale);
@@ -58,7 +58,7 @@ fn main() {
             )
             .unwrap()
         });
-        t.row(&["vo_cd/translate".into(), scale.to_string(), us(d)]);
+        t.measure("vo_cd/translate", &scale.to_string(), d);
 
         // VO-CD: translate + apply + undo (round trip on a clone-free path)
         let ops = translate_complete_deletion(
@@ -77,7 +77,7 @@ fn main() {
                 db.apply(u).unwrap();
             }
         });
-        t.row(&["vo_cd/apply".into(), scale.to_string(), us(d)]);
+        t.measure("vo_cd/apply", &scale.to_string(), d);
 
         // VO-CI: re-insert the (deleted) instance
         let mut deleted = s.db.clone();
@@ -93,7 +93,7 @@ fn main() {
             )
             .unwrap()
         });
-        t.row(&["vo_ci/translate".into(), scale.to_string(), us(d)]);
+        t.measure("vo_ci/translate", &scale.to_string(), d);
 
         // VO-R: non-key change and key change
         let courses = s.db.table("COURSES").unwrap().schema().clone();
@@ -115,7 +115,7 @@ fn main() {
             )
             .unwrap()
         });
-        t.row(&["vo_r/nonkey".into(), scale.to_string(), us(d)]);
+        t.measure("vo_r/nonkey", &scale.to_string(), d);
 
         let mut new_key = inst.clone();
         new_key.root.tuple = new_key
@@ -135,7 +135,7 @@ fn main() {
             )
             .unwrap()
         });
-        t.row(&["vo_r/key".into(), scale.to_string(), us(d)]);
+        t.measure("vo_r/key", &scale.to_string(), d);
     }
 
     // strict-vs-fast apply ablation (full consistency check per update)
@@ -153,7 +153,7 @@ fn main() {
         updater.delete(&s.schema, &mut db, inst.clone()).unwrap();
         updater.insert(&s.schema, &mut db, inst.clone()).unwrap();
     });
-    t.row(&["pipeline/strict_roundtrip".into(), "8".into(), us(d)]);
+    t.measure("pipeline/strict_roundtrip", "8", d);
     let mut fast = updater.clone();
     fast.strict = false;
     let mut db = s.db.clone();
@@ -161,7 +161,7 @@ fn main() {
         fast.delete(&s.schema, &mut db, inst.clone()).unwrap();
         fast.insert(&s.schema, &mut db, inst.clone()).unwrap();
     });
-    t.row(&["pipeline/fast_roundtrip".into(), "8".into(), us(d)]);
+    t.measure("pipeline/fast_roundtrip", "8", d);
 
-    println!("{}", t.render());
+    t.finish();
 }

@@ -9,7 +9,7 @@
 //!    example (join-attribute update) and silently leaves structural
 //!    damage on deletion that the view-object translator repairs.
 
-use vo_bench::{banner, median_time, us, TextTable};
+use vo_bench::{banner, emit_measurement, median_time, us, Json, TextTable};
 use vo_core::prelude::*;
 use vo_keller::{KellerTranslator, SpjView};
 use vo_penguin::university_scaled;
@@ -78,6 +78,13 @@ fn amortization() {
         ]);
     }
     print!("{}", table.render());
+    emit_measurement(
+        "B1a",
+        "dialog/definition_time",
+        vec![("questions", Json::Int(transcript.len() as i64))],
+        d_dialog,
+    );
+    emit_measurement("B1a", "translate/replacement", vec![], d_update);
     println!(
         "(dialog: {} questions, {} us; one translation: {} us — the dialog cost",
         transcript.len(),
@@ -299,6 +306,10 @@ fn baseline_cost() {
             ops
         });
         table.row(&[scale.to_string(), us(d_vo), us(d_keller), us(d_direct)]);
+        let scale_field = vec![("scale", Json::Int(scale))];
+        emit_measurement("B1c", "delete/view_object", scale_field.clone(), d_vo);
+        emit_measurement("B1c", "delete/keller", scale_field.clone(), d_keller);
+        emit_measurement("B1c", "delete/direct", scale_field, d_direct);
     }
     print!("{}", table.render());
     println!("(expected ordering: direct < view-object < flat-view join; the object");
@@ -352,6 +363,38 @@ fn batched_instantiation() {
         counter_lines.push(format!(
             "scale {scale:>2}  batched[{batched_delta}]\n          indexed[{indexed_delta}]"
         ));
+        let with_scale = |extra: Vec<(&'static str, Json)>| {
+            let mut f = vec![("scale", Json::Int(scale))];
+            f.extend(extra);
+            f
+        };
+        emit_measurement(
+            "B1d",
+            "instantiate/legacy",
+            with_scale(vec![("instances", Json::Int(instances.len() as i64))]),
+            d_legacy,
+        );
+        emit_measurement(
+            "B1d",
+            "instantiate/batched",
+            with_scale(vec![(
+                "fallback_scans",
+                Json::Int(batched_delta.fallback_scans as i64),
+            )]),
+            d_batched,
+        );
+        emit_measurement(
+            "B1d",
+            "instantiate/indexed",
+            with_scale(vec![
+                ("index_probes", Json::Int(indexed_delta.index_probes as i64)),
+                (
+                    "fallback_scans",
+                    Json::Int(indexed_delta.fallback_scans as i64),
+                ),
+            ]),
+            d_indexed,
+        );
         assert_eq!(
             indexed_delta.fallback_scans, 0,
             "indexed batched instantiation must never fall back to a scan"

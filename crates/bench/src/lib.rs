@@ -7,6 +7,7 @@
 //! artifact.
 
 use std::time::{Duration, Instant};
+use vo_obs::metrics;
 
 /// Time one closure.
 pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
@@ -84,6 +85,77 @@ pub fn us(d: Duration) -> String {
     format!("{:.1}", d.as_secs_f64() * 1e6)
 }
 
+pub use vo_obs::json::Json;
+
+/// Record one measurement into the vo-obs metrics registry and print its
+/// compact JSON line, without any table bookkeeping — for experiment
+/// binaries that keep their own narrative tables. `fields` lands between
+/// the `case` and `median_us` keys.
+pub fn emit_measurement(bench: &str, case: &str, fields: Vec<(&str, Json)>, d: Duration) {
+    metrics::histogram(&format!("bench.{bench}.us")).record_duration(d);
+    metrics::counter(&format!("bench.{bench}.measurements")).inc();
+    let mut pairs = vec![("bench", Json::str(bench)), ("case", Json::str(case))];
+    pairs.extend(fields);
+    pairs.push((
+        "median_us",
+        Json::Float((d.as_secs_f64() * 1e7).round() / 10.0),
+    ));
+    println!("{}", Json::obj(pairs).compact());
+}
+
+/// Measurement reporter for benches and experiment binaries.
+///
+/// Every [`Reporter::measure`] call does three things at once: appends a
+/// row to the human-readable table, records the duration into the vo-obs
+/// metrics registry (`bench.<id>.us` histogram, `bench.<id>.measurements`
+/// counter), and prints one compact JSON line (`{"bench":...,"case":...}`)
+/// so harnesses can scrape measurements without parsing the table.
+/// [`Reporter::finish`] prints the table plus a registry-snapshot summary
+/// line aggregating the run.
+pub struct Reporter {
+    id: String,
+    param: String,
+    table: TextTable,
+}
+
+impl Reporter {
+    /// Start a report; prints the experiment banner. `param` names the
+    /// middle table column ("scale", "n", ...).
+    pub fn new(id: &str, title: &str, param: &str) -> Self {
+        banner(id, title);
+        Reporter {
+            id: id.to_owned(),
+            param: param.to_owned(),
+            table: TextTable::new(&["case", param, "median_us"]),
+        }
+    }
+
+    /// Record one measurement: table row + registry observation + one
+    /// compact JSON line on stdout.
+    pub fn measure(&mut self, case: &str, param: &str, d: Duration) {
+        self.table.row(&[case.to_owned(), param.to_owned(), us(d)]);
+        emit_measurement(
+            &self.id,
+            case,
+            vec![(self.param.as_str(), Json::str(param))],
+            d,
+        );
+    }
+
+    /// Print the aligned table and one registry-derived summary line.
+    pub fn finish(self) {
+        println!("{}", self.table.render());
+        let hist = metrics::histogram(&format!("bench.{}.us", self.id)).snapshot();
+        let count = metrics::counter(&format!("bench.{}.measurements", self.id)).get();
+        let summary = Json::obj(vec![
+            ("bench", Json::str(self.id)),
+            ("measurements", Json::Int(count as i64)),
+            ("us", hist.to_json()),
+        ]);
+        println!("{}", summary.compact());
+    }
+}
+
 /// Print an experiment banner.
 pub fn banner(id: &str, title: &str) {
     println!("==================================================================");
@@ -118,5 +190,17 @@ mod tests {
     #[test]
     fn us_formats() {
         assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+    }
+
+    #[test]
+    fn reporter_records_into_registry() {
+        let mut r = Reporter::new("T9", "reporter test", "n");
+        r.measure("case_a", "1", Duration::from_micros(100));
+        r.measure("case_b", "2", Duration::from_micros(200));
+        assert!(metrics::counter("bench.T9.measurements").get() >= 2);
+        let snap = metrics::histogram("bench.T9.us").snapshot();
+        assert!(snap.count >= 2);
+        assert!(snap.sum >= 300);
+        r.finish();
     }
 }

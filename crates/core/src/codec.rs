@@ -24,7 +24,7 @@ fn strings_to_json(items: &[String]) -> Json {
 fn strings_from_json(json: &Json) -> Result<Vec<String>> {
     json.elements()?
         .iter()
-        .map(|s| s.as_str().map(str::to_owned))
+        .map(|s| s.as_str().map(str::to_owned).map_err(Error::from))
         .collect()
 }
 
@@ -116,7 +116,7 @@ impl VoNode {
                 .field("children")?
                 .elements()?
                 .iter()
-                .map(|c| c.as_usize())
+                .map(|c| c.as_usize().map_err(Error::from))
                 .collect::<Result<Vec<_>>>()?,
         })
     }

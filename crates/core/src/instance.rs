@@ -12,6 +12,8 @@
 
 use crate::object::{NodeId, ViewObject};
 use std::collections::BTreeMap;
+use std::time::Instant;
+use vo_obs::trace;
 use vo_relational::prelude::*;
 use vo_structural::prelude::*;
 
@@ -368,7 +370,8 @@ fn probe_step(
 ) -> Result<Vec<(usize, Tuple)>> {
     let target = db.table(&step.target)?;
     let mut out = Vec::new();
-    if target.has_index_at(&step.target_indices) {
+    let indexed = target.has_index_at(&step.target_indices);
+    if indexed {
         for &(origin, tuple) in inputs {
             let vals = tuple.project(&step.source_indices);
             if vals.iter().any(Value::is_null) {
@@ -391,7 +394,28 @@ fn probe_step(
             }
         }
     }
+    trace::event_with("core.probe_step", || {
+        vec![
+            ("source", Json::str(step.source.clone())),
+            ("target", Json::str(step.target.clone())),
+            ("access", Json::str(step_access_label(indexed))),
+            ("rows_in", Json::Int(inputs.len() as i64)),
+            ("rows_out", Json::Int(out.len() as i64)),
+        ]
+    });
     Ok(out)
+}
+
+/// Access-path label for one edge step, keyed off the same index check
+/// [`probe_step`] makes — `index probe` when a secondary index covers the
+/// target's connecting attributes, `hash build (scan)` when the step falls
+/// back to scanning the target into a hash table.
+fn step_access_label(indexed: bool) -> &'static str {
+    if indexed {
+        "index probe"
+    } else {
+        "hash build (scan)"
+    }
 }
 
 /// Follow a prepared edge for every parent tuple at once. Returns one
@@ -403,14 +427,42 @@ pub fn follow_edge_batch(
     db: &Database,
     parents: &[&Tuple],
 ) -> Result<Vec<Vec<Tuple>>> {
-    let Some((first, rest)) = plan.steps.split_first() else {
+    follow_edge_batch_inner(plan, db, parents, None)
+}
+
+/// [`follow_edge_batch`] with an optional per-step profile sink: when
+/// `profile` is `Some`, one [`ProfileNode`] per step (access path, rows
+/// in/out, elapsed time) is appended to it.
+fn follow_edge_batch_inner(
+    plan: &EdgePlan,
+    db: &Database,
+    parents: &[&Tuple],
+    mut profile: Option<&mut Vec<ProfileNode>>,
+) -> Result<Vec<Vec<Tuple>>> {
+    if plan.steps.is_empty() {
         return Err(Error::InvalidPlan("edge plan without steps".into()));
-    };
-    let inputs: Vec<(usize, &Tuple)> = parents.iter().copied().enumerate().collect();
-    let mut frontier = probe_step(first, db, &inputs)?;
-    for step in rest {
-        let inputs: Vec<(usize, &Tuple)> = frontier.iter().map(|(o, t)| (*o, t)).collect();
+    }
+    let mut frontier: Vec<(usize, Tuple)> = Vec::new();
+    for (i, step) in plan.steps.iter().enumerate() {
+        let inputs: Vec<(usize, &Tuple)> = if i == 0 {
+            parents.iter().copied().enumerate().collect()
+        } else {
+            frontier.iter().map(|(o, t)| (*o, t)).collect()
+        };
+        let rows_in = inputs.len();
+        let start = profile.as_ref().map(|_| Instant::now());
         frontier = probe_step(step, db, &inputs)?;
+        if let Some(sink) = profile.as_deref_mut() {
+            let indexed = db.table(&step.target)?.has_index_at(&step.target_indices);
+            let mut node = ProfileNode::new(format!("Step[{} -> {}]", step.source, step.target));
+            node.access_path = step_access_label(indexed).to_owned();
+            node.rows_in = rows_in as u64;
+            node.rows_out = frontier.len() as u64;
+            if let Some(s) = start {
+                node.set_elapsed(s.elapsed());
+            }
+            sink.push(node);
+        }
     }
     let term_schema = db.table(&plan.terminal)?.schema();
     let mut out: Vec<Vec<Tuple>> = vec![Vec::new(); parents.len()];
@@ -501,6 +553,36 @@ pub fn instantiate_many_planned(
     plan: &ObjectPlan,
     pivots: &[&Tuple],
 ) -> Result<Vec<VoInstance>> {
+    instantiate_planned_inner(object, db, plan, pivots, None)
+}
+
+/// [`instantiate_many_planned`], additionally returning a structured
+/// profile of the instantiation: the root node covers the whole call, one
+/// child per object edge (in instantiation order), and one grandchild per
+/// edge step carrying the access path actually taken (`index probe` vs
+/// `hash build (scan)`), rows in/out and elapsed time.
+pub fn instantiate_many_profiled(
+    object: &ViewObject,
+    db: &Database,
+    plan: &ObjectPlan,
+    pivots: &[&Tuple],
+) -> Result<(Vec<VoInstance>, ProfileNode)> {
+    let start = Instant::now();
+    let mut root = ProfileNode::new(format!("Instantiate({})", object.name()));
+    let instances = instantiate_planned_inner(object, db, plan, pivots, Some(&mut root))?;
+    root.rows_in = pivots.len() as u64;
+    root.rows_out = instances.len() as u64;
+    root.set_elapsed(start.elapsed());
+    Ok((instances, root))
+}
+
+fn instantiate_planned_inner(
+    object: &ViewObject,
+    db: &Database,
+    plan: &ObjectPlan,
+    pivots: &[&Tuple],
+    mut profile: Option<&mut ProfileNode>,
+) -> Result<Vec<VoInstance>> {
     if plan.object != object.name() {
         return Err(Error::InvalidPlan(format!(
             "plan prepared for object {}, used with {}",
@@ -508,6 +590,7 @@ pub fn instantiate_many_planned(
             object.name()
         )));
     }
+    let mut sp = trace::span("core.instantiate");
     let n = object.nodes().len();
     // rows[id]: every tuple bound at node id across all instances, in
     // parent-major order; parent_row[id][k]: index into rows[parent] of
@@ -519,7 +602,25 @@ pub fn instantiate_many_planned(
     for &id in order.iter().skip(1) {
         let eplan = plan.edge(id)?;
         let parent_refs: Vec<&Tuple> = rows[eplan.parent].iter().collect();
-        let per_parent = follow_edge_batch(eplan, db, &parent_refs)?;
+        let per_parent = if let Some(prof) = profile.as_deref_mut() {
+            let start = Instant::now();
+            let mut steps = Vec::new();
+            let per_parent = follow_edge_batch_inner(eplan, db, &parent_refs, Some(&mut steps))?;
+            let mut node = ProfileNode::new(format!(
+                "Edge[{} -> {}]",
+                object.node(eplan.parent).relation,
+                eplan.terminal
+            ));
+            node.access_path = edge_access_label(&steps);
+            node.rows_in = parent_refs.len() as u64;
+            node.rows_out = per_parent.iter().map(Vec::len).sum::<usize>() as u64;
+            node.set_elapsed(start.elapsed());
+            node.children = steps;
+            prof.children.push(node);
+            per_parent
+        } else {
+            follow_edge_batch(eplan, db, &parent_refs)?
+        };
         let mut r = Vec::new();
         let mut pr = Vec::new();
         for (j, terminals) in per_parent.into_iter().enumerate() {
@@ -548,6 +649,11 @@ pub fn instantiate_many_planned(
     }
     let roots = std::mem::take(&mut built[0]);
     vo_relational::stats::count_instances_built(roots.len() as u64);
+    if sp.is_recording() {
+        sp.field("object", Json::str(object.name()));
+        sp.field("pivots", Json::Int(pivots.len() as i64));
+        sp.field("instances", Json::Int(roots.len() as i64));
+    }
     Ok(roots
         .into_iter()
         .map(|root| VoInstance {
@@ -555,6 +661,17 @@ pub fn instantiate_many_planned(
             root,
         })
         .collect())
+}
+
+/// Summarize an edge's access path from its step profiles: the single
+/// shared label when every step agrees, `mixed` otherwise.
+fn edge_access_label(steps: &[ProfileNode]) -> String {
+    let mut labels: Vec<&str> = steps.iter().map(|s| s.access_path.as_str()).collect();
+    labels.dedup();
+    match labels.as_slice() {
+        [only] => (*only).to_owned(),
+        _ => "mixed".to_owned(),
+    }
 }
 
 /// Plan and batch-instantiate in one call.
@@ -833,6 +950,72 @@ mod tests {
         for rel in ["CURRICULUM", "DEPARTMENT", "GRADES", "STUDENT"] {
             assert!(rels.contains(&rel), "{rel} missing from {rels:?}");
         }
+    }
+
+    #[test]
+    fn profiled_instantiation_matches_planned_and_labels_access() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        {
+            let pivots: Vec<&Tuple> = db.table("COURSES").unwrap().scan().collect();
+            let plain = instantiate_many_planned(&omega, &db, &plan, &pivots).unwrap();
+            let (profiled, prof) = instantiate_many_profiled(&omega, &db, &plan, &pivots).unwrap();
+            assert_eq!(plain, profiled);
+            assert!(prof.label.contains("Instantiate(omega)"), "{}", prof.label);
+            assert_eq!(prof.rows_in, 3);
+            assert_eq!(prof.rows_out, 3);
+            // one child per non-root object node, each with >= 1 step
+            assert_eq!(prof.children.len(), omega.nodes().len() - 1);
+            assert!(prof.children.iter().all(|e| !e.children.is_empty()));
+            // without secondary indexes every step hash-builds over a scan
+            assert!(prof.any(&|n| n.access_path == "hash build (scan)"));
+            assert!(!prof.any(&|n| n.access_path == "index probe"));
+        }
+        // index every edge target and re-plan: all steps become probes
+        for (rel, attrs) in plan.required_indexes() {
+            db.ensure_index(&rel, &attrs).unwrap();
+        }
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        let pivots: Vec<&Tuple> = db.table("COURSES").unwrap().scan().collect();
+        let (_, prof) = instantiate_many_profiled(&omega, &db, &plan, &pivots).unwrap();
+        assert!(
+            !prof.any(&|n| n.access_path.contains("scan")),
+            "{}",
+            prof.render()
+        );
+        assert!(prof.any(&|n| n.access_path == "index probe"));
+        let grades = prof.find("Edge[COURSES -> GRADES]").unwrap();
+        assert_eq!(grades.access_path, "index probe");
+        assert_eq!(grades.rows_out, 17); // all GRADES rows bind across the 3 pivots
+    }
+
+    #[test]
+    fn instantiation_emits_spans_and_probe_events() {
+        let (schema, db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let scope = vo_obs::trace::start_trace();
+        instantiate_all(&schema, &omega, &db).unwrap();
+        let me = vo_obs::trace::current_thread_id();
+        let mine: Vec<_> = vo_obs::trace::events()
+            .into_iter()
+            .filter(|e| e.thread == me)
+            .collect();
+        drop(scope);
+        let inst = mine
+            .iter()
+            .find(|e| e.name == "core.instantiate")
+            .expect("instantiate span recorded");
+        assert_eq!(inst.field("object").unwrap(), &Json::str("omega"));
+        assert_eq!(inst.field("instances").unwrap(), &Json::Int(3));
+        let probes: Vec<_> = mine
+            .iter()
+            .filter(|e| e.name == "core.probe_step")
+            .collect();
+        assert_eq!(probes.len(), 4); // one batched step per edge
+        assert!(probes
+            .iter()
+            .all(|p| p.field("access").unwrap() == &Json::str("hash build (scan)")));
     }
 
     #[test]

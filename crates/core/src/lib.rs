@@ -79,8 +79,8 @@ pub mod prelude {
     };
     pub use crate::instance::{
         assemble, follow_edge, follow_edge_batch, instantiate_all, instantiate_all_legacy,
-        instantiate_many, instantiate_many_planned, plan_edge, plan_object, EdgePlan, ObjectPlan,
-        StepPlan, VoInstance, VoInstanceNode,
+        instantiate_many, instantiate_many_planned, instantiate_many_profiled, plan_edge,
+        plan_object, EdgePlan, ObjectPlan, StepPlan, VoInstance, VoInstanceNode,
     };
     pub use crate::island::{analyze, IslandAnalysis, KeySplit};
     pub use crate::metric::{extract_subgraph, MetricWeights, Subgraph};

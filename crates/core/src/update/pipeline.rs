@@ -65,6 +65,32 @@ impl ViewObjectUpdater {
         db: &Database,
         request: UpdateRequest,
     ) -> Result<Vec<DbOp>> {
+        let mut sp = vo_obs::trace::span("penguin.translate");
+        if sp.is_recording() {
+            sp.field("object", Json::str(self.object.name()));
+            sp.field("kind", Json::str(request.kind()));
+            sp.field(
+                "island_relations",
+                Json::Int(self.analysis.island_relations.len() as i64),
+            );
+            sp.field(
+                "peninsulas",
+                Json::Int(self.analysis.peninsulas.len() as i64),
+            );
+        }
+        let ops = self.translate_inner(schema, db, request)?;
+        if sp.is_recording() {
+            sp.field("ops", Json::Int(ops.len() as i64));
+        }
+        Ok(ops)
+    }
+
+    fn translate_inner(
+        &self,
+        schema: &StructuralSchema,
+        db: &Database,
+        request: UpdateRequest,
+    ) -> Result<Vec<DbOp>> {
         match request {
             UpdateRequest::CompleteInsertion(inst) => translate_complete_insertion(
                 schema,

@@ -12,6 +12,7 @@
 use crate::criteria::{check_side_effects, check_syntactic, ViewDelta};
 use crate::viewdef::SpjView;
 use std::collections::BTreeMap;
+use vo_obs::trace;
 use vo_relational::prelude::*;
 
 /// One candidate translation: the ops plus the relation family it deletes
@@ -96,6 +97,8 @@ pub fn enumerate_deletions(
     let expanded = expanded_rows(view, db)?;
     let removed = vec![view_row.to_vec()];
     let mut out = Vec::new();
+    let mut pruned_syntactic = 0i64;
+    let mut pruned_side_effects = 0i64;
     for rel in &view.relations {
         let keys = participating_keys(view, db, &expanded, rel, view_row)?;
         if keys.is_empty() {
@@ -112,7 +115,13 @@ pub fn enumerate_deletions(
             .into_iter()
             .map(|v| v.detail)
             .collect();
+        if !violations.is_empty() {
+            pruned_syntactic += 1;
+        }
         let side = check_side_effects(view, db, &ops, &ViewDelta::RowsRemoved(removed.clone()))?;
+        if !side.is_empty() {
+            pruned_side_effects += 1;
+        }
         violations.extend(side.into_iter().map(|v| v.detail));
         out.push(Candidate {
             target: rel.clone(),
@@ -121,6 +130,19 @@ pub fn enumerate_deletions(
             violations,
         });
     }
+    trace::event_with("keller.enumerate", || {
+        vec![
+            ("op", Json::str("delete")),
+            ("view", Json::str(view.name.clone())),
+            ("generated", Json::Int(out.len() as i64)),
+            (
+                "valid",
+                Json::Int(out.iter().filter(|c| c.valid).count() as i64),
+            ),
+            ("pruned_syntactic", Json::Int(pruned_syntactic)),
+            ("pruned_side_effects", Json::Int(pruned_side_effects)),
+        ]
+    });
     Ok(out)
 }
 
@@ -222,6 +244,24 @@ pub fn enumerate_insertion(view: &SpjView, db: &Database, view_row: &[Value]) ->
             }
         }
     }
+    trace::event_with("keller.enumerate", || {
+        let ambiguous = violations
+            .iter()
+            .filter(|v| v.contains("ambiguous"))
+            .count();
+        let conflicts = violations
+            .iter()
+            .filter(|v| v.contains("conflicts"))
+            .count();
+        vec![
+            ("op", Json::str("insert")),
+            ("view", Json::str(view.name.clone())),
+            ("generated", Json::Int(1)),
+            ("valid", Json::Int(violations.is_empty() as i64)),
+            ("pruned_ambiguous_key", Json::Int(ambiguous as i64)),
+            ("pruned_conflict", Json::Int(conflicts as i64)),
+        ]
+    });
     Ok(Candidate {
         target: "insertion".into(),
         valid: violations.is_empty(),
@@ -301,6 +341,27 @@ pub fn enumerate_replacements(
             violations,
         });
     }
+    trace::event_with("keller.enumerate", || {
+        let join_attr = out
+            .iter()
+            .filter(|c| c.violations.iter().any(|v| v.contains("join attribute")))
+            .count();
+        let missing = out
+            .iter()
+            .filter(|c| c.violations.iter().any(|v| v.contains("not found")))
+            .count();
+        vec![
+            ("op", Json::str("replace")),
+            ("view", Json::str(view.name.clone())),
+            ("generated", Json::Int(out.len() as i64)),
+            (
+                "valid",
+                Json::Int(out.iter().filter(|c| c.valid).count() as i64),
+            ),
+            ("pruned_join_attr", Json::Int(join_attr as i64)),
+            ("pruned_missing_row", Json::Int(missing as i64)),
+        ]
+    });
     Ok(out)
 }
 
@@ -460,6 +521,35 @@ mod tests {
         new[1] = Value::text("z");
         let cands = enumerate_replacements(&view, &db, &old, &new).unwrap();
         assert!(!cands[0].valid);
+    }
+
+    #[test]
+    fn enumeration_traces_generated_vs_pruned() {
+        let (_, db) = university_database();
+        let view = course_dept_view();
+        let row = vec![
+            Value::text("CS345"),
+            Value::text("Database Systems"),
+            Value::text("Computer Science"),
+        ];
+        let scope = trace::start_trace();
+        enumerate_deletions(&view, &db, &row).unwrap();
+        let me = trace::current_thread_id();
+        let ev = trace::events()
+            .into_iter()
+            .rfind(|e| {
+                e.thread == me
+                    && e.name == "keller.enumerate"
+                    && e.field("op") == Some(&Json::str("delete"))
+            })
+            .expect("enumerate event");
+        drop(scope);
+        // 2 candidates generated; DEPARTMENT pruned by the side-effect
+        // criterion (deleting it would also remove CS101's view row)
+        assert_eq!(ev.field("generated").unwrap(), &Json::Int(2));
+        assert_eq!(ev.field("valid").unwrap(), &Json::Int(1));
+        assert_eq!(ev.field("pruned_side_effects").unwrap(), &Json::Int(1));
+        assert_eq!(ev.field("pruned_syntactic").unwrap(), &Json::Int(0));
     }
 
     #[test]

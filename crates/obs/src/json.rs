@@ -1,19 +1,38 @@
 //! A minimal JSON document model, parser, and pretty-printer.
 //!
 //! The catalog layer persists whole PENGUIN systems (schema + data +
-//! objects + translators) as JSON. Rather than depend on an external
-//! serialization framework, the persisted type closure is small enough to
-//! hand-code against this document model: [`Json`] is the tree, [`parse`]
-//! reads a string, and [`Json::pretty`] renders one with stable,
-//! human-diffable formatting.
+//! objects + translators) as JSON, and the observability layer exports
+//! traces, metrics, and profiles through the same document model. Rather
+//! than depend on an external serialization framework, the persisted type
+//! closure is small enough to hand-code against this document model:
+//! [`Json`] is the tree, [`parse`] reads a string, [`Json::pretty`]
+//! renders one with stable, human-diffable formatting, and
+//! [`Json::compact`] renders a single line (for JSONL streams).
 //!
 //! Integers and floats are kept as distinct variants so `i64` values
 //! round-trip exactly; floats print with Rust's shortest-roundtrip
 //! formatting.
 
-use crate::error::{Error, Result};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// An error from the JSON layer (parse failure or shape mismatch).
+///
+/// Deliberately a plain message: callers living in richer error taxonomies
+/// convert via their own `From<JsonError>` impls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for the JSON layer.
+pub type Result<T> = std::result::Result<T, JsonError>;
 
 /// A parsed JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +152,14 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no insignificant whitespace — the shape
+    /// used for JSONL trace exports and per-measurement bench records.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -184,6 +211,42 @@ impl Json {
             }
         }
     }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => write_float(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 fn indent(out: &mut String, depth: usize) {
@@ -225,8 +288,8 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn bad(msg: impl Into<String>) -> Error {
-    Error::Serialization(msg.into())
+fn bad(msg: impl Into<String>) -> JsonError {
+    JsonError(msg.into())
 }
 
 /// Parse a JSON document, rejecting trailing garbage.
@@ -249,7 +312,7 @@ struct Parser<'a> {
     pos: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -500,6 +563,22 @@ mod tests {
             ("empty", Json::Obj(vec![])),
         ]);
         assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let v = Json::obj(vec![
+            ("metric", Json::str("bench.instantiate")),
+            ("value", Json::Float(12.5)),
+            ("tags", Json::Arr(vec![Json::Int(1), Json::Null])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            line,
+            "{\"metric\":\"bench.instantiate\",\"value\":12.5,\"tags\":[1,null]}"
+        );
+        assert_eq!(parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # vo-obs — observability substrate for the PENGUIN stack
+//!
+//! Zero-dependency tracing, metrics, and profiling shared by every layer
+//! of the view-object reproduction:
+//!
+//! - [`trace`] — a span-based tracer: thread-local span stacks, monotonic
+//!   timings, a bounded global event collector, and JSONL export. Off by
+//!   default; each instrumentation point costs one relaxed atomic load
+//!   while disabled.
+//! - [`metrics`] — a registry of named counters and log₂-bucket latency
+//!   histograms with interned `&'static` atomic handles, so hot-path
+//!   increments cost the same as hand-rolled statics.
+//! - [`profile`] — the operator-tree profile returned by
+//!   `EXPLAIN ANALYZE` and `Penguin::profile()`: rows in/out, wall time,
+//!   and the access path per node.
+//! - [`json`] — the in-tree JSON document model (moved here from
+//!   `vo-relational` so every layer, including this one, can share it
+//!   without a dependency cycle).
+//!
+//! This crate sits below `vo-relational` and therefore depends on nothing
+//! in the workspace.
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::json::{Json, JsonError};
+    pub use crate::metrics::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
+    pub use crate::profile::ProfileNode;
+    pub use crate::trace::{SpanEvent, SpanGuard, TraceScope};
+}

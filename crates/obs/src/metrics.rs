@@ -1,0 +1,367 @@
+//! A process-global metrics registry: named counters and log₂-bucket
+//! latency histograms.
+//!
+//! Handles are interned once ([`counter`], [`histogram`]) and are plain
+//! `&'static` atomics afterwards, so hot-path increments cost the same as
+//! a hand-rolled `static AtomicU64` — the registry only takes its lock at
+//! registration and snapshot time. Names are dotted by layer:
+//! `relational.index_probes`, `penguin.plan_cache.hits`,
+//! `bench.instantiate.batched_us`.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Histogram bucket count: bucket 0 holds value 0, bucket `b ≥ 1` holds
+/// values with exactly `b` significant bits, i.e. `[2^(b-1), 2^b - 1]`.
+pub const BUCKETS: usize = 65;
+
+/// A registered counter handle; cheap to copy, relaxed-atomic to bump.
+#[derive(Clone, Copy)]
+pub struct Counter(&'static AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A registered histogram handle over log₂ buckets.
+#[derive(Clone, Copy)]
+pub struct Histogram(&'static HistogramCells);
+
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The log₂ bucket index of a value: 0 for 0, else the number of
+/// significant bits.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The inclusive lower bound of a bucket.
+pub fn bucket_floor(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let cells = self.0;
+        cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(v, Ordering::Relaxed);
+        cells.min.fetch_min(v, Ordering::Relaxed);
+        cells.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cells = self.0;
+        let count = cells.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: cells.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                cells.min.load(Ordering::Relaxed)
+            },
+            max: cells.max.load(Ordering::Relaxed),
+            buckets: cells
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let n = c.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_floor(i), n))
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero every cell.
+    pub fn reset(&self) {
+        let cells = self.0;
+        for b in &cells.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        cells.count.store(0, Ordering::Relaxed);
+        cells.sum.store(0, Ordering::Relaxed);
+        cells.min.store(u64::MAX, Ordering::Relaxed);
+        cells.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={} sum={})", s.count, s.sum)
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("sum", Json::Int(self.sum as i64)),
+            ("min", Json::Int(self.min as i64)),
+            ("max", Json::Int(self.max as i64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(lo, n)| Json::Arr(vec![Json::Int(lo as i64), Json::Int(n as i64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+struct RegistryInner {
+    counters: BTreeMap<String, &'static AtomicU64>,
+    histograms: BTreeMap<String, &'static HistogramCells>,
+}
+
+fn registry() -> &'static Mutex<RegistryInner> {
+    static R: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
+    R.get_or_init(|| {
+        Mutex::new(RegistryInner {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    })
+}
+
+/// Register (or fetch) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    let mut r = registry().lock().unwrap();
+    if let Some(c) = r.counters.get(name) {
+        return Counter(c);
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    r.counters.insert(name.to_owned(), cell);
+    Counter(cell)
+}
+
+/// Register (or fetch) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut r = registry().lock().unwrap();
+    if let Some(h) = r.histograms.get(name) {
+        return Histogram(h);
+    }
+    let cells: &'static HistogramCells = Box::leak(Box::new(HistogramCells::new()));
+    r.histograms.insert(name.to_owned(), cells);
+    Histogram(cells)
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as a JSON object `{counters: {...}, histograms: {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Snapshot every registered metric.
+pub fn snapshot_all() -> MetricsSnapshot {
+    let r = registry().lock().unwrap();
+    MetricsSnapshot {
+        counters: r
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.load(Ordering::Relaxed)))
+            .collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), Histogram(h).snapshot()))
+            .collect(),
+    }
+}
+
+/// Reset every registered metric to zero.
+pub fn reset_all() {
+    let r = registry().lock().unwrap();
+    for c in r.counters.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for h in r.histograms.values() {
+        Histogram(h).reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_and_accumulate() {
+        let a = counter("test.metrics.alpha");
+        let b = counter("test.metrics.alpha");
+        let before = a.get();
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), before + 3);
+        assert!(snapshot_all().counters.contains_key("test.metrics.alpha"));
+    }
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(1), 1);
+        assert_eq!(bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = histogram("test.metrics.latency");
+        h.reset();
+        for v in [0, 1, 3, 100, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 204);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 40.8).abs() < 1e-9);
+        // buckets: 0 -> 1, [1,1] -> 1, [2,3] -> 1, [64,127] -> 2
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 1), (64, 2)]);
+        let j = s.to_json();
+        assert_eq!(j.field("count").unwrap().as_i64().unwrap(), 5);
+    }
+
+    #[test]
+    fn snapshot_json_renders() {
+        counter("test.metrics.json").inc();
+        let j = snapshot_all().to_json();
+        assert!(j
+            .field("counters")
+            .unwrap()
+            .field("test.metrics.json")
+            .is_ok());
+        // compact form stays one line
+        assert!(!j.compact().contains('\n'));
+    }
+}

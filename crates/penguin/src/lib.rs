@@ -24,5 +24,5 @@ pub use fixtures::{hospital_database, hospital_schema, seed_hospital};
 pub use generator::{
     seed_ownership_chain, seed_university_scaled, synthetic_schema, university_scaled, SchemaShape,
 };
-pub use system::{Penguin, RegisteredObject};
+pub use system::{Penguin, PlanCacheStats, RegisteredObject};
 pub use voql::{parse as parse_voql, run as run_voql, VoqlOutcome, VoqlStatement};

@@ -3,9 +3,43 @@
 //! (paper §3: "a first prototype of our view-object model has been
 //! implemented in the PENGUIN system").
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 use vo_core::prelude::*;
+use vo_obs::metrics::{self, Counter};
+
+/// Point-in-time counters for one [`Penguin`]'s object-plan cache.
+///
+/// Per-instance (a [`Cell`] inside the system), so concurrent tests and
+/// systems never see each other's traffic; the same events also feed the
+/// process-wide `penguin.plan_cache.*` counters in the [`vo_obs::metrics`]
+/// registry for JSON export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Plan served straight from the cache at the current structure epoch.
+    pub hits: u64,
+    /// Plan built because none was cached for the object.
+    pub misses: u64,
+    /// Cached plans dropped: explicit invalidation, a `database_mut`
+    /// borrow, or a stale plan discovered at lookup time.
+    pub invalidations: u64,
+}
+
+fn cache_hits() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("penguin.plan_cache.hits"))
+}
+
+fn cache_misses() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("penguin.plan_cache.misses"))
+}
+
+fn cache_invalidations() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("penguin.plan_cache.invalidations"))
+}
 
 /// A registered view object: definition, island analysis, and (once
 /// chosen) its translator-backed updater.
@@ -32,18 +66,15 @@ pub struct Penguin {
     /// epoch moves (index created, relation added/dropped, or a table
     /// borrowed mutably); tuple-level updates leave them valid.
     plans: RefCell<BTreeMap<String, ObjectPlan>>,
+    /// Hit/miss/invalidation counters for `plans`.
+    cache_stats: Cell<PlanCacheStats>,
 }
 
 impl Penguin {
     /// Create a system over a structural schema with an empty database.
     pub fn new(schema: StructuralSchema) -> Self {
         let db = Database::from_schema(schema.catalog());
-        Penguin {
-            schema,
-            db,
-            objects: BTreeMap::new(),
-            plans: RefCell::new(BTreeMap::new()),
-        }
+        Penguin::with_database(schema, db)
     }
 
     /// Create a system over an existing database.
@@ -53,6 +84,7 @@ impl Penguin {
             db,
             objects: BTreeMap::new(),
             plans: RefCell::new(BTreeMap::new()),
+            cache_stats: Cell::new(PlanCacheStats::default()),
         }
     }
 
@@ -71,7 +103,7 @@ impl Penguin {
     /// the caller may change structure through the borrow, and plans
     /// rebuild lazily on the next instantiation anyway.
     pub fn database_mut(&mut self) -> &mut Database {
-        self.plans.borrow_mut().clear();
+        self.drop_plans();
         &mut self.db
     }
 
@@ -80,7 +112,31 @@ impl Penguin {
     /// this automatic for structural changes routed through [`Database`];
     /// the hook exists for callers that mutate structure out of band.
     pub fn invalidate_plans(&self) {
-        self.plans.borrow_mut().clear();
+        self.drop_plans();
+    }
+
+    /// This system's plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.cache_stats.get()
+    }
+
+    fn drop_plans(&self) {
+        let dropped = {
+            let mut cache = self.plans.borrow_mut();
+            let n = cache.len() as u64;
+            cache.clear();
+            n
+        };
+        if dropped > 0 {
+            self.bump(|s| s.invalidations += dropped);
+            cache_invalidations().add(dropped);
+        }
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut PlanCacheStats)) {
+        let mut s = self.cache_stats.get();
+        f(&mut s);
+        self.cache_stats.set(s);
     }
 
     /// The prepared plan for a registered object, rebuilt if the database
@@ -89,9 +145,16 @@ impl Penguin {
         let mut cache = self.plans.borrow_mut();
         if let Some(p) = cache.get(name) {
             if p.is_current(&self.db) {
+                self.bump(|s| s.hits += 1);
+                cache_hits().inc();
                 return Ok(p.clone());
             }
+            // stale plan: the structure epoch moved underneath it
+            self.bump(|s| s.invalidations += 1);
+            cache_invalidations().inc();
         }
+        self.bump(|s| s.misses += 1);
+        cache_misses().inc();
         let p = plan_object(&self.schema, object, &self.db)?;
         cache.insert(name.to_owned(), p.clone());
         Ok(p)
@@ -220,6 +283,20 @@ impl Penguin {
         let plan = self.object_plan(name, &reg.object)?;
         let pivots: Vec<&Tuple> = self.db.table(reg.object.pivot())?.scan().collect();
         instantiate_many_planned(&reg.object, &self.db, &plan, &pivots)
+    }
+
+    /// Instantiate all of an object's instances and return the structured
+    /// operator-tree profile of the run: `Instantiate(<object>)` at the
+    /// root, one child per object edge, one grandchild per edge step, each
+    /// carrying rows in/out, elapsed time, and the access path taken
+    /// (`index probe` vs `hash build (scan)`). Pairs with SQL
+    /// `EXPLAIN ANALYZE` as the observability surface of the system.
+    pub fn profile(&self, name: &str) -> Result<ProfileNode> {
+        let reg = self.object(name)?;
+        let plan = self.object_plan(name, &reg.object)?;
+        let pivots: Vec<&Tuple> = self.db.table(reg.object.pivot())?.scan().collect();
+        let (_, prof) = instantiate_many_profiled(&reg.object, &self.db, &plan, &pivots)?;
+        Ok(prof)
     }
 
     /// The instance anchored on `pivot_key`, if present.
@@ -398,6 +475,74 @@ mod tests {
         assert_eq!(d.hash_builds, 0);
         assert!(d.index_probes > 0);
         assert_eq!(d.instances_built, 3);
+    }
+
+    #[test]
+    fn profile_of_indexed_workload_has_zero_fallback_scans() {
+        let mut p = system();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        let prof = p.profile("omega").unwrap();
+        assert_eq!(prof.label, "Instantiate(omega)");
+        assert_eq!(prof.rows_out, 3);
+        // registration provisioned every edge index, so no step may fall
+        // back to a scan-backed hash build
+        assert!(
+            !prof.any(&|n| n.access_path.contains("scan")),
+            "fallback scan in profile:\n{}",
+            prof.render()
+        );
+        assert!(prof.any(&|n| n.access_path == "index probe"));
+        // one edge node per non-root object node, each with steps beneath
+        let object = &p.object("omega").unwrap().object;
+        assert_eq!(prof.children.len(), object.nodes().len() - 1);
+        assert!(prof.children.iter().all(|e| !e.children.is_empty()));
+        // rendering carries the measurements
+        let text = prof.render();
+        assert!(text.contains("access=index probe"));
+        assert!(text.contains("rows_out=3"));
+    }
+
+    #[test]
+    fn plan_cache_counts_hits_misses_and_invalidations() {
+        let mut p = system();
+        p.define_object("omega", "COURSES", &["GRADES"]).unwrap();
+        let s0 = p.plan_cache_stats();
+        // registration pre-seeds the cache → first instantiation hits
+        p.instantiate_all("omega").unwrap();
+        let s1 = p.plan_cache_stats();
+        assert_eq!(s1.hits, s0.hits + 1);
+        assert_eq!(s1.misses, s0.misses);
+        // explicit invalidation drops the cached plan
+        p.invalidate_plans();
+        let s2 = p.plan_cache_stats();
+        assert_eq!(s2.invalidations, s1.invalidations + 1);
+        // next instantiation misses and rebuilds
+        p.instantiate_all("omega").unwrap();
+        let s3 = p.plan_cache_stats();
+        assert_eq!(s3.misses, s2.misses + 1);
+        // a structural borrow also invalidates
+        p.database_mut();
+        let s4 = p.plan_cache_stats();
+        assert_eq!(s4.invalidations, s3.invalidations + 1);
+        // empty cache: invalidating again counts nothing
+        p.invalidate_plans();
+        assert_eq!(p.plan_cache_stats().invalidations, s4.invalidations);
+        // the same traffic reached the global registry
+        let snap = vo_obs::metrics::snapshot_all();
+        assert!(*snap.counters.get("penguin.plan_cache.hits").unwrap() >= 1);
+        assert!(*snap.counters.get("penguin.plan_cache.misses").unwrap() >= 1);
+        assert!(
+            *snap
+                .counters
+                .get("penguin.plan_cache.invalidations")
+                .unwrap()
+                >= 2
+        );
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl RelationSchema {
             .field("key")?
             .elements()?
             .iter()
-            .map(|k| k.as_str().map(str::to_owned))
+            .map(|k| k.as_str().map(str::to_owned).map_err(Error::from))
             .collect::<Result<Vec<_>>>()?;
         let key: Vec<&str> = key_owned.iter().map(String::as_str).collect();
         RelationSchema::new(name, attributes, &key)
@@ -188,7 +188,7 @@ impl RelationSnapshot {
                 .map(|idx| {
                     idx.elements()?
                         .iter()
-                        .map(|a| a.as_str().map(str::to_owned))
+                        .map(|a| a.as_str().map(str::to_owned).map_err(Error::from))
                         .collect::<Result<Vec<_>>>()
                 })
                 .collect::<Result<Vec<_>>>()?,

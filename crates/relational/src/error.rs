@@ -114,6 +114,12 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<vo_obs::json::JsonError> for Error {
+    fn from(e: vo_obs::json::JsonError) -> Self {
+        Error::Serialization(e.0)
+    }
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
 

@@ -43,7 +43,7 @@ pub mod algebra;
 pub mod codec;
 pub mod database;
 pub mod error;
-pub mod json;
+pub use vo_obs::json;
 pub mod optimizer;
 pub mod predicate;
 pub mod rng;
@@ -71,4 +71,5 @@ pub mod prelude {
     pub use crate::table::Table;
     pub use crate::tuple::{Key, Tuple};
     pub use crate::value::{DataType, Value};
+    pub use vo_obs::profile::ProfileNode;
 }

@@ -22,6 +22,8 @@ use crate::optimizer::optimize;
 use crate::predicate::{CmpOp, Expr};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::time::Instant;
+use vo_obs::profile::ProfileNode;
 
 /// Outcome of running one SQL statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +34,9 @@ pub enum SqlOutcome {
     Count(usize),
     /// An EXPLAIN's plan rendering (the optimized logical plan).
     Plan(String),
+    /// An EXPLAIN ANALYZE's executed operator-tree profile: per node, rows
+    /// in/out, inclusive wall time, and the access path taken.
+    Profile(ProfileNode),
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -205,6 +210,9 @@ pub enum Statement {
     },
     /// EXPLAIN SELECT ... — show the optimized plan instead of running it.
     Explain(Box<Statement>),
+    /// EXPLAIN ANALYZE SELECT ... — run the statement and return the
+    /// executed operator-tree profile.
+    ExplainAnalyze(Box<Statement>),
 }
 
 impl Parser {
@@ -295,6 +303,9 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_keyword("explain") {
+            if self.eat_keyword("analyze") {
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.eat_keyword("select") {
@@ -610,6 +621,54 @@ impl Parser {
     }
 }
 
+/// Apply HAVING / ORDER BY / LIMIT to an aggregate's output rows; shared
+/// by the plain and `EXPLAIN ANALYZE` aggregate paths.
+fn finish_aggregate(
+    mut out: ResultSet,
+    having: &Expr,
+    order_by: &[String],
+    limit: Option<usize>,
+) -> Result<ResultSet> {
+    if *having != Expr::True {
+        let cols = out.columns.clone();
+        let mut err = None;
+        out.rows.retain(|row| {
+            if err.is_some() {
+                return false;
+            }
+            match having.eval_truth(&cols, row) {
+                Ok(t) => t.is_true(),
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    if !order_by.is_empty() {
+        let idx: Vec<usize> = order_by
+            .iter()
+            .map(|c| out.column_index(c))
+            .collect::<Result<_>>()?;
+        out.rows.sort_by(|a, b| {
+            for &i in &idx {
+                let ord = a[i].cmp(&b[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = limit {
+        out.rows.truncate(n);
+    }
+    Ok(out)
+}
+
 /// Parse one SQL statement.
 pub fn parse(sql: &str) -> Result<Statement> {
     let tokens = Lexer::new(sql).tokenize()?;
@@ -653,6 +712,46 @@ impl Database {
                     message: format!("EXPLAIN supports SELECT only, got {other:?}"),
                 }),
             },
+            Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(plan) => {
+                    let plan = optimize(plan);
+                    let (_, prof) = self.execute_profiled(&plan)?;
+                    Ok(SqlOutcome::Profile(prof))
+                }
+                Statement::SelectAggregate {
+                    input,
+                    group_by,
+                    aggs,
+                    having,
+                    order_by,
+                    limit,
+                } => {
+                    let input = optimize(input);
+                    let start = Instant::now();
+                    let (rs, input_prof) = self.execute_profiled(&input)?;
+                    let out = aggregate_rows(&rs, &group_by, &aggs)?;
+                    let out = finish_aggregate(out, &having, &order_by, limit)?;
+                    let aggs_s: Vec<String> = aggs
+                        .iter()
+                        .map(|a| format!("{} AS {}", a.func, a.alias))
+                        .collect();
+                    let mut node = ProfileNode::new(format!(
+                        "Aggregate[group by {}; {}; having {}]",
+                        group_by.join(","),
+                        aggs_s.join(", "),
+                        having
+                    ));
+                    node.rows_in = rs.len() as u64;
+                    node.rows_out = out.len() as u64;
+                    node.set_elapsed(start.elapsed());
+                    node.children = vec![input_prof];
+                    Ok(SqlOutcome::Profile(node))
+                }
+                other => Err(Error::SqlParse {
+                    position: 0,
+                    message: format!("EXPLAIN ANALYZE supports SELECT only, got {other:?}"),
+                }),
+            },
             Statement::Select(plan) => {
                 let plan = optimize(plan);
                 Ok(SqlOutcome::Rows(self.execute(&plan)?))
@@ -667,45 +766,10 @@ impl Database {
             } => {
                 let input = optimize(input);
                 let rs = self.execute(&input)?;
-                let mut out = aggregate_rows(&rs, &group_by, &aggs)?;
-                if having != Expr::True {
-                    let cols = out.columns.clone();
-                    let mut err = None;
-                    out.rows.retain(|row| {
-                        if err.is_some() {
-                            return false;
-                        }
-                        match having.eval_truth(&cols, row) {
-                            Ok(t) => t.is_true(),
-                            Err(e) => {
-                                err = Some(e);
-                                false
-                            }
-                        }
-                    });
-                    if let Some(e) = err {
-                        return Err(e);
-                    }
-                }
-                if !order_by.is_empty() {
-                    let idx: Vec<usize> = order_by
-                        .iter()
-                        .map(|c| out.column_index(c))
-                        .collect::<Result<_>>()?;
-                    out.rows.sort_by(|a, b| {
-                        for &i in &idx {
-                            let ord = a[i].cmp(&b[i]);
-                            if ord != std::cmp::Ordering::Equal {
-                                return ord;
-                            }
-                        }
-                        std::cmp::Ordering::Equal
-                    });
-                }
-                if let Some(n) = limit {
-                    out.rows.truncate(n);
-                }
-                Ok(SqlOutcome::Rows(out))
+                let out = aggregate_rows(&rs, &group_by, &aggs)?;
+                Ok(SqlOutcome::Rows(finish_aggregate(
+                    out, &having, &order_by, limit,
+                )?))
             }
             Statement::Insert { relation, values } => {
                 self.insert(&relation, values)?;
@@ -978,6 +1042,49 @@ mod tests {
         }
         // EXPLAIN of DML is rejected
         assert!(d.run_sql("EXPLAIN DELETE FROM COURSES").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_profiles_select() {
+        let mut d = db();
+        let prof = match d
+            .run_sql("EXPLAIN ANALYZE SELECT course_id FROM COURSES WHERE dept_name = 'CS'")
+            .unwrap()
+        {
+            SqlOutcome::Profile(p) => p,
+            other => panic!("expected profile, got {other:?}"),
+        };
+        // the optimized tree bottoms out in a scan with row counts
+        let scan = prof.find("Scan(COURSES)").expect("scan node");
+        assert_eq!(scan.access_path, "table scan");
+        assert_eq!(scan.rows_out, 3);
+        assert_eq!(prof.rows_out, 2);
+        let rendered = prof.render();
+        assert!(rendered.contains("rows_out=2"));
+        assert!(rendered.contains("access=table scan"));
+    }
+
+    #[test]
+    fn explain_analyze_profiles_aggregate() {
+        let mut d = db();
+        let prof = match d
+            .run_sql(
+                "EXPLAIN ANALYZE SELECT dept_name, COUNT(*) AS n FROM COURSES \
+                 GROUP BY dept_name HAVING n > 1",
+            )
+            .unwrap()
+        {
+            SqlOutcome::Profile(p) => p,
+            other => panic!("expected profile, got {other:?}"),
+        };
+        assert!(prof.label.starts_with("Aggregate[group by dept_name"));
+        assert_eq!(prof.rows_in, 3); // 3 input rows
+        assert_eq!(prof.rows_out, 1); // only CS survives HAVING
+        assert_eq!(prof.children.len(), 1);
+        // EXPLAIN ANALYZE of DML is rejected
+        assert!(d.run_sql("EXPLAIN ANALYZE DELETE FROM COURSES").is_err());
+        // and it did not consume the rows it analyzed
+        assert_eq!(d.table("COURSES").unwrap().len(), 3);
     }
 
     #[test]

@@ -3,41 +3,63 @@
 //! The instantiation engine and the experiment binaries need to know *how*
 //! tables were accessed — index probe vs. full-scan fallback, hash builds,
 //! join rows produced — to prove that batched instantiation never silently
-//! degrades to scans. Counters are process-global relaxed atomics: cheap
-//! enough to leave on permanently, precise enough for the `exp_amortize`
-//! reports. Call [`reset`] before a measured region and [`snapshot`] after.
+//! degrades to scans. The counters live in the [`vo_obs::metrics`]
+//! registry (names `relational.*`), so they show up in registry snapshots
+//! and JSON exports alongside every other metric; the handles interned
+//! here keep the increment cost identical to a hand-rolled relaxed atomic.
+//! Call [`reset`] before a measured region and [`snapshot`] after.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use vo_obs::metrics::{self, Counter};
 
-static INDEX_PROBES: AtomicU64 = AtomicU64::new(0);
-static FALLBACK_SCANS: AtomicU64 = AtomicU64::new(0);
-static HASH_BUILDS: AtomicU64 = AtomicU64::new(0);
-static JOIN_ROWS: AtomicU64 = AtomicU64::new(0);
-static INSTANCES_BUILT: AtomicU64 = AtomicU64::new(0);
+fn index_probes() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.index_probes"))
+}
+
+fn fallback_scans() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.fallback_scans"))
+}
+
+fn hash_builds() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.hash_builds"))
+}
+
+fn join_rows() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.join_rows"))
+}
+
+fn instances_built() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.instances_built"))
+}
 
 /// Record one lookup answered by a secondary (or primary) index.
 pub fn count_index_probe() {
-    INDEX_PROBES.fetch_add(1, Ordering::Relaxed);
+    index_probes().inc();
 }
 
 /// Record one lookup that fell back to a full relation scan.
 pub fn count_fallback_scan() {
-    FALLBACK_SCANS.fetch_add(1, Ordering::Relaxed);
+    fallback_scans().inc();
 }
 
 /// Record one hash-table build over a relation (set-at-a-time join pass).
 pub fn count_hash_build() {
-    HASH_BUILDS.fetch_add(1, Ordering::Relaxed);
+    hash_builds().inc();
 }
 
 /// Record `n` rows produced by a join step.
 pub fn count_join_rows(n: u64) {
-    JOIN_ROWS.fetch_add(n, Ordering::Relaxed);
+    join_rows().add(n);
 }
 
 /// Record `n` view-object instances materialized.
 pub fn count_instances_built(n: u64) {
-    INSTANCES_BUILT.fetch_add(n, Ordering::Relaxed);
+    instances_built().add(n);
 }
 
 /// A point-in-time copy of all counters.
@@ -56,14 +78,16 @@ pub struct InstrumentationSnapshot {
 }
 
 impl InstrumentationSnapshot {
-    /// Counter deltas between `self` (earlier) and `later`.
+    /// Counter deltas between `self` (earlier) and `later`. Saturating: a
+    /// concurrent [`reset`] between the two snapshots yields zeros rather
+    /// than an underflow panic.
     pub fn delta(&self, later: &InstrumentationSnapshot) -> InstrumentationSnapshot {
         InstrumentationSnapshot {
-            index_probes: later.index_probes - self.index_probes,
-            fallback_scans: later.fallback_scans - self.fallback_scans,
-            hash_builds: later.hash_builds - self.hash_builds,
-            join_rows: later.join_rows - self.join_rows,
-            instances_built: later.instances_built - self.instances_built,
+            index_probes: later.index_probes.saturating_sub(self.index_probes),
+            fallback_scans: later.fallback_scans.saturating_sub(self.fallback_scans),
+            hash_builds: later.hash_builds.saturating_sub(self.hash_builds),
+            join_rows: later.join_rows.saturating_sub(self.join_rows),
+            instances_built: later.instances_built.saturating_sub(self.instances_built),
         }
     }
 }
@@ -85,22 +109,22 @@ impl std::fmt::Display for InstrumentationSnapshot {
 /// Read all counters.
 pub fn snapshot() -> InstrumentationSnapshot {
     InstrumentationSnapshot {
-        index_probes: INDEX_PROBES.load(Ordering::Relaxed),
-        fallback_scans: FALLBACK_SCANS.load(Ordering::Relaxed),
-        hash_builds: HASH_BUILDS.load(Ordering::Relaxed),
-        join_rows: JOIN_ROWS.load(Ordering::Relaxed),
-        instances_built: INSTANCES_BUILT.load(Ordering::Relaxed),
+        index_probes: index_probes().get(),
+        fallback_scans: fallback_scans().get(),
+        hash_builds: hash_builds().get(),
+        join_rows: join_rows().get(),
+        instances_built: instances_built().get(),
     }
 }
 
 /// Zero all counters. Tests that assert on absolute counter values should
 /// prefer snapshot-delta arithmetic, since tests run concurrently.
 pub fn reset() {
-    INDEX_PROBES.store(0, Ordering::Relaxed);
-    FALLBACK_SCANS.store(0, Ordering::Relaxed);
-    HASH_BUILDS.store(0, Ordering::Relaxed);
-    JOIN_ROWS.store(0, Ordering::Relaxed);
-    INSTANCES_BUILT.store(0, Ordering::Relaxed);
+    index_probes().reset();
+    fallback_scans().reset();
+    hash_builds().reset();
+    join_rows().reset();
+    instances_built().reset();
 }
 
 #[cfg(test)]
@@ -117,12 +141,39 @@ mod tests {
         count_instances_built(2);
         let after = snapshot();
         let d = before.delta(&after);
-        assert_eq!(d.index_probes, 1);
-        assert_eq!(d.fallback_scans, 1);
-        assert_eq!(d.hash_builds, 1);
-        assert_eq!(d.join_rows, 5);
-        assert_eq!(d.instances_built, 2);
+        assert!(d.index_probes >= 1);
+        assert!(d.fallback_scans >= 1);
+        assert!(d.hash_builds >= 1);
+        assert!(d.join_rows >= 5);
+        assert!(d.instances_built >= 2);
         let line = d.to_string();
-        assert!(line.contains("index_probes=1"));
+        assert!(line.contains("index_probes="));
+    }
+
+    #[test]
+    fn counters_visible_in_obs_registry() {
+        let before = vo_obs::metrics::counter("relational.index_probes").get();
+        count_index_probe();
+        let after = vo_obs::metrics::counter("relational.index_probes").get();
+        assert!(after > before);
+        assert!(vo_obs::metrics::snapshot_all()
+            .counters
+            .contains_key("relational.index_probes"));
+    }
+
+    #[test]
+    fn delta_saturates_across_concurrent_reset() {
+        // A reset between the two snapshots makes `later` smaller than
+        // `before`; the delta must clamp to zero, not underflow.
+        let before = InstrumentationSnapshot {
+            index_probes: 100,
+            fallback_scans: 50,
+            hash_builds: 10,
+            join_rows: 1000,
+            instances_built: 7,
+        };
+        let later = InstrumentationSnapshot::default();
+        let d = before.delta(&later);
+        assert_eq!(d, InstrumentationSnapshot::default());
     }
 }

@@ -23,6 +23,7 @@
 use crate::connection::ConnectionKind;
 use crate::schema::{StructuralSchema, Traversal};
 use std::collections::{BTreeMap, BTreeSet};
+use vo_obs::trace;
 use vo_relational::prelude::*;
 
 /// A detected integrity violation.
@@ -246,6 +247,7 @@ pub fn plan_delete(
     key: &Key,
     policy: &IntegrityPolicy,
 ) -> Result<Vec<DbOp>> {
+    let mut sp = trace::span("integrity.plan_delete");
     // Phase 1: transitive closure of deletions.
     let mut to_delete: BTreeSet<(String, Key)> = BTreeSet::new();
     let mut work: Vec<(String, Key)> = vec![(relation.to_owned(), key.clone())];
@@ -262,7 +264,18 @@ pub fn plan_delete(
         for conn in schema.dependents_of(&rel) {
             let vals = conn.from_values(table.schema(), tuple)?;
             let child = db.table(&conn.to)?;
-            for k2 in child.keys_by_attrs(&conn.to_attrs, &vals)? {
+            let keys = child.keys_by_attrs(&conn.to_attrs, &vals)?;
+            if !keys.is_empty() {
+                trace::event_with("integrity.cascade", || {
+                    vec![
+                        ("connection", Json::str(conn.name.clone())),
+                        ("kind", Json::str(conn.kind.to_string())),
+                        ("from", Json::str(format!("{rel}{k}"))),
+                        ("cascaded", Json::Int(keys.len() as i64)),
+                    ]
+                });
+            }
+            for k2 in keys {
                 work.push((conn.to.clone(), k2));
             }
         }
@@ -271,7 +284,18 @@ pub fn plan_delete(
             if policy.delete_action(&conn.name) == RefDeleteAction::Cascade {
                 let vals = conn.to_values(table.schema(), tuple)?;
                 let referencing = db.table(&conn.from)?;
-                for k1 in referencing.keys_by_attrs(&conn.from_attrs, &vals)? {
+                let keys = referencing.keys_by_attrs(&conn.from_attrs, &vals)?;
+                if !keys.is_empty() {
+                    trace::event_with("integrity.cascade", || {
+                        vec![
+                            ("connection", Json::str(conn.name.clone())),
+                            ("kind", Json::str("reference")),
+                            ("from", Json::str(format!("{rel}{k}"))),
+                            ("cascaded", Json::Int(keys.len() as i64)),
+                        ]
+                    });
+                }
+                for k1 in keys {
                     work.push((conn.from.clone(), k1));
                 }
             }
@@ -297,6 +321,15 @@ pub fn plan_delete(
                             continue;
                         }
                         if action == RefDeleteAction::Restrict {
+                            trace::event_with("integrity.abort", || {
+                                vec![
+                                    ("connection", Json::str(conn.name.clone())),
+                                    ("relation", Json::str(conn.from.clone())),
+                                    ("key", Json::str(k1.to_string())),
+                                    ("referenced", Json::str(format!("{rel}{k}"))),
+                                    ("reason", Json::str("restrict")),
+                                ]
+                            });
                             return Err(Error::ConstraintViolation(format!(
                                 "deletion restricted: {}{k1} references {rel}{k} via {}",
                                 conn.from, conn.name
@@ -309,12 +342,28 @@ pub fn plan_delete(
                         let mut t = entry.clone();
                         for attr in &conn.from_attrs {
                             t = t.with_named(&ref_schema, attr, Value::Null).map_err(|e| {
+                                trace::event_with("integrity.abort", || {
+                                    vec![
+                                        ("connection", Json::str(conn.name.clone())),
+                                        ("relation", Json::str(conn.from.clone())),
+                                        ("key", Json::str(k1.to_string())),
+                                        ("referenced", Json::str(format!("{rel}{k}"))),
+                                        ("reason", Json::str("nullify-key")),
+                                    ]
+                                });
                                 Error::ConstraintViolation(format!(
                                     "cannot nullify {}.{attr} (connection {}): {e}",
                                     conn.from, conn.name
                                 ))
                             })?;
                         }
+                        trace::event_with("integrity.nullify", || {
+                            vec![
+                                ("connection", Json::str(conn.name.clone())),
+                                ("relation", Json::str(conn.from.clone())),
+                                ("key", Json::str(k1.to_string())),
+                            ]
+                        });
                         *entry = t;
                     }
                 }
@@ -322,6 +371,12 @@ pub fn plan_delete(
         }
     }
 
+    if sp.is_recording() {
+        sp.field("relation", Json::str(relation));
+        sp.field("key", Json::str(key.to_string()));
+        sp.field("deletes", Json::Int(to_delete.len() as i64));
+        sp.field("nullified", Json::Int(pending.len() as i64));
+    }
     let mut ops: Vec<DbOp> = Vec::with_capacity(pending.len() + to_delete.len());
     for ((rel, k), tuple) in pending {
         ops.push(DbOp::Replace {
@@ -356,6 +411,7 @@ pub fn plan_key_replacement(
     new: Tuple,
     policy: &IntegrityPolicy,
 ) -> Result<Vec<DbOp>> {
+    let mut sp = trace::span("integrity.plan_replacement");
     let mut ops = Vec::new();
     let mut visited: BTreeSet<(String, Key)> = BTreeSet::new();
     let mut work: Vec<(String, Key, Tuple)> = vec![(relation.to_owned(), old_key.clone(), new)];
@@ -447,6 +503,11 @@ pub fn plan_key_replacement(
         // full structural deletion of each cascaded referencing tuple
         let sub = plan_delete(schema, db, &rel, &k, policy)?;
         ops.extend(sub);
+    }
+    if sp.is_recording() {
+        sp.field("relation", Json::str(relation));
+        sp.field("key", Json::str(old_key.to_string()));
+        sp.field("ops", Json::Int(ops.len() as i64));
     }
     Ok(ops)
 }
@@ -884,6 +945,68 @@ mod tests {
         )
         .unwrap();
         assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn restricted_delete_traces_rule_and_tuple() {
+        let (s, db) = setup();
+        let policy =
+            IntegrityPolicy::uniform(RefDeleteAction::Restrict, RefModifyAction::Propagate);
+        let scope = trace::start_trace();
+        let r = plan_delete(&s, &db, "COURSES", &Key::single("CS345"), &policy);
+        assert!(r.is_err());
+        let me = trace::current_thread_id();
+        let aborts: Vec<_> = trace::events()
+            .into_iter()
+            .filter(|e| e.thread == me && e.name == "integrity.abort")
+            .collect();
+        drop(scope);
+        assert_eq!(aborts.len(), 1);
+        let a = &aborts[0];
+        assert_eq!(
+            a.field("connection").unwrap(),
+            &Json::str("curriculum_courses")
+        );
+        assert_eq!(a.field("relation").unwrap(), &Json::str("CURRICULUM"));
+        assert!(a.field("key").unwrap().as_str().unwrap().contains("CS345"));
+        assert_eq!(a.field("reason").unwrap(), &Json::str("restrict"));
+    }
+
+    #[test]
+    fn cascade_trace_counts_tuples_per_rule() {
+        let (s, db) = setup();
+        let scope = trace::start_trace();
+        plan_delete(
+            &s,
+            &db,
+            "STUDENT",
+            &Key::single(1),
+            &IntegrityPolicy::default(),
+        )
+        .unwrap();
+        let me = trace::current_thread_id();
+        let mine: Vec<_> = trace::events()
+            .into_iter()
+            .filter(|e| e.thread == me)
+            .collect();
+        drop(scope);
+        // student_grades owns both of ssn=1's grade rows
+        let cascade = mine
+            .iter()
+            .find(|e| {
+                e.name == "integrity.cascade"
+                    && e.field("connection") == Some(&Json::str("student_grades"))
+            })
+            .expect("cascade event for student_grades");
+        assert_eq!(cascade.field("cascaded").unwrap(), &Json::Int(2));
+        assert_eq!(cascade.field("kind").unwrap(), &Json::str("ownership"));
+        // the enclosing span totals the plan: STUDENT(1) + 2 grades
+        let span = mine
+            .iter()
+            .find(|e| e.name == "integrity.plan_delete")
+            .expect("plan_delete span");
+        assert_eq!(span.field("deletes").unwrap(), &Json::Int(3));
+        assert_eq!(span.field("nullified").unwrap(), &Json::Int(0));
     }
 
     #[test]

@@ -69,6 +69,10 @@ fn main() -> Result<()> {
                     println!("{p}");
                     Ok(())
                 }
+                Ok(SqlOutcome::Profile(p)) => {
+                    print!("{}", p.render());
+                    Ok(())
+                }
                 Err(e) => Err(e),
             }
         } else {

@@ -22,6 +22,10 @@
 //! 5. [`penguin`] (`vo-penguin`) — the PENGUIN facade with the VOQL query
 //!    language, fixtures, and workload generators.
 //!
+//! Underneath all of them sits [`obs`] (`vo-obs`): span tracing, a metrics
+//! registry, and the operator-tree profiles behind `EXPLAIN ANALYZE` and
+//! [`penguin::Penguin::profile`].
+//!
 //! ```
 //! use penguin_vo::prelude::*;
 //!
@@ -34,6 +38,7 @@
 
 pub use vo_core as core;
 pub use vo_keller as keller;
+pub use vo_obs as obs;
 pub use vo_penguin as penguin;
 pub use vo_relational as relational;
 pub use vo_structural as structural;
@@ -42,5 +47,7 @@ pub use vo_structural as structural;
 pub mod prelude {
     pub use vo_core::prelude::*;
     pub use vo_keller::{choose_keller_translator, KellerTranslator, SpjView, ViewDelta};
-    pub use vo_penguin::{hospital_database, run_voql, university_scaled, Penguin, VoqlOutcome};
+    pub use vo_penguin::{
+        hospital_database, run_voql, university_scaled, Penguin, PlanCacheStats, VoqlOutcome,
+    };
 }

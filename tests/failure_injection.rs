@@ -204,3 +204,66 @@ fn tampered_saved_system_fails_closed() {
         }
     }
 }
+
+/// An injected mid-cascade failure must leave the database intact AND leave
+/// a trace identifying the exact integrity rule (connection) and the exact
+/// tuple that blocked the operation.
+#[test]
+fn injected_cascade_failure_traces_rule_and_tuple() {
+    use penguin_vo::obs::trace;
+
+    let (schema, db) = university_database();
+    // Inject the failure: cascade everywhere, except curriculum_courses
+    // which restricts — so the plan dies *after* the GRADES cascade has
+    // already been collected, i.e. mid-cascade.
+    let policy = IntegrityPolicy::uniform(RefDeleteAction::Cascade, RefModifyAction::Propagate)
+        .with_delete_action("curriculum_courses", RefDeleteAction::Restrict);
+
+    let before = snapshot(&db);
+    let scope = trace::start_trace();
+    let err = plan_delete(&schema, &db, "COURSES", &Key::single("CS345"), &policy).unwrap_err();
+    let me = trace::current_thread_id();
+    let mine: Vec<_> = trace::events()
+        .into_iter()
+        .filter(|e| e.thread == me)
+        .collect();
+    drop(scope);
+
+    assert!(matches!(err, Error::ConstraintViolation(_)));
+    assert_eq!(snapshot(&db), before);
+
+    // The cascade got underway before the abort: the courses_grades rule
+    // fired and collected CS345's three GRADES rows.
+    let cascade = mine
+        .iter()
+        .find(|e| {
+            e.name == "integrity.cascade"
+                && e.field("connection") == Some(&Json::str("courses_grades"))
+        })
+        .expect("courses_grades cascade event");
+    assert_eq!(cascade.field("cascaded"), Some(&Json::Int(3)));
+    assert!(cascade
+        .field("from")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("CS345"));
+
+    // The abort names the exact rule and the exact blocking tuple.
+    let aborts: Vec<_> = mine
+        .iter()
+        .filter(|e| e.name == "integrity.abort")
+        .collect();
+    assert_eq!(aborts.len(), 1);
+    let a = aborts[0];
+    assert_eq!(
+        a.field("connection"),
+        Some(&Json::str("curriculum_courses"))
+    );
+    assert_eq!(a.field("relation"), Some(&Json::str("CURRICULUM")));
+    let key = a.field("key").unwrap().as_str().unwrap();
+    assert!(key.contains("CS345"), "blocking tuple key: {key}");
+    let referenced = a.field("referenced").unwrap().as_str().unwrap();
+    assert!(referenced.contains("COURSES") && referenced.contains("CS345"));
+    assert_eq!(a.field("reason"), Some(&Json::str("restrict")));
+}
