@@ -94,13 +94,20 @@ pub mod prelude {
         TemplateNode, TemplateTree,
     };
     pub use crate::university::{seed_figure4, university_database, university_schema};
-    pub use crate::update::delete::translate_complete_deletion;
-    pub use crate::update::insert::translate_complete_insertion;
+    pub use crate::update::delete::{
+        translate_complete_deletion, translate_complete_deletion_into,
+    };
+    pub use crate::update::error::{UpdateError, UpdateResult, UpdateStep};
+    pub use crate::update::insert::{
+        translate_complete_insertion, translate_complete_insertion_into,
+    };
     pub use crate::update::partial::PartialOp;
-    pub use crate::update::pipeline::ViewObjectUpdater;
+    pub use crate::update::pipeline::{
+        BatchOutcome, UpdateBatch, UpdateOutcome, UpdateStats, ViewObjectUpdater,
+    };
     pub use crate::update::propagate::propagate_links;
     pub use crate::update::replace::{
-        translate_replacement, translate_replacement_traced, TraceEvent,
+        translate_replacement, translate_replacement_into, translate_replacement_traced, TraceEvent,
     };
     pub use crate::update::validate::{validate_instance, LocalValidation};
     pub use crate::update::{OpRecorder, UpdateRequest};

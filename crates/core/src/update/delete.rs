@@ -18,6 +18,7 @@ use crate::island::IslandAnalysis;
 use crate::object::ViewObject;
 use crate::translator::Translator;
 use crate::update::validate::validate_instance;
+use crate::update::OpRecorder;
 use vo_relational::prelude::*;
 use vo_structural::prelude::*;
 
@@ -30,6 +31,22 @@ pub fn translate_complete_deletion(
     db: &Database,
     instance: &VoInstance,
 ) -> Result<Vec<DbOp>> {
+    let mut rec = OpRecorder::over(db);
+    translate_complete_deletion_into(schema, object, analysis, translator, &mut rec, instance)?;
+    Ok(rec.into_ops())
+}
+
+/// Like [`translate_complete_deletion`], but planning into an existing
+/// recorder — the batch path, where many requests share one overlay.
+pub fn translate_complete_deletion_into(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    analysis: &IslandAnalysis,
+    translator: &Translator,
+    rec: &mut OpRecorder<'_>,
+    instance: &VoInstance,
+) -> Result<()> {
+    vo_relational::stats::count_snapshot_avoided();
     if !translator.allow_deletion {
         return Err(Error::ConstraintViolation(format!(
             "translator for {} forbids complete deletions",
@@ -41,7 +58,7 @@ pub fn translate_complete_deletion(
     // the instance must denote a stored entity: every island tuple exists
     for &node_id in &analysis.island {
         let node = object.node(node_id);
-        let table = db.table(&node.relation)?;
+        let table = rec.db.view(&node.relation)?;
         for tuple in instance.tuples_of(node_id) {
             let key = tuple.key(table.schema());
             if !table.contains_key(&key) {
@@ -56,12 +73,12 @@ pub fn translate_complete_deletion(
     let pivot_schema = schema.catalog().relation(object.pivot())?;
     let pivot_key = instance.root.tuple.key(pivot_schema);
     let policy = translator.deletion_policy(schema, object, analysis);
-    let ops = plan_delete(schema, db, object.pivot(), &pivot_key, &policy)?;
+    let ops = plan_delete(schema, &rec.db, object.pivot(), &pivot_key, &policy)?;
 
     // sanity: every island tuple of the instance is among the deletions
     for &node_id in &analysis.island {
         let node = object.node(node_id);
-        let table = db.table(&node.relation)?;
+        let table = rec.db.view(&node.relation)?;
         for tuple in instance.tuples_of(node_id) {
             let key = tuple.key(table.schema());
             let covered = ops.iter().any(|op| match op {
@@ -77,7 +94,7 @@ pub fn translate_complete_deletion(
             }
         }
     }
-    Ok(ops)
+    rec.apply_all(ops)
 }
 
 #[cfg(test)]

@@ -1,0 +1,186 @@
+//! Typed pipeline errors: which step failed, on which request, and — when
+//! determinable — the offending tuple.
+//!
+//! The update pipeline (paper §5) has four logical steps; [`UpdateError`]
+//! names the one that failed so callers can distinguish a malformed
+//! instance (validate), a hierarchically inconsistent replacement
+//! (propagate), a translator veto or stale tuple (translate), and a
+//! structural-consistency rollback (global-check). The underlying
+//! [`Error`] is preserved unchanged in [`UpdateError::source`]; converting
+//! an `UpdateError` back into [`Error`] (the `From` impl) simply unwraps
+//! it, so existing variant matching (`Error::Rolledback`, `NoSuchTuple`,
+//! …) keeps working across the facade boundary.
+
+use vo_relational::prelude::*;
+
+/// One of the four pipeline steps of paper §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateStep {
+    /// Step 1 — local validation against the object definition.
+    Validate,
+    /// Step 2 — propagation within the view object.
+    Propagate,
+    /// Step 3 — translation into database operations.
+    Translate,
+    /// Step 4 — global validation against the structural model.
+    GlobalCheck,
+}
+
+impl UpdateStep {
+    /// Short label for logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UpdateStep::Validate => "validate",
+            UpdateStep::Propagate => "propagate",
+            UpdateStep::Translate => "translate",
+            UpdateStep::GlobalCheck => "global-check",
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A pipeline failure: the failing step, the request it belongs to (kind
+/// and — in a batch — index), and the underlying error.
+#[derive(Debug)]
+pub struct UpdateError {
+    /// The pipeline step that failed.
+    pub step: UpdateStep,
+    /// Kind label of the failing request (`"complete-insertion"`, …).
+    pub request_kind: Option<&'static str>,
+    /// Index of the failing request within a batch.
+    pub request_index: Option<usize>,
+    /// The underlying error, unchanged (boxed to keep `UpdateResult`'s
+    /// error arm small).
+    pub source: Box<Error>,
+}
+
+impl UpdateError {
+    /// Wrap `source` as a failure of `step`.
+    pub fn new(step: UpdateStep, source: Error) -> Self {
+        UpdateError {
+            step,
+            request_kind: None,
+            request_index: None,
+            source: Box::new(source),
+        }
+    }
+
+    /// Attach the request-kind label.
+    pub fn with_kind(mut self, kind: &'static str) -> Self {
+        self.request_kind = Some(kind);
+        self
+    }
+
+    /// Attach the batch position of the failing request.
+    pub fn at_request(mut self, index: usize) -> Self {
+        self.request_index = Some(index);
+        self
+    }
+
+    /// The offending `(relation, key)` when the underlying error names a
+    /// tuple, digging through rollback wrappers.
+    pub fn offending_tuple(&self) -> Option<(&str, &str)> {
+        fn dig(e: &Error) -> Option<(&str, &str)> {
+            match e {
+                Error::KeyConflict { relation, key } | Error::NoSuchTuple { relation, key } => {
+                    Some((relation.as_str(), key.as_str()))
+                }
+                Error::Rolledback(inner) => dig(inner),
+                _ => None,
+            }
+        }
+        dig(&self.source)
+    }
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "update failed at step {}", self.step)?;
+        if let Some(kind) = self.request_kind {
+            write!(f, " ({kind}")?;
+            if let Some(i) = self.request_index {
+                write!(f, ", request #{i}")?;
+            }
+            write!(f, ")")?;
+        } else if let Some(i) = self.request_index {
+            write!(f, " (request #{i})")?;
+        }
+        write!(f, ": {}", self.source)
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
+impl From<UpdateError> for Error {
+    /// Unwrap back to the underlying relational error. The step/request
+    /// attribution is dropped — callers that need it must keep the
+    /// [`UpdateError`]; callers matching on [`Error`] variants see exactly
+    /// what the pre-outcome API surfaced.
+    fn from(e: UpdateError) -> Error {
+        *e.source
+    }
+}
+
+/// Result alias for the outcome-returning update API.
+pub type UpdateResult<T> = std::result::Result<T, UpdateError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_step_kind_and_index() {
+        let e = UpdateError::new(
+            UpdateStep::Translate,
+            Error::ConstraintViolation("nope".into()),
+        )
+        .with_kind("complete-insertion")
+        .at_request(3);
+        let s = e.to_string();
+        assert!(s.contains("translate"));
+        assert!(s.contains("complete-insertion"));
+        assert!(s.contains("request #3"));
+        assert!(s.contains("nope"));
+    }
+
+    #[test]
+    fn offending_tuple_digs_through_rollback() {
+        let e = UpdateError::new(
+            UpdateStep::GlobalCheck,
+            Error::Rolledback(Box::new(Error::KeyConflict {
+                relation: "COURSES".into(),
+                key: "(CS345)".into(),
+            })),
+        );
+        assert_eq!(e.offending_tuple(), Some(("COURSES", "(CS345)")));
+        let none = UpdateError::new(UpdateStep::Validate, Error::ConstraintViolation("x".into()));
+        assert_eq!(none.offending_tuple(), None);
+    }
+
+    #[test]
+    fn from_preserves_the_source_variant() {
+        let e = UpdateError::new(
+            UpdateStep::GlobalCheck,
+            Error::Rolledback(Box::new(Error::ConstraintViolation("v".into()))),
+        );
+        let back: Error = e.into();
+        assert!(matches!(back, Error::Rolledback(_)));
+    }
+
+    #[test]
+    fn step_labels() {
+        assert_eq!(UpdateStep::Validate.label(), "validate");
+        assert_eq!(UpdateStep::Propagate.label(), "propagate");
+        assert_eq!(UpdateStep::Translate.label(), "translate");
+        assert_eq!(UpdateStep::GlobalCheck.to_string(), "global-check");
+    }
+}

@@ -33,6 +33,22 @@ pub fn translate_complete_insertion(
     db: &Database,
     instance: &VoInstance,
 ) -> Result<Vec<DbOp>> {
+    let mut rec = OpRecorder::over(db);
+    translate_complete_insertion_into(schema, object, analysis, translator, &mut rec, instance)?;
+    Ok(rec.into_ops())
+}
+
+/// Like [`translate_complete_insertion`], but planning into an existing
+/// recorder — the batch path, where many requests share one overlay.
+pub fn translate_complete_insertion_into(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    analysis: &IslandAnalysis,
+    translator: &Translator,
+    rec: &mut OpRecorder<'_>,
+    instance: &VoInstance,
+) -> Result<()> {
+    vo_relational::stats::count_snapshot_avoided();
     if !translator.allow_insertion {
         return Err(Error::ConstraintViolation(format!(
             "translator for {} forbids complete insertions",
@@ -48,17 +64,16 @@ pub fn translate_complete_insertion(
         )));
     }
 
-    let mut rec = OpRecorder::new(db);
     let mut written: Vec<(String, Tuple)> = Vec::new();
 
     for node_id in object.preorder() {
         let node = object.node(node_id);
         let in_island = analysis.in_island(node_id);
-        let table_schema = rec.db.table(&node.relation)?.schema().clone();
+        let table_schema = rec.db.view(&node.relation)?.schema().clone();
         let policy = translator.policy(&node.relation);
         for tuple in instance.tuples_of(node_id) {
             let key = tuple.key(&table_schema);
-            let existing = rec.db.table(&node.relation)?.get(&key).cloned();
+            let existing = rec.db.view(&node.relation)?.get(&key).cloned();
             match existing {
                 Some(ref e) if e == tuple => {
                     // CASE 1
@@ -110,8 +125,8 @@ pub fn translate_complete_insertion(
         }
     }
 
-    complete_dependencies(schema, object, translator, &mut rec, &written)?;
-    Ok(rec.into_ops())
+    complete_dependencies(schema, object, translator, rec, &written)?;
+    Ok(())
 }
 
 /// Global-validation completion shared by VO-CI and VO-R: for every tuple
@@ -121,13 +136,13 @@ pub fn complete_dependencies(
     schema: &StructuralSchema,
     object: &ViewObject,
     translator: &Translator,
-    rec: &mut OpRecorder,
+    rec: &mut OpRecorder<'_>,
     written: &[(String, Tuple)],
 ) -> Result<()> {
     let object_relations: Vec<&str> = object.relations();
     for (relation, tuple) in written {
         // the tuple may have been superseded by a later op; skip if gone
-        let table = rec.db.table(relation)?;
+        let table = rec.db.view(relation)?;
         let key = tuple.key(table.schema());
         if table.get(&key) != Some(tuple) {
             continue;

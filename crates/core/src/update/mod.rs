@@ -12,11 +12,22 @@
 //!    completion and the final consistency check, performed by the
 //!    pipeline ([`pipeline`]).
 //!
-//! All translators are pure: they take a database *snapshot* and return the
-//! [`DbOp`] list that implements the request; the pipeline applies the ops
-//! transactionally so a failed global check rolls everything back.
+//! All translators are pure: they read the database through a
+//! [`DeltaDb`] overlay and return the [`DbOp`] list that implements the
+//! request; the pipeline applies the ops transactionally so a failed
+//! global check rolls everything back.
+//!
+//! **The no-clone contract.** [`OpRecorder`] never copies a base table:
+//! it owns a [`DeltaDb`] — an O(1)-construction read view layering the
+//! planned ops over a *borrowed* `&Database` — so translating a request
+//! costs only the delta it plans, not a full database snapshot. A batch
+//! of requests shares one recorder (and therefore one overlay), which is
+//! what makes set-at-a-time update translation cheap; the
+//! `translate.overlay_created` / `translate.snapshot_avoided` counters
+//! verify the contract at run time.
 
 pub mod delete;
+pub mod error;
 pub mod insert;
 pub mod partial;
 pub mod pipeline;
@@ -25,6 +36,7 @@ pub mod replace;
 pub mod validate;
 
 use crate::instance::VoInstance;
+use vo_relational::overlay::DeltaDb;
 use vo_relational::prelude::*;
 
 /// A complete update request on a view object (paper §5's *complete
@@ -56,39 +68,58 @@ impl UpdateRequest {
     }
 }
 
-/// A scratch database plus the operation log replayed onto it. Translators
+/// A delta overlay plus the operation log replayed onto it. Translators
 /// work against the recorder so every decision sees the effects of the ops
-/// already planned, and the final log is the translation.
+/// already planned, and the final log is the translation. The overlay
+/// borrows the base database — nothing is cloned (see the module docs for
+/// the no-clone contract).
 #[derive(Debug)]
-pub struct OpRecorder {
-    /// Scratch copy of the database.
-    pub db: Database,
+pub struct OpRecorder<'base> {
+    /// Read view: base database shadowed by the ops planned so far.
+    pub db: DeltaDb<'base>,
     /// Operations planned so far, in application order.
     pub ops: Vec<DbOp>,
 }
 
-impl OpRecorder {
-    /// Start from a snapshot.
-    pub fn new(db: &Database) -> Self {
+impl<'base> OpRecorder<'base> {
+    /// Start from an existing overlay (which may already carry planned
+    /// ops from earlier requests of the same batch).
+    pub fn new(overlay: DeltaDb<'base>) -> Self {
         OpRecorder {
-            db: db.clone(),
+            db: overlay,
             ops: Vec::new(),
         }
     }
 
-    /// Plan one op (applying it to the scratch database).
+    /// Start with a fresh overlay over `db`.
+    pub fn over(db: &'base Database) -> Self {
+        Self::new(DeltaDb::new(db))
+    }
+
+    /// Plan one op (applying it to the overlay).
     pub fn apply(&mut self, op: DbOp) -> Result<()> {
         self.db.apply(&op)?;
         self.ops.push(op);
         Ok(())
     }
 
-    /// Plan a batch.
-    pub fn apply_all(&mut self, ops: Vec<DbOp>) -> Result<()> {
+    /// Plan a batch of ops.
+    pub fn apply_all(&mut self, ops: impl IntoIterator<Item = DbOp>) -> Result<()> {
         for op in ops {
             self.apply(op)?;
         }
         Ok(())
+    }
+
+    /// Position marker into the op log; pair with [`OpRecorder::ops_since`]
+    /// to attribute a batch's ops to individual requests.
+    pub fn mark(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Ops planned since `mark`.
+    pub fn ops_since(&self, mark: usize) -> &[DbOp] {
+        &self.ops[mark..]
     }
 
     /// Finish, yielding the operation list.
@@ -105,14 +136,14 @@ mod tests {
     #[test]
     fn recorder_tracks_and_applies() {
         let (_, db) = university_database();
-        let mut rec = OpRecorder::new(&db);
+        let mut rec = OpRecorder::over(&db);
         let dept = db.table("DEPARTMENT").unwrap().schema().clone();
         rec.apply(DbOp::Insert {
             relation: "DEPARTMENT".into(),
             tuple: Tuple::new(&dept, vec!["Math".into()]).unwrap(),
         })
         .unwrap();
-        assert_eq!(rec.db.table("DEPARTMENT").unwrap().len(), 3);
+        assert_eq!(rec.db.view("DEPARTMENT").unwrap().len(), 3);
         assert_eq!(rec.ops.len(), 1);
         // the original is untouched
         assert_eq!(db.table("DEPARTMENT").unwrap().len(), 2);
@@ -123,13 +154,35 @@ mod tests {
     #[test]
     fn recorder_rejects_bad_op() {
         let (_, db) = university_database();
-        let mut rec = OpRecorder::new(&db);
+        let mut rec = OpRecorder::over(&db);
         let err = rec.apply(DbOp::Delete {
             relation: "DEPARTMENT".into(),
             key: Key::single("Nope"),
         });
         assert!(err.is_err());
         assert!(rec.ops.is_empty());
+    }
+
+    #[test]
+    fn recorder_marks_attribute_ops_to_requests() {
+        let (_, db) = university_database();
+        let mut rec = OpRecorder::over(&db);
+        let dept = db.table("DEPARTMENT").unwrap().schema().clone();
+        let m0 = rec.mark();
+        rec.apply(DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: Tuple::new(&dept, vec!["Math".into()]).unwrap(),
+        })
+        .unwrap();
+        let m1 = rec.mark();
+        rec.apply_all(vec![DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: Tuple::new(&dept, vec!["Physics".into()]).unwrap(),
+        }])
+        .unwrap();
+        assert_eq!(rec.ops_since(m0).len(), 2);
+        assert_eq!(rec.ops_since(m1).len(), 1);
+        assert_eq!(rec.ops_since(m1)[0].relation(), "DEPARTMENT");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use crate::instance::{assemble, VoInstanceNode};
 use crate::object::NodeId;
-use crate::update::pipeline::ViewObjectUpdater;
+use crate::update::error::{UpdateError, UpdateResult, UpdateStep};
+use crate::update::pipeline::{UpdateOutcome, ViewObjectUpdater};
+use crate::update::UpdateRequest;
 use vo_relational::prelude::*;
 use vo_structural::prelude::*;
 
@@ -54,6 +56,18 @@ pub enum PartialOp {
     },
 }
 
+impl PartialOp {
+    /// Short label for logs and outcomes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PartialOp::InsertChild { .. } => "partial-insert-child",
+            PartialOp::DeleteChild { .. } => "partial-delete-child",
+            PartialOp::ModifyChild { .. } => "partial-modify-child",
+            PartialOp::ModifyPivot { .. } => "partial-modify-pivot",
+        }
+    }
+}
+
 impl ViewObjectUpdater {
     /// Translate and apply a partial update by reduction to VO-R.
     pub fn apply_partial(
@@ -62,6 +76,38 @@ impl ViewObjectUpdater {
         db: &mut Database,
         op: PartialOp,
     ) -> Result<Vec<DbOp>> {
+        self.apply_partial_outcome(schema, db, op)
+            .map(|o| o.ops)
+            .map_err(Error::from)
+    }
+
+    /// Like [`ViewObjectUpdater::apply_partial`], but returning the full
+    /// [`UpdateOutcome`]. Errors during instance assembly and component
+    /// editing (missing pivot, missing child) count as the *validate*
+    /// step; the reduced replacement then runs the normal pipeline.
+    pub fn apply_partial_outcome(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        op: PartialOp,
+    ) -> UpdateResult<UpdateOutcome> {
+        let kind = op.kind();
+        let (old, new) = self
+            .reduce_partial(schema, db, op)
+            .map_err(|e| UpdateError::new(UpdateStep::Validate, e).with_kind(kind))?;
+        let mut outcome =
+            self.apply_request(schema, db, UpdateRequest::Replacement { old, new })?;
+        outcome.request_kind = kind;
+        Ok(outcome)
+    }
+
+    /// Reduce a partial op to a `(stored, edited)` instance pair for VO-R.
+    fn reduce_partial(
+        &self,
+        schema: &StructuralSchema,
+        db: &Database,
+        op: PartialOp,
+    ) -> Result<(crate::instance::VoInstance, crate::instance::VoInstance)> {
         let pivot_key = match &op {
             PartialOp::InsertChild { pivot_key, .. }
             | PartialOp::DeleteChild { pivot_key, .. }
@@ -137,7 +183,7 @@ impl ViewObjectUpdater {
                 new.root.tuple = newt;
             }
         }
-        self.replace(schema, db, old, new)
+        Ok((old, new))
     }
 }
 

@@ -1,17 +1,224 @@
 //! The end-to-end update pipeline: steps 1–3 produce an operation list,
 //! step 4 applies it transactionally under the structural consistency
 //! check, rolling back on any violation.
+//!
+//! Two granularities share one engine:
+//!
+//! * **Per-request** — [`ViewObjectUpdater::apply_request`] translates a
+//!   single [`UpdateRequest`] over a fresh overlay and applies it.
+//! * **Set-at-a-time** — [`ViewObjectUpdater::apply_batch`] runs a whole
+//!   [`UpdateBatch`] over *one* shared overlay: one base snapshot is
+//!   avoided per request (the overlay borrows the base), each translator
+//!   sees the ops planned by earlier requests, global validation runs
+//!   exactly once at the end, and the whole batch applies in a single
+//!   transaction. On failure the error carries the offending request's
+//!   index and kind, and the database is untouched.
+//!
+//! Both return [`UpdateOutcome`]s describing what was translated; the
+//! legacy `Vec<DbOp>`-returning methods remain as thin wrappers.
 
 use crate::instance::VoInstance;
 use crate::island::{analyze, IslandAnalysis};
 use crate::object::ViewObject;
 use crate::translator::Translator;
-use crate::update::delete::translate_complete_deletion;
-use crate::update::insert::translate_complete_insertion;
-use crate::update::replace::translate_replacement;
-use crate::update::UpdateRequest;
+use crate::update::delete::translate_complete_deletion_into;
+use crate::update::error::{UpdateError, UpdateResult, UpdateStep};
+use crate::update::insert::translate_complete_insertion_into;
+use crate::update::propagate::propagate_links;
+use crate::update::replace::translate_replacement_into;
+use crate::update::validate::validate_instance;
+use crate::update::{OpRecorder, UpdateRequest};
 use vo_relational::prelude::*;
 use vo_structural::prelude::*;
+
+/// Tallies over an operation list; cheap to compute, handy for logs,
+/// benches and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Number of `Insert` ops.
+    pub inserts: usize,
+    /// Number of `Delete` ops.
+    pub deletes: usize,
+    /// Number of `Replace` ops.
+    pub replaces: usize,
+    /// Number of distinct relations the ops touch.
+    pub relations_touched: usize,
+}
+
+impl UpdateStats {
+    /// Tally `ops`.
+    pub fn from_ops(ops: &[DbOp]) -> Self {
+        let mut stats = UpdateStats::default();
+        let mut relations = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                DbOp::Insert { .. } => stats.inserts += 1,
+                DbOp::Delete { .. } => stats.deletes += 1,
+                DbOp::Replace { .. } => stats.replaces += 1,
+            }
+            relations.insert(op.relation());
+        }
+        stats.relations_touched = relations.len();
+        stats
+    }
+
+    /// Total number of ops.
+    pub fn total(&self) -> usize {
+        self.inserts + self.deletes + self.replaces
+    }
+}
+
+impl std::ops::Add for UpdateStats {
+    type Output = UpdateStats;
+    fn add(self, rhs: UpdateStats) -> UpdateStats {
+        UpdateStats {
+            inserts: self.inserts + rhs.inserts,
+            deletes: self.deletes + rhs.deletes,
+            replaces: self.replaces + rhs.replaces,
+            // upper bound: per-request relation sets may overlap
+            relations_touched: self.relations_touched.max(rhs.relations_touched),
+        }
+    }
+}
+
+/// What translating one request produced: the ops, the pipeline steps
+/// that ran, and summary statistics.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// Kind label of the request (`"complete-insertion"`, …).
+    pub request_kind: &'static str,
+    /// The database operations implementing the request, in application
+    /// order.
+    pub ops: Vec<DbOp>,
+    /// The pipeline steps that ran, in order.
+    pub steps: Vec<UpdateStep>,
+    /// Tallies over `ops`.
+    pub stats: UpdateStats,
+}
+
+impl UpdateOutcome {
+    fn new(request_kind: &'static str, ops: Vec<DbOp>, steps: Vec<UpdateStep>) -> Self {
+        let stats = UpdateStats::from_ops(&ops);
+        UpdateOutcome {
+            request_kind,
+            ops,
+            steps,
+            stats,
+        }
+    }
+}
+
+/// What applying a whole batch produced: one [`UpdateOutcome`] per
+/// request, in request order, plus batch-level tallies.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-request outcomes, in request order.
+    pub outcomes: Vec<UpdateOutcome>,
+    /// Total ops across all requests.
+    pub total_ops: usize,
+    /// Tallies over the whole batch's ops.
+    pub stats: UpdateStats,
+}
+
+impl BatchOutcome {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// All ops of the batch, flattened in application order.
+    pub fn all_ops(&self) -> impl Iterator<Item = &DbOp> {
+        self.outcomes.iter().flat_map(|o| o.ops.iter())
+    }
+}
+
+/// An ordered set of update requests translated over one shared overlay
+/// and applied as a single transaction. Build with the fluent helpers or
+/// collect from an iterator of [`UpdateRequest`]s.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    requests: Vec<UpdateRequest>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// Append a request.
+    pub fn push(&mut self, request: UpdateRequest) {
+        self.requests.push(request);
+    }
+
+    /// Builder-style [`UpdateBatch::push`].
+    pub fn with(mut self, request: UpdateRequest) -> Self {
+        self.push(request);
+        self
+    }
+
+    /// Append a complete insertion.
+    pub fn insert(self, instance: VoInstance) -> Self {
+        self.with(UpdateRequest::CompleteInsertion(instance))
+    }
+
+    /// Append a complete deletion.
+    pub fn delete(self, instance: VoInstance) -> Self {
+        self.with(UpdateRequest::CompleteDeletion(instance))
+    }
+
+    /// Append a replacement.
+    pub fn replace(self, old: VoInstance, new: VoInstance) -> Self {
+        self.with(UpdateRequest::Replacement { old, new })
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when no requests have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The queued requests.
+    pub fn requests(&self) -> &[UpdateRequest] {
+        &self.requests
+    }
+
+    /// Consume, yielding the requests.
+    pub fn into_requests(self) -> Vec<UpdateRequest> {
+        self.requests
+    }
+}
+
+impl From<Vec<UpdateRequest>> for UpdateBatch {
+    fn from(requests: Vec<UpdateRequest>) -> Self {
+        UpdateBatch { requests }
+    }
+}
+
+impl FromIterator<UpdateRequest> for UpdateBatch {
+    fn from_iter<I: IntoIterator<Item = UpdateRequest>>(iter: I) -> Self {
+        UpdateBatch {
+            requests: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for UpdateBatch {
+    type Item = UpdateRequest;
+    type IntoIter = std::vec::IntoIter<UpdateRequest>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.requests.into_iter()
+    }
+}
 
 /// Bundles a view object with its island analysis and translator; the
 /// analysis is computed once at construction (the paper chooses the
@@ -58,17 +265,52 @@ impl ViewObjectUpdater {
         &self.translator
     }
 
-    /// Translate a request into database operations without applying them.
-    pub fn translate(
+    /// Steps 1–3 for one request, planning into `rec`'s shared overlay.
+    /// Returns the steps that ran; the ops land in the recorder.
+    fn translate_request_into(
         &self,
         schema: &StructuralSchema,
-        db: &Database,
+        rec: &mut OpRecorder<'_>,
         request: UpdateRequest,
-    ) -> Result<Vec<DbOp>> {
+    ) -> UpdateResult<Vec<UpdateStep>> {
+        let kind = request.kind();
+        let mut steps = Vec::with_capacity(3);
+
+        // step 1 — local validation
+        let request = {
+            let instance = match &request {
+                UpdateRequest::CompleteInsertion(inst) => inst,
+                UpdateRequest::CompleteDeletion(inst) => inst,
+                UpdateRequest::Replacement { old, .. } => old,
+            };
+            validate_instance(schema, &self.object, instance)
+                .map_err(|e| UpdateError::new(UpdateStep::Validate, e).with_kind(kind))?;
+            steps.push(UpdateStep::Validate);
+            request
+        };
+
+        // step 2 — propagation within the view object (replacements only:
+        // the replacing instance's inherited linking attributes must
+        // follow its ancestors before translation compares trees)
+        let request = match request {
+            UpdateRequest::Replacement { old, new } => {
+                let new = propagate_links(schema, &self.object, new)
+                    .and_then(|new| {
+                        validate_instance(schema, &self.object, &new)?;
+                        Ok(new)
+                    })
+                    .map_err(|e| UpdateError::new(UpdateStep::Propagate, e).with_kind(kind))?;
+                steps.push(UpdateStep::Propagate);
+                UpdateRequest::Replacement { old, new }
+            }
+            other => other,
+        };
+
+        // step 3 — translation into database operations
         let mut sp = vo_obs::trace::span("penguin.translate");
         if sp.is_recording() {
             sp.field("object", Json::str(self.object.name()));
-            sp.field("kind", Json::str(request.kind()));
+            sp.field("kind", Json::str(kind));
             sp.field(
                 "island_relations",
                 Json::Int(self.analysis.island_relations.len() as i64),
@@ -78,50 +320,154 @@ impl ViewObjectUpdater {
                 Json::Int(self.analysis.peninsulas.len() as i64),
             );
         }
-        let ops = self.translate_inner(schema, db, request)?;
+        let before = rec.mark();
+        let translated = match request {
+            UpdateRequest::CompleteInsertion(inst) => translate_complete_insertion_into(
+                schema,
+                &self.object,
+                &self.analysis,
+                &self.translator,
+                rec,
+                &inst,
+            ),
+            UpdateRequest::CompleteDeletion(inst) => translate_complete_deletion_into(
+                schema,
+                &self.object,
+                &self.analysis,
+                &self.translator,
+                rec,
+                &inst,
+            ),
+            UpdateRequest::Replacement { old, new } => translate_replacement_into(
+                schema,
+                &self.object,
+                &self.analysis,
+                &self.translator,
+                rec,
+                &old,
+                new,
+            )
+            .map(|_trace| ()),
+        };
         if sp.is_recording() {
-            sp.field("ops", Json::Int(ops.len() as i64));
+            sp.field("ops", Json::Int(rec.ops_since(before).len() as i64));
         }
-        Ok(ops)
+        translated.map_err(|e| UpdateError::new(UpdateStep::Translate, e).with_kind(kind))?;
+        steps.push(UpdateStep::Translate);
+        Ok(steps)
     }
 
-    fn translate_inner(
+    /// Translate a request into an [`UpdateOutcome`] without applying it.
+    pub fn translate_request(
+        &self,
+        schema: &StructuralSchema,
+        db: &Database,
+        request: UpdateRequest,
+    ) -> UpdateResult<UpdateOutcome> {
+        let kind = request.kind();
+        let mut rec = OpRecorder::over(db);
+        let steps = self.translate_request_into(schema, &mut rec, request)?;
+        Ok(UpdateOutcome::new(kind, rec.into_ops(), steps))
+    }
+
+    /// Translate and apply one request; in strict mode the database must
+    /// end structurally consistent or nothing is applied.
+    pub fn apply_request(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        request: UpdateRequest,
+    ) -> UpdateResult<UpdateOutcome> {
+        let kind = request.kind();
+        let mut rec = OpRecorder::over(&*db);
+        let mut steps = self.translate_request_into(schema, &mut rec, request)?;
+        if self.strict {
+            let violations = check_overlay(schema, &rec).map_err(|e| e.with_kind(kind))?;
+            if !violations.is_empty() {
+                return Err(rollback_error(&violations).with_kind(kind));
+            }
+            steps.push(UpdateStep::GlobalCheck);
+        }
+        let ops = rec.into_ops();
+        db.apply_all(&ops)
+            .map_err(|e| UpdateError::new(UpdateStep::GlobalCheck, e).with_kind(kind))?;
+        Ok(UpdateOutcome::new(kind, ops, steps))
+    }
+
+    /// Set-at-a-time translation and application (the paper's translators,
+    /// run back-to-back over one shared overlay).
+    ///
+    /// The whole batch shares a single [`OpRecorder`] over the borrowed
+    /// base database: request *i*'s translator sees the ops planned by
+    /// requests *0..i*, global validation runs once over the final
+    /// overlay, and the ops apply in one transaction. On any failure the
+    /// database is untouched and the returned [`UpdateError`] names the
+    /// failing step plus — when attributable — the request index.
+    ///
+    /// Unlike a sequence of strict [`ViewObjectUpdater::apply_request`]
+    /// calls, intermediate states need not be consistent: only the final
+    /// overlay is checked (in strict mode), so a batch can succeed where
+    /// the same requests applied one-by-one would fail mid-stream.
+    pub fn apply_batch(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        batch: impl Into<UpdateBatch>,
+    ) -> UpdateResult<BatchOutcome> {
+        let batch: UpdateBatch = batch.into();
+        let mut rec = OpRecorder::over(&*db);
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for (i, request) in batch.into_requests().into_iter().enumerate() {
+            let kind = request.kind();
+            let mark = rec.mark();
+            let steps = self
+                .translate_request_into(schema, &mut rec, request)
+                .map_err(|e| e.at_request(i))?;
+            outcomes.push(UpdateOutcome::new(
+                kind,
+                rec.ops_since(mark).to_vec(),
+                steps,
+            ));
+        }
+        if self.strict {
+            let violations = check_overlay(schema, &rec)?;
+            if !violations.is_empty() {
+                let mut err = rollback_error(&violations);
+                if let Some(i) = attribute_violation(&rec, &violations[0], &outcomes) {
+                    err = err.at_request(i).with_kind(outcomes[i].request_kind);
+                }
+                return Err(err);
+            }
+            for outcome in &mut outcomes {
+                outcome.steps.push(UpdateStep::GlobalCheck);
+            }
+        }
+        let ops = rec.into_ops();
+        let total_ops = ops.len();
+        let stats = UpdateStats::from_ops(&ops);
+        db.apply_all(&ops)
+            .map_err(|e| UpdateError::new(UpdateStep::GlobalCheck, e))?;
+        Ok(BatchOutcome {
+            outcomes,
+            total_ops,
+            stats,
+        })
+    }
+
+    /// Translate a request into database operations without applying them.
+    pub fn translate(
         &self,
         schema: &StructuralSchema,
         db: &Database,
         request: UpdateRequest,
     ) -> Result<Vec<DbOp>> {
-        match request {
-            UpdateRequest::CompleteInsertion(inst) => translate_complete_insertion(
-                schema,
-                &self.object,
-                &self.analysis,
-                &self.translator,
-                db,
-                &inst,
-            ),
-            UpdateRequest::CompleteDeletion(inst) => translate_complete_deletion(
-                schema,
-                &self.object,
-                &self.analysis,
-                &self.translator,
-                db,
-                &inst,
-            ),
-            UpdateRequest::Replacement { old, new } => translate_replacement(
-                schema,
-                &self.object,
-                &self.analysis,
-                &self.translator,
-                db,
-                &old,
-                new,
-            ),
-        }
+        self.translate_request(schema, db, request)
+            .map(|o| o.ops)
+            .map_err(Error::from)
     }
 
     /// Translate and apply a request transactionally; in strict mode the
-    /// whole batch rolls back unless the database ends structurally
+    /// whole op list rolls back unless the database ends structurally
     /// consistent.
     pub fn apply(
         &self,
@@ -129,13 +475,9 @@ impl ViewObjectUpdater {
         db: &mut Database,
         request: UpdateRequest,
     ) -> Result<Vec<DbOp>> {
-        let ops = self.translate(schema, db, request)?;
-        if self.strict {
-            db.apply_all_checked(&ops, consistency_check(schema))?;
-        } else {
-            db.apply_all(&ops)?;
-        }
-        Ok(ops)
+        self.apply_request(schema, db, request)
+            .map(|o| o.ops)
+            .map_err(Error::from)
     }
 
     /// Convenience: insert an instance.
@@ -168,6 +510,67 @@ impl ViewObjectUpdater {
     ) -> Result<Vec<DbOp>> {
         self.apply(schema, db, UpdateRequest::Replacement { old, new })
     }
+}
+
+/// Step 4 — global validation over the overlay, *before* touching the
+/// base. Returns any violations; an `Err` means the check itself could
+/// not run.
+fn check_overlay(schema: &StructuralSchema, rec: &OpRecorder<'_>) -> UpdateResult<Vec<Violation>> {
+    check_database(schema, &rec.db).map_err(|e| UpdateError::new(UpdateStep::GlobalCheck, e))
+}
+
+/// Wrap violations as a rollback error (the legacy applied-then-check
+/// path surfaced `Error::Rolledback`, and callers match on it).
+fn rollback_error(violations: &[Violation]) -> UpdateError {
+    UpdateError::new(
+        UpdateStep::GlobalCheck,
+        Error::Rolledback(Box::new(Error::ConstraintViolation(format!(
+            "{} structural violation(s), first: {}",
+            violations.len(),
+            violations[0]
+        )))),
+    )
+}
+
+/// The `(relation, key)` a violation complains about.
+fn violation_target(v: &Violation) -> (&str, &Key) {
+    match v {
+        Violation::OrphanOwned { relation, key, .. }
+        | Violation::DanglingReference { relation, key, .. }
+        | Violation::SubsetWithoutParent { relation, key, .. } => (relation, key),
+    }
+}
+
+/// Find the last request whose ops touch the violation's tuple — "last"
+/// because the most recent writer of a tuple is the request that left it
+/// in its final (violating) state. `None` when the tuple pre-existed and
+/// no request wrote it (e.g. a deletion elsewhere left it dangling).
+fn attribute_violation(
+    rec: &OpRecorder<'_>,
+    violation: &Violation,
+    outcomes: &[UpdateOutcome],
+) -> Option<usize> {
+    let (relation, key) = violation_target(violation);
+    let rel_schema = rec.db.view(relation).ok()?.schema();
+    let mut hit = None;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        for op in &outcome.ops {
+            if op.relation() != relation {
+                continue;
+            }
+            let touches = match op {
+                DbOp::Insert { tuple, .. } => &tuple.key(rel_schema) == key,
+                DbOp::Replace { old_key, tuple, .. } => {
+                    old_key == key || &tuple.key(rel_schema) == key
+                }
+                DbOp::Delete { key: k, .. } => k == key,
+            };
+            if touches {
+                hit = Some(i);
+            }
+        }
+    }
+    hit
 }
 
 #[cfg(test)]
@@ -316,6 +719,181 @@ mod tests {
             .translate(&schema, &db, UpdateRequest::CompleteDeletion(inst))
             .unwrap();
         assert!(!ops.is_empty());
+        assert_eq!(db.total_tuples(), before);
+    }
+
+    #[test]
+    fn apply_request_reports_steps_and_stats() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let t = db
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("EE282"))
+            .unwrap()
+            .clone();
+        let inst = assemble(&schema, &omega, &db, t).unwrap();
+        let outcome = updater
+            .apply_request(&schema, &mut db, UpdateRequest::CompleteDeletion(inst))
+            .unwrap();
+        assert_eq!(outcome.request_kind, "complete-deletion");
+        assert_eq!(
+            outcome.steps,
+            vec![
+                UpdateStep::Validate,
+                UpdateStep::Translate,
+                UpdateStep::GlobalCheck
+            ]
+        );
+        assert_eq!(outcome.stats.total(), outcome.ops.len());
+        assert!(outcome.stats.deletes > 0);
+        assert_eq!(outcome.stats.inserts, 0);
+    }
+
+    #[test]
+    fn batch_translates_over_one_overlay_and_applies_once() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let cs345 = assemble(
+            &schema,
+            &omega,
+            &db,
+            db.table("COURSES")
+                .unwrap()
+                .get(&Key::single("CS345"))
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
+        let ee282 = assemble(
+            &schema,
+            &omega,
+            &db,
+            db.table("COURSES")
+                .unwrap()
+                .get(&Key::single("EE282"))
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
+        // delete both, then re-insert one — all in a single transaction
+        let batch = UpdateBatch::new()
+            .delete(cs345)
+            .delete(ee282.clone())
+            .insert(ee282);
+        let outcome = updater.apply_batch(&schema, &mut db, batch).unwrap();
+        assert_eq!(outcome.len(), 3);
+        assert_eq!(outcome.total_ops, outcome.all_ops().count());
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+        assert!(!db
+            .table("COURSES")
+            .unwrap()
+            .contains_key(&Key::single("CS345")));
+        assert!(db
+            .table("COURSES")
+            .unwrap()
+            .contains_key(&Key::single("EE282")));
+    }
+
+    #[test]
+    fn batch_failure_leaves_database_untouched_and_names_the_request() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let ee282 = assemble(
+            &schema,
+            &omega,
+            &db,
+            db.table("COURSES")
+                .unwrap()
+                .get(&Key::single("EE282"))
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
+        let snapshot = db.clone();
+        // request #1 re-inserts an instance that still exists → translate
+        // fails with a key conflict attributed to that request
+        let batch = UpdateBatch::new()
+            .delete(ee282.clone())
+            .insert(ee282.clone())
+            .insert(ee282);
+        let err = updater.apply_batch(&schema, &mut db, batch).unwrap_err();
+        assert_eq!(err.step, UpdateStep::Translate);
+        assert_eq!(err.request_index, Some(2));
+        assert_eq!(err.request_kind, Some("complete-insertion"));
+        for rel in snapshot.relation_names() {
+            let before: Vec<_> = snapshot.table(rel).unwrap().scan().cloned().collect();
+            let after: Vec<_> = db.table(rel).unwrap().scan().cloned().collect();
+            assert_eq!(before, after, "relation {rel} changed despite rollback");
+        }
+    }
+
+    #[test]
+    fn batch_sees_earlier_requests_through_the_overlay() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let ee282 = assemble(
+            &schema,
+            &omega,
+            &db,
+            db.table("COURSES")
+                .unwrap()
+                .get(&Key::single("EE282"))
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
+        // delete-then-reinsert of the same instance only works if the
+        // insertion sees the deletion through the shared overlay
+        let before = db.total_tuples();
+        let batch = UpdateBatch::new().delete(ee282.clone()).insert(ee282);
+        updater.apply_batch(&schema, &mut db, batch).unwrap();
+        assert_eq!(db.total_tuples(), before);
+        assert!(check_database(&schema, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_tally_ops() {
+        let (_, db) = university_database();
+        let dept = db.table("DEPARTMENT").unwrap().schema().clone();
+        let ops = vec![
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["Math".into()]).unwrap(),
+            },
+            DbOp::Delete {
+                relation: "COURSES".into(),
+                key: Key::single("CS345"),
+            },
+        ];
+        let stats = UpdateStats::from_ops(&ops);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.replaces, 0);
+        assert_eq!(stats.relations_touched, 2);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (schema, mut db) = university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let before = db.total_tuples();
+        let outcome = updater
+            .apply_batch(&schema, &mut db, UpdateBatch::new())
+            .unwrap();
+        assert!(outcome.is_empty());
+        assert_eq!(outcome.total_ops, 0);
         assert_eq!(db.total_tuples(), before);
     }
 }

@@ -93,6 +93,25 @@ pub fn translate_replacement_traced(
     old: &VoInstance,
     new: VoInstance,
 ) -> Result<(Vec<DbOp>, Vec<TraceEvent>)> {
+    let mut rec = OpRecorder::over(db);
+    let trace =
+        translate_replacement_into(schema, object, analysis, translator, &mut rec, old, new)?;
+    Ok((rec.into_ops(), trace))
+}
+
+/// Like [`translate_replacement_traced`], but planning into an existing
+/// recorder — the batch path, where many requests share one overlay.
+/// Returns the state-machine trace; the ops accumulate in `rec`.
+pub fn translate_replacement_into(
+    schema: &StructuralSchema,
+    object: &ViewObject,
+    analysis: &IslandAnalysis,
+    translator: &Translator,
+    rec: &mut OpRecorder<'_>,
+    old: &VoInstance,
+    new: VoInstance,
+) -> Result<Vec<TraceEvent>> {
+    vo_relational::stats::count_snapshot_avoided();
     if !translator.allow_replacement {
         return Err(Error::ConstraintViolation(format!(
             "translator for {} forbids replacements",
@@ -118,7 +137,7 @@ pub fn translate_replacement_traced(
 
     let pivot_schema = schema.catalog().relation(object.pivot())?;
     let old_root_key = old.root.tuple.key(pivot_schema);
-    if db.table(object.pivot())?.get(&old_root_key) != Some(&old.root.tuple) {
+    if rec.db.view(object.pivot())?.get(&old_root_key) != Some(&old.root.tuple) {
         return Err(Error::ConstraintViolation(format!(
             "the old instance's pivot tuple {} is not current in the database",
             old.root.tuple
@@ -130,32 +149,32 @@ pub fn translate_replacement_traced(
         object,
         analysis,
         translator,
-        rec: OpRecorder::new(db),
+        rec,
         written: Vec::new(),
         trace: Vec::new(),
     };
     ctx.walk_pair(0, Some(&old.root), Some(&new.root), None)?;
     let Ctx {
-        mut rec,
+        rec,
         written,
         trace,
         ..
     } = ctx;
-    complete_dependencies(schema, object, translator, &mut rec, &written)?;
-    Ok((rec.into_ops(), trace))
+    complete_dependencies(schema, object, translator, rec, &written)?;
+    Ok(trace)
 }
 
-struct Ctx<'a> {
+struct Ctx<'a, 'r, 'base> {
     schema: &'a StructuralSchema,
     object: &'a ViewObject,
     analysis: &'a IslandAnalysis,
     translator: &'a Translator,
-    rec: OpRecorder,
+    rec: &'r mut OpRecorder<'base>,
     written: Vec<(String, Tuple)>,
     trace: Vec<TraceEvent>,
 }
 
-impl<'a> Ctx<'a> {
+impl Ctx<'_, '_, '_> {
     /// Process a matched/unmatched pair of instance nodes for `node_id`,
     /// then recurse over their children.
     fn walk_pair(
@@ -166,7 +185,7 @@ impl<'a> Ctx<'a> {
         parent_pair: Option<(&Tuple, &Tuple)>,
     ) -> Result<()> {
         let relation = self.object.node(node_id).relation.clone();
-        let rel_schema = self.rec.db.table(&relation)?.schema().clone();
+        let rel_schema = self.rec.db.view(&relation)?.schema().clone();
         let in_island = self.analysis.in_island(node_id);
 
         match (old, new) {
@@ -252,7 +271,7 @@ impl<'a> Ctx<'a> {
         parent_pair: Option<(&Tuple, &Tuple)>,
     ) -> Result<Option<Key>> {
         let key = old.key(rel_schema);
-        let table = self.rec.db.table(relation)?;
+        let table = self.rec.db.view(relation)?;
         if table.contains_key(&key) {
             return Ok(Some(key));
         }
@@ -271,7 +290,7 @@ impl<'a> Ctx<'a> {
                 .node(node.parent.expect("non-root"))
                 .relation
                 .clone();
-            let parent_schema = self.rec.db.table(&parent_rel)?.schema().clone();
+            let parent_schema = self.rec.db.view(&parent_rel)?.schema().clone();
             let old_vals: Vec<Value> = t
                 .source_attrs()
                 .iter()
@@ -288,7 +307,7 @@ impl<'a> Ctx<'a> {
                     rewritten = rewritten.with_named(rel_schema, attr, v)?;
                 }
                 let rk = rewritten.key(rel_schema);
-                if self.rec.db.table(relation)?.contains_key(&rk) {
+                if self.rec.db.view(relation)?.contains_key(&rk) {
                     return Ok(Some(rk));
                 }
             }
@@ -311,7 +330,7 @@ impl<'a> Ctx<'a> {
 
         if in_island {
             // ---- state R ----
-            let at_new = self.rec.db.table(relation)?.get(&new_key).cloned();
+            let at_new = self.rec.db.view(relation)?.get(&new_key).cloned();
             if at_new.as_ref() == Some(new) {
                 // already effected (e.g. by an ancestor's key propagation,
                 // when the non-inherited attributes did not change), or R-1
@@ -322,7 +341,7 @@ impl<'a> Ctx<'a> {
                 });
                 return Ok(());
             }
-            let old_present = self.rec.db.table(relation)?.contains_key(&old_key);
+            let old_present = self.rec.db.view(relation)?.contains_key(&old_key);
             if old_key == new_key {
                 // CASE R-2: projections differ, keys match
                 if !old_present {
@@ -416,7 +435,7 @@ impl<'a> Ctx<'a> {
                 if old == new {
                     return Ok(());
                 }
-                let existing = self.rec.db.table(relation)?.get(&new_key).cloned();
+                let existing = self.rec.db.view(relation)?.get(&new_key).cloned();
                 match existing {
                     Some(ref e) if e == new => Ok(()),
                     Some(_) => {
@@ -456,7 +475,7 @@ impl<'a> Ctx<'a> {
     ) -> Result<()> {
         let policy = self.translator.policy(relation);
         let key = new.key(rel_schema);
-        let existing = self.rec.db.table(relation)?.get(&key).cloned();
+        let existing = self.rec.db.view(relation)?.get(&key).cloned();
         match existing {
             None => {
                 // CASE I-2

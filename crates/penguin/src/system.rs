@@ -270,6 +270,14 @@ impl Penguin {
         })
     }
 
+    /// Like [`Penguin::updater`], but with lookup failures attributed to
+    /// the *validate* step of the outcome-returning update API.
+    fn updater_checked(&self, name: &str) -> UpdateResult<ViewObjectUpdater> {
+        self.updater(name)
+            .cloned()
+            .map_err(|e| UpdateError::new(UpdateStep::Validate, e))
+    }
+
     /// Execute a query on an object.
     pub fn query(&self, name: &str, query: &VoQuery) -> Result<Vec<VoInstance>> {
         let reg = self.object(name)?;
@@ -315,15 +323,31 @@ impl Penguin {
     }
 
     /// Insert an instance through an object.
-    pub fn insert_instance(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
-        let updater = self.updater(name)?.clone();
-        updater.insert(&self.schema, &mut self.db, instance)
+    pub fn insert_instance(
+        &mut self,
+        name: &str,
+        instance: VoInstance,
+    ) -> UpdateResult<UpdateOutcome> {
+        let updater = self.updater_checked(name)?;
+        updater.apply_request(
+            &self.schema,
+            &mut self.db,
+            UpdateRequest::CompleteInsertion(instance),
+        )
     }
 
     /// Delete an instance through an object.
-    pub fn delete_instance(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
-        let updater = self.updater(name)?.clone();
-        updater.delete(&self.schema, &mut self.db, instance)
+    pub fn delete_instance(
+        &mut self,
+        name: &str,
+        instance: VoInstance,
+    ) -> UpdateResult<UpdateOutcome> {
+        let updater = self.updater_checked(name)?;
+        updater.apply_request(
+            &self.schema,
+            &mut self.db,
+            UpdateRequest::CompleteDeletion(instance),
+        )
     }
 
     /// Replace an instance through an object.
@@ -332,15 +356,79 @@ impl Penguin {
         name: &str,
         old: VoInstance,
         new: VoInstance,
-    ) -> Result<Vec<DbOp>> {
-        let updater = self.updater(name)?.clone();
-        updater.replace(&self.schema, &mut self.db, old, new)
+    ) -> UpdateResult<UpdateOutcome> {
+        let updater = self.updater_checked(name)?;
+        updater.apply_request(
+            &self.schema,
+            &mut self.db,
+            UpdateRequest::Replacement { old, new },
+        )
     }
 
     /// Apply a partial update through an object.
-    pub fn apply_partial(&mut self, name: &str, op: PartialOp) -> Result<Vec<DbOp>> {
-        let updater = self.updater(name)?.clone();
-        updater.apply_partial(&self.schema, &mut self.db, op)
+    pub fn apply_partial(&mut self, name: &str, op: PartialOp) -> UpdateResult<UpdateOutcome> {
+        let updater = self.updater_checked(name)?;
+        updater.apply_partial_outcome(&self.schema, &mut self.db, op)
+    }
+
+    /// Apply a whole batch of update requests through an object,
+    /// set-at-a-time: one shared overlay, translators run back-to-back,
+    /// one global check, one transaction (see
+    /// [`ViewObjectUpdater::apply_batch`]).
+    pub fn apply_batch(
+        &mut self,
+        name: &str,
+        batch: impl Into<UpdateBatch>,
+    ) -> UpdateResult<BatchOutcome> {
+        let updater = self.updater_checked(name)?;
+        let batch: UpdateBatch = batch.into();
+        let mut sp = vo_obs::trace::span("penguin.apply_batch");
+        if sp.is_recording() {
+            sp.field("object", Json::str(name));
+            sp.field("requests", Json::Int(batch.len() as i64));
+        }
+        let outcome = updater.apply_batch(&self.schema, &mut self.db, batch)?;
+        if sp.is_recording() {
+            sp.field("ops", Json::Int(outcome.total_ops as i64));
+        }
+        Ok(outcome)
+    }
+
+    /// Deprecated shim: [`Penguin::insert_instance`] returning bare ops.
+    #[deprecated(note = "use insert_instance, which returns an UpdateOutcome")]
+    pub fn insert_instance_ops(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
+        self.insert_instance(name, instance)
+            .map(|o| o.ops)
+            .map_err(Error::from)
+    }
+
+    /// Deprecated shim: [`Penguin::delete_instance`] returning bare ops.
+    #[deprecated(note = "use delete_instance, which returns an UpdateOutcome")]
+    pub fn delete_instance_ops(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
+        self.delete_instance(name, instance)
+            .map(|o| o.ops)
+            .map_err(Error::from)
+    }
+
+    /// Deprecated shim: [`Penguin::replace_instance`] returning bare ops.
+    #[deprecated(note = "use replace_instance, which returns an UpdateOutcome")]
+    pub fn replace_instance_ops(
+        &mut self,
+        name: &str,
+        old: VoInstance,
+        new: VoInstance,
+    ) -> Result<Vec<DbOp>> {
+        self.replace_instance(name, old, new)
+            .map(|o| o.ops)
+            .map_err(Error::from)
+    }
+
+    /// Deprecated shim: [`Penguin::apply_partial`] returning bare ops.
+    #[deprecated(note = "use apply_partial, which returns an UpdateOutcome")]
+    pub fn apply_partial_ops(&mut self, name: &str, op: PartialOp) -> Result<Vec<DbOp>> {
+        self.apply_partial(name, op)
+            .map(|o| o.ops)
+            .map_err(Error::from)
     }
 
     /// Verify the whole database against the structural model.

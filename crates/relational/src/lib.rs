@@ -45,6 +45,7 @@ pub mod database;
 pub mod error;
 pub use vo_obs::json;
 pub mod optimizer;
+pub mod overlay;
 pub mod predicate;
 pub mod rng;
 pub mod schema;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::database::{Database, DbOp};
     pub use crate::error::{Error, Result};
     pub use crate::json::Json;
+    pub use crate::overlay::{DbRead, DeltaDb, TableView};
     pub use crate::predicate::{CmpOp, Expr, Truth};
     pub use crate::rng::SmallRng;
     pub use crate::schema::{AttributeDef, DatabaseSchema, RelationSchema};

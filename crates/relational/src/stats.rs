@@ -37,6 +37,21 @@ fn instances_built() -> Counter {
     *C.get_or_init(|| metrics::counter("relational.instances_built"))
 }
 
+fn overlay_created() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("translate.overlay_created"))
+}
+
+fn overlay_reads() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("translate.overlay_reads"))
+}
+
+fn snapshot_avoided() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("translate.snapshot_avoided"))
+}
+
 /// Record one lookup answered by a secondary (or primary) index.
 pub fn count_index_probe() {
     index_probes().inc();
@@ -62,6 +77,23 @@ pub fn count_instances_built(n: u64) {
     instances_built().add(n);
 }
 
+/// Record one delta overlay ([`crate::overlay::DeltaDb`]) constructed over
+/// a base database.
+pub fn count_overlay_created() {
+    overlay_created().inc();
+}
+
+/// Record one relation lookup answered through a delta overlay.
+pub fn count_overlay_read() {
+    overlay_reads().inc();
+}
+
+/// Record one translation run that read through an overlay instead of
+/// cloning the base database (one avoided full snapshot).
+pub fn count_snapshot_avoided() {
+    snapshot_avoided().inc();
+}
+
 /// A point-in-time copy of all counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct InstrumentationSnapshot {
@@ -75,6 +107,12 @@ pub struct InstrumentationSnapshot {
     pub join_rows: u64,
     /// View-object instances materialized.
     pub instances_built: u64,
+    /// Delta overlays constructed for update translation.
+    pub overlay_created: u64,
+    /// Relation lookups answered through a delta overlay.
+    pub overlay_reads: u64,
+    /// Translation runs that avoided a full base-database clone.
+    pub snapshot_avoided: u64,
 }
 
 impl InstrumentationSnapshot {
@@ -88,6 +126,9 @@ impl InstrumentationSnapshot {
             hash_builds: later.hash_builds.saturating_sub(self.hash_builds),
             join_rows: later.join_rows.saturating_sub(self.join_rows),
             instances_built: later.instances_built.saturating_sub(self.instances_built),
+            overlay_created: later.overlay_created.saturating_sub(self.overlay_created),
+            overlay_reads: later.overlay_reads.saturating_sub(self.overlay_reads),
+            snapshot_avoided: later.snapshot_avoided.saturating_sub(self.snapshot_avoided),
         }
     }
 }
@@ -96,12 +137,16 @@ impl std::fmt::Display for InstrumentationSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "index_probes={} fallback_scans={} hash_builds={} join_rows={} instances_built={}",
+            "index_probes={} fallback_scans={} hash_builds={} join_rows={} instances_built={} \
+             overlay_created={} overlay_reads={} snapshot_avoided={}",
             self.index_probes,
             self.fallback_scans,
             self.hash_builds,
             self.join_rows,
-            self.instances_built
+            self.instances_built,
+            self.overlay_created,
+            self.overlay_reads,
+            self.snapshot_avoided
         )
     }
 }
@@ -114,6 +159,9 @@ pub fn snapshot() -> InstrumentationSnapshot {
         hash_builds: hash_builds().get(),
         join_rows: join_rows().get(),
         instances_built: instances_built().get(),
+        overlay_created: overlay_created().get(),
+        overlay_reads: overlay_reads().get(),
+        snapshot_avoided: snapshot_avoided().get(),
     }
 }
 
@@ -125,6 +173,9 @@ pub fn reset() {
     hash_builds().reset();
     join_rows().reset();
     instances_built().reset();
+    overlay_created().reset();
+    overlay_reads().reset();
+    snapshot_avoided().reset();
 }
 
 #[cfg(test)]
@@ -171,6 +222,7 @@ mod tests {
             hash_builds: 10,
             join_rows: 1000,
             instances_built: 7,
+            ..Default::default()
         };
         let later = InstrumentationSnapshot::default();
         let d = before.delta(&later);

@@ -16,7 +16,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: RelationSchema,
-    rows: BTreeMap<Key, Tuple>,
+    /// Crate-visible so [`crate::overlay`] can build merged scan iterators
+    /// without copying rows.
+    pub(crate) rows: BTreeMap<Key, Tuple>,
     /// Secondary indexes, keyed by the indexed attribute positions.
     indexes: HashMap<Vec<usize>, BTreeMap<Vec<Value>, BTreeSet<Key>>>,
 }

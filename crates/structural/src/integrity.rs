@@ -18,7 +18,10 @@
 //!   the paper's VO-CI global-validation step describes.
 //!
 //! All planners are *read-only*: they return operation lists which callers
-//! apply transactionally via [`Database::apply_all`].
+//! apply transactionally via [`Database::apply_all`]. They are generic over
+//! [`DbRead`], so they run identically against a committed [`Database`] or
+//! a [`vo_relational::overlay::DeltaDb`] overlay of planned-but-uncommitted
+//! ops — the substrate of batch update translation.
 
 use crate::connection::ConnectionKind;
 use crate::schema::{StructuralSchema, Traversal};
@@ -162,12 +165,12 @@ impl IntegrityPolicy {
     }
 }
 
-/// Scan the whole database for structural violations.
-pub fn check_database(schema: &StructuralSchema, db: &Database) -> Result<Vec<Violation>> {
+/// Scan the whole database (or overlay) for structural violations.
+pub fn check_database(schema: &StructuralSchema, db: &impl DbRead) -> Result<Vec<Violation>> {
     let mut out = Vec::new();
     for conn in schema.connections() {
-        let r1 = db.table(&conn.from)?;
-        let r2 = db.table(&conn.to)?;
+        let r1 = db.view(&conn.from)?;
+        let r2 = db.view(&conn.to)?;
         match conn.kind {
             ConnectionKind::Ownership | ConnectionKind::Subset => {
                 // every R2 tuple needs a connected R1 tuple
@@ -242,7 +245,7 @@ pub fn consistency_check(schema: &StructuralSchema) -> impl Fn(&Database) -> Res
 /// that *after* all ops apply, [`check_database`] is clean).
 pub fn plan_delete(
     schema: &StructuralSchema,
-    db: &Database,
+    db: &impl DbRead,
     relation: &str,
     key: &Key,
     policy: &IntegrityPolicy,
@@ -255,7 +258,7 @@ pub fn plan_delete(
         if !to_delete.insert((rel.clone(), k.clone())) {
             continue;
         }
-        let table = db.table(&rel)?;
+        let table = db.view(&rel)?;
         let tuple = table.get(&k).ok_or_else(|| Error::NoSuchTuple {
             relation: rel.clone(),
             key: k.to_string(),
@@ -263,7 +266,7 @@ pub fn plan_delete(
         // cascade over ownership and subset
         for conn in schema.dependents_of(&rel) {
             let vals = conn.from_values(table.schema(), tuple)?;
-            let child = db.table(&conn.to)?;
+            let child = db.view(&conn.to)?;
             let keys = child.keys_by_attrs(&conn.to_attrs, &vals)?;
             if !keys.is_empty() {
                 trace::event_with("integrity.cascade", || {
@@ -283,7 +286,7 @@ pub fn plan_delete(
         for conn in schema.referencers_of(&rel) {
             if policy.delete_action(&conn.name) == RefDeleteAction::Cascade {
                 let vals = conn.to_values(table.schema(), tuple)?;
-                let referencing = db.table(&conn.from)?;
+                let referencing = db.view(&conn.from)?;
                 let keys = referencing.keys_by_attrs(&conn.from_attrs, &vals)?;
                 if !keys.is_empty() {
                     trace::event_with("integrity.cascade", || {
@@ -307,14 +310,14 @@ pub fn plan_delete(
     // referencing two deleted targets gets a single Replace.
     let mut pending: BTreeMap<(String, Key), Tuple> = BTreeMap::new();
     for (rel, k) in &to_delete {
-        let table = db.table(rel)?;
+        let table = db.view(rel)?;
         let tuple = table.get(k).expect("collected above");
         for conn in schema.referencers_of(rel) {
             match policy.delete_action(&conn.name) {
                 RefDeleteAction::Cascade => {} // handled in phase 1
                 action => {
                     let vals = conn.to_values(table.schema(), tuple)?;
-                    let referencing = db.table(&conn.from)?;
+                    let referencing = db.view(&conn.from)?;
                     let ref_schema = referencing.schema().clone();
                     for k1 in referencing.keys_by_attrs(&conn.from_attrs, &vals)? {
                         if to_delete.contains(&(conn.from.clone(), k1.clone())) {
@@ -405,7 +408,7 @@ pub fn plan_delete(
 ///   [`RefModifyAction`].
 pub fn plan_key_replacement(
     schema: &StructuralSchema,
-    db: &Database,
+    db: &impl DbRead,
     relation: &str,
     old_key: &Key,
     new: Tuple,
@@ -421,7 +424,7 @@ pub fn plan_key_replacement(
         if !visited.insert((rel.clone(), okey.clone())) {
             continue;
         }
-        let table = db.table(&rel)?;
+        let table = db.view(&rel)?;
         let rel_schema = table.schema().clone();
         let old = table
             .get(&okey)
@@ -447,7 +450,7 @@ pub fn plan_key_replacement(
             if old_vals == new_vals {
                 continue;
             }
-            let child = db.table(&conn.to)?;
+            let child = db.view(&conn.to)?;
             let child_schema = child.schema().clone();
             for k2 in child.keys_by_attrs(&conn.to_attrs, &old_vals)? {
                 let ct = child.get(&k2).expect("listed").clone();
@@ -466,7 +469,7 @@ pub fn plan_key_replacement(
             if old_vals == new_vals {
                 continue;
             }
-            let referencing = db.table(&conn.from)?;
+            let referencing = db.view(&conn.from)?;
             let ref_schema = referencing.schema().clone();
             for k1 in referencing.keys_by_attrs(&conn.from_attrs, &old_vals)? {
                 match policy.modify_action(&conn.name) {
@@ -532,11 +535,11 @@ pub struct MissingDependency {
 /// referenced tuple.
 pub fn missing_dependencies(
     schema: &StructuralSchema,
-    db: &Database,
+    db: &impl DbRead,
     relation: &str,
     tuple: &Tuple,
 ) -> Result<Vec<MissingDependency>> {
-    let rel_schema = db.table(relation)?.schema().clone();
+    let rel_schema = db.view(relation)?.schema().clone();
     let mut out = Vec::new();
     for dep in schema.dependencies_of(relation) {
         let vals = values_on_side(&dep, &rel_schema, tuple, true)?;
@@ -545,7 +548,7 @@ pub fn missing_dependencies(
             // cannot occur in key-side dependencies.
             continue;
         }
-        let target = db.table(dep.target())?;
+        let target = db.view(dep.target())?;
         if target.find_by_attrs(dep.target_attrs(), &vals)?.is_empty() {
             out.push(MissingDependency {
                 connection: dep.connection.name.clone(),
@@ -606,7 +609,7 @@ pub fn stub_tuple(schema: &RelationSchema, attrs: &[String], values: &[Value]) -
 /// aborts the plan.
 pub fn plan_completion(
     schema: &StructuralSchema,
-    db: &Database,
+    db: &impl DbRead,
     relation: &str,
     tuple: &Tuple,
     allow: &dyn Fn(&str) -> bool,
@@ -626,7 +629,7 @@ pub fn plan_completion(
                     dep.relation
                 )));
             }
-            let target_schema = db.table(&dep.relation)?.schema().clone();
+            let target_schema = db.view(&dep.relation)?.schema().clone();
             let stub = stub_tuple(&target_schema, &dep.attrs, &dep.values)?;
             ops.push(DbOp::Insert {
                 relation: dep.relation.clone(),

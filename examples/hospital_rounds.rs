@@ -91,7 +91,8 @@ fn main() -> Result<()> {
         penguin.database().table("LABRESULT")?.len(),
     );
     let chart = penguin.instance_by_key("chart", &Key::single(2))?;
-    let ops = penguin.delete_instance("chart", chart)?;
+    let outcome = penguin.delete_instance("chart", chart)?;
+    let ops = outcome.ops;
     let after = (
         penguin.database().table("ADMISSION")?.len(),
         penguin.database().table("ORDERS")?.len(),

@@ -39,10 +39,10 @@ fn main() -> Result<()> {
         penguin2.database().total_tuples()
     );
     let inst = penguin2.instance_by_key("omega", &Key::single("EE282"))?;
-    let ops = penguin2.delete_instance("omega", inst)?;
+    let outcome = penguin2.delete_instance("omega", inst)?;
     println!(
         "deleted EE282 through the restored translator ({} ops); consistent: {}",
-        ops.len(),
+        outcome.ops.len(),
         penguin2.check_consistency()?.is_empty()
     );
 

@@ -284,7 +284,7 @@ fn rejected_updates_leave_no_trace() {
     old = penguin.instance_by_key("o", &Key::single("CS345")).unwrap();
     let err = penguin.replace_instance("o", old, new).unwrap_err();
     assert!(matches!(
-        err,
+        *err.source,
         Error::ConstraintViolation(_) | Error::Rolledback(_)
     ));
     assert_eq!(penguin.database().total_tuples(), before);

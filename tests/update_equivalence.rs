@@ -1,0 +1,299 @@
+//! Batch-vs-sequential equivalence of the update pipeline: applying a
+//! shuffled mix of insert/delete/replace requests through
+//! `apply_batch` (one shared overlay, one global check, one transaction)
+//! must leave the database in exactly the state that applying the same
+//! requests one-by-one through `apply_request` does — and a failing batch
+//! must leave the database exactly at its initial state, naming the
+//! offending request.
+//!
+//! The `translate.overlay_created` / `translate.snapshot_avoided`
+//! counters are process-global, so every test here serializes on one
+//! mutex to keep the delta assertions honest.
+
+use penguin_vo::prelude::*;
+use penguin_vo::relational::stats;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn assert_same_database(a: &Database, b: &Database, context: &str) {
+    for rel in a.relation_names() {
+        let ra: Vec<_> = a.table(rel).unwrap().scan().cloned().collect();
+        let rb: Vec<_> = b.table(rel).unwrap().scan().cloned().collect();
+        assert_eq!(ra, rb, "{context}: relation {rel} differs");
+    }
+}
+
+/// A fresh course instance (root only; its department already exists, so
+/// dependency completion plans nothing extra).
+fn fresh_course(omega: &ViewObject, courses: &RelationSchema, id: &str, dept: &str) -> VoInstance {
+    VoInstance {
+        object: omega.name().to_owned(),
+        root: VoInstanceNode::leaf(
+            0,
+            Tuple::new(
+                courses,
+                vec![
+                    id.into(),
+                    format!("course {id}").into(),
+                    "graduate".into(),
+                    dept.into(),
+                ],
+            )
+            .unwrap(),
+        ),
+    }
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut SmallRng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn batch_equals_sequential_on_shuffled_mixes() {
+    let _g = lock();
+    for seed in [0x5EED1u64, 0x5EED2, 0x5EED3] {
+        let (schema, db) = university_scaled(2, 42);
+        let omega = generate_omega(&schema).unwrap();
+        let updater =
+            ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+        let courses = db.table("COURSES").unwrap().schema().clone();
+
+        // requests on pairwise-disjoint courses, so any order is valid
+        let mut requests = Vec::new();
+        for id in ["C0-0", "C0-1"] {
+            let inst = assemble(
+                &schema,
+                &omega,
+                &db,
+                db.table("COURSES")
+                    .unwrap()
+                    .get(&Key::single(id))
+                    .unwrap()
+                    .clone(),
+            )
+            .unwrap();
+            requests.push(UpdateRequest::CompleteDeletion(inst));
+        }
+        for (id, new_id) in [("C0-2", "C0-2"), ("C0-3", "C9-X")] {
+            let old = assemble(
+                &schema,
+                &omega,
+                &db,
+                db.table("COURSES")
+                    .unwrap()
+                    .get(&Key::single(id))
+                    .unwrap()
+                    .clone(),
+            )
+            .unwrap();
+            let mut new = old.clone();
+            new.root.tuple = new
+                .root
+                .tuple
+                .with_named(&courses, "course_id", new_id.into())
+                .unwrap();
+            new.root.tuple = new
+                .root
+                .tuple
+                .with_named(&courses, "title", "revised".into())
+                .unwrap();
+            requests.push(UpdateRequest::Replacement { old, new });
+        }
+        for id in ["N-0", "N-1"] {
+            requests.push(UpdateRequest::CompleteInsertion(fresh_course(
+                &omega, &courses, id, "dept-0",
+            )));
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        shuffle(&mut requests, &mut rng);
+
+        // path A: one strict apply_request per request
+        let mut db_seq = db.clone();
+        for r in requests.clone() {
+            updater.apply_request(&schema, &mut db_seq, r).unwrap();
+        }
+        // path B: one batch over one shared overlay
+        let mut db_batch = db.clone();
+        let outcome = updater
+            .apply_batch(&schema, &mut db_batch, requests.clone())
+            .unwrap();
+        assert_eq!(outcome.len(), requests.len());
+        assert_eq!(outcome.total_ops, outcome.stats.total());
+
+        assert_same_database(&db_seq, &db_batch, &format!("seed {seed:#x}"));
+        assert!(check_database(&schema, &db_batch).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn batch_of_1000_insertions_shares_one_overlay() {
+    let _g = lock();
+    let (schema, db) = university_scaled(1, 42);
+    let mut p = Penguin::with_database(schema, db);
+    p.define_object(
+        "omega",
+        "COURSES",
+        &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+    )
+    .unwrap();
+    let omega = p.object("omega").unwrap().object.clone();
+    p.install_translator("omega", Translator::permissive(&omega))
+        .unwrap();
+    let courses = p.database().table("COURSES").unwrap().schema().clone();
+
+    let batch: UpdateBatch = (0..1000)
+        .map(|i| {
+            UpdateRequest::CompleteInsertion(fresh_course(
+                &omega,
+                &courses,
+                &format!("Z-{i}"),
+                "dept-0",
+            ))
+        })
+        .collect();
+
+    let courses_before = p.database().table("COURSES").unwrap().len();
+    let before = stats::snapshot();
+    let outcome = p.apply_batch("omega", batch).unwrap();
+    let d = before.delta(&stats::snapshot());
+
+    // the whole batch ran over exactly one overlay: no base snapshot was
+    // taken for any of the 1000 translator invocations
+    assert_eq!(d.overlay_created, 1, "batch must build exactly one overlay");
+    assert_eq!(d.snapshot_avoided, 1000, "one avoided snapshot per request");
+    assert!(d.overlay_reads >= 1000);
+
+    assert_eq!(outcome.len(), 1000);
+    assert_eq!(outcome.stats.inserts, 1000);
+    assert_eq!(
+        p.database().table("COURSES").unwrap().len(),
+        courses_before + 1000
+    );
+    assert!(p.check_consistency().unwrap().is_empty());
+}
+
+#[test]
+fn failing_batch_rolls_back_everything_and_names_the_request() {
+    let _g = lock();
+    let (schema, db) = university_scaled(1, 42);
+    let omega = generate_omega(&schema).unwrap();
+    let updater =
+        ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+    let courses = db.table("COURSES").unwrap().schema().clone();
+
+    // 10 good insertions, then one that collides with the first — the
+    // batch fails on the *last* request and must leave the base untouched
+    // even though 10 requests had already translated cleanly
+    let mut requests: Vec<UpdateRequest> = (0..10)
+        .map(|i| {
+            UpdateRequest::CompleteInsertion(fresh_course(
+                &omega,
+                &courses,
+                &format!("Z-{i}"),
+                "dept-0",
+            ))
+        })
+        .collect();
+    requests.push(UpdateRequest::CompleteInsertion(fresh_course(
+        &omega, &courses, "Z-0", "dept-0",
+    )));
+
+    let mut db_batch = db.clone();
+    let err = updater
+        .apply_batch(&schema, &mut db_batch, requests)
+        .unwrap_err();
+    assert_eq!(err.step, UpdateStep::Translate);
+    assert_eq!(err.request_index, Some(10));
+    assert_eq!(err.request_kind, Some("complete-insertion"));
+    assert_same_database(&db, &db_batch, "failed batch");
+
+    // sequential application of the same requests is NOT atomic: the ten
+    // good ones commit before the bad one fails. This asymmetry is the
+    // documented difference between the two granularities.
+    let mut db_seq = db.clone();
+    let mut failed_at = None;
+    for (i, r) in (0..10)
+        .map(|i| {
+            UpdateRequest::CompleteInsertion(fresh_course(
+                &omega,
+                &courses,
+                &format!("Z-{i}"),
+                "dept-0",
+            ))
+        })
+        .chain(std::iter::once(UpdateRequest::CompleteInsertion(
+            fresh_course(&omega, &courses, "Z-0", "dept-0"),
+        )))
+        .enumerate()
+    {
+        if updater.apply_request(&schema, &mut db_seq, r).is_err() {
+            failed_at = Some(i);
+            break;
+        }
+    }
+    assert_eq!(failed_at, Some(10));
+    assert_eq!(
+        db_seq.table("COURSES").unwrap().len(),
+        db.table("COURSES").unwrap().len() + 10
+    );
+}
+
+#[test]
+fn global_check_failure_rolls_back_batch_and_sequential_alike() {
+    let _g = lock();
+    let (schema, mut db) = university_scaled(1, 42);
+    let omega = generate_omega(&schema).unwrap();
+    let updater =
+        ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+    let courses = db.table("COURSES").unwrap().schema().clone();
+
+    // corrupt the base out of band: a STUDENT row loses its PEOPLE parent,
+    // so the final global check fails no matter what the batch plans
+    let victim = db.table("STUDENT").unwrap().scan().next().unwrap().values()[0].clone();
+    db.table_mut("PEOPLE")
+        .unwrap()
+        .delete(&Key(vec![victim]))
+        .unwrap();
+    assert!(!check_database(&schema, &db).unwrap().is_empty());
+    let snapshot = db.clone();
+
+    let requests: Vec<UpdateRequest> = (0..3)
+        .map(|i| {
+            UpdateRequest::CompleteInsertion(fresh_course(
+                &omega,
+                &courses,
+                &format!("Z-{i}"),
+                "dept-0",
+            ))
+        })
+        .collect();
+
+    // batch: fails at the global check, applies nothing; the violation
+    // predates the batch, so no request index is attributable
+    let err = updater
+        .apply_batch(&schema, &mut db, requests.clone())
+        .unwrap_err();
+    assert_eq!(err.step, UpdateStep::GlobalCheck);
+    assert_eq!(err.request_index, None);
+    assert!(matches!(*err.source, Error::Rolledback(_)));
+    assert_same_database(&snapshot, &db, "batch after global-check failure");
+
+    // sequential strict application fails the same way on the first
+    // request, also applying nothing — rollback parity
+    let mut db_seq = snapshot.clone();
+    let err = updater
+        .apply_request(&schema, &mut db_seq, requests[0].clone())
+        .unwrap_err();
+    assert_eq!(err.step, UpdateStep::GlobalCheck);
+    assert!(matches!(*err.source, Error::Rolledback(_)));
+    assert_same_database(&snapshot, &db_seq, "sequential after global-check failure");
+}
