@@ -1,0 +1,85 @@
+//! Bench B3 — parallel pivot-partitioned instantiation scaling.
+//!
+//! Measures `instantiate_many_parallel` at 1/2/4/8 workers against the
+//! sequential batched engine on a large (default ≥ 5k-pivot) university
+//! workload with every edge index provisioned, and reports speedup and
+//! efficiency per thread count. Output is one JSON measurement line per
+//! case (the `vo_bench::Reporter` protocol) plus a scaling table.
+//!
+//! Environment knobs: `VO_B3_SCALE` (departments; default 640 → 5120
+//! pivot courses) and `VO_B3_RUNS` (median-of-N; default 5) keep CI smoke
+//! runs cheap without changing the measurement protocol.
+
+use vo_bench::{emit_measurement, us, Json, Reporter, TextTable};
+use vo_core::prelude::*;
+use vo_penguin::university_scaled;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_usize("VO_B3_SCALE", 640);
+    let runs = env_usize("VO_B3_RUNS", 5);
+    let (schema, mut db) = university_scaled(scale as i64, 42);
+    let omega = generate_omega(&schema).unwrap();
+    let plan = plan_object(&schema, &omega, &db).unwrap();
+    for (rel, attrs) in plan.required_indexes() {
+        db.ensure_index(&rel, &attrs).unwrap();
+    }
+    let plan = plan_object(&schema, &omega, &db).unwrap();
+    let pivots: Vec<&Tuple> = db.table("COURSES").unwrap().scan().collect();
+
+    let mut r = Reporter::new("B3", "parallel instantiation scaling vs workers", "workers");
+    println!(
+        "(pivots={}, machine parallelism={}, median of {runs})",
+        pivots.len(),
+        available_parallelism()
+    );
+
+    let seq = vo_bench::median_time(runs, || {
+        instantiate_many_planned(&omega, &db, &plan, &pivots).unwrap()
+    });
+    r.measure("instantiate/seq", "1", seq);
+
+    let mut scaling = TextTable::new(&["workers", "median_us", "speedup", "efficiency"]);
+    scaling.row(&["seq".into(), us(seq), "1.00".into(), "1.00".into()]);
+    for k in [1usize, 2, 4, 8] {
+        let d = vo_bench::median_time(runs, || {
+            instantiate_many_parallel(&omega, &db, &plan, &pivots, k).unwrap()
+        });
+        r.measure(&format!("instantiate/par{k}"), &k.to_string(), d);
+        let speedup = seq.as_secs_f64() / d.as_secs_f64().max(f64::EPSILON);
+        let efficiency = speedup / k as f64;
+        emit_measurement(
+            "B3",
+            &format!("speedup/k{k}"),
+            vec![
+                ("workers", Json::Int(k as i64)),
+                ("pivots", Json::Int(pivots.len() as i64)),
+                ("speedup", Json::Float((speedup * 100.0).round() / 100.0)),
+                (
+                    "efficiency",
+                    Json::Float((efficiency * 100.0).round() / 100.0),
+                ),
+            ],
+            d,
+        );
+        scaling.row(&[
+            k.to_string(),
+            us(d),
+            format!("{speedup:.2}"),
+            format!("{efficiency:.2}"),
+        ]);
+    }
+    // sanity: the parallel engine agrees with the sequential one on the
+    // measured workload (the full proof lives in tests/parallel_equivalence)
+    let check = instantiate_many_parallel(&omega, &db, &plan, &pivots, 4).unwrap();
+    let seq_out = instantiate_many_planned(&omega, &db, &plan, &pivots).unwrap();
+    assert_eq!(check, seq_out, "parallel output diverged from sequential");
+    print!("{}", scaling.render());
+    r.finish();
+}

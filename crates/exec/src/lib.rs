@@ -1,0 +1,312 @@
+//! # vo-exec — zero-dependency scoped parallel execution
+//!
+//! A std-only execution layer for the set-at-a-time instantiation engine:
+//! no rayon, no channels, no unsafe — just [`std::thread::scope`], a
+//! contiguous partition planner, and an order-preserving chunk mapper.
+//!
+//! The unit of parallelism in the view-object model is the **pivot
+//! tuple**: every instance is derived from exactly one pivot tuple plus
+//! edge-plan probes against a shared immutable database, with no
+//! cross-instance data dependency. That makes "partition the pivot set
+//! into `k` contiguous chunks, run the probe pipeline per chunk, and
+//! concatenate per-chunk results in chunk order" both trivially
+//! deterministic (output is byte-identical to the sequential pass) and
+//! embarrassingly parallel.
+//!
+//! Three pieces:
+//!
+//! - [`partition`]: split `len` items into at most `k` contiguous,
+//!   near-equal ranges (never an empty range);
+//! - [`map_chunks`]: run a fallible chunk closure over a slice on scoped
+//!   worker threads and splice results back in chunk order;
+//! - [`Parallelism`]: the user-facing knob (`Off | Fixed(n) | Auto`) that
+//!   resolves to a worker count against the machine
+//!   ([`std::thread::available_parallelism`]) and the workload size, with
+//!   a sequential fallback below [`MIN_AUTO_ITEMS`] so small objects never
+//!   pay thread spawn.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Below this many items, [`Parallelism::Auto`] resolves to one worker:
+/// spawning threads for a handful of pivots costs more than it saves.
+pub const MIN_AUTO_ITEMS: usize = 512;
+
+/// Target minimum chunk size for [`Parallelism::Auto`]: the worker count
+/// is capped so no chunk shrinks below this many items.
+pub const MIN_AUTO_CHUNK: usize = 128;
+
+/// Degree-of-parallelism knob for pivot-partitioned instantiation.
+///
+/// `Auto` is the production default: all available cores, capped by the
+/// partition count so every worker has a meaningful chunk, and a
+/// sequential fallback for small inputs. `Fixed(n)` is explicit caller
+/// intent and is honored even on tiny inputs (clamped only to the item
+/// count, since a chunk must be non-empty). `Off` always runs the
+/// sequential path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Always sequential.
+    Off,
+    /// Exactly `n` workers (clamped to the item count; `Fixed(0)` acts
+    /// like `Off`).
+    Fixed(usize),
+    /// `available_parallelism`, capped so chunks keep at least
+    /// [`MIN_AUTO_CHUNK`] items; sequential below [`MIN_AUTO_ITEMS`].
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolve to a concrete worker count for `items` work units.
+    /// Always at least 1; never more than `items` (except on empty input,
+    /// where it is 1 so callers can unconditionally divide).
+    pub fn workers_for(&self, items: usize) -> usize {
+        match *self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.clamp(1, items.max(1)),
+            Parallelism::Auto => {
+                if items < MIN_AUTO_ITEMS {
+                    return 1;
+                }
+                let avail = available_parallelism();
+                avail.min(items / MIN_AUTO_CHUNK).max(1)
+            }
+        }
+    }
+
+    /// Read the knob from the `VO_PARALLELISM` environment variable (see
+    /// [`Parallelism::parse`]). Unset or unparseable → `None`.
+    pub fn from_env() -> Option<Parallelism> {
+        Parallelism::parse(&std::env::var("VO_PARALLELISM").ok()?)
+    }
+
+    /// Parse a knob setting: `off`/`0` → `Off`, `auto` → `Auto`, a
+    /// positive integer `n` → `Fixed(n)`.
+    pub fn parse(raw: &str) -> Option<Parallelism> {
+        let v = raw.trim();
+        if v.eq_ignore_ascii_case("off") || v == "0" {
+            return Some(Parallelism::Off);
+        }
+        if v.eq_ignore_ascii_case("auto") {
+            return Some(Parallelism::Auto);
+        }
+        v.parse::<usize>().ok().map(Parallelism::Fixed)
+    }
+}
+
+/// This machine's available parallelism (1 when the query fails).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `len` items into at most `chunks` contiguous, near-equal ranges
+/// covering `0..len` in order. The first `len % k` ranges carry one extra
+/// item. Never returns an empty range: `len == 0` yields no ranges, and
+/// `chunks` is clamped to `len`.
+pub fn partition(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let k = chunks.clamp(1, len);
+    let base = len / k;
+    let extra = len % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Run `f` over contiguous chunks of `items` on up to `workers` scoped
+/// threads and return the concatenation of the per-chunk outputs **in
+/// chunk order** — element order is identical to
+/// `f(0, items)` run sequentially, whenever `f` maps each chunk
+/// independently.
+///
+/// `f` receives `(chunk_index, chunk)` and may fail; the first error in
+/// chunk order wins (all chunks still run to completion — scoped threads
+/// are always joined). With one worker (or one chunk) `f` runs inline on
+/// the calling thread: the sequential path stays allocation- and
+/// spawn-free. A panicking chunk propagates the panic to the caller after
+/// the scope joins the remaining workers.
+pub fn map_chunks<T, R, E, F>(items: &[T], workers: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<Vec<R>, E> + Sync,
+{
+    let ranges = partition(items.len(), workers);
+    match ranges.len() {
+        0 => return Ok(Vec::new()),
+        1 => return f(0, items),
+        _ => {}
+    }
+    let results: Vec<Result<Vec<R>, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let chunk = &items[r.clone()];
+                let f = &f;
+                scope.spawn(move || f(i, chunk))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Compile-time `Send + Sync` witness. Use it to pin a type's
+/// thread-safety so a future `Rc`/`RefCell` regression fails to build:
+///
+/// ```
+/// use vo_exec::assert_send_sync;
+/// struct Shared(Vec<u64>);
+/// const _: fn() = assert_send_sync::<Shared>;
+/// ```
+pub fn assert_send_sync<T: Send + Sync>() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partition_covers_contiguously() {
+        for len in [0usize, 1, 2, 7, 100, 101] {
+            for k in [1usize, 2, 3, 7, 64] {
+                let ranges = partition(len, k);
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= k);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                // near-equal: sizes differ by at most one
+                let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "len={len} k={k} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for workers in [1usize, 2, 3, 7, 16] {
+            let out: Vec<u64> = map_chunks(&items, workers, |_, chunk| {
+                Ok::<_, ()>(chunk.iter().map(|v| v * 2).collect())
+            })
+            .unwrap();
+            assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_chunks_runs_every_chunk_on_some_thread() {
+        let items: Vec<usize> = (0..64).collect();
+        let calls = AtomicUsize::new(0);
+        let out = map_chunks(&items, 4, |idx, chunk| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, ()>(vec![(idx, chunk.len())])
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.iter().map(|&(_, n)| n).sum::<usize>(), 64);
+        // chunk indexes come back in order
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn map_chunks_first_error_in_chunk_order_wins() {
+        let items: Vec<usize> = (0..100).collect();
+        let err = map_chunks(&items, 4, |idx, _| {
+            if idx >= 1 {
+                Err(format!("chunk {idx} failed"))
+            } else {
+                Ok(vec![idx])
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "chunk 1 failed");
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let items: Vec<u64> = Vec::new();
+        let out: Vec<u64> = map_chunks(&items, 8, |_, c| Ok::<_, ()>(c.to_vec())).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_chunks_single_worker_runs_inline() {
+        let items = [1u64, 2, 3];
+        let caller = std::thread::current().id();
+        map_chunks(&items, 1, |_, c| {
+            assert_eq!(std::thread::current().id(), caller);
+            Ok::<_, ()>(c.to_vec())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::Off.workers_for(1_000_000), 1);
+        assert_eq!(Parallelism::Fixed(4).workers_for(1_000_000), 4);
+        // Fixed is honored on small inputs (clamped to item count only)
+        assert_eq!(Parallelism::Fixed(4).workers_for(3), 3);
+        assert_eq!(Parallelism::Fixed(4).workers_for(0), 1);
+        assert_eq!(Parallelism::Fixed(0).workers_for(10), 1);
+        // Auto falls back to sequential below the threshold...
+        assert_eq!(Parallelism::Auto.workers_for(MIN_AUTO_ITEMS - 1), 1);
+        // ...and above it never exceeds the machine or the chunk floor
+        let w = Parallelism::Auto.workers_for(100_000);
+        assert!(w >= 1 && w <= available_parallelism());
+        assert!(Parallelism::Auto.workers_for(MIN_AUTO_ITEMS) * MIN_AUTO_CHUNK <= MIN_AUTO_ITEMS);
+        assert_eq!(Parallelism::default(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn parallelism_parses_knob_settings() {
+        assert_eq!(Parallelism::parse("off"), Some(Parallelism::Off));
+        assert_eq!(Parallelism::parse("0"), Some(Parallelism::Off));
+        assert_eq!(Parallelism::parse("Auto"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::parse(" 4 "), Some(Parallelism::Fixed(4)));
+        assert_eq!(Parallelism::parse("banana"), None);
+    }
+
+    #[test]
+    fn parallelism_larger_chunks_saturate_machine() {
+        // at >= avail * MIN_AUTO_CHUNK items, Auto uses every core
+        let avail = available_parallelism();
+        let items = (avail * MIN_AUTO_CHUNK).max(MIN_AUTO_ITEMS);
+        assert_eq!(Parallelism::Auto.workers_for(items), avail);
+    }
+}

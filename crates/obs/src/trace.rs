@@ -18,6 +18,15 @@
 //! [`SpanEvent::parent`]/[`SpanEvent::depth`] let consumers rebuild the
 //! tree. Instant events ([`event_with`]) carry a zero duration and attach
 //! to the innermost open span of their thread.
+//!
+//! **Cross-thread parenting:** worker threads spawned inside a traced
+//! region start with an empty span stack, so their spans would come out
+//! parentless. A fork point captures [`current_span_id`] and each worker
+//! installs it with [`link_parent`]; spans and events opened while the
+//! worker's own stack is empty then record the linked id as their parent.
+//! Workers record into the same global collector (it is mutex-protected),
+//! so at join time the caller's span tree is already merged — consumers
+//! rebuild it across threads purely from the `parent` links.
 
 use crate::json::Json;
 use std::cell::RefCell;
@@ -40,6 +49,9 @@ thread_local! {
     static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     /// This thread's interned id.
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// Cross-thread parent link: the span id adopted as parent while this
+    /// thread's own stack is empty (see [`link_parent`]).
+    static PARENT_LINK: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
 }
 
 /// True while at least one [`TraceScope`] guard is alive. This is the
@@ -54,6 +66,47 @@ pub fn enabled() -> bool {
 /// events produced by the current thread.
 pub fn current_thread_id() -> u64 {
     THREAD_ID.with(|id| *id)
+}
+
+/// The id of the innermost open span on this thread (falling back to the
+/// installed parent link), or `None` outside any span. Capture this at a
+/// fork point and hand it to workers via [`link_parent`] so their spans
+/// parent into the caller's tree.
+pub fn current_span_id() -> Option<u64> {
+    STACK
+        .with(|s| s.borrow().last().copied())
+        .or_else(|| PARENT_LINK.with(std::cell::Cell::get))
+}
+
+/// Adopt `parent` (a span id from [`current_span_id`], usually captured
+/// on another thread) as the parent of spans and events opened while this
+/// thread's own span stack is empty. Restores the previous link on drop,
+/// so nested fork/join regions compose.
+#[must_use = "the link is removed when the guard is dropped"]
+#[derive(Debug)]
+pub struct ParentLinkGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for ParentLinkGuard {
+    fn drop(&mut self) {
+        PARENT_LINK.with(|l| l.set(self.prev));
+    }
+}
+
+/// Install a cross-thread parent link for the lifetime of the guard.
+pub fn link_parent(parent: Option<u64>) -> ParentLinkGuard {
+    let prev = PARENT_LINK.with(|l| l.replace(parent));
+    ParentLinkGuard { prev }
+}
+
+/// The effective parent at open time: the innermost open span of this
+/// thread, else the installed cross-thread link.
+fn effective_parent(stack: &[u64]) -> Option<u64> {
+    stack
+        .last()
+        .copied()
+        .or_else(|| PARENT_LINK.with(std::cell::Cell::get))
 }
 
 /// Keeps tracing enabled until dropped; guards stack across threads.
@@ -269,7 +322,7 @@ pub fn span(name: &'static str) -> SpanGuard {
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let (parent, depth) = STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        let parent = stack.last().copied();
+        let parent = effective_parent(&stack);
         let depth = stack.len();
         stack.push(id);
         (parent, depth)
@@ -298,7 +351,7 @@ pub fn event_with(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let (parent, depth) = STACK.with(|s| {
         let stack = s.borrow();
-        (stack.last().copied(), stack.len())
+        (effective_parent(&stack), stack.len())
     });
     let start_us = Instant::now().duration_since(epoch()).as_micros() as u64;
     record(SpanEvent {
@@ -396,6 +449,67 @@ mod tests {
                 3
             );
         }
+    }
+
+    #[test]
+    fn worker_spans_link_into_callers_tree() {
+        let _serial = serial();
+        let _scope = start_trace();
+        let worker_thread;
+        {
+            let _outer = span("test.link_outer");
+            let parent = current_span_id();
+            assert!(parent.is_some());
+            worker_thread = std::thread::spawn(move || {
+                let _link = link_parent(parent);
+                {
+                    let _inner = span("test.link_inner");
+                    event_with("test.link_event", Vec::new);
+                }
+                current_thread_id()
+            })
+            .join()
+            .unwrap();
+        }
+        let me = current_thread_id();
+        let evs = events();
+        let outer = evs
+            .iter()
+            .find(|e| e.thread == me && e.name == "test.link_outer")
+            .unwrap();
+        let inner = evs
+            .iter()
+            .find(|e| e.thread == worker_thread && e.name == "test.link_inner")
+            .unwrap();
+        let instant = evs
+            .iter()
+            .find(|e| e.thread == worker_thread && e.name == "test.link_event")
+            .unwrap();
+        // the worker's span parents into the caller's open span, and the
+        // worker's own nesting continues beneath it
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(instant.parent, Some(inner.id));
+    }
+
+    #[test]
+    fn parent_link_restores_on_drop() {
+        let _serial = serial();
+        let _scope = start_trace();
+        {
+            let _a = link_parent(Some(999_991));
+            assert_eq!(current_span_id(), Some(999_991));
+            {
+                let _b = link_parent(Some(999_997));
+                assert_eq!(current_span_id(), Some(999_997));
+            }
+            assert_eq!(current_span_id(), Some(999_991));
+            // an open span shadows the link
+            {
+                let _s = span("test.link_shadow");
+                assert_ne!(current_span_id(), Some(999_991));
+            }
+        }
+        assert_eq!(current_span_id(), None);
     }
 
     #[test]

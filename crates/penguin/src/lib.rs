@@ -25,4 +25,5 @@ pub use generator::{
     seed_ownership_chain, seed_university_scaled, synthetic_schema, university_scaled, SchemaShape,
 };
 pub use system::{Penguin, PlanCacheStats, RegisteredObject};
+pub use vo_exec::{available_parallelism, Parallelism};
 pub use voql::{parse as parse_voql, run as run_voql, VoqlOutcome, VoqlStatement};

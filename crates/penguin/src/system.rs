@@ -7,6 +7,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 use vo_core::prelude::*;
+use vo_exec::Parallelism;
 use vo_obs::metrics::{self, Counter};
 
 /// Point-in-time counters for one [`Penguin`]'s object-plan cache.
@@ -68,6 +69,11 @@ pub struct Penguin {
     plans: RefCell<BTreeMap<String, ObjectPlan>>,
     /// Hit/miss/invalidation counters for `plans`.
     cache_stats: Cell<PlanCacheStats>,
+    /// Degree of parallelism for pivot-partitioned instantiation.
+    /// Defaults to the `VO_PARALLELISM` environment knob when set,
+    /// [`Parallelism::Auto`] otherwise; [`Penguin::set_parallelism`]
+    /// overrides both. Output is identical at every setting.
+    parallelism: Parallelism,
 }
 
 impl Penguin {
@@ -85,12 +91,28 @@ impl Penguin {
             objects: BTreeMap::new(),
             plans: RefCell::new(BTreeMap::new()),
             cache_stats: Cell::new(PlanCacheStats::default()),
+            parallelism: Parallelism::from_env().unwrap_or_default(),
         }
     }
 
     /// The structural schema.
     pub fn schema(&self) -> &StructuralSchema {
         &self.schema
+    }
+
+    /// The current instantiation-parallelism setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Set the degree of parallelism for instantiation: `Off` always runs
+    /// the sequential engine, `Fixed(n)` uses exactly `n` workers, `Auto`
+    /// (the default) uses every available core on large pivot sets and
+    /// falls back to sequential on small ones. Purely a performance knob —
+    /// results are identical at every setting.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) -> &mut Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The database (read access).
@@ -285,12 +307,16 @@ impl Penguin {
     }
 
     /// All instances of an object, via the cached prepared plan (batched,
-    /// one join pass per edge step).
+    /// one join pass per edge step), parallelized across contiguous pivot
+    /// partitions per the [`Penguin::set_parallelism`] knob. The plan is
+    /// cloned out of the cache once and shared immutably by every worker,
+    /// so the hot path takes no lock.
     pub fn instantiate_all(&self, name: &str) -> Result<Vec<VoInstance>> {
         let reg = self.object(name)?;
         let plan = self.object_plan(name, &reg.object)?;
         let pivots: Vec<&Tuple> = self.db.table(reg.object.pivot())?.scan().collect();
-        instantiate_many_planned(&reg.object, &self.db, &plan, &pivots)
+        let workers = self.parallelism.workers_for(pivots.len());
+        instantiate_many_parallel(&reg.object, &self.db, &plan, &pivots, workers)
     }
 
     /// Instantiate all of an object's instances and return the structured
@@ -392,43 +418,6 @@ impl Penguin {
             sp.field("ops", Json::Int(outcome.total_ops as i64));
         }
         Ok(outcome)
-    }
-
-    /// Deprecated shim: [`Penguin::insert_instance`] returning bare ops.
-    #[deprecated(note = "use insert_instance, which returns an UpdateOutcome")]
-    pub fn insert_instance_ops(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
-        self.insert_instance(name, instance)
-            .map(|o| o.ops)
-            .map_err(Error::from)
-    }
-
-    /// Deprecated shim: [`Penguin::delete_instance`] returning bare ops.
-    #[deprecated(note = "use delete_instance, which returns an UpdateOutcome")]
-    pub fn delete_instance_ops(&mut self, name: &str, instance: VoInstance) -> Result<Vec<DbOp>> {
-        self.delete_instance(name, instance)
-            .map(|o| o.ops)
-            .map_err(Error::from)
-    }
-
-    /// Deprecated shim: [`Penguin::replace_instance`] returning bare ops.
-    #[deprecated(note = "use replace_instance, which returns an UpdateOutcome")]
-    pub fn replace_instance_ops(
-        &mut self,
-        name: &str,
-        old: VoInstance,
-        new: VoInstance,
-    ) -> Result<Vec<DbOp>> {
-        self.replace_instance(name, old, new)
-            .map(|o| o.ops)
-            .map_err(Error::from)
-    }
-
-    /// Deprecated shim: [`Penguin::apply_partial`] returning bare ops.
-    #[deprecated(note = "use apply_partial, which returns an UpdateOutcome")]
-    pub fn apply_partial_ops(&mut self, name: &str, op: PartialOp) -> Result<Vec<DbOp>> {
-        self.apply_partial(name, op)
-            .map(|o| o.ops)
-            .map_err(Error::from)
     }
 
     /// Verify the whole database against the structural model.
@@ -593,6 +582,28 @@ mod tests {
         let text = prof.render();
         assert!(text.contains("access=index probe"));
         assert!(text.contains("rows_out=3"));
+    }
+
+    #[test]
+    fn parallelism_knob_is_output_invariant() {
+        let mut p = system();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        p.set_parallelism(Parallelism::Off);
+        let sequential = p.instantiate_all("omega").unwrap();
+        for knob in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+            Parallelism::Auto,
+        ] {
+            p.set_parallelism(knob);
+            assert_eq!(p.parallelism(), knob);
+            assert_eq!(p.instantiate_all("omega").unwrap(), sequential, "{knob:?}");
+        }
     }
 
     #[test]

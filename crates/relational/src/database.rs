@@ -83,6 +83,10 @@ pub struct Database {
     structure_epoch: u64,
 }
 
+// Parallel instantiation shares `&Database` across worker threads; a
+// future `Rc`/`RefCell`/raw-pointer field must fail to compile, not race.
+const _: fn() = vo_exec::assert_send_sync::<Database>;
+
 impl Database {
     /// An empty database.
     pub fn new() -> Self {

@@ -88,6 +88,12 @@ pub struct DeltaDb<'base> {
     deltas: BTreeMap<String, TableDelta>,
 }
 
+// Overlays borrow a shared `&Database` and may be built per worker on top
+// of it; keep them (and the views they hand out) thread-safe by
+// construction for any base lifetime.
+const _: fn() = vo_exec::assert_send_sync::<DeltaDb<'static>>;
+const _: fn() = vo_exec::assert_send_sync::<TableView<'static>>;
+
 impl<'base> DeltaDb<'base> {
     /// An empty overlay over `base`.
     pub fn new(base: &'base Database) -> Self {

@@ -8,6 +8,28 @@
 //! and JSON exports alongside every other metric; the handles interned
 //! here keep the increment cost identical to a hand-rolled relaxed atomic.
 //! Call [`reset`] before a measured region and [`snapshot`] after.
+//!
+//! ## Concurrency contract (relaxed ordering)
+//!
+//! Every counter is an `AtomicU64` bumped with `Ordering::Relaxed` — the
+//! parallel instantiation workers increment them concurrently with no
+//! synchronization beyond the atomic itself. What that buys, and what it
+//! doesn't:
+//!
+//! - **Per-counter monotonicity.** Increments are atomic read-modify-write
+//!   ops, so no increment is ever lost and a single counter read through
+//!   [`snapshot`] never goes backwards while only increments are running.
+//! - **No cross-counter consistency.** [`snapshot`] reads each counter
+//!   independently; a snapshot taken while workers run is not a consistent
+//!   cut (it may see a join's `join_rows` but not yet its
+//!   `instances_built`). Fences would not fix this — it is inherent to
+//!   sampling live counters — so consumers must treat a live snapshot as
+//!   approximate and take authoritative ones only at join points.
+//! - **Resets race by design.** [`reset`] stores zeros; a concurrent
+//!   worker may interleave increments between the individual stores.
+//!   [`InstrumentationSnapshot::delta`] therefore saturates instead of
+//!   underflowing, and measured regions should quiesce workers (join
+//!   them) before resetting or delta-ing.
 
 use std::sync::OnceLock;
 use vo_obs::metrics::{self, Counter};
@@ -55,6 +77,13 @@ fn snapshot_avoided() -> Counter {
 /// Record one lookup answered by a secondary (or primary) index.
 pub fn count_index_probe() {
     index_probes().inc();
+}
+
+/// Record `n` index-answered lookups in one bump. The set-at-a-time
+/// engine aggregates per frontier pass so parallel workers touch the
+/// shared counter cache line once per step, not once per tuple.
+pub fn count_index_probes(n: u64) {
+    index_probes().add(n);
 }
 
 /// Record one lookup that fell back to a full relation scan.
@@ -210,6 +239,49 @@ mod tests {
         assert!(vo_obs::metrics::snapshot_all()
             .counters
             .contains_key("relational.index_probes"));
+    }
+
+    #[test]
+    fn counters_are_race_safe_under_concurrent_workers() {
+        // Workers hammer the counters while the main thread samples; every
+        // sampled value must be monotonically non-decreasing (relaxed
+        // increments are atomic RMW ops — none may be lost), and after the
+        // join the delta must account for every increment. Other tests in
+        // this process may bump the same counters concurrently, so the
+        // assertions are one-sided (>=).
+        const WORKERS: usize = 4;
+        const PER_WORKER: u64 = 10_000;
+        let before = snapshot();
+        std::thread::scope(|scope| {
+            for _ in 0..WORKERS {
+                scope.spawn(|| {
+                    for _ in 0..PER_WORKER {
+                        count_index_probe();
+                        count_join_rows(3);
+                    }
+                });
+            }
+            let mut last = before;
+            for _ in 0..100 {
+                let now = snapshot();
+                assert!(
+                    now.index_probes >= last.index_probes,
+                    "index_probes went backwards: {} -> {}",
+                    last.index_probes,
+                    now.index_probes
+                );
+                assert!(
+                    now.join_rows >= last.join_rows,
+                    "join_rows went backwards: {} -> {}",
+                    last.join_rows,
+                    now.join_rows
+                );
+                last = now;
+            }
+        });
+        let d = before.delta(&snapshot());
+        assert!(d.index_probes >= WORKERS as u64 * PER_WORKER);
+        assert!(d.join_rows >= WORKERS as u64 * PER_WORKER * 3);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct Table {
     indexes: HashMap<Vec<usize>, BTreeMap<Vec<Value>, BTreeSet<Key>>>,
 }
 
+// Tables (rows + secondary indexes) are probed concurrently by the
+// parallel instantiation workers through `&Database`.
+const _: fn() = vo_exec::assert_send_sync::<Table>;
+
 impl Table {
     /// An empty table for `schema`.
     pub fn new(schema: RelationSchema) -> Self {
@@ -151,6 +155,23 @@ impl Table {
                     .all(|(&i, v)| t.get(i) == v)
             })
             .collect()
+    }
+
+    /// Index-only probe for the set-at-a-time engine: tuples matching
+    /// `values` through the secondary index at `indices` (in primary-key
+    /// order), or `None` when no such index exists. Unlike
+    /// [`Table::find_by_indices`] this does **not** bump the access-path
+    /// counters — batched callers probe once per frontier tuple from
+    /// concurrent workers, and a per-probe bump on the shared counter
+    /// cache line would serialize them; they aggregate locally and record
+    /// one bulk count per frontier pass instead
+    /// ([`crate::stats::count_index_probes`]).
+    pub fn probe_index_at(&self, indices: &[usize], values: &[Value]) -> Option<Vec<&Tuple>> {
+        let index = self.indexes.get(indices)?;
+        Some(match index.get(values) {
+            Some(keys) => keys.iter().filter_map(|k| self.rows.get(k)).collect(),
+            None => Vec::new(),
+        })
     }
 
     /// Hash-build over the whole table: group every tuple by its values at

@@ -37,6 +37,7 @@
 //! ```
 
 pub use vo_core as core;
+pub use vo_exec as exec;
 pub use vo_keller as keller;
 pub use vo_obs as obs;
 pub use vo_penguin as penguin;
