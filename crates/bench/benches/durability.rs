@@ -1,0 +1,169 @@
+//! B4 — durability cost and recovery speed of the `vo-store` subsystem.
+//!
+//! Two questions the paper's server framing raises for a persistent
+//! PENGUIN deployment:
+//!
+//! 1. **Commit throughput vs sync policy** — what does the write-ahead
+//!    log cost per committed transaction under `Always` (fsync every
+//!    commit), group commit (`EveryN(8)`, `EveryN(64)`), and `Never`
+//!    (page-cache only)?
+//! 2. **Recovery time vs log length** — how long does reopening a store
+//!    take as the un-checkpointed log tail grows?
+//!
+//! Knobs: `VO_B4_COMMITS` (transactions per run, default 2000) and
+//! `VO_B4_RUNS` (timed repetitions, median reported, default 5). Output
+//! is one compact JSON line per measurement, like every other bench.
+
+use std::path::PathBuf;
+use vo_bench::{banner, emit_measurement, time, Json};
+use vo_relational::database::{Database, DbOp};
+use vo_relational::schema::{AttributeDef, RelationSchema};
+use vo_relational::tuple::Tuple;
+use vo_relational::value::DataType;
+use vo_store::prelude::*;
+
+fn knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench_dir(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vo_b4_{}_{case}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        RelationSchema::new(
+            "T",
+            vec![
+                AttributeDef::required("k", DataType::Int),
+                AttributeDef::nullable("v", DataType::Text),
+            ],
+            &["k"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+/// One single-insert transaction, representative of a translated
+/// view-object update.
+fn tx(schema: &RelationSchema, k: i64) -> Vec<DbOp> {
+    vec![DbOp::Insert {
+        relation: "T".into(),
+        tuple: Tuple::new(schema, vec![k.into(), format!("value-{k}").into()]).unwrap(),
+    }]
+}
+
+/// Commit `commits` transactions under `policy` into a fresh store and
+/// return the elapsed wall time of the commit loop (excluding setup).
+fn run_commit_loop(case: &str, policy: SyncPolicy, commits: usize) -> std::time::Duration {
+    let dir = bench_dir(case);
+    let mut db = fresh_db();
+    let schema = db.table("T").unwrap().schema().clone();
+    let options = StoreOptions {
+        sync: policy,
+        checkpoint: CheckpointPolicy::never(),
+    };
+    let mut store = Store::create(&dir, &db, options).unwrap();
+    let (_, d) = time(|| {
+        for k in 0..commits as i64 {
+            let ops = tx(&schema, k);
+            db.apply_all(&ops).unwrap();
+            store.commit(&db, std::slice::from_ref(&ops)).unwrap();
+        }
+        store.sync().unwrap();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    d
+}
+
+fn bench_sync_policies(commits: usize, runs: usize) {
+    banner("B4", "WAL commit throughput vs sync policy");
+    for policy in [
+        SyncPolicy::Always,
+        SyncPolicy::EveryN(8),
+        SyncPolicy::EveryN(64),
+        SyncPolicy::Never,
+    ] {
+        let mut times: Vec<std::time::Duration> = (0..runs.max(1))
+            .map(|r| run_commit_loop(&format!("sync_{}_{r}", policy.label()), policy, commits))
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        let per_sec = commits as f64 / median.as_secs_f64();
+        emit_measurement(
+            "b4",
+            &format!("commit/{}", policy.label()),
+            vec![
+                ("commits", Json::Int(commits as i64)),
+                ("commits_per_sec", Json::Float(per_sec.round())),
+            ],
+            median,
+        );
+    }
+}
+
+/// Build a store whose log holds `records` un-checkpointed transactions,
+/// then time `Store::open` (checkpoint restore + full log replay).
+fn bench_recovery(commits: usize, runs: usize) {
+    banner("B4", "recovery time vs log length");
+    for records in [commits / 10, commits / 2, commits] {
+        let records = records.max(1);
+        let mut times = Vec::new();
+        let mut replayed = 0u64;
+        for r in 0..runs.max(1) {
+            let dir = bench_dir(&format!("recover_{records}_{r}"));
+            let mut db = fresh_db();
+            let schema = db.table("T").unwrap().schema().clone();
+            let options = StoreOptions {
+                sync: SyncPolicy::Never,
+                checkpoint: CheckpointPolicy::never(),
+            };
+            let mut store = Store::create(&dir, &db, options).unwrap();
+            for k in 0..records as i64 {
+                let ops = tx(&schema, k);
+                db.apply_all(&ops).unwrap();
+                store.commit(&db, std::slice::from_ref(&ops)).unwrap();
+            }
+            store.sync().unwrap();
+            drop(store);
+            let ((_, recovered, report), d) = {
+                let (out, d) = time(|| Store::open(&dir, options).unwrap());
+                (out, d)
+            };
+            assert_eq!(recovered.table("T").unwrap().len(), records);
+            replayed = report.records_replayed;
+            times.push(d);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        emit_measurement(
+            "b4",
+            &format!("recover/n{records}"),
+            vec![
+                ("log_records", Json::Int(records as i64)),
+                ("records_replayed", Json::Int(replayed as i64)),
+                (
+                    "records_per_sec",
+                    Json::Float((records as f64 / median.as_secs_f64()).round()),
+                ),
+            ],
+            median,
+        );
+    }
+}
+
+fn main() {
+    let commits = knob("VO_B4_COMMITS", 2000);
+    let runs = knob("VO_B4_RUNS", 5);
+    bench_sync_policies(commits, runs);
+    bench_recovery(commits, runs);
+}

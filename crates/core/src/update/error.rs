@@ -5,7 +5,9 @@
 //! names the one that failed so callers can distinguish a malformed
 //! instance (validate), a hierarchically inconsistent replacement
 //! (propagate), a translator veto or stale tuple (translate), and a
-//! structural-consistency rollback (global-check). The underlying
+//! structural-consistency rollback (global-check). Persistent systems add
+//! a fifth step (persist) for failures writing the committed translation
+//! to durable storage. The underlying
 //! [`Error`] is preserved unchanged in [`UpdateError::source`]; converting
 //! an `UpdateError` back into [`Error`] (the `From` impl) simply unwraps
 //! it, so existing variant matching (`Error::Rolledback`, `NoSuchTuple`,
@@ -24,6 +26,10 @@ pub enum UpdateStep {
     Translate,
     /// Step 4 — global validation against the structural model.
     GlobalCheck,
+    /// Step 5 — durably recording the committed translation (only present
+    /// on persistent systems; see `vo-store`). The database update itself
+    /// succeeded; the failure is in the write-ahead log or checkpoint.
+    Persist,
 }
 
 impl UpdateStep {
@@ -34,6 +40,7 @@ impl UpdateStep {
             UpdateStep::Propagate => "propagate",
             UpdateStep::Translate => "translate",
             UpdateStep::GlobalCheck => "global-check",
+            UpdateStep::Persist => "persist",
         }
     }
 }
@@ -182,5 +189,6 @@ mod tests {
         assert_eq!(UpdateStep::Propagate.label(), "propagate");
         assert_eq!(UpdateStep::Translate.label(), "translate");
         assert_eq!(UpdateStep::GlobalCheck.to_string(), "global-check");
+        assert_eq!(UpdateStep::Persist.label(), "persist");
     }
 }

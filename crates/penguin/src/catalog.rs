@@ -46,15 +46,34 @@ impl SavedSystem {
         }
     }
 
+    /// Capture only the *definition* of a system — schema, objects,
+    /// translators — with an empty data snapshot. Persistent systems
+    /// (`Penguin::persistent` / `Penguin::open`) store definitions this
+    /// way: base data lives in the `vo-store` checkpoint + log, not in
+    /// the system file, mirroring the paper's remark that a saved view
+    /// object is uninstantiated.
+    pub fn capture_definition(penguin: &Penguin) -> Self {
+        let mut saved = SavedSystem::capture(penguin);
+        saved.data = DatabaseSnapshot::capture(&Database::new());
+        saved
+    }
+
     /// Restore a working system (re-validating everything: schemas,
     /// tuples, object definitions, translators).
     pub fn restore(&self) -> Result<Penguin> {
+        self.restore_with_database(self.data.restore()?)
+    }
+
+    /// Restore a system around an externally recovered database (e.g. one
+    /// rebuilt by `vo-store` from checkpoint + log), ignoring this image's
+    /// own data snapshot. Objects and translators are re-validated against
+    /// the recovered data exactly as in [`SavedSystem::restore`].
+    pub fn restore_with_database(&self, db: Database) -> Result<Penguin> {
         // re-validate connections against the catalog
         let mut schema = StructuralSchema::new(self.schema.catalog().clone());
         for c in self.schema.connections() {
             schema.add_connection(c.clone())?;
         }
-        let db = self.data.restore()?;
         let mut penguin = Penguin::with_database(schema, db);
         for object in &self.objects {
             penguin.register_object(object.clone())?;

@@ -3,12 +3,20 @@
 //! (paper §3: "a first prototype of our view-object model has been
 //! implemented in the PENGUIN system").
 
+use crate::catalog::SavedSystem;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use vo_core::prelude::*;
 use vo_exec::Parallelism;
 use vo_obs::metrics::{self, Counter};
+use vo_store::{RecoveryReport, Store, StoreOptions};
+
+/// File holding a persistent system's definition (schema, objects,
+/// translators) inside its store directory. Base data is *not* in this
+/// file — it lives in the store's checkpoint and write-ahead log.
+pub const SYSTEM_FILE: &str = "system.json";
 
 /// Point-in-time counters for one [`Penguin`]'s object-plan cache.
 ///
@@ -57,7 +65,7 @@ pub struct RegisteredObject {
 }
 
 /// The PENGUIN system: schema + database + object registry.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Penguin {
     schema: StructuralSchema,
     db: Database,
@@ -74,6 +82,50 @@ pub struct Penguin {
     /// [`Parallelism::Auto`] otherwise; [`Penguin::set_parallelism`]
     /// overrides both. Output is identical at every setting.
     parallelism: Parallelism,
+    /// Durable backing store ([`Penguin::persistent`] / [`Penguin::open`]);
+    /// `None` for in-memory systems. When present, the database's commit
+    /// journal is enabled and every successful mutating facade call drains
+    /// it into the store's write-ahead log.
+    store: Option<Store>,
+    /// What recovery found when this system was [`Penguin::open`]ed.
+    recovery: Option<RecoveryReport>,
+}
+
+impl Clone for Penguin {
+    /// Clone the in-memory system. The durable store handle is *not*
+    /// cloned — two writers interleaving records on one log would corrupt
+    /// it — so the clone is a detached in-memory copy (its commit journal
+    /// is disabled); the original keeps persisting.
+    fn clone(&self) -> Self {
+        let mut db = self.db.clone();
+        db.disable_commit_journal();
+        Penguin {
+            schema: self.schema.clone(),
+            db,
+            objects: self.objects.clone(),
+            plans: RefCell::new(self.plans.borrow().clone()),
+            cache_stats: Cell::new(self.cache_stats.get()),
+            parallelism: self.parallelism,
+            store: None,
+            recovery: self.recovery,
+        }
+    }
+}
+
+impl Drop for Penguin {
+    /// Clean shutdown for persistent systems: drain the commit journal,
+    /// append it, and fsync regardless of sync policy. Errors are ignored
+    /// (recovery replays the checkpoint + intact log tail either way).
+    /// Tests simulate a crash by skipping this with [`std::mem::forget`].
+    fn drop(&mut self) {
+        if self.store.is_some() {
+            let txs = self.db.drain_committed();
+            if let Some(store) = &mut self.store {
+                let _ = store.commit(&self.db, &txs);
+                let _ = store.sync();
+            }
+        }
+    }
 }
 
 impl Penguin {
@@ -92,7 +144,131 @@ impl Penguin {
             plans: RefCell::new(BTreeMap::new()),
             cache_stats: Cell::new(PlanCacheStats::default()),
             parallelism: Parallelism::from_env().unwrap_or_default(),
+            store: None,
+            recovery: None,
         }
+    }
+
+    /// Create a *persistent* system at `dir` with the default
+    /// [`StoreOptions`] (fsync on every commit). Truncates any previous
+    /// store in the directory; use [`Penguin::open`] to resume one.
+    pub fn persistent(dir: impl Into<PathBuf>, schema: StructuralSchema) -> Result<Penguin> {
+        Penguin::persistent_with(dir, schema, StoreOptions::default())
+    }
+
+    /// Create a persistent system at `dir` with explicit [`StoreOptions`].
+    ///
+    /// The directory receives `system.json` (the definition: schema,
+    /// objects, translators), `checkpoint.json` (the base data), and
+    /// `wal.log` (committed translations since the checkpoint). Every
+    /// successful mutating facade call — object updates, batches, SQL —
+    /// appends its committed base-table operations to the log as one
+    /// record per transaction before returning.
+    pub fn persistent_with(
+        dir: impl Into<PathBuf>,
+        schema: StructuralSchema,
+        options: StoreOptions,
+    ) -> Result<Penguin> {
+        let dir = dir.into();
+        let mut db = Database::from_schema(schema.catalog());
+        db.enable_commit_journal();
+        let store = Store::create(&dir, &db, options)?;
+        let mut p = Penguin::with_database(schema, db);
+        p.store = Some(store);
+        p.persist_definition()?;
+        Ok(p)
+    }
+
+    /// Reopen the persistent system at `dir` with default
+    /// [`StoreOptions`], recovering its database from the latest
+    /// checkpoint plus the intact write-ahead-log tail (a torn final
+    /// record — crash mid-append — is truncated, not replayed).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Penguin> {
+        Penguin::open_with(dir, StoreOptions::default())
+    }
+
+    /// Reopen the persistent system at `dir` with explicit options. See
+    /// [`Penguin::open`]; what recovery found is reported by
+    /// [`Penguin::last_recovery`].
+    pub fn open_with(dir: impl Into<PathBuf>, options: StoreOptions) -> Result<Penguin> {
+        let dir = dir.into();
+        let saved = SavedSystem::load(dir.join(SYSTEM_FILE))?;
+        let (store, mut db, report) = Store::open(&dir, options)?;
+        db.enable_commit_journal();
+        let mut p = saved.restore_with_database(db)?;
+        p.store = Some(store);
+        p.recovery = Some(report);
+        Ok(p)
+    }
+
+    /// True when this system persists committed updates to a store.
+    pub fn is_persistent(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The durable store's directory, when persistent.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir())
+    }
+
+    /// What crash recovery found when this system was [`Penguin::open`]ed
+    /// (`None` for fresh or in-memory systems).
+    pub fn last_recovery(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Drain committed-but-unpersisted transactions into the store. A
+    /// no-op on in-memory systems. Mutating facade calls do this
+    /// automatically; call it after direct [`Penguin::database_mut`] work
+    /// to persist eagerly instead of waiting for the next facade call or
+    /// drop.
+    pub fn persist_pending(&mut self) -> Result<()> {
+        self.flush_store()
+    }
+
+    /// Flush pending transactions and take a checkpoint now, truncating
+    /// the log. A no-op on in-memory systems.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.flush_store()?;
+        if let Some(store) = &mut self.store {
+            store.checkpoint(&self.db)?;
+        }
+        Ok(())
+    }
+
+    /// Force an fsync of the write-ahead log regardless of sync policy.
+    pub fn sync_store(&mut self) -> Result<()> {
+        if let Some(store) = &mut self.store {
+            store.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Drain the database's commit journal into the durable store (no-op
+    /// when in-memory). Also detects structural drift: the store
+    /// checkpoints instead of appending when the structure epoch moved.
+    fn flush_store(&mut self) -> Result<()> {
+        if let Some(store) = &mut self.store {
+            let txs = self.db.drain_committed();
+            store.commit(&self.db, &txs)?;
+        }
+        Ok(())
+    }
+
+    /// Persist the system definition file (no-op when in-memory). Called
+    /// whenever the definition changes: object registered, translator
+    /// chosen or installed.
+    fn persist_definition(&self) -> Result<()> {
+        if let Some(store) = &self.store {
+            SavedSystem::capture_definition(self).save(store.dir().join(SYSTEM_FILE))?;
+        }
+        Ok(())
+    }
+
+    /// Map a persistence failure into the outcome-API error type.
+    fn flush_store_checked(&mut self) -> UpdateResult<()> {
+        self.flush_store()
+            .map_err(|e| UpdateError::new(UpdateStep::Persist, e))
     }
 
     /// The structural schema.
@@ -124,6 +300,11 @@ impl Penguin {
     /// object-based update API). Drops every cached access plan up front:
     /// the caller may change structure through the borrow, and plans
     /// rebuild lazily on the next instantiation anyway.
+    ///
+    /// On a persistent system, DML done through the borrow is journaled
+    /// but only reaches the store at the next mutating facade call,
+    /// [`Penguin::persist_pending`], or drop; structural changes are
+    /// captured by the next checkpoint.
     pub fn database_mut(&mut self) -> &mut Database {
         self.drop_plans();
         &mut self.db
@@ -182,9 +363,13 @@ impl Penguin {
         Ok(p)
     }
 
-    /// Run a SQL statement directly against the base relations.
+    /// Run a SQL statement directly against the base relations. On a
+    /// persistent system, committed DML is appended to the write-ahead
+    /// log (and DDL triggers a checkpoint) before returning.
     pub fn sql(&mut self, sql: &str) -> Result<SqlOutcome> {
-        self.db.run_sql(sql)
+        let out = self.db.run_sql(sql)?;
+        self.flush_store()?;
+        Ok(out)
     }
 
     /// Generate the template tree for a pivot.
@@ -233,6 +418,7 @@ impl Penguin {
                 transcript: None,
             },
         );
+        self.persist_definition()?;
         Ok(&self.objects[&name])
     }
 
@@ -267,7 +453,8 @@ impl Penguin {
             translator,
         )?);
         reg.transcript = Some(transcript);
-        Ok(reg.transcript.as_ref().expect("just set"))
+        self.persist_definition()?;
+        Ok(self.objects[name].transcript.as_ref().expect("just set"))
     }
 
     /// Install an explicit translator (e.g. deserialized or hand-built).
@@ -281,6 +468,7 @@ impl Penguin {
             reg.object.clone(),
             translator,
         )?);
+        self.persist_definition()?;
         Ok(())
     }
 
@@ -355,11 +543,13 @@ impl Penguin {
         instance: VoInstance,
     ) -> UpdateResult<UpdateOutcome> {
         let updater = self.updater_checked(name)?;
-        updater.apply_request(
+        let out = updater.apply_request(
             &self.schema,
             &mut self.db,
             UpdateRequest::CompleteInsertion(instance),
-        )
+        )?;
+        self.flush_store_checked()?;
+        Ok(out)
     }
 
     /// Delete an instance through an object.
@@ -369,11 +559,13 @@ impl Penguin {
         instance: VoInstance,
     ) -> UpdateResult<UpdateOutcome> {
         let updater = self.updater_checked(name)?;
-        updater.apply_request(
+        let out = updater.apply_request(
             &self.schema,
             &mut self.db,
             UpdateRequest::CompleteDeletion(instance),
-        )
+        )?;
+        self.flush_store_checked()?;
+        Ok(out)
     }
 
     /// Replace an instance through an object.
@@ -384,17 +576,21 @@ impl Penguin {
         new: VoInstance,
     ) -> UpdateResult<UpdateOutcome> {
         let updater = self.updater_checked(name)?;
-        updater.apply_request(
+        let out = updater.apply_request(
             &self.schema,
             &mut self.db,
             UpdateRequest::Replacement { old, new },
-        )
+        )?;
+        self.flush_store_checked()?;
+        Ok(out)
     }
 
     /// Apply a partial update through an object.
     pub fn apply_partial(&mut self, name: &str, op: PartialOp) -> UpdateResult<UpdateOutcome> {
         let updater = self.updater_checked(name)?;
-        updater.apply_partial_outcome(&self.schema, &mut self.db, op)
+        let out = updater.apply_partial_outcome(&self.schema, &mut self.db, op)?;
+        self.flush_store_checked()?;
+        Ok(out)
     }
 
     /// Apply a whole batch of update requests through an object,
@@ -417,6 +613,8 @@ impl Penguin {
         if sp.is_recording() {
             sp.field("ops", Json::Int(outcome.total_ops as i64));
         }
+        // the whole batch committed as one transaction → one WAL record
+        self.flush_store_checked()?;
         Ok(outcome)
     }
 
@@ -604,6 +802,67 @@ mod tests {
             assert_eq!(p.parallelism(), knob);
             assert_eq!(p.instantiate_all("omega").unwrap(), sequential, "{knob:?}");
         }
+    }
+
+    #[test]
+    fn persistent_create_update_reopen_roundtrip() {
+        let dir =
+            std::env::temp_dir().join(format!("penguin_persist_roundtrip_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
+            assert!(p.is_persistent());
+            assert_eq!(p.store_dir(), Some(dir.as_path()));
+            seed_figure4(p.database_mut()).unwrap();
+            p.persist_pending().unwrap();
+            p.define_object(
+                "omega",
+                "COURSES",
+                &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+            )
+            .unwrap();
+            let mut responder = paper_dialog_responder();
+            p.choose_translator("omega", &mut responder).unwrap();
+            let inst = p.instance_by_key("omega", &Key::single("CS345")).unwrap();
+            p.delete_instance("omega", inst).unwrap();
+            // clean shutdown via Drop
+        }
+        let p2 = Penguin::open(&dir).unwrap();
+        assert!(p2.is_persistent());
+        assert!(p2.last_recovery().is_some());
+        // definition survived: object + translator usable without a dialog
+        assert_eq!(p2.object_names(), vec!["omega"]);
+        assert!(p2.object("omega").unwrap().updater.is_some());
+        // data survived, including the deletion
+        assert_eq!(p2.database().table("COURSES").unwrap().len(), 2);
+        assert!(p2
+            .database()
+            .table("COURSES")
+            .unwrap()
+            .get(&Key::single("CS345"))
+            .is_none());
+        assert!(p2.check_consistency().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clone_of_persistent_system_is_detached() {
+        let dir =
+            std::env::temp_dir().join(format!("penguin_persist_clone_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
+        seed_figure4(p.database_mut()).unwrap();
+        let expected = p.database().table("GRADES").unwrap().len();
+        let mut c = p.clone();
+        assert!(!c.is_persistent());
+        // mutations on the clone stay in memory
+        c.sql("DELETE FROM GRADES WHERE grade = 'B'").unwrap();
+        assert!(c.database().table("GRADES").unwrap().len() < expected);
+        drop(c);
+        drop(p);
+        let reopened = Penguin::open(&dir).unwrap();
+        assert_eq!(reopened.database().table("GRADES").unwrap().len(), expected);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! [`RelationSchema::new`]), while tuple-level validation happens when a
 //! snapshot is restored into a database.
 
+use crate::database::DbOp;
 use crate::error::{Error, Result};
 use crate::json::Json;
 use crate::schema::{AttributeDef, RelationSchema};
 use crate::storage::{DatabaseSnapshot, RelationSnapshot};
-use crate::tuple::Tuple;
+use crate::tuple::{Key, Tuple};
 use crate::value::{DataType, Value};
 
 fn bad(msg: impl Into<String>) -> Error {
@@ -150,6 +151,76 @@ impl Tuple {
     }
 }
 
+impl Key {
+    /// Encode as a JSON array of key values.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(self.values().iter().map(|v| v.to_json()).collect())
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(Key::new(
+            json.elements()?
+                .iter()
+                .map(Value::from_json)
+                .collect::<Result<Vec<_>>>()?,
+        ))
+    }
+}
+
+impl DbOp {
+    /// Encode as JSON — the payload format of `vo-store` WAL commit
+    /// records. Tagged by an `"op"` discriminant.
+    pub fn to_json(&self) -> Json {
+        match self {
+            DbOp::Insert { relation, tuple } => Json::obj(vec![
+                ("op", Json::str("insert")),
+                ("relation", Json::str(relation.clone())),
+                ("tuple", tuple.to_json()),
+            ]),
+            DbOp::Delete { relation, key } => Json::obj(vec![
+                ("op", Json::str("delete")),
+                ("relation", Json::str(relation.clone())),
+                ("key", key.to_json()),
+            ]),
+            DbOp::Replace {
+                relation,
+                old_key,
+                tuple,
+            } => Json::obj(vec![
+                ("op", Json::str("replace")),
+                ("relation", Json::str(relation.clone())),
+                ("old_key", old_key.to_json()),
+                ("tuple", tuple.to_json()),
+            ]),
+        }
+    }
+
+    /// Decode from JSON (inverse of [`DbOp::to_json`]). Tuples are not
+    /// schema-validated here; replaying an op through
+    /// [`crate::database::Database::apply`] re-validates against the live
+    /// schema.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let relation = json.field("relation")?.as_str()?.to_owned();
+        match json.field("op")?.as_str()? {
+            "insert" => Ok(DbOp::Insert {
+                relation,
+                tuple: Tuple::from_json(json.field("tuple")?)?,
+            }),
+            "delete" => Ok(DbOp::Delete {
+                relation,
+                key: Key::from_json(json.field("key")?)?,
+            }),
+            "replace" => Ok(DbOp::Replace {
+                relation,
+                old_key: Key::from_json(json.field("old_key")?)?,
+                tuple: Tuple::from_json(json.field("tuple")?)?,
+            }),
+            other => Err(bad(format!("unknown db op `{other}`"))),
+        }
+    }
+}
+
 impl RelationSnapshot {
     /// Encode as JSON.
     pub fn to_json(&self) -> Json {
@@ -274,6 +345,33 @@ mod tests {
         .unwrap();
         // nullable key attribute must be rejected by re-validation
         assert!(RelationSchema::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn db_ops_roundtrip() {
+        let ops = [
+            DbOp::Insert {
+                relation: "T".into(),
+                tuple: Tuple::raw(vec![1.into(), Value::Null, "x".into()]),
+            },
+            DbOp::Delete {
+                relation: "T".into(),
+                key: Key::new(vec![1.into(), "a".into()]),
+            },
+            DbOp::Replace {
+                relation: "T".into(),
+                old_key: Key::single(2),
+                tuple: Tuple::raw(vec![3.into(), 0.5.into()]),
+            },
+        ];
+        for op in &ops {
+            let text = op.to_json().compact();
+            let back = DbOp::from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(op, &back, "{text}");
+        }
+        // unknown discriminant rejected
+        let bad = parse(r#"{"op": "upsert", "relation": "T"}"#).unwrap();
+        assert!(DbOp::from_json(&bad).is_err());
     }
 
     #[test]

@@ -81,6 +81,14 @@ pub struct Database {
     /// through [`Database::apply`] / [`Database::insert`] do not bump it,
     /// so prepared access plans keyed on the epoch survive updates.
     structure_epoch: u64,
+    /// Committed-transaction journal (the durability hook): when enabled,
+    /// every *successful* transaction through the data path — a single
+    /// [`Database::apply`]/[`Database::insert`], or a whole
+    /// [`Database::apply_all`]/[`Database::apply_all_checked`] batch — is
+    /// recorded as one op list. Rolled-back batches record nothing; undo
+    /// ops replayed during a rollback are never journaled. `vo-store`
+    /// drains this journal to frame its write-ahead-log commit records.
+    committed: Option<Vec<Vec<DbOp>>>,
 }
 
 // Parallel instantiation shares `&Database` across worker threads; a
@@ -190,15 +198,65 @@ impl Database {
         self.tables.values().map(|t| t.len()).sum()
     }
 
-    /// Convenience: insert a tuple built from raw values.
-    pub fn insert(&mut self, relation: &str, values: Vec<crate::value::Value>) -> Result<()> {
-        let table = self.data_table_mut(relation)?;
-        let tuple = Tuple::new(table.schema(), values)?;
-        table.insert(tuple)
+    /// Start recording committed transactions (see the `committed` field).
+    /// Idempotent: enabling an already-journaling database keeps any
+    /// not-yet-drained entries.
+    pub fn enable_commit_journal(&mut self) {
+        if self.committed.is_none() {
+            self.committed = Some(Vec::new());
+        }
     }
 
-    /// Apply one op, returning the op that undoes it.
+    /// Stop recording committed transactions, discarding undrained entries.
+    pub fn disable_commit_journal(&mut self) {
+        self.committed = None;
+    }
+
+    /// True while committed transactions are being journaled.
+    pub fn commit_journal_enabled(&self) -> bool {
+        self.committed.is_some()
+    }
+
+    /// Take every committed transaction recorded since the last drain
+    /// (empty when journaling is off). Each entry is the op list of one
+    /// successful transaction, in commit order.
+    pub fn drain_committed(&mut self) -> Vec<Vec<DbOp>> {
+        match &mut self.committed {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    fn journal_commit(&mut self, ops: Vec<DbOp>) {
+        if let Some(j) = &mut self.committed {
+            if !ops.is_empty() {
+                j.push(ops);
+            }
+        }
+    }
+
+    /// Convenience: insert a tuple built from raw values.
+    pub fn insert(&mut self, relation: &str, values: Vec<crate::value::Value>) -> Result<()> {
+        let tuple = Tuple::new(self.table(relation)?.schema(), values)?;
+        self.apply(&DbOp::Insert {
+            relation: relation.to_owned(),
+            tuple,
+        })
+        .map(|_| ())
+    }
+
+    /// Apply one op as its own committed transaction, returning the op
+    /// that undoes it.
     pub fn apply(&mut self, op: &DbOp) -> Result<DbOp> {
+        let undo = self.apply_inner(op)?;
+        self.journal_commit(vec![op.clone()]);
+        Ok(undo)
+    }
+
+    /// Apply one op without touching the commit journal — the primitive
+    /// under both [`Database::apply`] and the batch paths, and the path
+    /// rollbacks take so undo ops are never journaled.
+    fn apply_inner(&mut self, op: &DbOp) -> Result<DbOp> {
         match op {
             DbOp::Insert { relation, tuple } => {
                 let table = self.data_table_mut(relation)?;
@@ -240,17 +298,18 @@ impl Database {
     pub fn apply_all(&mut self, ops: &[DbOp]) -> Result<()> {
         let mut undo: Vec<DbOp> = Vec::with_capacity(ops.len());
         for op in ops {
-            match self.apply(op) {
+            match self.apply_inner(op) {
                 Ok(u) => undo.push(u),
                 Err(e) => {
                     for u in undo.iter().rev() {
-                        self.apply(u)
+                        self.apply_inner(u)
                             .expect("undo of a just-applied op must succeed");
                     }
                     return Err(Error::Rolledback(Box::new(e)));
                 }
             }
         }
+        self.journal_commit(ops.to_vec());
         Ok(())
     }
 
@@ -265,11 +324,11 @@ impl Database {
     ) -> Result<()> {
         let mut undo: Vec<DbOp> = Vec::with_capacity(ops.len());
         for op in ops {
-            match self.apply(op) {
+            match self.apply_inner(op) {
                 Ok(u) => undo.push(u),
                 Err(e) => {
                     for u in undo.iter().rev() {
-                        self.apply(u)
+                        self.apply_inner(u)
                             .expect("undo of a just-applied op must succeed");
                     }
                     return Err(Error::Rolledback(Box::new(e)));
@@ -278,11 +337,12 @@ impl Database {
         }
         if let Err(e) = check(self) {
             for u in undo.iter().rev() {
-                self.apply(u)
+                self.apply_inner(u)
                     .expect("undo of a just-applied op must succeed");
             }
             return Err(Error::Rolledback(Box::new(e)));
         }
+        self.journal_commit(ops.to_vec());
         Ok(())
     }
 }
@@ -431,6 +491,64 @@ mod tests {
         d.insert("COURSES", vec!["CS346".into(), "CS".into()])
             .unwrap();
         assert_eq!(d.total_tuples(), 3);
+    }
+
+    #[test]
+    fn commit_journal_records_only_committed_transactions() {
+        let mut d = db();
+        // nothing is recorded while the journal is off
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        d.enable_commit_journal();
+        assert!(d.commit_journal_enabled());
+        assert!(d.drain_committed().is_empty());
+
+        // a single-op transaction
+        d.insert("DEPARTMENT", vec!["EE".into()]).unwrap();
+        // a committed batch is one journal entry
+        let courses = d.table("COURSES").unwrap().schema().clone();
+        let batch = vec![
+            DbOp::Insert {
+                relation: "COURSES".into(),
+                tuple: Tuple::new(&courses, vec!["CS345".into(), "CS".into()]).unwrap(),
+            },
+            DbOp::Insert {
+                relation: "COURSES".into(),
+                tuple: Tuple::new(&courses, vec!["EE282".into(), "EE".into()]).unwrap(),
+            },
+        ];
+        d.apply_all(&batch).unwrap();
+        // a rolled-back batch records nothing (duplicate key fails)
+        let dept = d.table("DEPARTMENT").unwrap().schema().clone();
+        let bad = vec![
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["ME".into()]).unwrap(),
+            },
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["CS".into()]).unwrap(),
+            },
+        ];
+        assert!(d.apply_all(&bad).is_err());
+        // a vetoed checked batch records nothing either
+        let ok = vec![DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: Tuple::new(&dept, vec!["ME".into()]).unwrap(),
+        }];
+        assert!(d
+            .apply_all_checked(&ok, |_| Err(Error::ConstraintViolation("veto".into())))
+            .is_err());
+
+        let txs = d.drain_committed();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].len(), 1);
+        assert_eq!(txs[1], batch);
+        // drained: the journal is empty again but still enabled
+        assert!(d.drain_committed().is_empty());
+        assert!(d.commit_journal_enabled());
+        d.disable_commit_journal();
+        d.insert("DEPARTMENT", vec!["BIO".into()]).unwrap();
+        assert!(d.drain_committed().is_empty());
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum Error {
     ConstraintViolation(String),
     /// A persisted document failed to parse or decode.
     Serialization(String),
+    /// The durable storage layer (`vo-store`) failed: an I/O error, a
+    /// corrupt log or checkpoint, or a replay that no longer applies.
+    /// Carries the rendered storage error (I/O errors are neither `Clone`
+    /// nor `PartialEq`, so only the message crosses this boundary).
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -108,6 +113,7 @@ impl fmt::Display for Error {
             Error::Rolledback(cause) => write!(f, "transaction rolled back: {cause}"),
             Error::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
             Error::Serialization(m) => write!(f, "serialization error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -1,9 +1,11 @@
 //! Snapshots: a serializable, storage-format-agnostic image of a database.
 //!
 //! A [`DatabaseSnapshot`] captures schemas, rows and secondary-index
-//! definitions. It derives `serde` traits, so any serde format can persist
-//! it (the `vo-penguin` crate uses JSON for saved PENGUIN systems — the
-//! paper's "only its definition is saved" catalog, extended to data).
+//! definitions. It serializes through the in-tree JSON codec (see
+//! [`crate::codec`]); the `vo-penguin` crate persists saved PENGUIN
+//! systems this way — the paper's "only its definition is saved" catalog,
+//! extended to data — and the `vo-store` crate writes snapshots as its
+//! checkpoint files.
 
 use crate::database::Database;
 use crate::error::{Error, Result};
@@ -30,23 +32,38 @@ pub struct DatabaseSnapshot {
 }
 
 impl DatabaseSnapshot {
-    /// Capture a snapshot of `db`.
+    /// Capture a snapshot of `db` without secondary-index definitions —
+    /// the restored database answers the same queries but falls back to
+    /// scans until indexes are recreated. Use
+    /// [`DatabaseSnapshot::capture_full`] to carry them, or
+    /// [`DatabaseSnapshot::capture_with_indexes`] to declare an explicit
+    /// subset.
     pub fn capture(db: &Database) -> Self {
         let mut relations = Vec::new();
         for name in db.relation_names() {
             let table = db.table(name).expect("listed");
-            let schema = table.schema().clone();
-            // record which secondary indexes exist by probing attribute
-            // subsets is impossible generically; tables expose them via
-            // `has_index` only. Snapshot intentionally captures none unless
-            // asked (see `capture_with_indexes`).
             relations.push(RelationSnapshot {
-                schema,
+                schema: table.schema().clone(),
                 rows: table.scan().cloned().collect(),
                 indexes: Vec::new(),
             });
         }
         DatabaseSnapshot { relations }
+    }
+
+    /// Capture a snapshot including every secondary index, so
+    /// [`DatabaseSnapshot::restore`] rebuilds the database access-path
+    /// equivalent, not just content-equivalent. This is the checkpoint
+    /// image `vo-store` persists.
+    pub fn capture_full(db: &Database) -> Self {
+        let mut snap = Self::capture(db);
+        for rel in &mut snap.relations {
+            rel.indexes = db
+                .table(rel.schema.name())
+                .expect("captured from this database")
+                .index_attrs();
+        }
+        snap
     }
 
     /// Capture a snapshot declaring the given indexes per relation (the
@@ -142,6 +159,57 @@ mod tests {
         let db = sample();
         let r = DatabaseSnapshot::capture_with_indexes(&db, &[("NOPE", vec![])]);
         assert!(matches!(r, Err(Error::NoSuchRelation(_))));
+    }
+
+    #[test]
+    fn capture_with_indexes_json_roundtrip_rebuilds_probing_indexes() {
+        use crate::json::parse;
+        let mut db = sample();
+        db.create_index("T", &["v".to_string()]).unwrap();
+        let snap =
+            DatabaseSnapshot::capture_with_indexes(&db, &[("T", vec![vec!["v".to_string()]])])
+                .unwrap();
+        // full JSON round trip, not just capture → restore
+        let text = snap.to_json().pretty();
+        let back = DatabaseSnapshot::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(snap, back);
+        let restored = back.restore().unwrap();
+        assert!(restored.table("T").unwrap().has_index(&["v".to_string()]));
+        // and queries on the restored database take the index path: zero
+        // fallback scans, at least one probe
+        let before = crate::stats::snapshot();
+        let hits = restored
+            .table("T")
+            .unwrap()
+            .find_by_attrs(&["v".to_string()], &[Value::text("a")])
+            .unwrap();
+        let d = before.delta(&crate::stats::snapshot());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(d.fallback_scans, 0, "restored index must be probed: {d}");
+        assert!(d.index_probes >= 1);
+    }
+
+    #[test]
+    fn capture_full_carries_every_index() {
+        let mut db = sample();
+        db.create_index("T", &["v".to_string()]).unwrap();
+        db.create_index("T", &["v".to_string(), "k".to_string()])
+            .unwrap();
+        let snap = DatabaseSnapshot::capture_full(&db);
+        assert_eq!(
+            snap.relations[0].indexes,
+            db.table("T").unwrap().index_attrs()
+        );
+        let restored = snap.restore().unwrap();
+        assert!(restored.table("T").unwrap().has_index(&["v".to_string()]));
+        assert!(restored
+            .table("T")
+            .unwrap()
+            .has_index(&["v".to_string(), "k".to_string()]));
+        // plain capture stays index-free by contract
+        assert!(DatabaseSnapshot::capture(&db).relations[0]
+            .indexes
+            .is_empty());
     }
 
     #[test]

@@ -238,6 +238,24 @@ impl Table {
         Ok(())
     }
 
+    /// Attribute-name lists of every secondary index, sorted for
+    /// deterministic output (snapshots embed them, so checkpoint bytes
+    /// must not depend on `HashMap` iteration order).
+    pub fn index_attrs(&self) -> Vec<Vec<String>> {
+        let mut out: Vec<Vec<String>> = self
+            .indexes
+            .keys()
+            .map(|indices| {
+                indices
+                    .iter()
+                    .map(|&i| self.schema.attributes()[i].name.clone())
+                    .collect()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// True when a secondary index over `attrs` exists.
     pub fn has_index(&self, attrs: &[String]) -> bool {
         self.schema

@@ -1,0 +1,203 @@
+//! Checkpoints: a durable [`DatabaseSnapshot`] plus the log position it
+//! covers.
+//!
+//! A checkpoint is written atomically — serialize to `checkpoint.json.tmp`,
+//! fsync, rename over `checkpoint.json` — so a crash mid-checkpoint leaves
+//! the previous checkpoint intact. Each checkpoint records the LSN of the
+//! last transaction its snapshot includes; recovery replays only WAL
+//! records with a higher LSN, which makes the *checkpoint-then-truncate*
+//! protocol crash-safe at every step (stale log records are skipped by
+//! the LSN filter rather than double-applied).
+
+use crate::error::{StoreError, StoreResult};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use vo_relational::json::{parse, Json};
+use vo_relational::storage::DatabaseSnapshot;
+
+/// File name of the live checkpoint inside a store directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.json";
+const CHECKPOINT_TMP: &str = "checkpoint.json.tmp";
+
+/// A snapshot pinned to a log position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// LSN of the last committed transaction the snapshot includes
+    /// (0 = none; an empty store).
+    pub lsn: u64,
+    /// The database's structure epoch when captured. The store compares
+    /// it against the live database to detect structural drift (new
+    /// relations or indexes) that the DML-only log cannot express.
+    pub epoch: u64,
+    /// The full database image, secondary indexes included.
+    pub snapshot: DatabaseSnapshot,
+}
+
+impl Checkpoint {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lsn", Json::Int(self.lsn as i64)),
+            ("epoch", Json::Int(self.epoch as i64)),
+            ("snapshot", self.snapshot.to_json()),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> StoreResult<Self> {
+        let lsn = json
+            .field("lsn")
+            .and_then(|v| v.as_i64())
+            .map_err(|e| StoreError::Corrupt(e.0))?;
+        let epoch = json
+            .field("epoch")
+            .and_then(|v| v.as_i64())
+            .map_err(|e| StoreError::Corrupt(e.0))?;
+        if lsn < 0 || epoch < 0 {
+            return Err(StoreError::Corrupt(format!(
+                "negative checkpoint lsn/epoch ({lsn}/{epoch})"
+            )));
+        }
+        let snapshot = json
+            .field("snapshot")
+            .map_err(|e| StoreError::Corrupt(e.0))
+            .and_then(|s| DatabaseSnapshot::from_json(s).map_err(StoreError::from))?;
+        Ok(Checkpoint {
+            lsn: lsn as u64,
+            epoch: epoch as u64,
+            snapshot,
+        })
+    }
+
+    /// Atomically persist into `dir` (tmp + fsync + rename + best-effort
+    /// directory sync).
+    pub fn write(&self, dir: &Path) -> StoreResult<()> {
+        let tmp = dir.join(CHECKPOINT_TMP);
+        let live = dir.join(CHECKPOINT_FILE);
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(StoreError::io("create checkpoint tmp"))?;
+        f.write_all(self.to_json().compact().as_bytes())
+            .map_err(StoreError::io("write checkpoint"))?;
+        f.sync_data().map_err(StoreError::io("fsync checkpoint"))?;
+        drop(f);
+        std::fs::rename(&tmp, &live).map_err(StoreError::io("rename checkpoint"))?;
+        // fsync the directory so the rename itself is durable; some
+        // filesystems refuse to open directories — then the rename's
+        // durability rides on the next fs-wide flush, which is the best
+        // a portable implementation can do.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+        Ok(())
+    }
+
+    /// Load the live checkpoint from `dir`, or `None` when the store has
+    /// never checkpointed. A present-but-undecodable checkpoint is a hard
+    /// error: unlike a torn log tail it cannot be safely skipped, because
+    /// the data it held is gone.
+    pub fn load(dir: &Path) -> StoreResult<Option<Checkpoint>> {
+        let live = dir.join(CHECKPOINT_FILE);
+        let text = match std::fs::read_to_string(&live) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io("read checkpoint")(e)),
+        };
+        let json = parse(&text).map_err(|e| StoreError::Corrupt(e.0))?;
+        Ok(Some(Checkpoint::from_json(&json)?))
+    }
+
+    /// The live checkpoint path inside `dir` (for tests and tooling).
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(CHECKPOINT_FILE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vo_relational::database::Database;
+    use vo_relational::schema::{AttributeDef, RelationSchema};
+    use vo_relational::value::DataType;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            RelationSchema::new(
+                "T",
+                vec![
+                    AttributeDef::required("k", DataType::Int),
+                    AttributeDef::nullable("v", DataType::Text),
+                ],
+                &["k"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert("T", vec![1.into(), "a".into()]).unwrap();
+        db.create_index("T", &["v".to_string()]).unwrap();
+        db
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vo_store_ckpt_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_load_roundtrip_with_indexes() {
+        let dir = tmp_dir("roundtrip");
+        let db = sample_db();
+        let ckpt = Checkpoint {
+            lsn: 17,
+            epoch: db.structure_epoch(),
+            snapshot: DatabaseSnapshot::capture_full(&db),
+        };
+        ckpt.write(&dir).unwrap();
+        let loaded = Checkpoint::load(&dir).unwrap().unwrap();
+        assert_eq!(loaded, ckpt);
+        let restored = loaded.snapshot.restore().unwrap();
+        assert!(restored.table("T").unwrap().has_index(&["v".to_string()]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none_and_corrupt_is_an_error() {
+        let dir = tmp_dir("missing");
+        assert!(Checkpoint::load(&dir).unwrap().is_none());
+        std::fs::write(dir.join(CHECKPOINT_FILE), "{broken").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&dir),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically_and_ignores_stale_tmp() {
+        let dir = tmp_dir("atomic");
+        let db = sample_db();
+        let first = Checkpoint {
+            lsn: 1,
+            epoch: 0,
+            snapshot: DatabaseSnapshot::capture(&db),
+        };
+        first.write(&dir).unwrap();
+        // a stale tmp file (crash between fsync and rename) must not
+        // shadow the live checkpoint
+        std::fs::write(dir.join(CHECKPOINT_TMP), "garbage").unwrap();
+        let second = Checkpoint {
+            lsn: 9,
+            epoch: 2,
+            snapshot: DatabaseSnapshot::capture_full(&db),
+        };
+        second.write(&dir).unwrap();
+        assert_eq!(Checkpoint::load(&dir).unwrap().unwrap().lsn, 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+//! guarding every WAL record. In-tree and table-driven: the workspace
+//! takes no external dependencies, and one 1 KiB const table is plenty
+//! fast for log framing (the WAL is I/O-bound long before it is
+//! checksum-bound).
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (standard init/final XOR of `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // the canonical check value for this CRC variant
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"penguin"), crc32(b"penguin"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut payload = b"{\"lsn\":1,\"ops\":[]}".to_vec();
+        let clean = crc32(&payload);
+        for i in 0..payload.len() {
+            payload[i] ^= 0x40;
+            assert_ne!(crc32(&payload), clean, "flip at byte {i} undetected");
+            payload[i] ^= 0x40;
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type of the durable storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the store: I/O failures, corruption that cannot be
+/// healed by torn-tail truncation (a bad file magic, an unreadable
+/// checkpoint), and database errors surfaced while replaying or restoring.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure, with the operation that failed.
+    Io {
+        /// What the store was doing ("append wal record", "rename checkpoint", …).
+        context: &'static str,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A persisted file is structurally invalid beyond the tolerated torn
+    /// tail (wrong magic, corrupt checkpoint document, …).
+    Corrupt(String),
+    /// The relational engine rejected a restore or replay.
+    Db(vo_relational::error::Error),
+}
+
+impl StoreError {
+    pub(crate) fn io(context: &'static str) -> impl FnOnce(io::Error) -> Self {
+        move |source| StoreError::Io { context, source }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "i/o error ({context}): {source}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            StoreError::Db(e) => write!(f, "database error during recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Db(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<vo_relational::error::Error> for StoreError {
+    fn from(e: vo_relational::error::Error) -> Self {
+        StoreError::Db(e)
+    }
+}
+
+/// Storage errors collapse into [`vo_relational::error::Error::Storage`]
+/// when they cross into the relational `Result` world (the facade's
+/// update API), keeping that error type `Clone + PartialEq`.
+impl From<StoreError> for vo_relational::error::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Db(inner) => inner,
+            other => vo_relational::error::Error::Storage(other.to_string()),
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StoreError::io("append wal record")(io::Error::other("disk full"));
+        let s = e.to_string();
+        assert!(s.contains("append wal record"));
+        assert!(s.contains("disk full"));
+    }
+
+    #[test]
+    fn conversion_into_relational_error() {
+        let e: vo_relational::error::Error = StoreError::Corrupt("bad magic".into()).into();
+        assert!(matches!(e, vo_relational::error::Error::Storage(_)));
+        assert!(e.to_string().contains("bad magic"));
+        // a wrapped db error unwraps instead of double-wrapping
+        let db = vo_relational::error::Error::NoSuchRelation("T".into());
+        let e: vo_relational::error::Error = StoreError::Db(db.clone()).into();
+        assert_eq!(e, db);
+    }
+}

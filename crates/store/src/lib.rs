@@ -1,0 +1,50 @@
+//! # vo-store — durable storage for the PENGUIN stack
+//!
+//! The paper frames PENGUIN as a long-lived view-object server over a
+//! shared relational database (§6); a server's committed translations
+//! must outlive the process. This crate adds that durability to
+//! [`vo_relational::database::Database`] with the classic trio, all
+//! zero-dependency:
+//!
+//! - [`wal`] — a **write-ahead log** of committed transactions:
+//!   length-prefixed, CRC-32-checksummed records (one per transaction —
+//!   a whole `apply_batch` is one record) with group-commit buffering
+//!   under a [`wal::SyncPolicy`] knob (`Always` / `EveryN` / `Never`).
+//! - [`checkpoint`] — atomic **checkpoints**: the existing
+//!   [`vo_relational::storage::DatabaseSnapshot`] codec (secondary
+//!   indexes included) written tmp-then-rename, pinned to the log
+//!   position it covers.
+//! - [`store`] — the orchestrator: size/record-count checkpoint
+//!   triggers, structure-epoch-driven checkpoints (schema changes the
+//!   DML-only log cannot express), and **crash recovery** that restores
+//!   the latest checkpoint, replays the intact log tail, and truncates a
+//!   torn final record (*truncate-at-corruption*).
+//!
+//! The `vo-penguin` facade builds `Penguin::persistent` / `Penguin::open`
+//! on top: every successful translated update is drained from the
+//! database's commit journal and appended here.
+//!
+//! Observability: spans `wal.append`, `wal.fsync`, `store.checkpoint`,
+//! `store.recover`; counters `store.wal.bytes_appended`,
+//! `store.wal.records_appended`, `store.wal.fsyncs`, `store.checkpoints`,
+//! `store.recover.records_replayed`, `store.recover.ops_replayed`,
+//! `store.torn_tails_truncated` — all in the `vo-obs` registry.
+
+pub mod checkpoint;
+pub mod crc32;
+pub mod error;
+pub mod store;
+pub mod wal;
+
+pub use checkpoint::Checkpoint;
+pub use error::{StoreError, StoreResult};
+pub use store::{CheckpointPolicy, RecoveryReport, Store, StoreOptions};
+pub use wal::{CommitRecord, SyncPolicy, Wal};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
+    pub use crate::error::{StoreError, StoreResult};
+    pub use crate::store::{CheckpointPolicy, RecoveryReport, Store, StoreOptions};
+    pub use crate::wal::{CommitRecord, SyncPolicy, Wal};
+}

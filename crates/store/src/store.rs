@@ -1,0 +1,505 @@
+//! The store: one directory holding a checkpoint and a write-ahead log,
+//! with crash recovery that loads the latest valid checkpoint and replays
+//! the intact log tail.
+//!
+//! ## Protocol
+//!
+//! - **Commit** — after a transaction succeeds against the in-memory
+//!   [`Database`], its ops are appended to the log as one record
+//!   ([`Store::commit`]). Durability follows the [`SyncPolicy`].
+//! - **Checkpoint** — when the log grows past the [`CheckpointPolicy`]
+//!   thresholds, or the database's *structure epoch* moved (a relation or
+//!   index was created — something the DML-only log cannot express), the
+//!   whole database is snapshotted to `checkpoint.json` (atomically, see
+//!   [`Checkpoint::write`]) and the log is truncated.
+//! - **Recover** — [`Store::open`] restores the checkpoint (if any),
+//!   replays every intact log record with `lsn > checkpoint.lsn`
+//!   (records at or below it are stale leftovers of a crash between
+//!   checkpoint write and log truncation — skipped, not double-applied),
+//!   truncates a torn tail, and finally takes a fresh checkpoint so the
+//!   next session starts compact.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::{StoreError, StoreResult};
+use crate::wal::{SyncPolicy, Wal};
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use vo_obs::metrics::{self, Counter};
+use vo_obs::trace;
+use vo_relational::database::{Database, DbOp};
+use vo_relational::json::Json;
+use vo_relational::storage::DatabaseSnapshot;
+
+/// File name of the log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+fn checkpoints_taken() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.checkpoints"))
+}
+
+fn records_replayed() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.recover.records_replayed"))
+}
+
+fn ops_replayed() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.recover.ops_replayed"))
+}
+
+/// When the store checkpoints on its own. Thresholds are checked after
+/// every [`Store::commit`]; crossing either takes a checkpoint and
+/// truncates the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the log's logical size exceeds this many bytes.
+    pub max_wal_bytes: u64,
+    /// Checkpoint once the log holds this many commit records.
+    pub max_wal_records: u64,
+}
+
+impl CheckpointPolicy {
+    /// Never checkpoint automatically (explicit [`Store::checkpoint`]
+    /// calls and structure-epoch changes still do).
+    pub fn never() -> Self {
+        CheckpointPolicy {
+            max_wal_bytes: u64::MAX,
+            max_wal_records: u64::MAX,
+        }
+    }
+}
+
+impl Default for CheckpointPolicy {
+    /// 4 MiB of log or 4096 commits, whichever comes first.
+    fn default() -> Self {
+        CheckpointPolicy {
+            max_wal_bytes: 4 << 20,
+            max_wal_records: 4096,
+        }
+    }
+}
+
+/// Store construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreOptions {
+    /// When appended records are flushed and fsynced.
+    pub sync: SyncPolicy,
+    /// When the store checkpoints and truncates the log.
+    pub checkpoint: CheckpointPolicy,
+}
+
+impl StoreOptions {
+    /// Default options with the given sync policy.
+    pub fn with_sync(sync: SyncPolicy) -> Self {
+        StoreOptions {
+            sync,
+            ..StoreOptions::default()
+        }
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// LSN covered by the loaded checkpoint (0 = no checkpoint).
+    pub checkpoint_lsn: u64,
+    /// Log records applied on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Total ops inside the replayed records.
+    pub ops_replayed: u64,
+    /// Intact records skipped because the checkpoint already covered them
+    /// (crash between checkpoint write and log truncation).
+    pub records_skipped: u64,
+    /// True when a torn final record was found and truncated.
+    pub torn_tail_truncated: bool,
+    /// Highest LSN seen across checkpoint and log.
+    pub last_lsn: u64,
+}
+
+/// A durable store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    options: StoreOptions,
+    /// Structure epoch of the live database at the last checkpoint; a
+    /// drifted epoch forces the next commit to checkpoint instead of
+    /// appending DML the recovered schema could not absorb.
+    checkpoint_epoch: u64,
+    /// Commit records currently in the log (drives `max_wal_records`).
+    wal_records: u64,
+}
+
+impl Store {
+    /// Initialize a fresh store at `dir` for `db`, truncating any previous
+    /// store there: writes an initial checkpoint of `db` and an empty log.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        db: &Database,
+        options: StoreOptions,
+    ) -> StoreResult<Store> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(StoreError::io("create store directory"))?;
+        let wal = Wal::create(dir.join(WAL_FILE), options.sync)?;
+        let mut store = Store {
+            dir,
+            wal,
+            options,
+            checkpoint_epoch: 0,
+            wal_records: 0,
+        };
+        store.checkpoint(db)?;
+        Ok(store)
+    }
+
+    /// Open the store at `dir`, recovering the database it holds:
+    /// checkpoint + intact log tail, torn tail truncated. Ends with a
+    /// fresh checkpoint of the recovered state (compacting the log and
+    /// pinning the recovered database's structure epoch). A directory
+    /// with no store yields an empty database.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> StoreResult<(Store, Database, RecoveryReport)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(StoreError::io("create store directory"))?;
+        let mut sp = trace::span("store.recover");
+        let mut report = RecoveryReport::default();
+
+        let checkpoint = Checkpoint::load(&dir)?;
+        let mut db = match &checkpoint {
+            Some(c) => {
+                report.checkpoint_lsn = c.lsn;
+                report.last_lsn = c.lsn;
+                c.snapshot.restore()?
+            }
+            None => Database::new(),
+        };
+
+        let (mut wal, replay) = Wal::open_for_append(dir.join(WAL_FILE), options.sync)?;
+        report.torn_tail_truncated = replay.torn;
+        for rec in &replay.records {
+            if rec.lsn <= report.checkpoint_lsn {
+                report.records_skipped += 1;
+                continue;
+            }
+            db.apply_all(&rec.ops)?;
+            report.records_replayed += 1;
+            report.ops_replayed += rec.ops.len() as u64;
+            report.last_lsn = rec.lsn;
+        }
+        records_replayed().add(report.records_replayed);
+        ops_replayed().add(report.ops_replayed);
+        wal.bump_next_lsn(report.last_lsn + 1);
+
+        if sp.is_recording() {
+            sp.field("checkpoint_lsn", Json::Int(report.checkpoint_lsn as i64));
+            sp.field("replayed", Json::Int(report.records_replayed as i64));
+            sp.field("skipped", Json::Int(report.records_skipped as i64));
+            sp.field("torn", Json::Bool(report.torn_tail_truncated));
+        }
+        drop(sp);
+
+        let mut store = Store {
+            dir,
+            wal,
+            options,
+            checkpoint_epoch: 0,
+            wal_records: replay.records.len() as u64,
+        };
+        // start the session compact: the recovered state becomes the
+        // checkpoint, the replayed log becomes redundant and is truncated
+        store.checkpoint(&db)?;
+        Ok((store, db, report))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The log's file path.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> StoreOptions {
+        self.options
+    }
+
+    /// Logical log size in bytes (buffered records included).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Commit records currently in the log.
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// The LSN the next committed transaction will take.
+    pub fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// Durably record already-applied transactions: one log record per
+    /// transaction (empty ones are skipped). `db` must be the database
+    /// the transactions were applied to — it is consulted for structural
+    /// drift (which forces a checkpoint instead of appends, since the
+    /// snapshot already contains the transactions' effects) and for the
+    /// post-commit checkpoint thresholds.
+    pub fn commit(&mut self, db: &Database, transactions: &[Vec<DbOp>]) -> StoreResult<()> {
+        if db.structure_epoch() != self.checkpoint_epoch {
+            // the schema or index set changed since the checkpoint; DML
+            // replay onto the old snapshot could name relations it does
+            // not have. The new checkpoint subsumes `transactions`.
+            return self.checkpoint(db);
+        }
+        let mut appended = false;
+        for tx in transactions {
+            if tx.is_empty() {
+                continue;
+            }
+            self.wal.append(tx)?;
+            self.wal_records += 1;
+            appended = true;
+        }
+        if appended
+            && (self.wal.len() > self.options.checkpoint.max_wal_bytes
+                || self.wal_records > self.options.checkpoint.max_wal_records)
+        {
+            self.checkpoint(db)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot `db` (indexes included) as the new checkpoint and truncate
+    /// the log. Crash-safe: the checkpoint lands atomically first, and a
+    /// crash before the truncation leaves only stale records that recovery
+    /// skips by LSN.
+    pub fn checkpoint(&mut self, db: &Database) -> StoreResult<()> {
+        let mut sp = trace::span("store.checkpoint");
+        let ckpt = Checkpoint {
+            lsn: self.wal.next_lsn() - 1,
+            epoch: db.structure_epoch(),
+            snapshot: DatabaseSnapshot::capture_full(db),
+        };
+        if sp.is_recording() {
+            sp.field("lsn", Json::Int(ckpt.lsn as i64));
+            sp.field("tuples", Json::Int(ckpt.snapshot.total_tuples() as i64));
+            sp.field("wal_bytes_dropped", Json::Int(self.wal.len() as i64));
+        }
+        ckpt.write(&self.dir)?;
+        self.wal.reset()?;
+        self.checkpoint_epoch = ckpt.epoch;
+        self.wal_records = 0;
+        checkpoints_taken().inc();
+        Ok(())
+    }
+
+    /// Flush and fsync any buffered log records regardless of policy —
+    /// the clean-shutdown hook.
+    pub fn sync(&mut self) -> StoreResult<()> {
+        self.wal.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vo_relational::schema::{AttributeDef, RelationSchema};
+    use vo_relational::tuple::Tuple;
+    use vo_relational::value::DataType;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vo_store_{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn schema_t() -> RelationSchema {
+        RelationSchema::new(
+            "T",
+            vec![
+                AttributeDef::required("k", DataType::Int),
+                AttributeDef::nullable("v", DataType::Text),
+            ],
+            &["k"],
+        )
+        .unwrap()
+    }
+
+    fn insert_op(db: &Database, k: i64) -> DbOp {
+        let schema = db.table("T").unwrap().schema();
+        DbOp::Insert {
+            relation: "T".into(),
+            tuple: Tuple::new(schema, vec![k.into(), format!("v{k}").into()]).unwrap(),
+        }
+    }
+
+    fn fingerprint(db: &Database) -> String {
+        DatabaseSnapshot::capture_full(db).to_json().pretty()
+    }
+
+    #[test]
+    fn create_commit_reopen_recovers_identical_state() {
+        let dir = tmp_dir("roundtrip");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let mut store = Store::create(&dir, &db, StoreOptions::default()).unwrap();
+        for k in 0..10 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+        }
+        drop(store); // no clean shutdown needed under SyncPolicy::Always
+        let (_store2, recovered, report) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(report.records_replayed, 10);
+        assert_eq!(report.ops_replayed, 10);
+        assert!(!report.torn_tail_truncated);
+        assert_eq!(fingerprint(&recovered), fingerprint(&db));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn structure_change_forces_checkpoint_and_replay_survives() {
+        let dir = tmp_dir("epoch");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let mut store = Store::create(&dir, &db, StoreOptions::default()).unwrap();
+        let op = insert_op(&db, 1);
+        db.apply(&op).unwrap();
+        store.commit(&db, &[vec![op]]).unwrap();
+        // structural drift: new relation + an index, then DML against it
+        db.create_relation(
+            RelationSchema::new(
+                "S",
+                vec![AttributeDef::required("id", DataType::Int)],
+                &["id"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.create_index("T", &["v".to_string()]).unwrap();
+        let op = DbOp::Insert {
+            relation: "S".into(),
+            tuple: Tuple::raw(vec![7.into()]),
+        };
+        db.apply(&op).unwrap();
+        // epoch moved → this commit checkpoints instead of appending
+        let before = store.wal_records();
+        store.commit(&db, &[vec![op]]).unwrap();
+        assert_eq!(store.wal_records(), 0);
+        assert!(before <= 1);
+        // further DML appends normally again
+        let op = insert_op(&db, 2);
+        db.apply(&op).unwrap();
+        store.commit(&db, &[vec![op]]).unwrap();
+        assert_eq!(store.wal_records(), 1);
+        drop(store);
+        let (_s, recovered, _r) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(fingerprint(&recovered), fingerprint(&db));
+        assert!(recovered.table("T").unwrap().has_index(&["v".to_string()]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_threshold_triggers_automatic_checkpoint() {
+        let dir = tmp_dir("threshold");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let options = StoreOptions {
+            sync: SyncPolicy::Always,
+            checkpoint: CheckpointPolicy {
+                max_wal_bytes: u64::MAX,
+                max_wal_records: 3,
+            },
+        };
+        let mut store = Store::create(&dir, &db, options).unwrap();
+        let ckpts_before = metrics::snapshot_all()
+            .counters
+            .get("store.checkpoints")
+            .copied()
+            .unwrap_or(0);
+        for k in 0..8 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+        }
+        // 8 commits with a 3-record cap: checkpoints fired and the log
+        // stayed short
+        assert!(store.wal_records() <= 3);
+        let ckpts_after = metrics::snapshot_all()
+            .counters
+            .get("store.checkpoints")
+            .copied()
+            .unwrap_or(0);
+        assert!(ckpts_after >= ckpts_before + 2);
+        drop(store);
+        let (_s, recovered, _r) = Store::open(&dir, options).unwrap();
+        assert_eq!(fingerprint(&recovered), fingerprint(&db));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_log_records_below_checkpoint_lsn_are_skipped() {
+        let dir = tmp_dir("stale");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let mut store = Store::create(&dir, &db, StoreOptions::default()).unwrap();
+        for k in 0..3 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+        }
+        // simulate the crash window: checkpoint written, log NOT truncated.
+        // Write the checkpoint by hand (covering everything committed) and
+        // leave the old log in place.
+        Checkpoint {
+            lsn: store.next_lsn() - 1,
+            epoch: db.structure_epoch(),
+            snapshot: DatabaseSnapshot::capture_full(&db),
+        }
+        .write(&dir)
+        .unwrap();
+        drop(store);
+        let (_s, recovered, report) = Store::open(&dir, StoreOptions::default()).unwrap();
+        // every log record was already inside the checkpoint → skipped
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.records_skipped, 3);
+        assert_eq!(fingerprint(&recovered), fingerprint(&db));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lsns_stay_monotonic_across_reopen() {
+        let dir = tmp_dir("lsn");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let mut store = Store::create(&dir, &db, StoreOptions::default()).unwrap();
+        for k in 0..4 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+        }
+        let next_before = store.next_lsn();
+        drop(store);
+        let (store2, _db2, report) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(report.last_lsn, next_before - 1);
+        assert!(store2.next_lsn() >= next_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_directory_opens_as_empty_database() {
+        let dir = tmp_dir("empty");
+        let (store, db, report) = Store::open(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(db.relation_names().len(), 0);
+        assert_eq!(report, RecoveryReport::default());
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -24,7 +24,9 @@
 //!
 //! Underneath all of them sits [`obs`] (`vo-obs`): span tracing, a metrics
 //! registry, and the operator-tree profiles behind `EXPLAIN ANALYZE` and
-//! [`penguin::Penguin::profile`].
+//! [`penguin::Penguin::profile`]. Beside them sits [`store`] (`vo-store`):
+//! a write-ahead log, checkpoints, and crash recovery giving persistent
+//! systems (`Penguin::persistent` / `Penguin::open`) durability.
 //!
 //! ```
 //! use penguin_vo::prelude::*;
@@ -42,6 +44,7 @@ pub use vo_keller as keller;
 pub use vo_obs as obs;
 pub use vo_penguin as penguin;
 pub use vo_relational as relational;
+pub use vo_store as store;
 pub use vo_structural as structural;
 
 /// One import for everything.
@@ -51,4 +54,5 @@ pub mod prelude {
     pub use vo_penguin::{
         hospital_database, run_voql, university_scaled, Penguin, PlanCacheStats, VoqlOutcome,
     };
+    pub use vo_store::prelude::*;
 }
