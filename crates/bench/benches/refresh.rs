@@ -1,0 +1,162 @@
+//! Bench B5 — incremental view maintenance: refresh cost scales with the
+//! delta, not the database.
+//!
+//! Sweeps the scaled university database across three sizes while holding
+//! the per-refresh delta fixed (`VO_B5_DELTA` single-op transactions:
+//! half non-connecting course retitles, absorbed as in-place patches;
+//! half enrollments of brand-new students, recomputing exactly one
+//! instance each). At every scale it measures the median refresh time of
+//! a journal-cursor-fed [`MaterializedView`] and, for contrast, the cost
+//! of re-instantiating the whole object — the ratio is the payoff of
+//! maintenance. Output is one JSON measurement line per case (the
+//! `vo_bench::Reporter` protocol) plus a scaling table.
+//!
+//! Environment knobs: `VO_B5_SCALE` (largest sweep point, in departments;
+//! default 256 → 2048 pivot courses; the sweep runs scale/16, scale/4,
+//! scale), `VO_B5_DELTA` (transactions per refresh; default 32) and
+//! `VO_B5_RUNS` (median-of-N; default 5) keep CI smoke runs cheap without
+//! changing the measurement protocol.
+
+use std::time::Instant;
+use vo_bench::{emit_measurement, us, Json, Reporter, TextTable};
+use vo_core::prelude::*;
+use vo_penguin::university_scaled;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_usize("VO_B5_SCALE", 256).max(16);
+    let delta = env_usize("VO_B5_DELTA", 32);
+    let runs = env_usize("VO_B5_RUNS", 5);
+
+    let mut r = Reporter::new(
+        "B5",
+        "incremental refresh cost vs database size at fixed delta",
+        "scale",
+    );
+    println!("(delta={delta} transactions per refresh, median of {runs})");
+    let mut table = TextTable::new(&[
+        "scale",
+        "pivots",
+        "delta_tx",
+        "refresh_us",
+        "full_us",
+        "full/refresh",
+    ]);
+
+    for s in [scale / 16, scale / 4, scale] {
+        let s = s.max(1);
+        let (schema, mut db) = university_scaled(s as i64, 42);
+        let omega = generate_omega(&schema).unwrap();
+        // provision forward + reverse step indexes, like Penguin::materialize
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        for (rel, attrs) in plan.required_indexes() {
+            db.ensure_index(&rel, &attrs).unwrap();
+        }
+        let plan = plan_object(&schema, &omega, &db).unwrap();
+        for (rel, attrs) in reverse_indexes_for(&omega, &plan, &db).unwrap() {
+            db.ensure_index(&rel, &attrs).unwrap();
+        }
+        let cursor = db.journal_subscribe(JournalStart::Head);
+        let mut view = MaterializedView::build(&schema, omega.clone(), &db, cursor).unwrap();
+        let pivots = db.table("COURSES").unwrap().len();
+
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut next_ssn = s as i64 * 20 + 1_000;
+        let mut durations = Vec::with_capacity(runs);
+        let (mut patched, mut rebuilt) = (0u64, 0u64);
+        for run in 0..runs {
+            for i in 0..delta {
+                let cid = format!("C{}-{}", rng.gen_range(0..s), rng.gen_range(0..8));
+                if i % 2 == 0 {
+                    // non-connecting replace → in-place patch
+                    let cschema = db.table("COURSES").unwrap().schema().clone();
+                    let old = db
+                        .table("COURSES")
+                        .unwrap()
+                        .get(&Key::single(cid.as_str()))
+                        .unwrap()
+                        .clone();
+                    let mut vals = old.into_values();
+                    vals[1] = format!("retitled {run}.{i}").into();
+                    db.apply(&DbOp::Replace {
+                        relation: "COURSES".into(),
+                        old_key: Key::single(cid.as_str()),
+                        tuple: Tuple::new(&cschema, vals).unwrap(),
+                    })
+                    .unwrap();
+                } else {
+                    // enrollment of a brand-new student → one instance
+                    // recomputed
+                    let ssn = next_ssn;
+                    next_ssn += 1;
+                    let sschema = db.table("STUDENT").unwrap().schema().clone();
+                    let gschema = db.table("GRADES").unwrap().schema().clone();
+                    db.apply_all(&[
+                        DbOp::Insert {
+                            relation: "STUDENT".into(),
+                            tuple: Tuple::new(&sschema, vec![ssn.into(), "MS".into()]).unwrap(),
+                        },
+                        DbOp::Insert {
+                            relation: "GRADES".into(),
+                            tuple: Tuple::new(
+                                &gschema,
+                                vec![cid.as_str().into(), ssn.into(), "A".into()],
+                            )
+                            .unwrap(),
+                        },
+                    ])
+                    .unwrap();
+                }
+            }
+            let read = db.journal_peek(cursor).unwrap();
+            let t0 = Instant::now();
+            let out = view.refresh(&schema, &db, &read).unwrap();
+            let dt = t0.elapsed();
+            db.journal_advance(cursor, read.transactions.len()).unwrap();
+            assert!(!out.full_rebuild, "delta refresh must stay incremental");
+            patched += out.patched;
+            rebuilt += out.rebuilt;
+            durations.push(dt);
+        }
+        durations.sort();
+        let refresh_med = durations[durations.len() / 2];
+        // sanity: maintenance landed exactly where re-instantiation lands
+        let full_out = instantiate_all(&schema, &omega, &db).unwrap();
+        assert_eq!(view.snapshot(), full_out, "view diverged at scale {s}");
+        let full = vo_bench::median_time(runs, || instantiate_all(&schema, &omega, &db).unwrap());
+        let ratio = full.as_secs_f64() / refresh_med.as_secs_f64().max(f64::EPSILON);
+        emit_measurement(
+            "B5",
+            &format!("refresh/s{s}"),
+            vec![
+                ("scale", Json::Int(s as i64)),
+                ("pivots", Json::Int(pivots as i64)),
+                ("delta_tx", Json::Int(delta as i64)),
+                ("patched", Json::Int(patched as i64)),
+                ("rebuilt", Json::Int(rebuilt as i64)),
+                (
+                    "full_over_refresh",
+                    Json::Float((ratio * 10.0).round() / 10.0),
+                ),
+            ],
+            refresh_med,
+        );
+        r.measure(&format!("full/s{s}"), &s.to_string(), full);
+        table.row(&[
+            s.to_string(),
+            pivots.to_string(),
+            delta.to_string(),
+            us(refresh_med),
+            us(full),
+            format!("{ratio:.1}"),
+        ]);
+    }
+    print!("{}", table.render());
+    r.finish();
+}

@@ -363,7 +363,7 @@ pub fn plan_edge(
 /// With a secondary index on the target's connecting attributes each
 /// probe is an index lookup; otherwise ONE hash table is built over the
 /// target and probed for every input — never a per-input scan.
-fn probe_step(
+pub(crate) fn probe_step(
     step: &StepPlan,
     db: &Database,
     inputs: &[(usize, &Tuple)],

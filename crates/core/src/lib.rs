@@ -63,6 +63,7 @@ pub mod codec;
 pub mod dialog;
 pub mod instance;
 pub mod island;
+pub mod maintain;
 pub mod metric;
 pub mod object;
 pub mod query;
@@ -84,6 +85,9 @@ pub mod prelude {
         ObjectPlan, StepPlan, VoInstance, VoInstanceNode,
     };
     pub use crate::island::{analyze, IslandAnalysis, KeySplit};
+    pub use crate::maintain::{
+        reverse_indexes_for, ChangeKind, InstanceChange, MaterializedView, RefreshOutcome,
+    };
     pub use crate::metric::{extract_subgraph, MetricWeights, Subgraph};
     pub use crate::object::{NodeId, Step, ViewObject, ViewObjectBuilder, VoEdge, VoNode};
     pub use crate::query::{CountCondition, VoQuery};

@@ -24,7 +24,7 @@ pub use fixtures::{hospital_database, hospital_schema, seed_hospital};
 pub use generator::{
     seed_ownership_chain, seed_university_scaled, synthetic_schema, university_scaled, SchemaShape,
 };
-pub use system::{Penguin, PlanCacheStats, RegisteredObject, SYSTEM_FILE};
+pub use system::{Penguin, PlanCacheStats, RegisteredObject, WatchId, SYSTEM_FILE};
 pub use vo_exec::{available_parallelism, Parallelism};
 pub use vo_store::{CheckpointPolicy, RecoveryReport, StoreOptions, SyncPolicy};
 pub use voql::{parse as parse_voql, run as run_voql, VoqlOutcome, VoqlStatement};

@@ -10,7 +10,7 @@ use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use vo_core::prelude::*;
 use vo_exec::Parallelism;
-use vo_obs::metrics::{self, Counter};
+use vo_obs::metrics::{self, Counter, Histogram};
 use vo_store::{RecoveryReport, Store, StoreOptions};
 
 /// File holding a persistent system's definition (schema, objects,
@@ -50,6 +50,14 @@ fn cache_invalidations() -> Counter {
     *C.get_or_init(|| metrics::counter("penguin.plan_cache.invalidations"))
 }
 
+/// Journal transactions pending at each store flush — the write-ahead
+/// consumer's lag, the persistence-side counterpart of the per-view
+/// `maintain.journal_lag` histogram.
+fn persist_lag() -> Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    *H.get_or_init(|| metrics::histogram("penguin.persist.lag"))
+}
+
 /// A registered view object: definition, island analysis, and (once
 /// chosen) its translator-backed updater.
 #[derive(Debug, Clone)]
@@ -84,18 +92,46 @@ pub struct Penguin {
     parallelism: Parallelism,
     /// Durable backing store ([`Penguin::persistent`] / [`Penguin::open`]);
     /// `None` for in-memory systems. When present, the database's commit
-    /// journal is enabled and every successful mutating facade call drains
-    /// it into the store's write-ahead log.
+    /// journal is enabled and every successful mutating facade call reads
+    /// the journal through `wal_cursor` into the store's write-ahead log.
     store: Option<Store>,
+    /// The write-ahead persister's own journal cursor, subscribed at
+    /// journal start when the store is attached. Persistence and
+    /// materialized views each consume the journal at their own pace;
+    /// entries retire only once every consumer has passed them.
+    wal_cursor: Option<JournalCursor>,
     /// What recovery found when this system was [`Penguin::open`]ed.
     recovery: Option<RecoveryReport>,
+    /// Materialized views by object name, each holding its own journal
+    /// cursor ([`Penguin::materialize`] / [`Penguin::refresh`]).
+    views: BTreeMap<String, MaterializedView>,
+    /// Watch subscriptions fed by [`Penguin::refresh`].
+    watches: BTreeMap<WatchId, Watch>,
+    next_watch: u64,
+    /// A store flush that failed while reconciling a previous
+    /// [`Penguin::database_mut`] borrow (an infallible signature), parked
+    /// here and surfaced by the next fallible persistence call.
+    store_error: Option<Error>,
+}
+
+/// Handle for a [`Penguin::watch`] subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WatchId(u64);
+
+#[derive(Debug)]
+struct Watch {
+    object: String,
+    events: Vec<InstanceChange>,
 }
 
 impl Clone for Penguin {
     /// Clone the in-memory system. The durable store handle is *not*
     /// cloned — two writers interleaving records on one log would corrupt
     /// it — so the clone is a detached in-memory copy (its commit journal
-    /// is disabled); the original keeps persisting.
+    /// is disabled); the original keeps persisting. Materialized views
+    /// and watches are not cloned either: their journal cursors belong to
+    /// the original's journal ([`Penguin::materialize`] again on the
+    /// clone).
     fn clone(&self) -> Self {
         let mut db = self.db.clone();
         db.disable_commit_journal();
@@ -107,21 +143,28 @@ impl Clone for Penguin {
             cache_stats: Cell::new(self.cache_stats.get()),
             parallelism: self.parallelism,
             store: None,
+            wal_cursor: None,
             recovery: self.recovery,
+            views: BTreeMap::new(),
+            watches: BTreeMap::new(),
+            next_watch: 0,
+            store_error: None,
         }
     }
 }
 
 impl Drop for Penguin {
-    /// Clean shutdown for persistent systems: drain the commit journal,
-    /// append it, and fsync regardless of sync policy. Errors are ignored
-    /// (recovery replays the checkpoint + intact log tail either way).
-    /// Tests simulate a crash by skipping this with [`std::mem::forget`].
+    /// Clean shutdown for persistent systems: flush the journal through
+    /// the write-ahead cursor (checkpointing instead when structure
+    /// drifted — covers DDL done through a still-open
+    /// [`Penguin::database_mut`] borrow) and fsync regardless of sync
+    /// policy. Errors are ignored (recovery replays the checkpoint +
+    /// intact log tail either way). Tests simulate a crash by skipping
+    /// this with [`std::mem::forget`].
     fn drop(&mut self) {
         if self.store.is_some() {
-            let txs = self.db.drain_committed();
+            let _ = self.flush_store_inner();
             if let Some(store) = &mut self.store {
-                let _ = store.commit(&self.db, &txs);
                 let _ = store.sync();
             }
         }
@@ -145,7 +188,12 @@ impl Penguin {
             cache_stats: Cell::new(PlanCacheStats::default()),
             parallelism: Parallelism::from_env().unwrap_or_default(),
             store: None,
+            wal_cursor: None,
             recovery: None,
+            views: BTreeMap::new(),
+            watches: BTreeMap::new(),
+            next_watch: 0,
+            store_error: None,
         }
     }
 
@@ -171,10 +219,11 @@ impl Penguin {
     ) -> Result<Penguin> {
         let dir = dir.into();
         let mut db = Database::from_schema(schema.catalog());
-        db.enable_commit_journal();
+        let wal_cursor = db.journal_subscribe(JournalStart::Oldest);
         let store = Store::create(&dir, &db, options)?;
         let mut p = Penguin::with_database(schema, db);
         p.store = Some(store);
+        p.wal_cursor = Some(wal_cursor);
         p.persist_definition()?;
         Ok(p)
     }
@@ -194,9 +243,10 @@ impl Penguin {
         let dir = dir.into();
         let saved = SavedSystem::load(dir.join(SYSTEM_FILE))?;
         let (store, mut db, report) = Store::open(&dir, options)?;
-        db.enable_commit_journal();
+        let wal_cursor = db.journal_subscribe(JournalStart::Oldest);
         let mut p = saved.restore_with_database(db)?;
         p.store = Some(store);
+        p.wal_cursor = Some(wal_cursor);
         p.recovery = Some(report);
         Ok(p)
     }
@@ -244,14 +294,39 @@ impl Penguin {
         Ok(())
     }
 
-    /// Drain the database's commit journal into the durable store (no-op
-    /// when in-memory). Also detects structural drift: the store
-    /// checkpoints instead of appending when the structure epoch moved.
+    /// Read the commit journal through the write-ahead cursor into the
+    /// durable store (no-op when in-memory), surfacing any error parked by
+    /// a previous [`Penguin::database_mut`] reconciliation first. Also
+    /// detects structural drift: the store checkpoints instead of
+    /// appending when the structure epoch moved.
     fn flush_store(&mut self) -> Result<()> {
-        if let Some(store) = &mut self.store {
-            let txs = self.db.drain_committed();
-            store.commit(&self.db, &txs)?;
+        if let Some(e) = self.store_error.take() {
+            return Err(e);
         }
+        self.flush_store_inner()
+    }
+
+    /// The flush itself, cursor-transactional: peek the journal, write the
+    /// transactions to the store, and only then advance the cursor — a
+    /// failed write leaves the cursor in place, so the same transactions
+    /// are retried by the next flush. Other journal consumers
+    /// (materialized-view cursors) are untouched either way.
+    fn flush_store_inner(&mut self) -> Result<()> {
+        let (Some(store), Some(cursor)) = (self.store.as_mut(), self.wal_cursor) else {
+            return Ok(());
+        };
+        let read = self.db.journal_peek(cursor)?;
+        persist_lag().record(read.transactions.len() as u64);
+        if read.lapsed > 0 {
+            // a drop-oldest journal cap evicted entries the log never saw;
+            // appending the rest would leave a hole, so capture the whole
+            // database (which already reflects the lost transactions)
+            store.checkpoint(&self.db)?;
+        } else {
+            let refs: Vec<&[DbOp]> = read.transactions.iter().map(|t| t.as_slice()).collect();
+            store.commit(&self.db, &refs)?;
+        }
+        self.db.journal_advance(cursor, read.transactions.len())?;
         Ok(())
     }
 
@@ -301,12 +376,22 @@ impl Penguin {
     /// the caller may change structure through the borrow, and plans
     /// rebuild lazily on the next instantiation anyway.
     ///
-    /// On a persistent system, DML done through the borrow is journaled
-    /// but only reaches the store at the next mutating facade call,
-    /// [`Penguin::persist_pending`], or drop; structural changes are
-    /// captured by the next checkpoint.
+    /// On a persistent system, whatever a *previous* borrow left behind —
+    /// journaled DML, or DDL that moved the structure epoch — is flushed
+    /// to the store on entry (DDL triggers a checkpoint), so at most one
+    /// borrow's worth of work is ever exposed to a crash. A flush failure
+    /// here can't be returned from this infallible signature; it is parked
+    /// and surfaced by the next [`Penguin::persist_pending`], mutating
+    /// facade call, or other fallible persistence call. DML done through
+    /// the borrow itself is journaled but only reaches the store at that
+    /// next call (or drop).
     pub fn database_mut(&mut self) -> &mut Database {
         self.drop_plans();
+        if self.store.is_some() {
+            if let Err(e) = self.flush_store_inner() {
+                self.store_error.get_or_insert(e);
+            }
+        }
         &mut self.db
     }
 
@@ -618,6 +703,150 @@ impl Penguin {
         Ok(outcome)
     }
 
+    /// Materialize every instance of a registered object and keep it
+    /// incrementally maintained: the view subscribes its own cursor on the
+    /// database's commit journal (enabling the journal if needed) and
+    /// [`Penguin::refresh`] translates committed operations into instance
+    /// patches/recomputations instead of re-instantiating the world.
+    /// Provisions the secondary indexes the reverse walks want (on each
+    /// edge step's source connecting attributes) before building.
+    /// Re-materializing an object rebuilds its view from scratch.
+    pub fn materialize(&mut self, name: &str) -> Result<&MaterializedView> {
+        let object = self.object(name)?.object.clone();
+        self.dematerialize(name);
+        let plan = self.object_plan(name, &object)?;
+        for (rel, attrs) in reverse_indexes_for(&object, &plan, &self.db)? {
+            self.db.ensure_index(&rel, &attrs)?;
+        }
+        // subscribe at the head — the build below reads the same database
+        // state the cursor points at, and `&mut self` keeps anything from
+        // committing in between
+        let cursor = self.db.journal_subscribe(JournalStart::Head);
+        let view = MaterializedView::build(&self.schema, object, &self.db, cursor)?;
+        self.views.insert(name.to_owned(), view);
+        Ok(&self.views[name])
+    }
+
+    /// The materialized view for `name`, when one exists.
+    pub fn materialized(&self, name: &str) -> Option<&MaterializedView> {
+        self.views.get(name)
+    }
+
+    /// Names of all materialized objects.
+    pub fn materialized_names(&self) -> Vec<&str> {
+        self.views.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Drop an object's materialized view, releasing its journal cursor
+    /// (and any watches on it). Returns false when nothing was
+    /// materialized under `name`. The commit journal stays enabled; on an
+    /// otherwise journal-free in-memory system, disable it through
+    /// [`Penguin::database_mut`] if unwanted.
+    pub fn dematerialize(&mut self, name: &str) -> bool {
+        let Some(view) = self.views.remove(name) else {
+            return false;
+        };
+        self.db.journal_unsubscribe(view.cursor());
+        self.watches.retain(|_, w| w.object != name);
+        true
+    }
+
+    /// Bring one materialized view up to date with every transaction
+    /// committed since its last refresh, fanning the per-instance changes
+    /// out to its watchers. Cost is proportional to the delta, not the
+    /// database: ops on untraversed relations are skipped, non-connecting
+    /// replaces are patched in place, and only genuinely affected
+    /// instances are recomputed (see [`MaterializedView::refresh`]).
+    pub fn refresh(&mut self, name: &str) -> Result<RefreshOutcome> {
+        let view = self
+            .views
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchRelation(format!("materialized view {name}")))?;
+        let read = self.db.journal_peek(view.cursor())?;
+        let outcome = view.refresh(&self.schema, &self.db, &read)?;
+        self.db
+            .journal_advance(view.cursor(), read.transactions.len())?;
+        if !outcome.changes.is_empty() {
+            for w in self.watches.values_mut() {
+                if w.object == name {
+                    w.events.extend(outcome.changes.iter().cloned());
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// [`Penguin::refresh`] every materialized view, returning each
+    /// object's outcome.
+    pub fn refresh_all(&mut self) -> Result<BTreeMap<String, RefreshOutcome>> {
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        let mut out = BTreeMap::new();
+        for name in names {
+            let outcome = self.refresh(&name)?;
+            out.insert(name, outcome);
+        }
+        Ok(out)
+    }
+
+    /// Subscribe to instance-level changes of a materialized object.
+    /// Events ([`InstanceChange`]: pivot key + inserted/updated/removed)
+    /// accumulate at each [`Penguin::refresh`] and are collected with
+    /// [`Penguin::poll_watch`].
+    pub fn watch(&mut self, name: &str) -> Result<WatchId> {
+        if !self.views.contains_key(name) {
+            return Err(Error::NoSuchRelation(format!(
+                "materialized view {name}; call materialize first"
+            )));
+        }
+        let id = WatchId(self.next_watch);
+        self.next_watch += 1;
+        self.watches.insert(
+            id,
+            Watch {
+                object: name.to_owned(),
+                events: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Take every change accumulated on a watch since the last poll.
+    pub fn poll_watch(&mut self, id: WatchId) -> Result<Vec<InstanceChange>> {
+        self.watches
+            .get_mut(&id)
+            .map(|w| std::mem::take(&mut w.events))
+            .ok_or_else(|| Error::NoSuchRelation(format!("watch #{}", id.0)))
+    }
+
+    /// Drop a watch subscription. Returns false when `id` is unknown.
+    pub fn unwatch(&mut self, id: WatchId) -> bool {
+        self.watches.remove(&id).is_some()
+    }
+
+    /// Bound the commit journal's retained transactions (see
+    /// [`JournalCap`]). With [`JournalCap::error`], a commit that would
+    /// overflow is refused before it applies; with
+    /// [`JournalCap::drop_oldest`], the oldest entries are evicted and a
+    /// lapsed consumer falls back gracefully — a materialized view
+    /// rebuilds in full, the write-ahead persister checkpoints instead of
+    /// appending.
+    pub fn set_journal_cap(&mut self, cap: Option<JournalCap>) -> &mut Self {
+        self.db.set_journal_cap(cap);
+        self
+    }
+
+    /// The current journal cap, if any.
+    pub fn journal_cap(&self) -> Option<JournalCap> {
+        self.db.journal_cap()
+    }
+
+    /// Committed transactions not yet flushed to the durable store (the
+    /// write-ahead consumer's journal lag); `None` when in-memory.
+    pub fn persistence_lag(&self) -> Option<u64> {
+        let cursor = self.wal_cursor?;
+        self.db.journal_lag(cursor).ok()
+    }
+
     /// Verify the whole database against the structural model.
     pub fn check_consistency(&self) -> Result<Vec<Violation>> {
         check_database(&self.schema, &self.db)
@@ -901,6 +1130,178 @@ mod tests {
                 .unwrap()
                 >= 2
         );
+    }
+
+    #[test]
+    fn materialize_refresh_and_watch() {
+        let mut p = system();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        let view = p.materialize("omega").unwrap();
+        assert_eq!(view.len(), 3);
+        let w = p.watch("omega").unwrap();
+        // a grade value connects nothing → in-place patch, no recomputation
+        p.sql("UPDATE GRADES SET grade = 'A+' WHERE course_id = 'CS345' AND ssn = 1")
+            .unwrap();
+        let out = p.refresh("omega").unwrap();
+        assert_eq!(out.patched, 1);
+        assert_eq!(out.rebuilt, 0);
+        assert!(!out.full_rebuild);
+        assert_eq!(
+            p.poll_watch(w).unwrap(),
+            vec![InstanceChange {
+                pivot: Key::single("CS345"),
+                kind: ChangeKind::Updated,
+            }]
+        );
+        assert!(p.poll_watch(w).unwrap().is_empty());
+        // the maintained view is byte-identical to re-instantiation
+        assert_eq!(
+            p.materialized("omega").unwrap().snapshot(),
+            p.instantiate_all("omega").unwrap()
+        );
+        assert!(p.unwatch(w));
+        assert!(!p.unwatch(w));
+        assert!(p.dematerialize("omega"));
+        assert!(!p.dematerialize("omega"));
+        assert!(p.refresh("omega").is_err());
+    }
+
+    #[test]
+    fn refresh_tracks_object_pipeline_updates() {
+        let mut p = system();
+        p.define_object(
+            "omega",
+            "COURSES",
+            &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+        )
+        .unwrap();
+        let obj = p.object("omega").unwrap().object.clone();
+        p.install_translator("omega", Translator::permissive(&obj))
+            .unwrap();
+        p.materialize("omega").unwrap();
+        let w = p.watch("omega").unwrap();
+        let inst = p.instance_by_key("omega", &Key::single("CS345")).unwrap();
+        p.delete_instance("omega", inst).unwrap();
+        let out = p.refresh("omega").unwrap();
+        assert!(out
+            .changes
+            .iter()
+            .any(|c| c.pivot == Key::single("CS345") && c.kind == ChangeKind::Removed));
+        assert_eq!(p.materialized("omega").unwrap().len(), 2);
+        assert_eq!(
+            p.materialized("omega").unwrap().snapshot(),
+            p.instantiate_all("omega").unwrap()
+        );
+        assert!(p
+            .poll_watch(w)
+            .unwrap()
+            .iter()
+            .any(|c| c.kind == ChangeKind::Removed));
+    }
+
+    #[test]
+    fn refresh_all_covers_every_view() {
+        let mut p = system();
+        p.define_object("omega", "COURSES", &["GRADES", "STUDENT"])
+            .unwrap();
+        p.define_object("depts", "DEPARTMENT", &["COURSES"])
+            .unwrap();
+        p.materialize("omega").unwrap();
+        p.materialize("depts").unwrap();
+        p.sql("INSERT INTO COURSES VALUES ('CS229', 'Machine Learning', 'graduate', 'Computer Science')")
+            .unwrap();
+        let outs = p.refresh_all().unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(
+            outs["omega"]
+                .changes
+                .iter()
+                .filter(|c| c.kind == ChangeKind::Inserted)
+                .count(),
+            1
+        );
+        assert_eq!(
+            outs["depts"]
+                .changes
+                .iter()
+                .filter(|c| c.kind == ChangeKind::Updated)
+                .count(),
+            1
+        );
+        for name in ["omega", "depts"] {
+            assert_eq!(
+                p.materialized(name).unwrap().snapshot(),
+                p.instantiate_all(name).unwrap(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_flush_does_not_starve_view_cursor() {
+        let dir = std::env::temp_dir().join(format!("penguin_view_journal_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
+            seed_figure4(p.database_mut()).unwrap();
+            p.persist_pending().unwrap();
+            p.define_object(
+                "omega",
+                "COURSES",
+                &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+            )
+            .unwrap();
+            p.materialize("omega").unwrap();
+            // the facade flushes this to the log immediately; the view's
+            // own cursor must still see the transaction afterwards
+            p.sql("INSERT INTO GRADES VALUES ('CS101', 9, 'C')")
+                .unwrap();
+            assert_eq!(p.persistence_lag(), Some(0));
+            let out = p.refresh("omega").unwrap();
+            assert_eq!(out.rebuilt, 1);
+            assert_eq!(
+                p.materialized("omega").unwrap().snapshot(),
+                p.instantiate_all("omega").unwrap()
+            );
+        }
+        let p2 = Penguin::open(&dir).unwrap();
+        assert_eq!(p2.database().table("GRADES").unwrap().len(), 18);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ddl_between_borrows_is_checkpointed_on_reentry() {
+        let dir = std::env::temp_dir().join(format!("penguin_ddl_reentry_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
+            seed_figure4(p.database_mut()).unwrap();
+            // first borrow left DML + DDL pending; entering a second
+            // borrow flushes (and checkpoints, epoch moved) before handing
+            // out the database
+            p.database_mut()
+                .ensure_index("GRADES", &["ssn".to_string()])
+                .unwrap();
+            p.database_mut()
+                .insert("DEPARTMENT", vec!["Mathematics".into()])
+                .unwrap();
+            // crash: neither Drop nor an explicit flush for the last insert
+            std::mem::forget(p);
+        }
+        let p2 = Penguin::open(&dir).unwrap();
+        // everything up to the second borrow survived the crash
+        assert!(p2
+            .database()
+            .table("GRADES")
+            .unwrap()
+            .has_index(&["ssn".to_string()]));
+        assert_eq!(p2.database().table("COURSES").unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,10 +8,12 @@
 
 use crate::error::{Error, Result};
 use crate::schema::{DatabaseSchema, RelationSchema};
+use crate::stats::count_journal_dropped;
 use crate::table::Table;
 use crate::tuple::{Key, Tuple};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// One primitive mutation on a keyed relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +73,233 @@ impl fmt::Display for DbOp {
     }
 }
 
+/// Where a new journal subscription starts reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalStart {
+    /// From the oldest transaction still retained in the journal. The WAL
+    /// persister and the legacy [`Database::drain_committed`] path use
+    /// this: anything another consumer has not yet retired is visible.
+    Oldest,
+    /// From the next transaction committed after subscribing. Materialized
+    /// views use this: they are built from the current database state, so
+    /// older retained entries are already reflected in them.
+    Head,
+}
+
+/// What happens when a committed transaction would push the journal past
+/// its cap (see [`Database::set_journal_cap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOverflow {
+    /// Reject the transaction with [`Error::JournalOverflow`] *before* any
+    /// of its ops are applied, so the database and the journal stay in
+    /// lockstep. Appropriate when losing a journal entry is worse than
+    /// failing the write (e.g. ahead of a WAL persister).
+    Error,
+    /// Drop the oldest retained transaction to make room. Consumers whose
+    /// cursor pointed at a dropped entry are marked *lapsed* — their next
+    /// read reports how many transactions they missed so they can fall
+    /// back to a full rebuild. Each drop bumps the
+    /// `relational.journal.dropped` counter.
+    DropOldest,
+}
+
+/// A bound on how many committed transactions the journal retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalCap {
+    /// Maximum retained (not yet universally consumed) transactions.
+    pub max_transactions: usize,
+    /// Policy when a commit would exceed `max_transactions`.
+    pub overflow: JournalOverflow,
+}
+
+impl JournalCap {
+    /// A cap that rejects commits once `max_transactions` are retained.
+    pub fn error(max_transactions: usize) -> Self {
+        JournalCap {
+            max_transactions,
+            overflow: JournalOverflow::Error,
+        }
+    }
+
+    /// A cap that evicts the oldest retained transaction on overflow.
+    pub fn drop_oldest(max_transactions: usize) -> Self {
+        JournalCap {
+            max_transactions,
+            overflow: JournalOverflow::DropOldest,
+        }
+    }
+}
+
+/// Handle identifying one journal consumer. Obtained from
+/// [`Database::journal_subscribe`]; pass it to `journal_read` /
+/// `journal_peek` / `journal_advance` / `journal_lag` /
+/// `journal_unsubscribe`. Cursors are plain ids: cloning a `Database`
+/// clones its consumers, so a cursor works on the clone too (each side
+/// then advances independently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JournalCursor(u64);
+
+/// One consumer's view of the journal: the transactions committed since
+/// its cursor, plus how many it irrecoverably missed.
+#[derive(Debug, Clone, Default)]
+pub struct JournalRead {
+    /// Committed transactions in commit order, one `Arc` per transaction.
+    /// Entries are shared, not copied: every consumer reads the same
+    /// allocation.
+    pub transactions: Vec<Arc<Vec<DbOp>>>,
+    /// Transactions evicted past this cursor by a
+    /// [`JournalOverflow::DropOldest`] cap since the last read. Non-zero
+    /// means the delta stream has a hole: an incremental consumer must
+    /// resynchronize from the database itself (full rebuild).
+    pub lapsed: u64,
+}
+
+impl JournalRead {
+    /// Total ops across all returned transactions.
+    pub fn op_count(&self) -> usize {
+        self.transactions.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Consumer {
+    /// Sequence number of the next entry this consumer will read.
+    next_seq: u64,
+    /// Entries evicted before this consumer read them (reported and
+    /// cleared on the next read/advance).
+    lapsed: u64,
+}
+
+/// Multi-consumer committed-transaction journal. Entries are reference-
+/// counted and retire only once every consumer's cursor has passed them,
+/// so the WAL persister and any number of materialized views can share
+/// one delta stream without stealing from each other.
+#[derive(Debug, Clone, Default)]
+struct CommitJournal {
+    entries: VecDeque<Arc<Vec<DbOp>>>,
+    /// Sequence number of `entries[0]`. Sequence numbers are assigned at
+    /// commit and never reused, so a consumer's position is a plain `u64`.
+    base_seq: u64,
+    consumers: BTreeMap<u64, Consumer>,
+    next_consumer: u64,
+    /// Consumer backing the legacy [`Database::drain_committed`] API,
+    /// created lazily on first drain.
+    legacy: Option<u64>,
+}
+
+impl CommitJournal {
+    fn head_seq(&self) -> u64 {
+        self.base_seq + self.entries.len() as u64
+    }
+
+    fn subscribe(&mut self, start: JournalStart) -> JournalCursor {
+        let id = self.next_consumer;
+        self.next_consumer += 1;
+        let next_seq = match start {
+            JournalStart::Oldest => self.base_seq,
+            JournalStart::Head => self.head_seq(),
+        };
+        self.consumers.insert(
+            id,
+            Consumer {
+                next_seq,
+                lapsed: 0,
+            },
+        );
+        JournalCursor(id)
+    }
+
+    fn consumer(&self, cursor: JournalCursor) -> Result<&Consumer> {
+        self.consumers
+            .get(&cursor.0)
+            .ok_or_else(|| unknown_cursor(cursor))
+    }
+
+    fn peek(&self, cursor: JournalCursor) -> Result<JournalRead> {
+        let c = self.consumer(cursor)?;
+        let skip = (c.next_seq - self.base_seq) as usize;
+        Ok(JournalRead {
+            transactions: self.entries.iter().skip(skip).cloned().collect(),
+            lapsed: c.lapsed,
+        })
+    }
+
+    /// Move `cursor` forward over up to `n` entries and clear its lapse
+    /// counter, then retire entries every consumer has passed.
+    fn advance(&mut self, cursor: JournalCursor, n: usize) -> Result<()> {
+        let head = self.head_seq();
+        let c = self
+            .consumers
+            .get_mut(&cursor.0)
+            .ok_or_else(|| unknown_cursor(cursor))?;
+        c.next_seq = (c.next_seq + n as u64).min(head);
+        c.lapsed = 0;
+        self.retire();
+        Ok(())
+    }
+
+    fn unsubscribe(&mut self, cursor: JournalCursor) {
+        self.consumers.remove(&cursor.0);
+        if self.legacy == Some(cursor.0) {
+            self.legacy = None;
+        }
+        self.retire();
+    }
+
+    /// Drop entries that every consumer has read. With no consumers at
+    /// all, everything is retained (the enable-then-drain-later pattern).
+    fn retire(&mut self) {
+        let Some(min_next) = self.consumers.values().map(|c| c.next_seq).min() else {
+            return;
+        };
+        while self.base_seq < min_next && !self.entries.is_empty() {
+            self.entries.pop_front();
+            self.base_seq += 1;
+        }
+    }
+
+    /// Append one committed transaction, enforcing a drop-oldest cap.
+    /// Returns the number of entries evicted.
+    fn push(&mut self, ops: Vec<DbOp>, cap: Option<JournalCap>) -> u64 {
+        self.entries.push_back(Arc::new(ops));
+        match cap {
+            Some(JournalCap {
+                max_transactions,
+                overflow: JournalOverflow::DropOldest,
+            }) => self.evict_to(max_transactions),
+            _ => 0,
+        }
+    }
+
+    /// Evict oldest entries until at most `max` remain (floor 1), lapsing
+    /// any consumer whose cursor pointed into the evicted range. Returns
+    /// the number of entries dropped.
+    fn evict_to(&mut self, max: usize) -> u64 {
+        let mut dropped = 0u64;
+        while self.entries.len() > max.max(1) {
+            self.entries.pop_front();
+            self.base_seq += 1;
+            dropped += 1;
+        }
+        if dropped > 0 {
+            for c in self.consumers.values_mut() {
+                if c.next_seq < self.base_seq {
+                    c.lapsed += self.base_seq - c.next_seq;
+                    c.next_seq = self.base_seq;
+                }
+            }
+        }
+        dropped
+    }
+}
+
+fn unknown_cursor(cursor: JournalCursor) -> Error {
+    Error::Storage(format!(
+        "unknown journal cursor #{}: the journal was disabled or the cursor unsubscribed",
+        cursor.0
+    ))
+}
+
 /// An in-memory relational database.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
@@ -81,14 +310,19 @@ pub struct Database {
     /// through [`Database::apply`] / [`Database::insert`] do not bump it,
     /// so prepared access plans keyed on the epoch survive updates.
     structure_epoch: u64,
-    /// Committed-transaction journal (the durability hook): when enabled,
-    /// every *successful* transaction through the data path — a single
-    /// [`Database::apply`]/[`Database::insert`], or a whole
-    /// [`Database::apply_all`]/[`Database::apply_all_checked`] batch — is
-    /// recorded as one op list. Rolled-back batches record nothing; undo
-    /// ops replayed during a rollback are never journaled. `vo-store`
-    /// drains this journal to frame its write-ahead-log commit records.
-    committed: Option<Vec<Vec<DbOp>>>,
+    /// Committed-transaction journal (the durability and maintenance
+    /// hook): when enabled, every *successful* transaction through the
+    /// data path — a single [`Database::apply`]/[`Database::insert`], or a
+    /// whole [`Database::apply_all`]/[`Database::apply_all_checked`]
+    /// batch — is recorded as one op list. Rolled-back batches record
+    /// nothing; undo ops replayed during a rollback are never journaled.
+    /// The journal is multi-consumer: `vo-store` reads it through one
+    /// cursor to frame WAL commit records while materialized views read
+    /// the same entries through their own cursors.
+    journal: Option<CommitJournal>,
+    /// Retention bound applied while journaling (survives
+    /// enable/disable cycles).
+    journal_cap: Option<JournalCap>,
 }
 
 // Parallel instantiation shares `&Database` across worker threads; a
@@ -198,39 +432,159 @@ impl Database {
         self.tables.values().map(|t| t.len()).sum()
     }
 
-    /// Start recording committed transactions (see the `committed` field).
-    /// Idempotent: enabling an already-journaling database keeps any
-    /// not-yet-drained entries.
+    /// Start recording committed transactions (see the `journal` field).
+    /// Idempotent: enabling an already-journaling database keeps its
+    /// retained entries and consumers.
     pub fn enable_commit_journal(&mut self) {
-        if self.committed.is_none() {
-            self.committed = Some(Vec::new());
+        if self.journal.is_none() {
+            self.journal = Some(CommitJournal::default());
         }
     }
 
-    /// Stop recording committed transactions, discarding undrained entries.
+    /// Stop recording committed transactions, discarding retained entries
+    /// and invalidating every subscribed cursor.
     pub fn disable_commit_journal(&mut self) {
-        self.committed = None;
+        self.journal = None;
     }
 
     /// True while committed transactions are being journaled.
     pub fn commit_journal_enabled(&self) -> bool {
-        self.committed.is_some()
+        self.journal.is_some()
+    }
+
+    /// Register a new journal consumer (enabling the journal if it was
+    /// off) and return its cursor. Each consumer reads every committed
+    /// transaction exactly once through [`Database::journal_read`];
+    /// entries retire only when all consumers have passed them.
+    pub fn journal_subscribe(&mut self, start: JournalStart) -> JournalCursor {
+        self.enable_commit_journal();
+        self.journal
+            .as_mut()
+            .expect("just enabled")
+            .subscribe(start)
+    }
+
+    /// Remove a consumer. Entries it alone was holding back retire
+    /// immediately. Unknown cursors are ignored.
+    pub fn journal_unsubscribe(&mut self, cursor: JournalCursor) {
+        if let Some(j) = &mut self.journal {
+            j.unsubscribe(cursor);
+        }
+    }
+
+    /// Read and consume everything committed since `cursor` last read.
+    /// Equivalent to [`Database::journal_peek`] followed by
+    /// [`Database::journal_advance`] over the returned transactions.
+    pub fn journal_read(&mut self, cursor: JournalCursor) -> Result<JournalRead> {
+        let read = self.journal_peek(cursor)?;
+        self.journal_advance(cursor, read.transactions.len())?;
+        Ok(read)
+    }
+
+    /// Read everything committed since `cursor` without consuming it: the
+    /// cursor does not move and the lapse counter is not cleared. Pair
+    /// with [`Database::journal_advance`] once the entries have been
+    /// safely applied — a consumer with side effects (the WAL persister)
+    /// uses this so a failed apply can be retried.
+    pub fn journal_peek(&self, cursor: JournalCursor) -> Result<JournalRead> {
+        self.journal
+            .as_ref()
+            .ok_or_else(|| unknown_cursor(cursor))?
+            .peek(cursor)
+    }
+
+    /// Move `cursor` past `n` entries (saturating at the journal head) and
+    /// clear its lapse counter. Entries every consumer has passed retire.
+    pub fn journal_advance(&mut self, cursor: JournalCursor, n: usize) -> Result<()> {
+        self.journal
+            .as_mut()
+            .ok_or_else(|| unknown_cursor(cursor))?
+            .advance(cursor, n)
+    }
+
+    /// Number of committed transactions `cursor` has not yet read.
+    pub fn journal_lag(&self, cursor: JournalCursor) -> Result<u64> {
+        let j = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| unknown_cursor(cursor))?;
+        Ok(j.head_seq() - j.consumer(cursor)?.next_seq)
+    }
+
+    /// Number of committed transactions currently retained (bounded by the
+    /// slowest consumer, or by the cap).
+    pub fn journal_retained(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.entries.len())
+    }
+
+    /// Bound journal retention (or lift the bound with `None`). The cap
+    /// survives enable/disable cycles. Shrinking under a
+    /// [`JournalOverflow::DropOldest`] policy evicts immediately.
+    pub fn set_journal_cap(&mut self, cap: Option<JournalCap>) {
+        self.journal_cap = cap;
+        if let (Some(j), Some(cap)) = (&mut self.journal, cap) {
+            if cap.overflow == JournalOverflow::DropOldest {
+                count_journal_dropped(j.evict_to(cap.max_transactions));
+            }
+        }
+    }
+
+    /// The current journal retention cap, if any.
+    pub fn journal_cap(&self) -> Option<JournalCap> {
+        self.journal_cap
     }
 
     /// Take every committed transaction recorded since the last drain
     /// (empty when journaling is off). Each entry is the op list of one
     /// successful transaction, in commit order.
+    ///
+    /// Legacy single-consumer API, kept for the enable-then-drain pattern:
+    /// internally it reads through its own lazily-created cursor, so
+    /// draining no longer steals entries from other consumers (the WAL
+    /// persister, materialized views) — they each still see everything.
     pub fn drain_committed(&mut self) -> Vec<Vec<DbOp>> {
-        match &mut self.committed {
-            Some(j) => std::mem::take(j),
-            None => Vec::new(),
+        let Some(j) = &mut self.journal else {
+            return Vec::new();
+        };
+        let cursor = match j.legacy {
+            Some(id) => JournalCursor(id),
+            None => {
+                let c = j.subscribe(JournalStart::Oldest);
+                j.legacy = Some(c.0);
+                c
+            }
+        };
+        let read = j.peek(cursor).expect("legacy cursor exists");
+        j.advance(cursor, read.transactions.len())
+            .expect("legacy cursor exists");
+        read.transactions
+            .into_iter()
+            .map(|tx| Arc::try_unwrap(tx).unwrap_or_else(|a| (*a).clone()))
+            .collect()
+    }
+
+    /// Reject a would-be transaction while the journal is full under the
+    /// [`JournalOverflow::Error`] policy. Checked *before* any op applies
+    /// so a rejected transaction leaves no trace.
+    fn journal_admit(&self) -> Result<()> {
+        let (Some(j), Some(cap)) = (&self.journal, self.journal_cap) else {
+            return Ok(());
+        };
+        if cap.overflow == JournalOverflow::Error && j.entries.len() >= cap.max_transactions.max(1)
+        {
+            return Err(Error::JournalOverflow {
+                capacity: cap.max_transactions,
+            });
         }
+        Ok(())
     }
 
     fn journal_commit(&mut self, ops: Vec<DbOp>) {
-        if let Some(j) = &mut self.committed {
+        let cap = self.journal_cap;
+        if let Some(j) = &mut self.journal {
             if !ops.is_empty() {
-                j.push(ops);
+                let dropped = j.push(ops, cap);
+                count_journal_dropped(dropped);
             }
         }
     }
@@ -248,6 +602,7 @@ impl Database {
     /// Apply one op as its own committed transaction, returning the op
     /// that undoes it.
     pub fn apply(&mut self, op: &DbOp) -> Result<DbOp> {
+        self.journal_admit()?;
         let undo = self.apply_inner(op)?;
         self.journal_commit(vec![op.clone()]);
         Ok(undo)
@@ -296,6 +651,9 @@ impl Database {
     /// already-applied op is undone (in reverse order) and the error is
     /// wrapped in [`Error::Rolledback`].
     pub fn apply_all(&mut self, ops: &[DbOp]) -> Result<()> {
+        if !ops.is_empty() {
+            self.journal_admit()?;
+        }
         let mut undo: Vec<DbOp> = Vec::with_capacity(ops.len());
         for op in ops {
             match self.apply_inner(op) {
@@ -322,6 +680,9 @@ impl Database {
         ops: &[DbOp],
         check: impl FnOnce(&Database) -> Result<()>,
     ) -> Result<()> {
+        if !ops.is_empty() {
+            self.journal_admit()?;
+        }
         let mut undo: Vec<DbOp> = Vec::with_capacity(ops.len());
         for op in ops {
             match self.apply_inner(op) {
@@ -549,6 +910,134 @@ mod tests {
         d.disable_commit_journal();
         d.insert("DEPARTMENT", vec!["BIO".into()]).unwrap();
         assert!(d.drain_committed().is_empty());
+    }
+
+    fn dept_insert(d: &Database, name: &str) -> DbOp {
+        let schema = d.table("DEPARTMENT").unwrap().schema().clone();
+        DbOp::Insert {
+            relation: "DEPARTMENT".into(),
+            tuple: Tuple::new(&schema, vec![name.into()]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn journal_fans_out_to_independent_cursors() {
+        let mut d = db();
+        let a = d.journal_subscribe(JournalStart::Oldest);
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        // a consumer subscribed at the head sees only later commits
+        let b = d.journal_subscribe(JournalStart::Head);
+        d.insert("DEPARTMENT", vec!["EE".into()]).unwrap();
+
+        // both entries retained until every consumer passes them
+        assert_eq!(d.journal_retained(), 2);
+        let ra = d.journal_read(a).unwrap();
+        assert_eq!(ra.transactions.len(), 2);
+        assert_eq!(ra.lapsed, 0);
+        assert_eq!(ra.op_count(), 2);
+        // b still holds the second entry back
+        assert_eq!(d.journal_retained(), 1);
+        assert_eq!(d.journal_lag(b).unwrap(), 1);
+        let rb = d.journal_read(b).unwrap();
+        assert_eq!(rb.transactions.len(), 1);
+        assert_eq!(d.journal_retained(), 0);
+        assert_eq!(d.journal_lag(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn journal_peek_does_not_consume() {
+        let mut d = db();
+        let c = d.journal_subscribe(JournalStart::Oldest);
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        assert_eq!(d.journal_peek(c).unwrap().transactions.len(), 1);
+        assert_eq!(d.journal_peek(c).unwrap().transactions.len(), 1);
+        d.journal_advance(c, 1).unwrap();
+        assert!(d.journal_peek(c).unwrap().transactions.is_empty());
+        assert_eq!(d.journal_retained(), 0);
+    }
+
+    #[test]
+    fn drain_no_longer_steals_from_other_consumers() {
+        let mut d = db();
+        let wal = d.journal_subscribe(JournalStart::Oldest);
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        // a user drain takes its own copy...
+        let drained = d.drain_committed();
+        assert_eq!(drained.len(), 1);
+        // ...but the WAL cursor still sees the transaction
+        let r = d.journal_read(wal).unwrap();
+        assert_eq!(r.transactions.len(), 1);
+        assert_eq!(*r.transactions[0], drained[0]);
+        // and the legacy cursor keeps working incrementally
+        d.insert("DEPARTMENT", vec!["EE".into()]).unwrap();
+        assert_eq!(d.drain_committed().len(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_releases_retained_entries() {
+        let mut d = db();
+        let slow = d.journal_subscribe(JournalStart::Oldest);
+        let fast = d.journal_subscribe(JournalStart::Oldest);
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        d.journal_read(fast).unwrap();
+        assert_eq!(d.journal_retained(), 1);
+        d.journal_unsubscribe(slow);
+        assert_eq!(d.journal_retained(), 0);
+        assert!(d.journal_read(slow).is_err());
+    }
+
+    #[test]
+    fn drop_oldest_cap_lapses_slow_consumers() {
+        let mut d = db();
+        d.set_journal_cap(Some(JournalCap::drop_oldest(2)));
+        let c = d.journal_subscribe(JournalStart::Oldest);
+        for name in ["A", "B", "C", "D"] {
+            d.insert("DEPARTMENT", vec![name.into()]).unwrap();
+        }
+        assert_eq!(d.journal_retained(), 2);
+        let r = d.journal_read(c).unwrap();
+        assert_eq!(r.lapsed, 2, "two entries evicted past the cursor");
+        assert_eq!(r.transactions.len(), 2);
+        // after a read the consumer is caught up: no further lapse
+        d.insert("DEPARTMENT", vec!["E".into()]).unwrap();
+        let r = d.journal_read(c).unwrap();
+        assert_eq!(r.lapsed, 0);
+        assert_eq!(r.transactions.len(), 1);
+    }
+
+    #[test]
+    fn error_cap_rejects_before_applying() {
+        let mut d = db();
+        d.enable_commit_journal();
+        d.set_journal_cap(Some(JournalCap::error(1)));
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        // journal holds 1 entry: the next transaction must be rejected
+        // without touching the table
+        let err = d.apply_all(&[dept_insert(&d, "EE")]).unwrap_err();
+        assert!(matches!(err, Error::JournalOverflow { capacity: 1 }));
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 1);
+        assert_eq!(d.journal_retained(), 1);
+        // draining frees capacity
+        d.drain_committed();
+        d.insert("DEPARTMENT", vec!["EE".into()]).unwrap();
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 2);
+        // lifting the cap also frees it
+        d.set_journal_cap(None);
+        d.insert("DEPARTMENT", vec!["ME".into()]).unwrap();
+        d.insert("DEPARTMENT", vec!["BIO".into()]).unwrap();
+    }
+
+    #[test]
+    fn shrinking_drop_oldest_cap_evicts_immediately() {
+        let mut d = db();
+        d.enable_commit_journal();
+        for name in ["A", "B", "C"] {
+            d.insert("DEPARTMENT", vec![name.into()]).unwrap();
+        }
+        assert_eq!(d.journal_retained(), 3);
+        d.set_journal_cap(Some(JournalCap::drop_oldest(1)));
+        assert_eq!(d.journal_retained(), 1);
+        assert_eq!(d.journal_cap(), Some(JournalCap::drop_oldest(1)));
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub mod value;
 pub mod prelude {
     pub use crate::aggregate::{aggregate_rows, AggFunc, AggSpec};
     pub use crate::algebra::{Plan, ResultSet};
-    pub use crate::database::{Database, DbOp};
+    pub use crate::database::{
+        Database, DbOp, JournalCap, JournalCursor, JournalOverflow, JournalRead, JournalStart,
+    };
     pub use crate::error::{Error, Result};
     pub use crate::json::Json;
     pub use crate::overlay::{DbRead, DeltaDb, TableView};

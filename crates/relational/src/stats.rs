@@ -74,6 +74,11 @@ fn snapshot_avoided() -> Counter {
     *C.get_or_init(|| metrics::counter("translate.snapshot_avoided"))
 }
 
+fn journal_dropped() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.journal.dropped"))
+}
+
 /// Record one lookup answered by a secondary (or primary) index.
 pub fn count_index_probe() {
     index_probes().inc();
@@ -121,6 +126,16 @@ pub fn count_overlay_read() {
 /// cloning the base database (one avoided full snapshot).
 pub fn count_snapshot_avoided() {
     snapshot_avoided().inc();
+}
+
+/// Record `n` commit-journal entries evicted by a drop-oldest cap before
+/// every consumer read them. Not part of [`InstrumentationSnapshot`]
+/// (which tracks the query/translation engine); read it from the obs
+/// registry as `relational.journal.dropped`.
+pub fn count_journal_dropped(n: u64) {
+    if n > 0 {
+        journal_dropped().add(n);
+    }
 }
 
 /// A point-in-time copy of all counters.

@@ -18,6 +18,10 @@ pub enum StoreError {
     /// A persisted file is structurally invalid beyond the tolerated torn
     /// tail (wrong magic, corrupt checkpoint document, …).
     Corrupt(String),
+    /// A commit record's payload exceeds what the WAL's 4-byte length
+    /// prefix can frame; the append is rejected instead of writing a
+    /// wrapped (silently truncated) length header.
+    RecordTooLarge { bytes: u64, max: u64 },
     /// The relational engine rejected a restore or replay.
     Db(vo_relational::error::Error),
 }
@@ -33,6 +37,10 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io { context, source } => write!(f, "i/o error ({context}): {source}"),
             StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            StoreError::RecordTooLarge { bytes, max } => write!(
+                f,
+                "commit record payload of {bytes} bytes exceeds the WAL frame limit of {max} bytes"
+            ),
             StoreError::Db(e) => write!(f, "database error during recovery: {e}"),
         }
     }
@@ -43,7 +51,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io { source, .. } => Some(source),
             StoreError::Db(e) => Some(e),
-            StoreError::Corrupt(_) => None,
+            StoreError::Corrupt(_) | StoreError::RecordTooLarge { .. } => None,
         }
     }
 }

@@ -250,7 +250,11 @@ impl Store {
     /// drift (which forces a checkpoint instead of appends, since the
     /// snapshot already contains the transactions' effects) and for the
     /// post-commit checkpoint thresholds.
-    pub fn commit(&mut self, db: &Database, transactions: &[Vec<DbOp>]) -> StoreResult<()> {
+    pub fn commit<T: AsRef<[DbOp]>>(
+        &mut self,
+        db: &Database,
+        transactions: &[T],
+    ) -> StoreResult<()> {
         if db.structure_epoch() != self.checkpoint_epoch {
             // the schema or index set changed since the checkpoint; DML
             // replay onto the old snapshot could name relations it does
@@ -259,6 +263,7 @@ impl Store {
         }
         let mut appended = false;
         for tx in transactions {
+            let tx = tx.as_ref();
             if tx.is_empty() {
                 continue;
             }

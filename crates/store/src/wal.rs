@@ -140,13 +140,27 @@ impl CommitRecord {
     }
 }
 
-fn encode_record(rec: &CommitRecord) -> Vec<u8> {
+/// Largest payload the 4-byte length prefix can frame.
+pub const MAX_RECORD_PAYLOAD: usize = u32::MAX as usize;
+
+/// Validate that a payload fits the u32 length prefix. A silent `as u32`
+/// cast here would write a wrapped length header — a record the reader
+/// could misparse as valid framing for garbage bytes.
+fn framed_len(payload_len: usize) -> StoreResult<u32> {
+    u32::try_from(payload_len).map_err(|_| StoreError::RecordTooLarge {
+        bytes: payload_len as u64,
+        max: MAX_RECORD_PAYLOAD as u64,
+    })
+}
+
+fn encode_record(rec: &CommitRecord) -> StoreResult<Vec<u8>> {
     let payload = rec.to_json().compact().into_bytes();
+    let len = framed_len(payload.len())?;
     let mut out = Vec::with_capacity(payload.len() + 8);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
 /// The outcome of scanning a log file.
@@ -358,7 +372,7 @@ impl Wal {
             lsn,
             ops: ops.to_vec(),
         };
-        let bytes = encode_record(&rec);
+        let bytes = encode_record(&rec)?;
         if sp.is_recording() {
             sp.field("lsn", Json::Int(lsn as i64));
             sp.field("ops", Json::Int(ops.len() as i64));
@@ -578,6 +592,53 @@ mod tests {
         let replay = Wal::read_all(&path).unwrap();
         assert_eq!(replay.records.len(), 1);
         assert_eq!(replay.records[0].lsn, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected_not_truncated() {
+        // The guard is on the computed length, so no 4 GiB buffer is
+        // allocated: fabricate lengths right at the boundary.
+        assert_eq!(framed_len(MAX_RECORD_PAYLOAD).unwrap(), u32::MAX);
+        let err = framed_len(MAX_RECORD_PAYLOAD + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::RecordTooLarge {
+                bytes,
+                max,
+            } if bytes == MAX_RECORD_PAYLOAD as u64 + 1 && max == u32::MAX as u64
+        ));
+        // the error collapses into the relational Storage variant at the
+        // facade boundary
+        let rel: vo_relational::error::Error = err.into();
+        assert!(matches!(
+            rel,
+            vo_relational::error::Error::Storage(ref m) if m.contains("frame limit")
+        ));
+    }
+
+    #[test]
+    fn fabricated_huge_length_header_reads_as_torn_tail() {
+        // A header claiming a u32::MAX payload over a tiny file must read
+        // as a torn tail — no allocation of the claimed length, no panic.
+        let path = tmp("hugelen.log");
+        let mut wal = Wal::create(&path, SyncPolicy::Always).unwrap();
+        wal.append(&sample_ops(0)).unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // fabricated len
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // bogus crc
+        bytes.extend_from_slice(b"tiny"); // 4 bytes, not 4 GiB
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = Wal::read_all(&path).unwrap();
+        assert!(replay.torn);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.valid_len, good_len);
+        // reopening truncates the fabricated tail and stays usable
+        let (mut wal, _) = Wal::open_for_append(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        wal.append(&sample_ops(1)).unwrap();
+        assert_eq!(Wal::read_all(&path).unwrap().records.len(), 2);
         std::fs::remove_file(&path).ok();
     }
 

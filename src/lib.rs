@@ -53,6 +53,7 @@ pub mod prelude {
     pub use vo_keller::{choose_keller_translator, KellerTranslator, SpjView, ViewDelta};
     pub use vo_penguin::{
         hospital_database, run_voql, university_scaled, Penguin, PlanCacheStats, VoqlOutcome,
+        WatchId,
     };
     pub use vo_store::prelude::*;
 }
