@@ -1,0 +1,328 @@
+//! Bench O2 — telemetry pipeline overhead: tracing plus sampled JSONL
+//! export versus observability fully off.
+//!
+//! The acceptance budget is <5 % wall-clock overhead with head-based
+//! sampling at 1-in-16 on real workloads. Two are measured, spanning the
+//! write path and the maintenance path:
+//!
+//! - `b2`: one set-at-a-time batch of `VO_O2_BATCH` complete insertions
+//!   through the update pipeline (the B2 workload — `penguin.translate`
+//!   spans per request), re-run on a fresh clone of the base database
+//!   each iteration.
+//! - `b5`: an incremental `MaterializedView::refresh` absorbing
+//!   `VO_O2_DELTA` single-op transactions (the B5 workload —
+//!   `maintain.refresh` spans), delta re-applied each iteration. The
+//!   workload mutates its database, so every mode gets its own clone of
+//!   the same base state.
+//!
+//! Each workload runs in three modes: `off` (no tracing, the
+//! one-relaxed-load fast path), `sampled16` (a pipeline with 1-in-16
+//! head sampling draining to a buffered JSONL file inside the timed
+//! region — the production configuration, tracer at Info verbosity), and
+//! `keepall` (sampling disabled, every span exported) for contrast.
+//! Overhead lines report each mode against `off` in percent.
+//!
+//! Measurement is *interleaved*: every round executes each mode once, so
+//! slow machine drift lands on all modes equally instead of skewing
+//! whichever mode's measurement window it falls into. Medians are taken
+//! per mode across rounds; each mode's first execution warms up outside
+//! the stats.
+//!
+//! Environment knobs (`VO_O2_*`) shrink CI smoke runs without changing
+//! the protocol: `VO_O2_SCALE` (university scale for b5; default 64),
+//! `VO_O2_BATCH` (insertions per b2 batch; default 100), `VO_O2_DELTA`
+//! (transactions per b5 refresh; default 32), `VO_O2_RUNS` (median-of-N;
+//! default 9).
+
+use std::time::{Duration, Instant};
+use vo_bench::{banner, emit_measurement, time, us, Json, TextTable};
+use vo_core::prelude::*;
+use vo_obs::sink::{FileSink, TelemetryPipeline};
+use vo_obs::trace;
+use vo_penguin::university_scaled;
+
+mod modes {
+    use vo_obs::sink::SamplingPolicy;
+
+    /// The three measurement modes.
+    #[derive(Clone, Copy, PartialEq)]
+    pub enum Mode {
+        Off,
+        Sampled16,
+        KeepAll,
+    }
+
+    pub const ALL: [Mode; 3] = [Mode::Off, Mode::Sampled16, Mode::KeepAll];
+
+    impl Mode {
+        pub fn name(self) -> &'static str {
+            match self {
+                Mode::Off => "off",
+                Mode::Sampled16 => "sampled16",
+                Mode::KeepAll => "keepall",
+            }
+        }
+
+        pub fn policy(self) -> SamplingPolicy {
+            match self {
+                Mode::Off => SamplingPolicy::default(),
+                Mode::Sampled16 => SamplingPolicy::one_in(16),
+                Mode::KeepAll => SamplingPolicy::one_in(1),
+            }
+        }
+    }
+}
+use modes::Mode;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Interleaved per-mode medians over one workload. Telemetry modes time
+/// `f` plus a pipeline drain (export cost is part of the production
+/// path); the pipeline and its file sink are set up and torn down
+/// *outside* the clock each round — a pipeline held across rounds would
+/// keep tracing enabled during the `off` mode's executions.
+fn measure_interleaved(
+    runs: usize,
+    sink_path: &std::path::Path,
+    mut workloads: Vec<(Mode, Box<dyn FnMut() + '_>)>,
+) -> Vec<(Mode, Vec<Duration>)> {
+    let mut durations: Vec<Vec<Duration>> = vec![Vec::new(); workloads.len()];
+    for (_, f) in workloads.iter_mut() {
+        f(); // warmup, outside the stats
+    }
+    for _ in 0..runs.max(1) {
+        for (i, (mode, f)) in workloads.iter_mut().enumerate() {
+            match mode {
+                Mode::Off => durations[i].push(time(&mut *f).1),
+                _ => {
+                    let mut pipeline = TelemetryPipeline::new(
+                        Box::new(FileSink::create(sink_path).unwrap()),
+                        mode.policy(),
+                    );
+                    trace::clear();
+                    let t0 = Instant::now();
+                    f();
+                    pipeline.drain().unwrap();
+                    durations[i].push(t0.elapsed());
+                }
+            }
+        }
+    }
+    workloads
+        .iter()
+        .zip(durations)
+        .map(|((mode, _), d)| (*mode, d))
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// One b5 round: apply the delta (half retitles → patches, half new
+/// enrollments → single-instance recomputes), then refresh through it.
+fn b5_round(
+    schema: &StructuralSchema,
+    db: &mut Database,
+    view: &mut MaterializedView,
+    cursor: JournalCursor,
+    next_ssn: &mut i64,
+    scale: usize,
+    delta: usize,
+) {
+    for i in 0..delta {
+        let cid = format!("C{}-{}", i % scale, i % 8);
+        if i % 2 == 0 {
+            let cschema = db.table("COURSES").unwrap().schema().clone();
+            let old = db
+                .table("COURSES")
+                .unwrap()
+                .get(&Key::single(cid.as_str()))
+                .unwrap()
+                .clone();
+            let mut vals = old.into_values();
+            vals[1] = format!("retitled {next_ssn}.{i}").into();
+            db.apply(&DbOp::Replace {
+                relation: "COURSES".into(),
+                old_key: Key::single(cid.as_str()),
+                tuple: Tuple::new(&cschema, vals).unwrap(),
+            })
+            .unwrap();
+        } else {
+            let ssn = *next_ssn;
+            *next_ssn += 1;
+            let sschema = db.table("STUDENT").unwrap().schema().clone();
+            let gschema = db.table("GRADES").unwrap().schema().clone();
+            db.apply_all(&[
+                DbOp::Insert {
+                    relation: "STUDENT".into(),
+                    tuple: Tuple::new(&sschema, vec![ssn.into(), "MS".into()]).unwrap(),
+                },
+                DbOp::Insert {
+                    relation: "GRADES".into(),
+                    tuple: Tuple::new(&gschema, vec![cid.as_str().into(), ssn.into(), "A".into()])
+                        .unwrap(),
+                },
+            ])
+            .unwrap();
+        }
+    }
+    let read = db.journal_peek(cursor).unwrap();
+    view.refresh(schema, db, &read).unwrap();
+    db.journal_advance(cursor, read.transactions.len()).unwrap();
+}
+
+fn main() {
+    let scale = env_usize("VO_O2_SCALE", 64).max(4);
+    let batch = env_usize("VO_O2_BATCH", 100).max(1);
+    let delta = env_usize("VO_O2_DELTA", 32).max(2);
+    let runs = env_usize("VO_O2_RUNS", 9);
+
+    banner(
+        "O2",
+        "telemetry pipeline overhead (sampled export vs obs-off)",
+    );
+    println!("(b2 batch={batch}, b5 scale={scale} delta={delta}, median of {runs} interleaved)");
+    let sink_path =
+        std::env::temp_dir().join(format!("vo_o2_telemetry_{}.jsonl", std::process::id()));
+    let mut table = TextTable::new(&["workload", "mode", "median_us", "overhead_%"]);
+
+    // -- b2: one batch of complete insertions through the update pipeline
+    let (schema, db) = university_scaled(4, 42);
+    let omega = generate_omega(&schema).unwrap();
+    let updater =
+        ViewObjectUpdater::new(&schema, omega.clone(), Translator::permissive(&omega)).unwrap();
+    let courses = db.table("COURSES").unwrap().schema().clone();
+    let requests = || -> Vec<UpdateRequest> {
+        (0..batch)
+            .map(|i| {
+                UpdateRequest::CompleteInsertion(VoInstance {
+                    object: omega.name().to_owned(),
+                    root: VoInstanceNode::leaf(
+                        0,
+                        Tuple::new(
+                            &courses,
+                            vec![
+                                format!("O2-{i}").into(),
+                                format!("course {i}").into(),
+                                "graduate".into(),
+                                "dept-0".into(),
+                            ],
+                        )
+                        .unwrap(),
+                    ),
+                })
+            })
+            .collect()
+    };
+    // fresh clones are prepared here, outside the timed region (the B2
+    // protocol in benches/updates.rs) — popping one is O(1)
+    let mut pools: Vec<Vec<Database>> = modes::ALL
+        .iter()
+        .map(|_| (0..=runs).map(|_| db.clone()).collect())
+        .collect();
+    let b2 = measure_interleaved(
+        runs,
+        &sink_path,
+        modes::ALL
+            .iter()
+            .zip(pools.iter_mut())
+            .map(|(&mode, pool)| {
+                let f: Box<dyn FnMut() + '_> = Box::new(|| {
+                    let mut fresh = pool.pop().expect("one clone per run");
+                    updater
+                        .apply_batch(&schema, &mut fresh, requests())
+                        .unwrap();
+                });
+                (mode, f)
+            })
+            .collect(),
+    );
+
+    // -- b5: incremental refresh of a maintained view at fixed delta
+    let (schema5, mut base5) = university_scaled(scale as i64, 42);
+    let omega5 = generate_omega(&schema5).unwrap();
+    let plan = plan_object(&schema5, &omega5, &base5).unwrap();
+    for (rel, attrs) in plan.required_indexes() {
+        base5.ensure_index(&rel, &attrs).unwrap();
+    }
+    let plan = plan_object(&schema5, &omega5, &base5).unwrap();
+    for (rel, attrs) in reverse_indexes_for(&omega5, &plan, &base5).unwrap() {
+        base5.ensure_index(&rel, &attrs).unwrap();
+    }
+    // identical starting state per mode: its own clone, view, and cursor
+    let mut states: Vec<(Database, MaterializedView, JournalCursor, i64)> = modes::ALL
+        .iter()
+        .map(|_| {
+            let mut db5 = base5.clone();
+            let cursor = db5.journal_subscribe(JournalStart::Head);
+            let view = MaterializedView::build(&schema5, omega5.clone(), &db5, cursor).unwrap();
+            (db5, view, cursor, scale as i64 * 20 + 1_000)
+        })
+        .collect();
+    let b5 = measure_interleaved(
+        runs,
+        &sink_path,
+        modes::ALL
+            .iter()
+            .zip(states.iter_mut())
+            .map(|(&mode, state)| {
+                let (db5, view, cursor, next_ssn) = state;
+                let cursor = *cursor;
+                let schema5 = &schema5;
+                let f: Box<dyn FnMut() + '_> = Box::new(move || {
+                    b5_round(schema5, db5, view, cursor, next_ssn, scale, delta);
+                });
+                (mode, f)
+            })
+            .collect(),
+    );
+
+    // Overhead is the median of *per-round* ratios against the same
+    // round's `off` time: the b5 state grows a little every round, and
+    // pairing within rounds cancels that trend (and any residual machine
+    // drift) exactly, where a ratio of per-mode medians would not.
+    for (workload, results) in [("b2", &b2), ("b5", &b5)] {
+        let off_rounds = &results[0].1;
+        for (mode, rounds) in results {
+            let overhead = median(
+                rounds
+                    .iter()
+                    .zip(off_rounds)
+                    .map(|(d, off)| {
+                        (d.as_secs_f64() / off.as_secs_f64().max(f64::EPSILON) - 1.0) * 100.0
+                    })
+                    .collect(),
+            );
+            let med =
+                Duration::from_secs_f64(median(rounds.iter().map(Duration::as_secs_f64).collect()));
+            emit_measurement(
+                "O2",
+                &format!("{workload}/{}", mode.name()),
+                vec![(
+                    "overhead_pct",
+                    Json::Float((overhead * 10.0).round() / 10.0),
+                )],
+                med,
+            );
+            table.row(&[
+                workload.to_owned(),
+                mode.name().to_owned(),
+                us(med),
+                if *mode == Mode::Off {
+                    "-".to_owned()
+                } else {
+                    format!("{overhead:+.1}")
+                },
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    std::fs::remove_file(&sink_path).ok();
+}

@@ -142,14 +142,22 @@ impl Reporter {
         );
     }
 
-    /// Print the aligned table and one registry-derived summary line.
+    /// Print the aligned table and one registry-derived summary line with
+    /// estimated latency percentiles (p50/p95/p99 over every measurement
+    /// this process recorded for the bench, interpolated from the log₂
+    /// histogram — see [`vo_obs::metrics::HistogramSnapshot::quantile`]),
+    /// not just the mean a `sum/count` pair gives.
     pub fn finish(self) {
         println!("{}", self.table.render());
         let hist = metrics::histogram(&format!("bench.{}.us", self.id)).snapshot();
         let count = metrics::counter(&format!("bench.{}.measurements", self.id)).get();
+        let round1 = |v: f64| (v * 10.0).round() / 10.0;
         let summary = Json::obj(vec![
             ("bench", Json::str(self.id)),
             ("measurements", Json::Int(count as i64)),
+            ("p50_us", Json::Float(round1(hist.quantile(0.50)))),
+            ("p95_us", Json::Float(round1(hist.quantile(0.95)))),
+            ("p99_us", Json::Float(round1(hist.quantile(0.99)))),
             ("us", hist.to_json()),
         ]);
         println!("{}", summary.compact());

@@ -408,7 +408,7 @@ pub(crate) fn probe_step(
     if rows > 0 {
         vo_relational::stats::count_join_rows(rows);
     }
-    trace::event_with("core.probe_step", || {
+    trace::debug_event_with("core.probe_step", || {
         vec![
             ("source", Json::str(step.source.clone())),
             ("target", Json::str(step.target.clone())),

@@ -105,6 +105,20 @@ pub struct RefreshOutcome {
     pub changes: Vec<InstanceChange>,
 }
 
+/// How far a [`MaterializedView`] trails its database, as a cheap
+/// point-in-time probe (no entries are cloned, nothing is refreshed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewStaleness {
+    /// Committed transactions the view has not applied yet.
+    pub pending: u64,
+    /// Journal entries evicted past the view's cursor — a hole in its
+    /// delta stream; the next refresh will rebuild in full.
+    pub lapsed: u64,
+    /// True when a full rebuild is already forced (failed incremental
+    /// pass or structural drift detected earlier).
+    pub needs_full: bool,
+}
+
 /// Every instance of one view object, maintained incrementally from the
 /// commit journal. See the module docs for the algorithm.
 #[derive(Debug, Clone)]
@@ -194,6 +208,24 @@ impl MaterializedView {
     /// The journal cursor feeding this view.
     pub fn cursor(&self) -> JournalCursor {
         self.cursor
+    }
+
+    /// True when the next refresh is forced to rebuild from scratch
+    /// (a previous incremental pass failed partway).
+    pub fn needs_full(&self) -> bool {
+        self.needs_full
+    }
+
+    /// How far the view trails `db`, without touching either: committed
+    /// transactions its cursor has not applied, entries evicted past the
+    /// cursor, and whether a full rebuild is already forced. The health
+    /// monitor polls this per refresh-able view.
+    pub fn staleness(&self, db: &Database) -> Result<ViewStaleness> {
+        Ok(ViewStaleness {
+            pending: db.journal_lag(self.cursor)?,
+            lapsed: db.journal_lapsed(self.cursor)?,
+            needs_full: self.needs_full,
+        })
     }
 
     /// Number of materialized instances.

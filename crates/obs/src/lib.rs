@@ -16,19 +16,39 @@
 //! - [`json`] — the in-tree JSON document model (moved here from
 //!   `vo-relational` so every layer, including this one, can share it
 //!   without a dependency cycle).
+//! - [`sink`] — the telemetry pipeline: pluggable [`sink::TelemetrySink`]s
+//!   (buffered JSONL file, in-memory) fed by a [`sink::TelemetryPipeline`]
+//!   that drains the trace ring with head-based trace sampling while
+//!   always keeping error and slow spans.
+//! - [`slowlog`] — a bounded ring of spans that crossed a per-name
+//!   duration threshold, kept with full fields regardless of sampling.
+//! - [`health`] — a programmable [`health::HealthPolicy`] turning journal
+//!   lag, persistence lag, view staleness, WAL growth, recovery outcome
+//!   and cache hit ratios into an Ok/Degraded/Unhealthy
+//!   [`health::HealthReport`] with machine-readable reasons.
 //!
 //! This crate sits below `vo-relational` and therefore depends on nothing
 //! in the workspace.
 
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod sink;
+pub mod slowlog;
 pub mod trace;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::health::{
+        HealthInputs, HealthPolicy, HealthReason, HealthReport, HealthStatus, StalenessInput,
+    };
     pub use crate::json::{Json, JsonError};
     pub use crate::metrics::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
     pub use crate::profile::ProfileNode;
-    pub use crate::trace::{SpanEvent, SpanGuard, TraceScope};
+    pub use crate::sink::{
+        DrainStats, FileSink, MemorySink, SamplingPolicy, TelemetryPipeline, TelemetrySink,
+    };
+    pub use crate::slowlog::SlowOp;
+    pub use crate::trace::{SpanEvent, SpanGuard, TraceScope, Verbosity};
 }

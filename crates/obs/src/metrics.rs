@@ -183,6 +183,34 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation inside the covering log₂ bucket.
+    ///
+    /// The target rank `q·count` is located in the cumulative bucket
+    /// counts; within the bucket `[floor, 2·floor − 1]` the estimate
+    /// interpolates linearly by rank. The result is clamped to the exact
+    /// recorded `[min, max]`, so `quantile(0.0) == min` and
+    /// `quantile(1.0) == max`; an empty histogram estimates 0. Error is
+    /// bounded by the bucket width (a factor of 2 in the value).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for &(lo, n) in &self.buckets {
+            if (cum + n) as f64 >= target {
+                let hi = if lo == 0 { 0 } else { lo.saturating_mul(2) - 1 };
+                let f = ((target - cum as f64) / n as f64).clamp(0.0, 1.0);
+                let est = lo as f64 + f * (hi - lo) as f64;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum += n;
+        }
+        self.max as f64
+    }
+
     /// The snapshot as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -251,6 +279,10 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// The snapshot as a JSON object `{counters: {...}, histograms: {...}}`.
+    ///
+    /// Deterministic: both sections render sorted by metric name (the
+    /// snapshot stores them in `BTreeMap`s), never in registration order,
+    /// so two exported snapshots diff cleanly line-by-line.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             (
@@ -273,6 +305,60 @@ impl MetricsSnapshot {
             ),
         ])
     }
+}
+
+/// A metric name in Prometheus form: every character outside
+/// `[a-zA-Z0-9_:]` becomes `_` (dotted registry names flatten to
+/// underscores).
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot as Prometheus-style exposition text, sorted by
+    /// metric name (counters first, then histograms).
+    ///
+    /// Counters become `# TYPE <name> counter` plus one sample line.
+    /// Histograms become summaries: `{quantile="0.5|0.9|0.99"}` estimate
+    /// lines (see [`HistogramSnapshot::quantile`]) plus `_sum`, `_count`,
+    /// `_min` and `_max` samples. The output is deterministic for a given
+    /// snapshot, so two exports diff cleanly.
+    pub fn expose_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {}", h.quantile(q));
+            }
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+            let _ = writeln!(out, "{n}_min {}", h.min);
+            let _ = writeln!(out, "{n}_max {}", h.max);
+        }
+        out
+    }
+}
+
+/// Snapshot every registered metric and render it as Prometheus-style
+/// exposition text — the pull-based counterpart of the telemetry
+/// pipeline's push-based JSONL export.
+pub fn expose_text() -> String {
+    snapshot_all().expose_text()
 }
 
 /// Snapshot every registered metric.
@@ -350,6 +436,93 @@ mod tests {
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (2, 1), (64, 2)]);
         let j = s.to_json();
         assert_eq!(j.field("count").unwrap().as_i64().unwrap(), 5);
+    }
+
+    #[test]
+    fn quantile_interpolates_and_clamps() {
+        // empty → 0
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+
+        // a single repeated value: every quantile is that value
+        let h = histogram("test.metrics.q_single");
+        h.reset();
+        for _ in 0..10 {
+            h.record(37);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 37.0, "q={q}");
+        }
+
+        // uniform 1..=100: estimates land within the covering bucket and
+        // the endpoints are exact
+        let h = histogram("test.metrics.q_uniform");
+        h.reset();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        let p50 = s.quantile(0.5);
+        assert!((32.0..=63.0).contains(&p50), "p50={p50}");
+        let p90 = s.quantile(0.9);
+        assert!((64.0..=100.0).contains(&p90), "p90={p90}");
+        // monotone in q
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let v = s.quantile(i as f64 / 20.0);
+            assert!(
+                v >= prev,
+                "q={} went backwards: {v} < {prev}",
+                i as f64 / 20.0
+            );
+            prev = v;
+        }
+        // out-of-range q clamps rather than panicking
+        assert_eq!(s.quantile(-1.0), 1.0);
+        assert_eq!(s.quantile(2.0), 100.0);
+    }
+
+    #[test]
+    fn exposition_covers_registry_and_stays_sorted() {
+        counter("test.metrics.expose_counter").add(7);
+        let h = histogram("test.metrics.expose_hist");
+        h.reset();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let text = expose_text();
+        assert!(text.contains("# TYPE test_metrics_expose_counter counter"));
+        assert!(text.contains("# TYPE test_metrics_expose_hist summary"));
+        assert!(text.contains("test_metrics_expose_hist{quantile=\"0.5\"}"));
+        assert!(text.contains("test_metrics_expose_hist_sum 60"));
+        assert!(text.contains("test_metrics_expose_hist_count 3"));
+        // sample lines for counters carry their value
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("test_metrics_expose_counter ")));
+        // deterministic: two renders of the same snapshot are identical
+        let snap = snapshot_all();
+        assert_eq!(snap.expose_text(), snap.expose_text());
+        // counter sample names are sorted (they come from a BTreeMap)
+        let counter_names: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        let mut sorted = counter_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(counter_names, sorted);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        // registration order must not leak into the export: counters and
+        // histograms render sorted by name regardless of interning order
+        counter("test.metrics.det_zz").inc();
+        counter("test.metrics.det_aa").inc();
+        let j = snapshot_all().to_json().compact();
+        let zz = j.find("test.metrics.det_zz").unwrap();
+        let aa = j.find("test.metrics.det_aa").unwrap();
+        assert!(aa < zz, "counters must render in name order");
+        assert_eq!(j, snapshot_all().to_json().compact());
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! The telemetry pipeline: drain the trace ring through a sampling
+//! policy into an export sink.
+//!
+//! The tracer collects spans into a bounded in-process ring
+//! ([`crate::trace`]); that is fine for tests and ad-hoc debugging but
+//! useless for operating a long-running system — nothing leaves the
+//! process, and the ring silently evicts under load. This module adds the
+//! missing export leg:
+//!
+//! - [`TelemetrySink`] — where exported lines go. [`FileSink`] appends
+//!   buffered JSONL to a file; [`MemorySink`] collects lines in memory
+//!   for tests (clone the sink before boxing to keep an inspection
+//!   handle).
+//! - [`SamplingPolicy`] — head-based sampling: keep 1-in-N *traces*
+//!   (grouped by [`SpanEvent::root`], so a kept trace is kept whole on
+//!   each thread's subtree), while always keeping spans that crossed
+//!   their slow-log threshold ([`crate::slowlog`]) and spans carrying an
+//!   `error` field. The pipeline pushes the same rate into the tracer's
+//!   record-time head sampler ([`trace::set_head_sample`]) so sampled-out
+//!   traces skip field storage, clock reads, and ring pushes entirely;
+//!   the drain-time filter re-applies the identical hash as a backstop
+//!   and to discard thresholded-but-not-slow spans of dropped traces.
+//! - [`TelemetryPipeline`] — owns a sink, a policy, and a
+//!   [`trace::TraceScope`] keeping the tracer enabled;
+//!   [`TelemetryPipeline::drain`] moves everything out of the ring,
+//!   filters, writes one compact JSON object per line, and flushes.
+//!
+//! Configure from the environment with `VO_TELEMETRY` (see
+//! [`TelemetryPipeline::from_env`]):
+//!
+//! ```text
+//! VO_TELEMETRY=/var/log/penguin/trace.jsonl,sample=16
+//! ```
+
+use crate::json::Json;
+use crate::trace::{self, SpanEvent, TraceScope};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn kept_counter() -> crate::metrics::Counter {
+    static C: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    *C.get_or_init(|| crate::metrics::counter("obs.telemetry.kept"))
+}
+
+fn sampled_out_counter() -> crate::metrics::Counter {
+    static C: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    *C.get_or_init(|| crate::metrics::counter("obs.telemetry.sampled_out"))
+}
+
+fn flush_counter() -> crate::metrics::Counter {
+    static C: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    *C.get_or_init(|| crate::metrics::counter("obs.telemetry.flushes"))
+}
+
+/// Destination of exported telemetry lines. Implementations buffer as
+/// they like; [`TelemetrySink::flush`] must make previous writes
+/// observable (file contents, memory vector, ...).
+pub trait TelemetrySink: Send {
+    /// Append one line (without the trailing newline).
+    fn write_line(&mut self, line: &str) -> io::Result<()>;
+    /// Flush any buffered lines to the backing medium.
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// A buffered JSONL file sink (append mode; the file is created if
+/// missing).
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    writer: BufWriter<std::fs::File>,
+}
+
+impl FileSink {
+    /// Open `path` for appending, creating parent directories as needed.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<FileSink> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(FileSink {
+            path,
+            writer: BufWriter::new(file),
+        })
+    }
+
+    /// The file this sink appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TelemetrySink for FileSink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// An in-memory sink for tests. Cloning shares the underlying buffer, so
+/// keep a clone before handing the sink to a pipeline and inspect
+/// [`MemorySink::lines`] afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Copy of every line written so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+
+    /// Number of lines written so far.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.lines.lock().unwrap().is_empty()
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.lines.lock().unwrap().push(line.to_owned());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Head-based sampling policy applied at drain time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingPolicy {
+    /// Keep one in this many traces (grouped by [`SpanEvent::root`]);
+    /// `0` and `1` both mean "keep everything".
+    pub sample_every: u64,
+    /// Always keep spans that crossed their [`crate::slowlog`] threshold.
+    pub keep_slow: bool,
+    /// Always keep spans and events carrying an `error` field.
+    pub keep_errors: bool,
+    /// Record per-row debug events ([`trace::debug_event_with`] — probe
+    /// steps, enumeration criteria) while this pipeline is attached.
+    /// Off by default: per-row events cost more than the operations they
+    /// annotate, so a production pipeline runs the tracer at
+    /// [`trace::Verbosity::Info`].
+    pub debug_events: bool,
+}
+
+impl Default for SamplingPolicy {
+    /// Keep everything; slow and error spans exempt from any sampling;
+    /// per-row debug events off.
+    fn default() -> Self {
+        SamplingPolicy {
+            sample_every: 1,
+            keep_slow: true,
+            keep_errors: true,
+            debug_events: false,
+        }
+    }
+}
+
+impl SamplingPolicy {
+    /// Keep 1-in-`n` traces (slow/error spans still always kept).
+    pub fn one_in(n: u64) -> SamplingPolicy {
+        SamplingPolicy {
+            sample_every: n.max(1),
+            ..SamplingPolicy::default()
+        }
+    }
+
+    /// Whether `event` survives this policy.
+    pub fn keeps(&self, event: &SpanEvent) -> bool {
+        if self.keep_errors && event.field("error").is_some() {
+            return true;
+        }
+        if self.keep_slow && crate::slowlog::crossed(event).is_some() {
+            return true;
+        }
+        if self.sample_every <= 1 {
+            return true;
+        }
+        // Same hash as the tracer's record-time head sampler
+        // ([`trace::set_head_sample`]), so drain and record agree on
+        // which traces survive.
+        trace::mix(event.root).is_multiple_of(self.sample_every)
+    }
+}
+
+/// What one [`TelemetryPipeline::drain`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainStats {
+    /// Events taken out of the trace ring.
+    pub drained: u64,
+    /// Events written to the sink.
+    pub kept: u64,
+    /// Events discarded by the sampling policy — at drain time, plus
+    /// spans the tracer's record-time head sampler never collected.
+    pub sampled_out: u64,
+    /// Ring evictions since tracing started (events lost *before* any
+    /// drain could see them — a signal the flush cadence is too slow).
+    pub ring_dropped: u64,
+}
+
+/// A telemetry pipeline: trace ring → sampling policy → sink.
+///
+/// Holding a pipeline keeps tracing enabled (it owns a
+/// [`TraceScope`]); dropping it drains and flushes one last time,
+/// best-effort. The trace ring is process-global, so run at most one
+/// pipeline per process — two would steal events from each other.
+pub struct TelemetryPipeline {
+    sink: Box<dyn TelemetrySink>,
+    policy: SamplingPolicy,
+    totals: DrainStats,
+    /// Verbosity in force before this pipeline attached; restored on drop.
+    prev_verbosity: trace::Verbosity,
+    /// Head-sampling rate in force before this pipeline attached;
+    /// restored on drop.
+    prev_head_sample: u64,
+    _scope: TraceScope,
+}
+
+impl std::fmt::Debug for TelemetryPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryPipeline")
+            .field("policy", &self.policy)
+            .field("totals", &self.totals)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TelemetryPipeline {
+    /// Build a pipeline over `sink` with `policy`, enabling tracing for
+    /// the pipeline's lifetime. The tracer's verbosity follows
+    /// [`SamplingPolicy::debug_events`], and its record-time head sampler
+    /// is set to the policy's `sample_every` so sampled-out traces cost
+    /// almost nothing to begin with (both settings are restored when the
+    /// pipeline drops).
+    pub fn new(sink: Box<dyn TelemetrySink>, policy: SamplingPolicy) -> TelemetryPipeline {
+        let prev_verbosity = trace::set_verbosity(if policy.debug_events {
+            trace::Verbosity::Debug
+        } else {
+            trace::Verbosity::Info
+        });
+        let prev_head_sample = trace::set_head_sample(policy.sample_every);
+        TelemetryPipeline {
+            sink,
+            policy,
+            totals: DrainStats::default(),
+            prev_verbosity,
+            prev_head_sample,
+            _scope: trace::start_trace(),
+        }
+    }
+
+    /// Build a pipeline from the `VO_TELEMETRY` environment variable, if
+    /// set. Format: `<path>[,sample=N][,no-slow][,no-errors][,debug]` —
+    /// a JSONL file path, optionally followed by the sampling rate
+    /// (default 1 = keep everything), opt-outs of the always-keep rules,
+    /// and `debug` to also record per-row debug events. Returns `None`
+    /// when unset or empty; a malformed value or unopenable path yields
+    /// the error.
+    pub fn from_env() -> Option<io::Result<TelemetryPipeline>> {
+        let spec = std::env::var("VO_TELEMETRY").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        Some(Self::from_spec(&spec))
+    }
+
+    /// Parse a `VO_TELEMETRY`-format spec (see
+    /// [`TelemetryPipeline::from_env`]).
+    pub fn from_spec(spec: &str) -> io::Result<TelemetryPipeline> {
+        let mut parts = spec.split(',');
+        let path = parts.next().unwrap_or("").trim();
+        if path.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "VO_TELEMETRY: empty sink path",
+            ));
+        }
+        let mut policy = SamplingPolicy::default();
+        for part in parts {
+            let part = part.trim();
+            if let Some(n) = part.strip_prefix("sample=") {
+                policy.sample_every = n.parse::<u64>().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("VO_TELEMETRY: bad sample rate `{n}`"),
+                    )
+                })?;
+            } else if part == "no-slow" {
+                policy.keep_slow = false;
+            } else if part == "no-errors" {
+                policy.keep_errors = false;
+            } else if part == "debug" {
+                policy.debug_events = true;
+            } else if !part.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("VO_TELEMETRY: unknown option `{part}`"),
+                ));
+            }
+        }
+        Ok(TelemetryPipeline::new(
+            Box::new(FileSink::create(path)?),
+            policy,
+        ))
+    }
+
+    /// The sampling policy in force.
+    pub fn policy(&self) -> SamplingPolicy {
+        self.policy
+    }
+
+    /// Replace the sampling policy (applies from the next drain; the
+    /// tracer verbosity and head-sampling rate follow the new policy).
+    pub fn set_policy(&mut self, policy: SamplingPolicy) {
+        self.policy = policy;
+        trace::set_verbosity(if policy.debug_events {
+            trace::Verbosity::Debug
+        } else {
+            trace::Verbosity::Info
+        });
+        trace::set_head_sample(policy.sample_every);
+    }
+
+    /// Lifetime totals across every drain so far.
+    pub fn totals(&self) -> DrainStats {
+        self.totals
+    }
+
+    /// Move every collected event out of the trace ring, write the ones
+    /// the sampling policy keeps as compact JSONL, and flush the sink.
+    pub fn drain(&mut self) -> io::Result<DrainStats> {
+        let events = trace::take();
+        let mut stats = DrainStats {
+            drained: events.len() as u64,
+            // spans the record-time head sampler never collected count as
+            // sampled out — they were dropped by this pipeline's policy
+            sampled_out: trace::take_head_skipped(),
+            ring_dropped: trace::dropped(),
+            ..DrainStats::default()
+        };
+        let mut line = String::with_capacity(256);
+        for event in &events {
+            if self.policy.keeps(event) {
+                line.clear();
+                event.write_jsonl(&mut line);
+                self.sink.write_line(&line)?;
+                stats.kept += 1;
+            } else {
+                stats.sampled_out += 1;
+            }
+        }
+        self.sink.flush()?;
+        kept_counter().add(stats.kept);
+        sampled_out_counter().add(stats.sampled_out);
+        flush_counter().inc();
+        self.totals.drained += stats.drained;
+        self.totals.kept += stats.kept;
+        self.totals.sampled_out += stats.sampled_out;
+        self.totals.ring_dropped = stats.ring_dropped;
+        Ok(stats)
+    }
+
+    /// Export one extra, non-span JSONL line through the same sink (the
+    /// facade uses this for health-transition records); subject to no
+    /// sampling.
+    pub fn emit_json(&mut self, value: &Json) -> io::Result<()> {
+        self.sink.write_line(&value.compact())?;
+        self.sink.flush()
+    }
+}
+
+impl Drop for TelemetryPipeline {
+    /// Final drain + flush, best-effort: telemetry loss on teardown must
+    /// never turn into a panic or mask the real error path. Restores the
+    /// tracer verbosity the pipeline found at attach time.
+    fn drop(&mut self) {
+        let _ = self.drain();
+        trace::set_verbosity(self.prev_verbosity);
+        trace::set_head_sample(self.prev_head_sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slowlog;
+    use crate::trace::test_serial;
+    use std::time::Duration;
+
+    #[test]
+    fn memory_sink_pipeline_roundtrips_jsonl() {
+        let _serial = test_serial();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let mut pipe = TelemetryPipeline::new(Box::new(sink), SamplingPolicy::default());
+        trace::take(); // isolate from earlier tests' leftovers
+        {
+            let mut s = trace::span("test.sink.op");
+            s.field("rows", Json::Int(5));
+        }
+        let stats = pipe.drain().unwrap();
+        assert_eq!(stats.sampled_out, 0);
+        assert!(stats.kept >= 1);
+        let lines = handle.lines();
+        let mine: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("test.sink.op"))
+            .collect();
+        assert_eq!(mine.len(), 1);
+        let parsed = crate::json::parse(mine[0]).unwrap();
+        assert_eq!(
+            parsed.field("name").unwrap().as_str().unwrap(),
+            "test.sink.op"
+        );
+        assert_eq!(
+            parsed
+                .field("fields")
+                .unwrap()
+                .field("rows")
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn sampling_keeps_whole_traces() {
+        let _serial = test_serial();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        let mut pipe = TelemetryPipeline::new(Box::new(sink), SamplingPolicy::one_in(4));
+        trace::take();
+        const TRACES: usize = 64;
+        for _ in 0..TRACES {
+            let _root = trace::span("test.sample.root");
+            let _child = trace::span("test.sample.child");
+        }
+        pipe.drain().unwrap();
+        let lines = handle.lines();
+        let mut kept_roots = std::collections::BTreeMap::<i64, (u64, u64)>::new();
+        for line in lines.iter().filter(|l| l.contains("test.sample.")) {
+            let v = crate::json::parse(line).unwrap();
+            let root = v.field("root").unwrap().as_i64().unwrap();
+            let name = v.field("name").unwrap().as_str().unwrap().to_owned();
+            let e = kept_roots.entry(root).or_default();
+            if name.ends_with("root") {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        // every kept trace is complete: the root and its child together
+        for (root, (roots, children)) in &kept_roots {
+            assert_eq!(*roots, 1, "root {root}");
+            assert_eq!(*children, 1, "root {root}");
+        }
+        // and roughly 1-in-4 of the traces survived (binomially spread)
+        assert!(!kept_roots.is_empty());
+        assert!(
+            kept_roots.len() < TRACES / 2,
+            "sampling kept {} of {TRACES} traces",
+            kept_roots.len()
+        );
+    }
+
+    #[test]
+    fn slow_and_error_spans_bypass_sampling() {
+        let _serial = test_serial();
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        // sample_every = u64::MAX: nothing survives except the exempt spans
+        let mut pipe = TelemetryPipeline::new(
+            Box::new(sink),
+            SamplingPolicy {
+                sample_every: u64::MAX,
+                ..SamplingPolicy::default()
+            },
+        );
+        trace::take();
+        slowlog::threshold("test.sink.slow", Duration::from_micros(1));
+        {
+            let _s = trace::span("test.sink.slow");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        trace::event_with("test.sink.error", || vec![("error", Json::str("boom"))]);
+        {
+            let _s = trace::span("test.sink.plain");
+        }
+        let stats = pipe.drain().unwrap();
+        assert!(stats.sampled_out >= 1);
+        let lines = handle.lines();
+        assert!(lines.iter().any(|l| l.contains("test.sink.slow")));
+        assert!(lines.iter().any(|l| l.contains("test.sink.error")));
+        assert!(!lines.iter().any(|l| l.contains("test.sink.plain")));
+        slowlog::clear_threshold("test.sink.slow");
+        slowlog::clear();
+    }
+
+    #[test]
+    fn file_sink_appends_parseable_lines() {
+        let _serial = test_serial();
+        let path = std::env::temp_dir().join(format!(
+            "vo_obs_sink_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_file(&path).ok();
+        {
+            let mut pipe = TelemetryPipeline::new(
+                Box::new(FileSink::create(&path).unwrap()),
+                SamplingPolicy::default(),
+            );
+            trace::take();
+            {
+                let _s = trace::span("test.sink.file");
+            }
+            pipe.drain().unwrap();
+            // drop drains again (empty) and flushes
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let mine: Vec<&str> = contents
+            .lines()
+            .filter(|l| l.contains("test.sink.file"))
+            .collect();
+        assert_eq!(mine.len(), 1);
+        crate::json::parse(mine[0]).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_runs_tracer_at_info_and_restores_verbosity() {
+        let _serial = test_serial();
+        let base = trace::verbosity();
+        {
+            let _pipe =
+                TelemetryPipeline::new(Box::new(MemorySink::new()), SamplingPolicy::default());
+            assert_eq!(trace::verbosity(), trace::Verbosity::Info);
+            // per-row debug events are skipped under a production pipeline
+            trace::debug_event_with("test.sink.debug_gated", || {
+                panic!("debug closure must not run at Info")
+            });
+        }
+        assert_eq!(trace::verbosity(), base);
+        let mut pipe = TelemetryPipeline::new(
+            Box::new(MemorySink::new()),
+            SamplingPolicy {
+                debug_events: true,
+                ..SamplingPolicy::default()
+            },
+        );
+        assert_eq!(trace::verbosity(), trace::Verbosity::Debug);
+        pipe.set_policy(SamplingPolicy::default());
+        assert_eq!(trace::verbosity(), trace::Verbosity::Info);
+        drop(pipe);
+        assert_eq!(trace::verbosity(), base);
+    }
+
+    #[test]
+    fn from_spec_parses_options_and_rejects_junk() {
+        let _serial = test_serial();
+        let path = std::env::temp_dir().join(format!("vo_obs_spec_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let spec = format!("{},sample=16,no-slow,debug", path.display());
+        let pipe = TelemetryPipeline::from_spec(&spec).unwrap();
+        assert_eq!(pipe.policy().sample_every, 16);
+        assert!(!pipe.policy().keep_slow);
+        assert!(pipe.policy().keep_errors);
+        assert!(pipe.policy().debug_events);
+        drop(pipe);
+        assert!(TelemetryPipeline::from_spec("").is_err());
+        assert!(TelemetryPipeline::from_spec("x.jsonl,sample=abc").is_err());
+        assert!(TelemetryPipeline::from_spec("x.jsonl,wat").is_err());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file("x.jsonl").ok();
+    }
+}

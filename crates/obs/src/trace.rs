@@ -38,6 +38,18 @@ use std::time::Instant;
 /// Number of guards currently holding tracing on (0 = disabled).
 static ACTIVE: AtomicU64 = AtomicU64::new(0);
 
+/// Current [`Verbosity`] as its discriminant (see [`set_verbosity`]).
+static VERBOSITY: AtomicU64 = AtomicU64::new(Verbosity::Debug as u64);
+
+/// Record-time head sampling rate: keep 1-in-this-many traces (≤ 1 =
+/// keep everything). Installed by the telemetry pipeline; see
+/// [`set_head_sample`].
+static HEAD_SAMPLE: AtomicU64 = AtomicU64::new(1);
+
+/// Spans skipped by the head sampler since the last
+/// [`take_head_skipped`] — folded into drain statistics.
+static HEAD_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
 /// Monotonic id source for spans and events (process-wide).
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -45,13 +57,17 @@ static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
-    /// Open span ids, innermost last.
-    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Open spans, innermost last: `(id, root)` where `root` is the id of
+    /// the trace's top-level span (see [`SpanEvent::root`]).
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
     /// This thread's interned id.
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
     /// Cross-thread parent link: the span id adopted as parent while this
     /// thread's own stack is empty (see [`link_parent`]).
     static PARENT_LINK: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+    /// Root id of the currently-open trace on this thread that the head
+    /// sampler decided *not* to keep; spans under it record nothing.
+    static INERT_ROOT: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
 }
 
 /// True while at least one [`TraceScope`] guard is alive. This is the
@@ -59,6 +75,90 @@ thread_local! {
 #[inline]
 pub fn enabled() -> bool {
     ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// How much an active trace records.
+///
+/// Spans and ordinary events always record while tracing is on; the
+/// per-row instrumentation behind [`debug_event_with`] (probe steps,
+/// enumeration criteria — one event per tuple touched) records only at
+/// [`Verbosity::Debug`]. The default is `Debug`, so a bare
+/// [`start_trace`] in a test sees everything; attaching a production
+/// [`TelemetryPipeline`](crate::sink::TelemetryPipeline) lowers the
+/// process to `Info` unless its policy asks for debug events — per-row
+/// events cost more than the workloads they annotate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Spans and instant events only; per-row debug events are skipped
+    /// (their field closures never run).
+    Info = 0,
+    /// Everything, including one event per probe step / enumeration row.
+    Debug = 1,
+}
+
+/// Set the process-wide trace verbosity, returning the previous value.
+pub fn set_verbosity(v: Verbosity) -> Verbosity {
+    match VERBOSITY.swap(v as u64, Ordering::Relaxed) {
+        0 => Verbosity::Info,
+        _ => Verbosity::Debug,
+    }
+}
+
+/// The current process-wide trace verbosity.
+pub fn verbosity() -> Verbosity {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Verbosity::Info,
+        _ => Verbosity::Debug,
+    }
+}
+
+/// True when tracing is on *and* verbosity is [`Verbosity::Debug`] — the
+/// gate [`debug_event_with`] checks before doing any work.
+#[inline]
+pub fn debug_enabled() -> bool {
+    enabled() && VERBOSITY.load(Ordering::Relaxed) != 0
+}
+
+/// Install record-time head sampling: keep 1-in-`n` traces (grouped by
+/// trace root, same hash as the drain-time
+/// [`SamplingPolicy`](crate::sink::SamplingPolicy)), deciding at the
+/// *root span's open* so the spans of an unsampled trace never pay for
+/// field construction, clock reads, or the collector mutex. Returns the
+/// previous rate; `n <= 1` keeps everything.
+///
+/// Two carve-outs preserve observability guarantees:
+/// - spans whose name has a [`crate::slowlog`] threshold registered
+///   always record in full, so the slow-op log keeps its fidelity;
+/// - instant events ([`event_with`]) are exempt — they are rare on hot
+///   paths (the per-row ones sit behind [`debug_event_with`]) and may
+///   carry `error` fields that drain-time policies promise to keep.
+///
+/// The telemetry pipeline installs this alongside its drain-time policy
+/// (which re-applies the same decision, so what was recorded and what is
+/// exported agree); restore the previous rate when detaching.
+pub fn set_head_sample(n: u64) -> u64 {
+    HEAD_SAMPLE.swap(n.max(1), Ordering::Relaxed)
+}
+
+/// The record-time head-sampling rate in force (1 = keep everything).
+pub fn head_sample() -> u64 {
+    HEAD_SAMPLE.load(Ordering::Relaxed)
+}
+
+/// Drain the count of spans the head sampler skipped since last asked.
+pub(crate) fn take_head_skipped() -> u64 {
+    HEAD_SKIPPED.swap(0, Ordering::Relaxed)
+}
+
+/// SplitMix64 — decorrelates consecutive root ids so "1-in-N" holds even
+/// though span ids are sequential. Shared by the record-time head
+/// sampler and the drain-time sampling policy: both must make the same
+/// keep/drop call for a given trace.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// The interned id of the calling thread, as recorded in
@@ -74,7 +174,7 @@ pub fn current_thread_id() -> u64 {
 /// parent into the caller's tree.
 pub fn current_span_id() -> Option<u64> {
     STACK
-        .with(|s| s.borrow().last().copied())
+        .with(|s| s.borrow().last().map(|&(id, _)| id))
         .or_else(|| PARENT_LINK.with(std::cell::Cell::get))
 }
 
@@ -100,13 +200,20 @@ pub fn link_parent(parent: Option<u64>) -> ParentLinkGuard {
     ParentLinkGuard { prev }
 }
 
-/// The effective parent at open time: the innermost open span of this
-/// thread, else the installed cross-thread link.
-fn effective_parent(stack: &[u64]) -> Option<u64> {
-    stack
-        .last()
-        .copied()
-        .or_else(|| PARENT_LINK.with(std::cell::Cell::get))
+/// The effective `(parent, root)` at open time for a new span or event
+/// with the given fresh id: the innermost open span of this thread (whose
+/// root is inherited), else the installed cross-thread link (which
+/// doubles as the root for the worker's subtree — sampling decisions then
+/// group the whole fork under the caller's span id), else the new span is
+/// its own root.
+fn effective_parent(stack: &[(u64, u64)], id: u64) -> (Option<u64>, u64) {
+    if let Some(&(pid, root)) = stack.last() {
+        return (Some(pid), root);
+    }
+    match PARENT_LINK.with(std::cell::Cell::get) {
+        Some(link) => (Some(link), link),
+        None => (None, id),
+    }
 }
 
 /// Keeps tracing enabled until dropped; guards stack across threads.
@@ -137,6 +244,10 @@ pub struct SpanEvent {
     pub name: &'static str,
     /// Id of the enclosing span on the same thread, if any.
     pub parent: Option<u64>,
+    /// Id of the trace's top-level span (self for a root span). Worker
+    /// threads inherit the linked caller span's id as their subtree root.
+    /// This is the grouping key for head-based trace sampling.
+    pub root: u64,
     /// Nesting depth at open time (0 = top level).
     pub depth: usize,
     /// Microseconds since the process trace epoch at open time.
@@ -166,6 +277,7 @@ impl SpanEvent {
                     None => Json::Null,
                 },
             ),
+            ("root".to_owned(), Json::Int(self.root as i64)),
             ("depth".to_owned(), Json::Int(self.depth as i64)),
             ("start_us".to_owned(), Json::Int(self.start_us as i64)),
             ("dur_us".to_owned(), Json::Int(self.dur_us as i64)),
@@ -178,13 +290,48 @@ impl SpanEvent {
         pairs.push(("fields".to_owned(), Json::Obj(fields)));
         Json::Obj(pairs)
     }
+
+    /// Serialize as one compact JSON object directly into `out` — the
+    /// same bytes as `self.to_json().compact()`, without building the
+    /// intermediate tree. This is the telemetry export hot path: a drain
+    /// serializes every kept event, and the tree walk's per-key `String`
+    /// allocations dominate its cost.
+    pub fn write_jsonl(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"thread\":{},\"name\":",
+            self.id, self.thread
+        );
+        crate::json::write_escaped(out, self.name);
+        match self.parent {
+            Some(p) => {
+                let _ = write!(out, ",\"parent\":{p}");
+            }
+            None => out.push_str(",\"parent\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"root\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{},\"fields\":{{",
+            self.root, self.depth, self.start_us, self.dur_us
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_escaped(out, k);
+            out.push(':');
+            v.write_compact(out);
+        }
+        out.push_str("}}");
+    }
 }
 
 /// Render events as JSONL: one compact JSON object per line.
 pub fn export_jsonl(events: &[SpanEvent]) -> String {
     let mut out = String::new();
     for e in events {
-        out.push_str(&e.to_json().compact());
+        e.write_jsonl(&mut out);
         out.push('\n');
     }
     out
@@ -215,6 +362,9 @@ fn epoch() -> Instant {
 }
 
 fn record(event: SpanEvent) {
+    // The slow-op log keeps its own copy of threshold-crossing spans, so
+    // they survive ring eviction and telemetry sampling alike.
+    crate::slowlog::observe(&event);
     let mut c = collector().lock().unwrap();
     if c.buf.len() >= c.capacity {
         c.buf.pop_front();
@@ -260,9 +410,15 @@ struct OpenSpan {
     id: u64,
     name: &'static str,
     parent: Option<u64>,
+    root: u64,
     depth: usize,
     start: Instant,
     fields: Vec<(&'static str, Json)>,
+    /// False when the head sampler dropped this span's trace: the guard
+    /// still maintains the span stack (descendant slow-log candidates
+    /// keep correct parent links), but stores no fields and records
+    /// nothing at close.
+    live: bool,
 }
 
 /// RAII handle for an open span; records a [`SpanEvent`] on drop. Inert
@@ -273,16 +429,18 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    /// Attach a field to the span (no-op when tracing was off at open).
+    /// Attach a field to the span (no-op when the span is not recording).
     pub fn field(&mut self, key: &'static str, value: Json) {
         if let Some(open) = &mut self.inner {
-            open.fields.push((key, value));
+            if open.live {
+                open.fields.push((key, value));
+            }
         }
     }
 
     /// True when this guard is actually recording.
     pub fn is_recording(&self) -> bool {
-        self.inner.is_some()
+        self.inner.as_ref().is_some_and(|o| o.live)
     }
 }
 
@@ -295,10 +453,22 @@ impl Drop for SpanGuard {
             let mut stack = s.borrow_mut();
             // Pop back to (and including) this span; tolerate guards
             // dropped out of order rather than corrupting the stack.
-            if let Some(pos) = stack.iter().rposition(|&id| id == open.id) {
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == open.id) {
                 stack.truncate(pos);
             }
         });
+        if open.id == open.root {
+            // A closing trace root ends any inert region it opened.
+            INERT_ROOT.with(|c| {
+                if c.get() == Some(open.id) {
+                    c.set(None);
+                }
+            });
+        }
+        if !open.live {
+            HEAD_SKIPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let start_us = open.start.duration_since(epoch()).as_micros() as u64;
         let dur_us = open.start.elapsed().as_micros() as u64;
         record(SpanEvent {
@@ -306,6 +476,7 @@ impl Drop for SpanGuard {
             thread: current_thread_id(),
             name: open.name,
             parent: open.parent,
+            root: open.root,
             depth: open.depth,
             start_us,
             dur_us,
@@ -320,24 +491,53 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard { inner: None };
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    let (parent, depth) = STACK.with(|s| {
+    let (parent, root, depth) = STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        let parent = effective_parent(&stack);
+        let (parent, root) = effective_parent(&stack, id);
         let depth = stack.len();
-        stack.push(id);
-        (parent, depth)
+        stack.push((id, root));
+        (parent, root, depth)
     });
+    // Record-time head sampling: decided once at the trace root (its
+    // fresh id is the root id the drain-time policy will hash, so both
+    // make the same call); descendants inherit the verdict through
+    // INERT_ROOT. Spans with a slow-log threshold registered for their
+    // name stay live regardless — the slow-op log must see them.
+    let live = {
+        let n = HEAD_SAMPLE.load(Ordering::Relaxed);
+        if n <= 1 {
+            true
+        } else {
+            let inert = if parent.is_none() && root == id {
+                let inert = !mix(id).is_multiple_of(n);
+                INERT_ROOT.with(|c| c.set(inert.then_some(id)));
+                inert
+            } else {
+                INERT_ROOT.with(std::cell::Cell::get) == Some(root)
+            };
+            !inert || crate::slowlog::threshold_for(name).is_some()
+        }
+    };
     // Pin the epoch before taking the span clock so start_us never
     // underflows on the first-ever span.
-    let _ = epoch();
+    let start = if live { Instant::now() } else { epoch() };
     SpanGuard {
         inner: Some(OpenSpan {
             id,
             name,
             parent,
+            root,
             depth,
-            start: Instant::now(),
-            fields: Vec::new(),
+            start,
+            // one exact-size allocation for the common field count — the
+            // 0→4→8 growth path costs a realloc on every 5-field span;
+            // inert spans allocate nothing
+            fields: if live {
+                Vec::with_capacity(8)
+            } else {
+                Vec::new()
+            },
+            live,
         }),
     }
 }
@@ -349,9 +549,10 @@ pub fn event_with(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str
         return;
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    let (parent, depth) = STACK.with(|s| {
+    let (parent, root, depth) = STACK.with(|s| {
         let stack = s.borrow();
-        (effective_parent(&stack), stack.len())
+        let (parent, root) = effective_parent(&stack, id);
+        (parent, root, stack.len())
     });
     let start_us = Instant::now().duration_since(epoch()).as_micros() as u64;
     record(SpanEvent {
@@ -359,11 +560,34 @@ pub fn event_with(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str
         thread: current_thread_id(),
         name,
         parent,
+        root,
         depth,
         start_us,
         dur_us: 0,
         fields: fields(),
     });
+}
+
+/// Record a per-row debug event; skipped entirely (closure never runs)
+/// unless tracing is on at [`Verbosity::Debug`]. Use this for
+/// instrumentation that fires once per tuple touched — probe steps,
+/// enumeration criteria — where recording would cost more than the work
+/// being traced.
+pub fn debug_event_with(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Json)>) {
+    if !debug_enabled() {
+        return;
+    }
+    event_with(name, fields);
+}
+
+/// Crate-wide serialization for tests that toggle the process-global
+/// trace flag or drain the global collector: every test module in this
+/// crate that enables tracing must hold this lock, or concurrent test
+/// threads would observe each other's events.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -373,8 +597,7 @@ mod tests {
     /// These tests toggle the process-global enabled flag, so they must
     /// not overlap each other.
     fn serial() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        test_serial()
     }
 
     fn my_events(named: &str) -> Vec<SpanEvent> {
@@ -510,6 +733,197 @@ mod tests {
             }
         }
         assert_eq!(current_span_id(), None);
+    }
+
+    #[test]
+    fn roots_propagate_through_nesting_and_links() {
+        let _serial = serial();
+        let _scope = start_trace();
+        let worker_thread;
+        {
+            let _outer = span("test.root_outer");
+            let parent = current_span_id();
+            {
+                let _mid = span("test.root_mid");
+                event_with("test.root_event", Vec::new);
+            }
+            worker_thread = std::thread::spawn(move || {
+                let _link = link_parent(parent);
+                let _w = span("test.root_worker");
+                current_thread_id()
+            })
+            .join()
+            .unwrap();
+        }
+        let evs = events();
+        let me = current_thread_id();
+        let outer = evs
+            .iter()
+            .find(|e| e.thread == me && e.name == "test.root_outer")
+            .unwrap();
+        // a top-level span is its own root
+        assert_eq!(outer.root, outer.id);
+        // children and instant events inherit it
+        for name in ["test.root_mid", "test.root_event"] {
+            let e = evs
+                .iter()
+                .find(|e| e.thread == me && e.name == name)
+                .unwrap();
+            assert_eq!(e.root, outer.id, "{name}");
+        }
+        // a linked worker subtree groups under the linked caller span
+        let w = evs
+            .iter()
+            .find(|e| e.thread == worker_thread && e.name == "test.root_worker")
+            .unwrap();
+        assert_eq!(w.root, outer.id);
+    }
+
+    #[test]
+    fn concurrent_writers_overflow_counts_dropped_exactly() {
+        let _serial = serial();
+        let _scope = start_trace();
+        clear();
+        set_capacity(64);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let mut s = span("test.concurrent_writer");
+                        s.field("t", Json::Int(t));
+                        s.field("i", Json::Int(i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 400 spans into a 64-slot ring: exactly 336 evictions, no more,
+        // no less, even under contention
+        assert_eq!(events().len(), 64);
+        assert_eq!(dropped(), 336);
+        clear();
+        set_capacity(DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn set_capacity_mid_stream_keeps_active_span_linkage() {
+        let _serial = serial();
+        let _scope = start_trace();
+        let (outer_id, inner_events);
+        {
+            let outer = span("test.shrink_outer");
+            assert!(outer.is_recording());
+            outer_id = current_span_id().unwrap();
+            // fill the ring, then shrink it out from under the open span
+            for _ in 0..32 {
+                event_with("test.shrink_noise", Vec::new);
+            }
+            set_capacity(1);
+            // the ring evicted everything, but the *stack* is untouched:
+            // a child opened now still parents into the live span
+            {
+                let _inner = span("test.shrink_inner");
+            }
+            set_capacity(DEFAULT_CAPACITY);
+            {
+                let _inner = span("test.shrink_inner");
+            }
+            inner_events = my_events("test.shrink_inner");
+        }
+        assert_eq!(inner_events.len(), 2);
+        for e in &inner_events {
+            assert_eq!(e.parent, Some(outer_id));
+            assert_eq!(e.root, outer_id);
+            assert_eq!(e.depth, 1);
+        }
+        // the outer span itself closes intact after both resizes
+        let outer = my_events("test.shrink_outer");
+        assert_eq!(outer.len(), 1);
+        assert_eq!(outer[0].parent, None);
+    }
+
+    #[test]
+    fn write_jsonl_matches_tree_serialization() {
+        let _serial = serial();
+        let _scope = start_trace();
+        {
+            let mut outer = span("test.jsonl_direct");
+            outer.field("s", Json::str("a \"quoted\" value\n"));
+            outer.field("i", Json::Int(-7));
+            outer.field("f", Json::Float(1.5));
+            outer.field("n", Json::Null);
+            let _inner = span("test.jsonl_direct");
+        }
+        for e in my_events("test.jsonl_direct") {
+            let mut direct = String::new();
+            e.write_jsonl(&mut direct);
+            assert_eq!(direct, e.to_json().compact());
+        }
+    }
+
+    #[test]
+    fn info_verbosity_skips_debug_events_without_running_closures() {
+        let _serial = serial();
+        let _scope = start_trace();
+        let prev = set_verbosity(Verbosity::Info);
+        assert!(!debug_enabled());
+        debug_event_with("test.debug_gated", || {
+            panic!("debug field closure must not run at Info")
+        });
+        assert!(my_events("test.debug_gated").is_empty());
+        // ordinary events still record at Info
+        event_with("test.info_event", Vec::new);
+        assert_eq!(my_events("test.info_event").len(), 1);
+        set_verbosity(Verbosity::Debug);
+        debug_event_with("test.debug_gated", || vec![("n", Json::Int(1))]);
+        assert_eq!(my_events("test.debug_gated").len(), 1);
+        set_verbosity(prev);
+    }
+
+    #[test]
+    fn head_sampler_skips_spans_but_keeps_thresholded_names_and_events() {
+        let _serial = serial();
+        let _scope = start_trace();
+        clear();
+        crate::slowlog::threshold(
+            "test.head.thresholded",
+            std::time::Duration::from_secs(3600),
+        );
+        let prev = set_head_sample(u64::MAX); // drop every trace
+        take_head_skipped();
+        {
+            let mut root = span("test.head.root");
+            root.field("ignored", Json::Int(1));
+            assert!(!root.is_recording());
+            let child = span("test.head.plain_child");
+            assert!(!child.is_recording());
+            // thresholded names always record, even inside an inert
+            // trace, and keep their parent links through the span stack
+            let kept = span("test.head.thresholded");
+            assert!(kept.is_recording());
+            drop(kept);
+            // instant events are exempt (keep_errors depends on them)
+            event_with("test.head.event", || vec![("error", Json::str("x"))]);
+        }
+        assert!(my_events("test.head.root").is_empty());
+        assert!(my_events("test.head.plain_child").is_empty());
+        let kept = my_events("test.head.thresholded");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].parent.is_some());
+        assert_ne!(kept[0].root, kept[0].id);
+        assert_eq!(my_events("test.head.event").len(), 1);
+        assert!(take_head_skipped() >= 2); // root + plain child
+                                           // a fresh root after the inert one records again at rate 1
+        set_head_sample(1);
+        {
+            let _s = span("test.head.after");
+        }
+        assert_eq!(my_events("test.head.after").len(), 1);
+        set_head_sample(prev);
+        crate::slowlog::clear_threshold("test.head.thresholded");
+        clear();
     }
 
     #[test]

@@ -10,7 +10,11 @@ use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 use vo_core::prelude::*;
 use vo_exec::Parallelism;
+use vo_obs::health::{HealthInputs, HealthPolicy, HealthReport, HealthStatus, StalenessInput};
 use vo_obs::metrics::{self, Counter, Histogram};
+use vo_obs::sink::TelemetryPipeline;
+use vo_obs::slowlog::{self, SlowOp};
+use vo_obs::trace;
 use vo_store::{RecoveryReport, Store, StoreOptions};
 
 /// File holding a persistent system's definition (schema, objects,
@@ -56,6 +60,12 @@ fn cache_invalidations() -> Counter {
 fn persist_lag() -> Histogram {
     static H: OnceLock<Histogram> = OnceLock::new();
     *H.get_or_init(|| metrics::histogram("penguin.persist.lag"))
+}
+
+/// Health-status transitions observed by [`Penguin::health`].
+fn health_transitions() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("penguin.health.transitions"))
 }
 
 /// A registered view object: definition, island analysis, and (once
@@ -112,6 +122,15 @@ pub struct Penguin {
     /// [`Penguin::database_mut`] borrow (an infallible signature), parked
     /// here and surfaced by the next fallible persistence call.
     store_error: Option<Error>,
+    /// Telemetry export pipeline, when attached (the `VO_TELEMETRY` env
+    /// knob or [`Penguin::set_telemetry`]). Drained on
+    /// [`Penguin::persist_pending`] and on drop.
+    telemetry: Option<TelemetryPipeline>,
+    /// Thresholds (and custom rules) behind [`Penguin::health`].
+    health_policy: HealthPolicy,
+    /// Verdict of the previous [`Penguin::health`] call, for transition
+    /// events ([`Cell`]: probing health must not require `&mut`).
+    last_health: Cell<HealthStatus>,
 }
 
 /// Handle for a [`Penguin::watch`] subscription.
@@ -131,7 +150,9 @@ impl Clone for Penguin {
     /// is disabled); the original keeps persisting. Materialized views
     /// and watches are not cloned either: their journal cursors belong to
     /// the original's journal ([`Penguin::materialize`] again on the
-    /// clone).
+    /// clone). The telemetry pipeline stays with the original too (two
+    /// drainers would steal each other's spans); the health policy is
+    /// copied.
     fn clone(&self) -> Self {
         let mut db = self.db.clone();
         db.disable_commit_journal();
@@ -149,6 +170,9 @@ impl Clone for Penguin {
             watches: BTreeMap::new(),
             next_watch: 0,
             store_error: None,
+            telemetry: None,
+            health_policy: self.health_policy.clone(),
+            last_health: Cell::new(self.last_health.get()),
         }
     }
 }
@@ -178,7 +202,12 @@ impl Penguin {
         Penguin::with_database(schema, db)
     }
 
-    /// Create a system over an existing database.
+    /// Create a system over an existing database. When the `VO_TELEMETRY`
+    /// environment knob is set (`<path>[,sample=N][,no-slow][,no-errors]`),
+    /// a telemetry pipeline writing JSONL to that path is attached — a
+    /// spec that fails to parse or open is ignored (telemetry must never
+    /// keep the system from starting); attach explicitly through
+    /// [`Penguin::set_telemetry`] to observe the failure.
     pub fn with_database(schema: StructuralSchema, db: Database) -> Self {
         Penguin {
             schema,
@@ -194,6 +223,9 @@ impl Penguin {
             watches: BTreeMap::new(),
             next_watch: 0,
             store_error: None,
+            telemetry: TelemetryPipeline::from_env().and_then(|r| r.ok()),
+            health_policy: HealthPolicy::default(),
+            last_health: Cell::new(HealthStatus::Ok),
         }
     }
 
@@ -267,13 +299,25 @@ impl Penguin {
         self.recovery
     }
 
-    /// Drain committed-but-unpersisted transactions into the store. A
-    /// no-op on in-memory systems. Mutating facade calls do this
-    /// automatically; call it after direct [`Penguin::database_mut`] work
-    /// to persist eagerly instead of waiting for the next facade call or
-    /// drop.
+    /// Drain committed-but-unpersisted transactions into the store (a
+    /// no-op on in-memory systems) and flush the telemetry pipeline, when
+    /// one is attached. Mutating facade calls flush the store
+    /// automatically; call this after direct [`Penguin::database_mut`]
+    /// work to persist eagerly instead of waiting for the next facade
+    /// call or drop.
     pub fn persist_pending(&mut self) -> Result<()> {
-        self.flush_store()
+        self.flush_store()?;
+        self.drain_telemetry()
+    }
+
+    /// Drain collected spans through the telemetry pipeline (no-op when
+    /// none is attached), mapping sink failures into [`Error::Storage`].
+    fn drain_telemetry(&mut self) -> Result<()> {
+        if let Some(t) = &mut self.telemetry {
+            t.drain()
+                .map_err(|e| Error::Storage(format!("telemetry drain: {e}")))?;
+        }
+        Ok(())
     }
 
     /// Flush pending transactions and take a checkpoint now, truncating
@@ -845,6 +889,112 @@ impl Penguin {
     pub fn persistence_lag(&self) -> Option<u64> {
         let cursor = self.wal_cursor?;
         self.db.journal_lag(cursor).ok()
+    }
+
+    /// The attached telemetry pipeline, if any.
+    pub fn telemetry(&self) -> Option<&TelemetryPipeline> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the attached telemetry pipeline (to adjust its
+    /// sampling policy or drain it by hand).
+    pub fn telemetry_mut(&mut self) -> Option<&mut TelemetryPipeline> {
+        self.telemetry.as_mut()
+    }
+
+    /// Attach (or with `None` detach) a telemetry pipeline, returning the
+    /// previous one. A detached pipeline drains once more as it drops.
+    /// Run at most one pipeline per process: the trace ring is global,
+    /// and concurrent drainers would steal each other's spans.
+    pub fn set_telemetry(
+        &mut self,
+        pipeline: Option<TelemetryPipeline>,
+    ) -> Option<TelemetryPipeline> {
+        std::mem::replace(&mut self.telemetry, pipeline)
+    }
+
+    /// The slow-operation log: spans that crossed their per-name
+    /// [`vo_obs::slowlog::threshold`], full fields retained, regardless
+    /// of telemetry sampling. Oldest first; the log is process-global.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        slowlog::entries()
+    }
+
+    /// The health policy behind [`Penguin::health`].
+    pub fn health_policy(&self) -> &HealthPolicy {
+        &self.health_policy
+    }
+
+    /// Replace the health policy (thresholds and custom rules).
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) -> &mut Self {
+        self.health_policy = policy;
+        self
+    }
+
+    /// Gather every health signal this system can observe about itself —
+    /// journal lag per consumer, persistence lag, per-view staleness, WAL
+    /// growth since the last checkpoint, the last recovery's outcome, and
+    /// plan-cache hit ratio — without mutating anything.
+    pub fn health_inputs(&self) -> HealthInputs {
+        let mut consumer_lags = Vec::new();
+        if let Some(cursor) = self.wal_cursor {
+            if let Ok(lag) = self.db.journal_lag(cursor) {
+                consumer_lags.push(("wal".to_owned(), lag));
+            }
+        }
+        let mut view_staleness = Vec::new();
+        for (name, view) in &self.views {
+            if let Ok(s) = view.staleness(&self.db) {
+                consumer_lags.push((format!("view/{name}"), s.pending));
+                view_staleness.push(StalenessInput {
+                    name: name.clone(),
+                    pending: s.pending,
+                    // a forced full rebuild is the same hole in the delta
+                    // stream a lapse is; surface it through the same signal
+                    lapsed: s.lapsed.max(u64::from(s.needs_full)),
+                });
+            }
+        }
+        let stats = self.cache_stats.get();
+        HealthInputs {
+            consumer_lags,
+            persistence_lag: self.persistence_lag(),
+            view_staleness,
+            wal_bytes_since_checkpoint: self.store.as_ref().map(Store::wal_len),
+            recovery_torn_tail: self.recovery.map(|r| r.torn_tail_truncated),
+            plan_cache_hits: stats.hits,
+            plan_cache_misses: stats.misses,
+        }
+    }
+
+    /// Evaluate the system's health right now: the policy's verdict over
+    /// [`Penguin::health_inputs`]. On a status *transition* (e.g. Ok →
+    /// Degraded) a `penguin.health` trace event is recorded with the old
+    /// and new status and each reason's code, and the
+    /// `penguin.health.transitions` counter is bumped.
+    pub fn health(&self) -> HealthReport {
+        let report = self.health_policy.evaluate(&self.health_inputs());
+        let previous = self.last_health.replace(report.status);
+        if previous != report.status {
+            health_transitions().inc();
+            trace::event_with("penguin.health", || {
+                vec![
+                    ("from", Json::str(previous.to_string())),
+                    ("to", Json::str(report.status.to_string())),
+                    (
+                        "reasons",
+                        Json::Arr(
+                            report
+                                .reasons
+                                .iter()
+                                .map(|r| Json::str(r.code.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                ]
+            });
+        }
+        report
     }
 
     /// Verify the whole database against the structural model.

@@ -511,6 +511,32 @@ impl Database {
         Ok(j.head_seq() - j.consumer(cursor)?.next_seq)
     }
 
+    /// Number of committed transactions evicted past `cursor` since its
+    /// last read/advance — non-zero means the consumer's delta stream has
+    /// a hole. Unlike [`Database::journal_peek`] this does not clone the
+    /// pending entries, so health probes can poll it cheaply.
+    pub fn journal_lapsed(&self, cursor: JournalCursor) -> Result<u64> {
+        let j = self
+            .journal
+            .as_ref()
+            .ok_or_else(|| unknown_cursor(cursor))?;
+        Ok(j.consumer(cursor)?.lapsed)
+    }
+
+    /// Every live consumer's `(cursor, lag)` pair, in cursor order —
+    /// the journal fan-out as one snapshot for health monitoring. Empty
+    /// when journaling is off.
+    pub fn journal_lags(&self) -> Vec<(JournalCursor, u64)> {
+        let Some(j) = &self.journal else {
+            return Vec::new();
+        };
+        let head = j.head_seq();
+        j.consumers
+            .iter()
+            .map(|(&id, c)| (JournalCursor(id), head - c.next_seq))
+            .collect()
+    }
+
     /// Number of committed transactions currently retained (bounded by the
     /// slowest consumer, or by the cap).
     pub fn journal_retained(&self) -> usize {

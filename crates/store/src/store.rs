@@ -129,6 +129,8 @@ pub struct Store {
     checkpoint_epoch: u64,
     /// Commit records currently in the log (drives `max_wal_records`).
     wal_records: u64,
+    /// LSN covered by the last checkpoint taken through this handle.
+    last_checkpoint_lsn: u64,
 }
 
 impl Store {
@@ -148,6 +150,7 @@ impl Store {
             options,
             checkpoint_epoch: 0,
             wal_records: 0,
+            last_checkpoint_lsn: 0,
         };
         store.checkpoint(db)?;
         Ok(store)
@@ -207,6 +210,7 @@ impl Store {
             options,
             checkpoint_epoch: 0,
             wal_records: replay.records.len() as u64,
+            last_checkpoint_lsn: 0,
         };
         // start the session compact: the recovered state becomes the
         // checkpoint, the replayed log becomes redundant and is truncated
@@ -229,9 +233,17 @@ impl Store {
         self.options
     }
 
-    /// Logical log size in bytes (buffered records included).
+    /// Logical log size in bytes (buffered records included). The log is
+    /// truncated at every checkpoint, so this is also "WAL bytes written
+    /// since the last checkpoint" — the health monitor's growth signal.
     pub fn wal_len(&self) -> u64 {
         self.wal.len()
+    }
+
+    /// LSN covered by the last checkpoint taken through this handle
+    /// (every record at or below it is subsumed by the snapshot).
+    pub fn last_checkpoint_lsn(&self) -> u64 {
+        self.last_checkpoint_lsn
     }
 
     /// Commit records currently in the log.
@@ -299,6 +311,7 @@ impl Store {
         ckpt.write(&self.dir)?;
         self.wal.reset()?;
         self.checkpoint_epoch = ckpt.epoch;
+        self.last_checkpoint_lsn = ckpt.lsn;
         self.wal_records = 0;
         checkpoints_taken().inc();
         Ok(())

@@ -51,6 +51,13 @@ pub use vo_structural as structural;
 pub mod prelude {
     pub use vo_core::prelude::*;
     pub use vo_keller::{choose_keller_translator, KellerTranslator, SpjView, ViewDelta};
+    pub use vo_obs::health::{
+        HealthInputs, HealthPolicy, HealthReason, HealthReport, HealthStatus, StalenessInput,
+    };
+    pub use vo_obs::sink::{
+        DrainStats, FileSink, MemorySink, SamplingPolicy, TelemetryPipeline, TelemetrySink,
+    };
+    pub use vo_obs::slowlog::SlowOp;
     pub use vo_penguin::{
         hospital_database, run_voql, university_scaled, Penguin, PlanCacheStats, VoqlOutcome,
         WatchId,
