@@ -109,7 +109,7 @@ pub mod prelude {
     };
     pub use crate::update::partial::PartialOp;
     pub use crate::update::pipeline::{
-        BatchOutcome, UpdateBatch, UpdateOutcome, UpdateStats, ViewObjectUpdater,
+        BatchOutcome, PreparedBatch, UpdateBatch, UpdateOutcome, UpdateStats, ViewObjectUpdater,
     };
     pub use crate::update::propagate::propagate_links;
     pub use crate::update::replace::{

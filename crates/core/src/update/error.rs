@@ -30,6 +30,11 @@ pub enum UpdateStep {
     /// on persistent systems; see `vo-store`). The database update itself
     /// succeeded; the failure is in the write-ahead log or checkpoint.
     Persist,
+    /// Step 6 — first-committer-wins validation of a batch prepared
+    /// against a pinned snapshot (MVCC sessions): every relation the
+    /// translation read or wrote must be unchanged at the head, or the
+    /// commit is rejected with [`Error::Conflict`] and must be retried.
+    Commit,
 }
 
 impl UpdateStep {
@@ -41,6 +46,7 @@ impl UpdateStep {
             UpdateStep::Translate => "translate",
             UpdateStep::GlobalCheck => "global-check",
             UpdateStep::Persist => "persist",
+            UpdateStep::Commit => "commit",
         }
     }
 }
@@ -190,5 +196,6 @@ mod tests {
         assert_eq!(UpdateStep::Translate.label(), "translate");
         assert_eq!(UpdateStep::GlobalCheck.to_string(), "global-check");
         assert_eq!(UpdateStep::Persist.label(), "persist");
+        assert_eq!(UpdateStep::Commit.label(), "commit");
     }
 }

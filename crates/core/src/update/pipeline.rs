@@ -137,6 +137,37 @@ impl BatchOutcome {
     }
 }
 
+/// A batch translated against a pinned snapshot, awaiting
+/// first-committer-wins validation at the head (see
+/// [`ViewObjectUpdater::prepare_batch`] /
+/// [`ViewObjectUpdater::commit_prepared`]).
+///
+/// The prepared batch is self-contained — it borrows nothing from the
+/// snapshot it was planned over — so it can cross threads: prepare on a
+/// reader, commit wherever the head writer lives.
+#[derive(Debug, Clone)]
+pub struct PreparedBatch {
+    /// Per-request outcomes, in request order (global-check step included
+    /// when strict preparation ran it against the overlay).
+    pub outcomes: Vec<UpdateOutcome>,
+    /// All planned ops, flattened in application order.
+    pub ops: Vec<DbOp>,
+    /// Tallies over `ops`.
+    pub stats: UpdateStats,
+    /// The version of the base the batch was translated against.
+    pub base_version: u64,
+    /// Relations the translation read or wrote — the set validated
+    /// against `base_version` at commit.
+    pub touched: std::collections::BTreeSet<String>,
+}
+
+impl PreparedBatch {
+    /// Total planned ops.
+    pub fn total_ops(&self) -> usize {
+        self.ops.len()
+    }
+}
+
 /// An ordered set of update requests translated over one shared overlay
 /// and applied as a single transaction. Build with the fluent helpers or
 /// collect from an iterator of [`UpdateRequest`]s.
@@ -450,6 +481,118 @@ impl ViewObjectUpdater {
         Ok(BatchOutcome {
             outcomes,
             total_ops,
+            stats,
+        })
+    }
+
+    /// Steps 1–4 of [`ViewObjectUpdater::apply_batch`] against a *pinned*
+    /// base (an MVCC snapshot), without applying anything: translate the
+    /// whole batch over one overlay, run the global check against the
+    /// overlay for fail-fast feedback, and record what the translation
+    /// depended on — the base version plus the relations read or written.
+    /// The result commits later through
+    /// [`ViewObjectUpdater::commit_prepared`] under first-committer-wins
+    /// validation.
+    ///
+    /// The conflict set is captured *before* the fail-fast global check
+    /// runs, so it covers exactly the relations the translators consulted
+    /// — the check itself scans broadly and would otherwise inflate the
+    /// set to the whole database. Soundness does not depend on the
+    /// fail-fast check: `commit_prepared` re-validates structural
+    /// consistency at the head.
+    pub fn prepare_batch(
+        &self,
+        schema: &StructuralSchema,
+        base: &Database,
+        batch: impl Into<UpdateBatch>,
+    ) -> UpdateResult<PreparedBatch> {
+        let batch: UpdateBatch = batch.into();
+        let mut rec = OpRecorder::over(base);
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for (i, request) in batch.into_requests().into_iter().enumerate() {
+            let kind = request.kind();
+            let mark = rec.mark();
+            let steps = self
+                .translate_request_into(schema, &mut rec, request)
+                .map_err(|e| e.at_request(i))?;
+            outcomes.push(UpdateOutcome::new(
+                kind,
+                rec.ops_since(mark).to_vec(),
+                steps,
+            ));
+        }
+        let touched = rec.db.touched_relations();
+        if self.strict {
+            let violations = check_overlay(schema, &rec)?;
+            if !violations.is_empty() {
+                let mut err = rollback_error(&violations);
+                if let Some(i) = attribute_violation(&rec, &violations[0], &outcomes) {
+                    err = err.at_request(i).with_kind(outcomes[i].request_kind);
+                }
+                return Err(err);
+            }
+            for outcome in &mut outcomes {
+                outcome.steps.push(UpdateStep::GlobalCheck);
+            }
+        }
+        let ops = rec.into_ops();
+        let stats = UpdateStats::from_ops(&ops);
+        Ok(PreparedBatch {
+            outcomes,
+            ops,
+            stats,
+            base_version: base.version(),
+            touched,
+        })
+    }
+
+    /// Commit a [`PreparedBatch`] at the head under first-committer-wins
+    /// validation. Fails with [`UpdateStep::Commit`] (carrying
+    /// [`Error::Conflict`]) when any relation the preparation touched has
+    /// changed since its base version — the caller re-prepares against a
+    /// fresh snapshot and retries. On a clean validation the ops apply in
+    /// one transaction; in strict mode the head must end structurally
+    /// consistent (checked authoritatively here, serially, regardless of
+    /// the fail-fast check at prepare time) or everything rolls back.
+    pub fn commit_prepared(
+        &self,
+        schema: &StructuralSchema,
+        db: &mut Database,
+        prepared: PreparedBatch,
+    ) -> UpdateResult<BatchOutcome> {
+        db.check_unchanged(
+            prepared.touched.iter().map(String::as_str),
+            prepared.base_version,
+        )
+        .map_err(|e| UpdateError::new(UpdateStep::Commit, e))?;
+        let PreparedBatch {
+            mut outcomes,
+            ops,
+            stats,
+            ..
+        } = prepared;
+        if self.strict {
+            db.apply_all_checked(&ops, |d| {
+                let violations = check_database(schema, d)?;
+                match violations.first() {
+                    None => Ok(()),
+                    Some(first) => Err(Error::ConstraintViolation(format!(
+                        "{} structural violation(s), first: {first}",
+                        violations.len()
+                    ))),
+                }
+            })
+            .map_err(|e| UpdateError::new(UpdateStep::GlobalCheck, e))?;
+        } else {
+            db.apply_all(&ops)
+                .map_err(|e| UpdateError::new(UpdateStep::GlobalCheck, e))?;
+        }
+        for outcome in &mut outcomes {
+            outcome.steps.push(UpdateStep::Commit);
+        }
+        Ok(BatchOutcome {
+            total_ops: ops.len(),
+            outcomes,
             stats,
         })
     }

@@ -153,7 +153,7 @@ mod tests {
 
     fn system() -> Penguin {
         let mut p = Penguin::new(university_schema());
-        seed_figure4(p.database_mut()).unwrap();
+        p.with_database_mut(seed_figure4).unwrap().unwrap();
         p.define_object(
             "omega",
             "COURSES",

@@ -6,6 +6,9 @@
 //!
 //! - [`system::Penguin`] owns the structural schema, the database, and a
 //!   registry of view objects with their dialog-chosen translators;
+//! - [`session::Session`] pins snapshot-isolated MVCC read sessions:
+//!   concurrent readers never block the writer, and batches prepared on
+//!   a session commit at the head under first-committer-wins;
 //! - [`voql`] is a small declarative query/update language on view objects
 //!   (`GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5`);
 //! - [`fixtures`] provides the paper's university database (Figure 1) and
@@ -16,6 +19,7 @@
 pub mod catalog;
 pub mod fixtures;
 pub mod generator;
+pub mod session;
 pub mod system;
 pub mod voql;
 
@@ -24,7 +28,8 @@ pub use fixtures::{hospital_database, hospital_schema, seed_hospital};
 pub use generator::{
     seed_ownership_chain, seed_university_scaled, synthetic_schema, university_scaled, SchemaShape,
 };
-pub use system::{Penguin, PlanCacheStats, RegisteredObject, WatchId, SYSTEM_FILE};
+pub use session::Session;
+pub use system::{Penguin, PenguinOptions, PlanCacheStats, RegisteredObject, WatchId, SYSTEM_FILE};
 pub use vo_exec::{available_parallelism, Parallelism};
 pub use vo_store::{CheckpointPolicy, RecoveryReport, StoreOptions, SyncPolicy};
 pub use voql::{parse as parse_voql, run as run_voql, VoqlOutcome, VoqlStatement};

@@ -4,6 +4,7 @@
 //! implemented in the PENGUIN system").
 
 use crate::catalog::SavedSystem;
+use crate::session::Session;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -66,6 +67,107 @@ fn persist_lag() -> Histogram {
 fn health_transitions() -> Counter {
     static C: OnceLock<Counter> = OnceLock::new();
     *C.get_or_init(|| metrics::counter("penguin.health.transitions"))
+}
+
+/// Snapshot sessions pinned through [`Penguin::session`].
+fn sessions_opened() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("penguin.sessions.opened"))
+}
+
+/// Construction-time options for a [`Penguin`], consolidating the knobs
+/// that used to require a constructor followed by setter calls
+/// ([`Penguin::set_parallelism`], [`Penguin::set_journal_cap`],
+/// [`Penguin::set_health_policy`], [`Penguin::set_telemetry`]) into one
+/// builder shared by [`Penguin::with_options`],
+/// [`Penguin::persistent_with`] and [`Penguin::open_with`]. The setters
+/// remain as thin per-knob methods for adjusting a live system.
+///
+/// `From<StoreOptions>` lets existing persistent call sites keep passing
+/// bare store options:
+///
+/// ```ignore
+/// Penguin::persistent_with(dir, schema, StoreOptions::default())?;      // still fine
+/// Penguin::persistent_with(
+///     dir,
+///     schema,
+///     PenguinOptions::new()
+///         .store(StoreOptions::default())
+///         .parallelism(Parallelism::Fixed(4)),
+/// )?;
+/// ```
+#[derive(Debug, Default)]
+pub struct PenguinOptions {
+    parallelism: Option<Parallelism>,
+    journal_cap: Option<JournalCap>,
+    health_policy: Option<HealthPolicy>,
+    telemetry: Option<TelemetryPipeline>,
+    store: StoreOptions,
+}
+
+impl PenguinOptions {
+    /// Defaults everywhere: parallelism and telemetry from the
+    /// environment, no journal cap, default health policy and store
+    /// options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Degree of instantiation parallelism (overrides `VO_PARALLELISM`).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// Bound on the commit journal's retained transactions.
+    pub fn journal_cap(mut self, cap: JournalCap) -> Self {
+        self.journal_cap = Some(cap);
+        self
+    }
+
+    /// Thresholds and custom rules behind [`Penguin::health`].
+    pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health_policy = Some(policy);
+        self
+    }
+
+    /// Telemetry pipeline to attach (overrides `VO_TELEMETRY`).
+    pub fn telemetry(mut self, pipeline: TelemetryPipeline) -> Self {
+        self.telemetry = Some(pipeline);
+        self
+    }
+
+    /// Durable-store options, used only by [`Penguin::persistent_with`]
+    /// and [`Penguin::open_with`].
+    pub fn store(mut self, options: StoreOptions) -> Self {
+        self.store = options;
+        self
+    }
+
+    /// Apply every non-store knob to a constructed system.
+    fn configure(self, p: &mut Penguin) {
+        if let Some(par) = self.parallelism {
+            p.set_parallelism(par);
+        }
+        if let Some(cap) = self.journal_cap {
+            p.set_journal_cap(Some(cap));
+        }
+        if let Some(policy) = self.health_policy {
+            p.set_health_policy(policy);
+        }
+        if let Some(t) = self.telemetry {
+            p.set_telemetry(Some(t));
+        }
+    }
+}
+
+impl From<StoreOptions> for PenguinOptions {
+    fn from(store: StoreOptions) -> Self {
+        PenguinOptions {
+            store,
+            ..PenguinOptions::default()
+        }
+    }
 }
 
 /// A registered view object: definition, island analysis, and (once
@@ -229,6 +331,19 @@ impl Penguin {
         }
     }
 
+    /// Create a system over an existing database with explicit
+    /// [`PenguinOptions`] (the store options are ignored — this system is
+    /// in-memory; use [`Penguin::persistent_with`] for a durable one).
+    pub fn with_options(
+        schema: StructuralSchema,
+        db: Database,
+        options: impl Into<PenguinOptions>,
+    ) -> Self {
+        let mut p = Penguin::with_database(schema, db);
+        options.into().configure(&mut p);
+        p
+    }
+
     /// Create a *persistent* system at `dir` with the default
     /// [`StoreOptions`] (fsync on every commit). Truncates any previous
     /// store in the directory; use [`Penguin::open`] to resume one.
@@ -236,7 +351,8 @@ impl Penguin {
         Penguin::persistent_with(dir, schema, StoreOptions::default())
     }
 
-    /// Create a persistent system at `dir` with explicit [`StoreOptions`].
+    /// Create a persistent system at `dir` with explicit options — bare
+    /// [`StoreOptions`] or a full [`PenguinOptions`].
     ///
     /// The directory receives `system.json` (the definition: schema,
     /// objects, translators), `checkpoint.json` (the base data), and
@@ -247,15 +363,17 @@ impl Penguin {
     pub fn persistent_with(
         dir: impl Into<PathBuf>,
         schema: StructuralSchema,
-        options: StoreOptions,
+        options: impl Into<PenguinOptions>,
     ) -> Result<Penguin> {
+        let options = options.into();
         let dir = dir.into();
         let mut db = Database::from_schema(schema.catalog());
         let wal_cursor = db.journal_subscribe(JournalStart::Oldest);
-        let store = Store::create(&dir, &db, options)?;
+        let store = Store::create(&dir, &db, options.store)?;
         let mut p = Penguin::with_database(schema, db);
         p.store = Some(store);
         p.wal_cursor = Some(wal_cursor);
+        options.configure(&mut p);
         p.persist_definition()?;
         Ok(p)
     }
@@ -268,18 +386,24 @@ impl Penguin {
         Penguin::open_with(dir, StoreOptions::default())
     }
 
-    /// Reopen the persistent system at `dir` with explicit options. See
+    /// Reopen the persistent system at `dir` with explicit options —
+    /// bare [`StoreOptions`] or a full [`PenguinOptions`]. See
     /// [`Penguin::open`]; what recovery found is reported by
     /// [`Penguin::last_recovery`].
-    pub fn open_with(dir: impl Into<PathBuf>, options: StoreOptions) -> Result<Penguin> {
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        options: impl Into<PenguinOptions>,
+    ) -> Result<Penguin> {
+        let options = options.into();
         let dir = dir.into();
         let saved = SavedSystem::load(dir.join(SYSTEM_FILE))?;
-        let (store, mut db, report) = Store::open(&dir, options)?;
+        let (store, mut db, report) = Store::open(&dir, options.store)?;
         let wal_cursor = db.journal_subscribe(JournalStart::Oldest);
         let mut p = saved.restore_with_database(db)?;
         p.store = Some(store);
         p.wal_cursor = Some(wal_cursor);
         p.recovery = Some(report);
+        options.configure(&mut p);
         Ok(p)
     }
 
@@ -429,6 +553,11 @@ impl Penguin {
     /// facade call, or other fallible persistence call. DML done through
     /// the borrow itself is journaled but only reaches the store at that
     /// next call (or drop).
+    #[deprecated(
+        note = "use with_database_mut, which flushes the store (and checkpoints on \
+                structural drift) when the borrow ends instead of parking errors \
+                for a later call"
+    )]
     pub fn database_mut(&mut self) -> &mut Database {
         self.drop_plans();
         if self.store.is_some() {
@@ -437,6 +566,24 @@ impl Penguin {
             }
         }
         &mut self.db
+    }
+
+    /// Run `f` with write access to the database (bypassing view objects;
+    /// prefer the object-based update API), then reconcile the store
+    /// before returning: cached access plans are dropped up front, any
+    /// error parked by an old [`Penguin::database_mut`] borrow plus that
+    /// borrow's pending work are flushed on entry, and on exit the
+    /// closure's own journaled DML is flushed — with structural drift
+    /// (DDL through the borrow) detected and checkpointed — so nothing is
+    /// left for the next facade call to clean up and at most this one
+    /// closure's work is ever exposed to a crash. Unlike the deprecated
+    /// `database_mut`, flush failures surface here, as the error.
+    pub fn with_database_mut<T>(&mut self, f: impl FnOnce(&mut Database) -> T) -> Result<T> {
+        self.drop_plans();
+        self.flush_store()?;
+        let out = f(&mut self.db);
+        self.flush_store_inner()?;
+        Ok(out)
     }
 
     /// Drop all cached access plans; they rebuild lazily at the current
@@ -747,6 +894,81 @@ impl Penguin {
         Ok(outcome)
     }
 
+    /// Pin the current committed state as a snapshot-isolated
+    /// [`Session`]: an immutable, `Send + Sync` view of the schema, the
+    /// object registry, and the data, readable from any thread with no
+    /// lock held and never blocking this writer. O(relations) — tables
+    /// are shared copy-on-write with the head, and the session inherits
+    /// every cached access plan that is current, so its first
+    /// instantiation doesn't replan.
+    pub fn session(&self) -> Session {
+        sessions_opened().inc();
+        let plans: BTreeMap<String, ObjectPlan> = self
+            .plans
+            .borrow()
+            .iter()
+            .filter(|(_, p)| p.is_current(&self.db))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        Session::pin(
+            self.schema.clone(),
+            self.db.snapshot(),
+            self.objects.clone(),
+            self.parallelism,
+            plans,
+        )
+    }
+
+    /// Translate a batch against an arbitrary base database without
+    /// committing it — normally called through
+    /// [`Session::prepare_batch`], which fixes `base` to the session's
+    /// pinned snapshot. The returned [`PreparedBatch`] remembers the base
+    /// version and the relations the translators consulted.
+    pub fn prepare_batch(
+        &self,
+        name: &str,
+        base: &Database,
+        batch: impl Into<UpdateBatch>,
+    ) -> UpdateResult<PreparedBatch> {
+        let updater = self.updater_checked(name)?;
+        updater.prepare_batch(&self.schema, base, batch)
+    }
+
+    /// Commit a batch prepared against a pinned snapshot, validating it
+    /// at the head under first-committer-wins: if any relation the
+    /// preparation read or wrote has committed past the prepared base
+    /// version, the batch is rejected with [`Error::Conflict`] (step
+    /// `commit`) and must be re-prepared against a fresh session;
+    /// otherwise it applies as one transaction, re-checked structurally
+    /// at the head, and is flushed to the store like every other
+    /// mutating facade call.
+    pub fn commit_prepared(
+        &mut self,
+        name: &str,
+        prepared: PreparedBatch,
+    ) -> UpdateResult<BatchOutcome> {
+        let updater = self.updater_checked(name)?;
+        let mut sp = vo_obs::trace::span("penguin.commit_prepared");
+        if sp.is_recording() {
+            sp.field("object", Json::str(name));
+            sp.field("requests", Json::Int(prepared.outcomes.len() as i64));
+            sp.field("base_version", Json::Int(prepared.base_version as i64));
+            sp.field("head_version", Json::Int(self.db.version() as i64));
+        }
+        let result = updater.commit_prepared(&self.schema, &mut self.db, prepared);
+        if sp.is_recording() {
+            if let Err(e) = &result {
+                sp.field(
+                    "conflict",
+                    Json::Bool(matches!(*e.source, Error::Conflict { .. })),
+                );
+            }
+        }
+        let outcome = result?;
+        self.flush_store_checked()?;
+        Ok(outcome)
+    }
+
     /// Materialize every instance of a registered object and keep it
     /// incrementally maintained: the view subscribes its own cursor on the
     /// database's commit journal (enabling the journal if needed) and
@@ -1010,7 +1232,7 @@ mod tests {
 
     fn system() -> Penguin {
         let mut p = Penguin::new(university_schema());
-        seed_figure4(p.database_mut()).unwrap();
+        p.with_database_mut(seed_figure4).unwrap().unwrap();
         p
     }
 
@@ -1192,7 +1414,7 @@ mod tests {
             let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
             assert!(p.is_persistent());
             assert_eq!(p.store_dir(), Some(dir.as_path()));
-            seed_figure4(p.database_mut()).unwrap();
+            p.with_database_mut(seed_figure4).unwrap().unwrap();
             p.persist_pending().unwrap();
             p.define_object(
                 "omega",
@@ -1230,7 +1452,7 @@ mod tests {
             std::env::temp_dir().join(format!("penguin_persist_clone_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
-        seed_figure4(p.database_mut()).unwrap();
+        p.with_database_mut(seed_figure4).unwrap().unwrap();
         let expected = p.database().table("GRADES").unwrap().len();
         let mut c = p.clone();
         assert!(!c.is_persistent());
@@ -1263,7 +1485,7 @@ mod tests {
         let s3 = p.plan_cache_stats();
         assert_eq!(s3.misses, s2.misses + 1);
         // a structural borrow also invalidates
-        p.database_mut();
+        p.with_database_mut(|_| ()).unwrap();
         let s4 = p.plan_cache_stats();
         assert_eq!(s4.invalidations, s3.invalidations + 1);
         // empty cache: invalidating again counts nothing
@@ -1398,7 +1620,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         {
             let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
-            seed_figure4(p.database_mut()).unwrap();
+            p.with_database_mut(seed_figure4).unwrap().unwrap();
             p.persist_pending().unwrap();
             p.define_object(
                 "omega",
@@ -1425,6 +1647,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated borrow's park-and-flush-on-reentry contract is under test
     fn ddl_between_borrows_is_checkpointed_on_reentry() {
         let dir = std::env::temp_dir().join(format!("penguin_ddl_reentry_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
@@ -1455,6 +1678,83 @@ mod tests {
     }
 
     #[test]
+    fn with_database_mut_flushes_on_exit() {
+        let dir =
+            std::env::temp_dir().join(format!("penguin_scoped_borrow_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
+            p.with_database_mut(seed_figure4).unwrap().unwrap();
+            // DML and DDL inside one scoped borrow; the exit flush detects
+            // the structural drift and checkpoints — no follow-up facade
+            // call needed before the crash
+            p.with_database_mut(|db| {
+                db.ensure_index("GRADES", &["ssn".to_string()])?;
+                db.insert("DEPARTMENT", vec!["Mathematics".into()])
+            })
+            .unwrap()
+            .unwrap();
+            // crash: neither Drop nor any later facade call runs
+            std::mem::forget(p);
+        }
+        let p2 = Penguin::open(&dir).unwrap();
+        assert!(p2
+            .database()
+            .table("GRADES")
+            .unwrap()
+            .has_index(&["ssn".to_string()]));
+        assert!(p2
+            .database()
+            .table("DEPARTMENT")
+            .unwrap()
+            .get(&Key::single("Mathematics"))
+            .is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn options_builder_configures_at_construction() {
+        let schema = university_schema();
+        let db = Database::from_schema(schema.catalog());
+        let p = Penguin::with_options(
+            schema,
+            db,
+            PenguinOptions::new()
+                .parallelism(Parallelism::Fixed(3))
+                .journal_cap(JournalCap::drop_oldest(8))
+                .health_policy(HealthPolicy::default()),
+        );
+        assert_eq!(p.parallelism(), Parallelism::Fixed(3));
+        assert!(p.journal_cap().is_some());
+
+        // persistent constructors accept both bare StoreOptions (via
+        // From) and the full builder
+        let dir =
+            std::env::temp_dir().join(format!("penguin_options_builder_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let p = Penguin::persistent_with(
+                &dir,
+                university_schema(),
+                PenguinOptions::new().parallelism(Parallelism::Off),
+            )
+            .unwrap();
+            assert_eq!(p.parallelism(), Parallelism::Off);
+        }
+        let p2 = Penguin::open_with(
+            &dir,
+            PenguinOptions::new().parallelism(Parallelism::Fixed(2)),
+        )
+        .unwrap();
+        assert_eq!(p2.parallelism(), Parallelism::Fixed(2));
+        drop(p2);
+        let p3 = Penguin::open_with(&dir, StoreOptions::default()).unwrap();
+        assert!(p3.is_persistent());
+        drop(p3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn cached_plan_survives_updates_and_refreshes_on_structure_change() {
         let mut p = system();
         p.define_object("omega", "COURSES", &["GRADES"]).unwrap();
@@ -1468,10 +1768,10 @@ mod tests {
         p.delete_instance("omega", inst).unwrap();
         let after = p.instantiate_all("omega").unwrap();
         assert_eq!(after.len(), before.len() - 1);
-        // structural change through database_mut: cache cleared, next
+        // structural change through the scoped borrow: cache cleared, next
         // instantiation replans and still agrees with the legacy path
-        p.database_mut()
-            .ensure_index("CURRICULUM", &["course_id".to_string()])
+        p.with_database_mut(|db| db.ensure_index("CURRICULUM", &["course_id".to_string()]))
+            .unwrap()
             .unwrap();
         let replanned = p.instantiate_all("omega").unwrap();
         let legacy = instantiate_all_legacy(p.schema(), &obj, p.database()).unwrap();

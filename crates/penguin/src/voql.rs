@@ -349,6 +349,17 @@ impl<'a> P<'a> {
 /// Parse a VOQL statement. Needs the system to resolve object structure
 /// for WHERE conditions.
 pub fn parse(penguin: &Penguin, src: &str) -> Result<VoqlStatement> {
+    parse_with(&|name| penguin.object(name).map(|r| &r.object), src)
+}
+
+/// Parse against any object registry — the same grammar, resolved through
+/// `lookup` instead of a live [`Penguin`], so pinned
+/// [`crate::session::Session`]s can parse against their snapshot's
+/// registry.
+pub(crate) fn parse_with<'a>(
+    lookup: &dyn Fn(&str) -> Result<&'a ViewObject>,
+    src: &str,
+) -> Result<VoqlStatement> {
     let toks = tokenize(src)?;
     let mut p = P {
         toks,
@@ -378,8 +389,7 @@ pub fn parse(penguin: &Penguin, src: &str) -> Result<VoqlStatement> {
         return Err(p.err("expected GET, DELETE, UPDATE or SHOW"));
     }
     let object_name = p.word()?;
-    let reg = penguin.object(&object_name)?;
-    p.object = Some(&reg.object);
+    p.object = Some(lookup(&object_name)?);
     let mut assignments: Vec<(String, Value)> = Vec::new();
     if is_update {
         if !p.eat_word("SET") {
@@ -498,7 +508,7 @@ mod tests {
 
     fn system() -> Penguin {
         let mut p = Penguin::new(university_schema());
-        seed_figure4(p.database_mut()).unwrap();
+        p.with_database_mut(seed_figure4).unwrap().unwrap();
         p.define_object(
             "omega",
             "COURSES",

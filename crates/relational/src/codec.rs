@@ -268,16 +268,31 @@ impl RelationSnapshot {
 }
 
 impl DatabaseSnapshot {
-    /// Encode as JSON.
+    /// Encode as JSON. The pinned version is carried alongside the
+    /// relations so MVCC stamps survive checkpoint/recovery.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![(
-            "relations",
-            Json::Arr(self.relations.iter().map(|r| r.to_json()).collect()),
-        )])
+        Json::obj(vec![
+            (
+                "relations",
+                Json::Arr(self.relations.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("version", Json::Int(self.version as i64)),
+        ])
     }
 
-    /// Decode from JSON.
+    /// Decode from JSON. Snapshots written before versions were pinned
+    /// have no `version` field and decode as version 0.
     pub fn from_json(json: &Json) -> Result<Self> {
+        let version = match json.field("version") {
+            Ok(v) => {
+                let i = v.as_i64()?;
+                if i < 0 {
+                    return Err(bad(format!("negative snapshot version {i}")));
+                }
+                i as u64
+            }
+            Err(_) => 0,
+        };
         Ok(DatabaseSnapshot {
             relations: json
                 .field("relations")?
@@ -285,6 +300,7 @@ impl DatabaseSnapshot {
                 .iter()
                 .map(RelationSnapshot::from_json)
                 .collect::<Result<Vec<_>>>()?,
+            version,
         })
     }
 }

@@ -8,11 +8,12 @@
 
 use crate::error::{Error, Result};
 use crate::schema::{DatabaseSchema, RelationSchema};
-use crate::stats::count_journal_dropped;
+use crate::stats::{count_commit, count_conflict, count_journal_dropped, count_snapshot_pinned};
 use crate::table::Table;
 use crate::tuple::{Key, Tuple};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::ops::Deref;
 use std::sync::Arc;
 
 /// One primitive mutation on a keyed relation.
@@ -300,16 +301,35 @@ fn unknown_cursor(cursor: JournalCursor) -> Error {
     ))
 }
 
-/// An in-memory relational database.
+/// An in-memory relational database with versioned, structurally shared
+/// storage.
+///
+/// Tables are held behind [`Arc`]s, so cloning a `Database` — and
+/// therefore pinning a [`DbSnapshot`] — is O(relations), not O(tuples):
+/// the clone shares every table with the original. Mutation goes through
+/// [`Arc::make_mut`], which copies a table only when a snapshot still
+/// shares it (copy-on-write at table granularity, secondary indexes
+/// included). Each committed transaction bumps [`Database::version`] and
+/// stamps the relations it touched, which is what first-committer-wins
+/// conflict detection ([`Database::check_unchanged`]) validates against.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
     /// Bumped on every structural change (relation created or dropped,
     /// index created, or a table borrowed mutably — the escape hatch
     /// through which callers may alter structure). Plain data mutations
     /// through [`Database::apply`] / [`Database::insert`] do not bump it,
     /// so prepared access plans keyed on the epoch survive updates.
     structure_epoch: u64,
+    /// Committed-transaction counter: bumped once per successful
+    /// transaction (single op, batch, or DDL), never by rollbacks — undo
+    /// replay restores the prior state, so no new version exists.
+    version: u64,
+    /// Version at which each relation last changed (created, dropped, or
+    /// touched by a committed transaction). A relation with no entry has
+    /// not changed since version 0. Dropped relations keep their stamp so
+    /// a conflict check against a vanished table still fires.
+    table_stamps: BTreeMap<String, u64>,
     /// Committed-transaction journal (the durability and maintenance
     /// hook): when enabled, every *successful* transaction through the
     /// data path — a single [`Database::apply`]/[`Database::insert`], or a
@@ -340,7 +360,7 @@ impl Database {
         let mut db = Database::new();
         for rel in schema.iter() {
             db.tables
-                .insert(rel.name().to_owned(), Table::new(rel.clone()));
+                .insert(rel.name().to_owned(), Arc::new(Table::new(rel.clone())));
         }
         db
     }
@@ -351,14 +371,104 @@ impl Database {
         self.structure_epoch
     }
 
+    /// The committed-transaction version: bumped once per successful
+    /// transaction (and per DDL change), never by rollbacks. Two databases
+    /// that report the same version *through a shared history* hold
+    /// identical data.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The version at which `relation` last changed — 0 when it has never
+    /// changed since this database was created. Dropped relations retain
+    /// their final stamp.
+    pub fn table_version(&self, relation: &str) -> u64 {
+        self.table_stamps.get(relation).copied().unwrap_or(0)
+    }
+
+    /// First-committer-wins validation: verify that none of `relations`
+    /// has changed since `base_version` (the version a snapshot or
+    /// overlay was pinned at). Returns [`Error::Conflict`] naming the
+    /// first concurrently-modified relation.
+    pub fn check_unchanged<'a>(
+        &self,
+        relations: impl IntoIterator<Item = &'a str>,
+        base_version: u64,
+    ) -> Result<()> {
+        for rel in relations {
+            let head = self.table_version(rel);
+            if head > base_version {
+                count_conflict();
+                return Err(Error::Conflict {
+                    relation: rel.to_owned(),
+                    base_version,
+                    head_version: head,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pin the current state as an immutable, lock-free-readable
+    /// [`DbSnapshot`]. O(relations): every table is shared, not copied —
+    /// later commits against this database copy-on-write only the tables
+    /// they touch, leaving the snapshot untouched.
+    pub fn snapshot(&self) -> DbSnapshot {
+        count_snapshot_pinned();
+        let mut pinned = self.clone();
+        // a snapshot is a reader: it must not retain (or replay) journal
+        // entries, and dropping the journal keeps the clone cheap
+        pinned.journal = None;
+        DbSnapshot {
+            inner: Arc::new(pinned),
+        }
+    }
+
+    /// Record one committed transaction: bump the version and stamp every
+    /// relation the transaction touched. Called only after a transaction
+    /// sticks — rollbacks restore the prior state and stamp nothing.
+    fn commit_stamp(&mut self, ops: &[DbOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        self.version += 1;
+        count_commit();
+        for op in ops {
+            self.table_stamps
+                .insert(op.relation().to_owned(), self.version);
+        }
+    }
+
+    /// Stamp one relation as changed by a DDL-level mutation (create /
+    /// drop / mutable borrow).
+    fn structural_stamp(&mut self, relation: &str) {
+        self.version += 1;
+        self.table_stamps.insert(relation.to_owned(), self.version);
+    }
+
+    /// Re-pin the committed-transaction version after a snapshot restore:
+    /// the version and every table stamp are set to `v`, discarding the
+    /// bumps the rebuild itself produced. Recovery replay on top of the
+    /// restored state then advances the version transaction by
+    /// transaction, so a recovered database reports a version consistent
+    /// with its durable history (0 for checkpoints predating versioning).
+    pub(crate) fn restore_version(&mut self, v: u64) {
+        self.version = v;
+        for stamp in self.table_stamps.values_mut() {
+            *stamp = v;
+        }
+    }
+
     /// Create a new empty relation.
     pub fn create_relation(&mut self, schema: RelationSchema) -> Result<()> {
         if self.tables.contains_key(schema.name()) {
             return Err(Error::DuplicateRelation(schema.name().to_owned()));
         }
         self.structure_epoch += 1;
+        let name = schema.name().to_owned();
         self.tables
-            .insert(schema.name().to_owned(), Table::new(schema));
+            .insert(name.clone(), Arc::new(Table::new(schema)));
+        self.structural_stamp(&name);
         Ok(())
     }
 
@@ -367,7 +477,7 @@ impl Database {
         self.structure_epoch += 1;
         self.tables
             .remove(name)
-            .map(|_| ())
+            .map(|_| self.structural_stamp(name))
             .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
     }
 
@@ -375,24 +485,36 @@ impl Database {
     pub fn table(&self, name: &str) -> Result<&Table> {
         self.tables
             .get(name)
+            .map(|t| t.as_ref())
             .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
     }
 
-    /// Mutably borrow a table. Conservatively bumps the structure epoch:
-    /// the caller may create or drop indexes through the borrow.
+    /// Mutably borrow a table. Conservatively bumps the structure epoch
+    /// and the version stamp: the caller may change anything through the
+    /// borrow. Copy-on-write: a table still shared with a snapshot is
+    /// copied first.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.structure_epoch += 1;
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
+        self.version += 1;
+        let version = self.version;
+        match self.tables.get_mut(name) {
+            Some(t) => {
+                self.table_stamps.insert(name.to_owned(), version);
+                Ok(Arc::make_mut(t))
+            }
+            None => Err(Error::NoSuchRelation(name.to_owned())),
+        }
     }
 
     /// Mutable access for the data path (insert/delete/replace): does not
     /// bump the structure epoch, since tuple-level changes cannot
-    /// invalidate a prepared access plan.
+    /// invalidate a prepared access plan. Copy-on-write like
+    /// [`Database::table_mut`]; version stamping happens per committed
+    /// transaction in [`Database::commit_stamp`], not per op.
     fn data_table_mut(&mut self, name: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::NoSuchRelation(name.to_owned()))
     }
 
@@ -630,6 +752,7 @@ impl Database {
     pub fn apply(&mut self, op: &DbOp) -> Result<DbOp> {
         self.journal_admit()?;
         let undo = self.apply_inner(op)?;
+        self.commit_stamp(std::slice::from_ref(op));
         self.journal_commit(vec![op.clone()]);
         Ok(undo)
     }
@@ -693,6 +816,7 @@ impl Database {
                 }
             }
         }
+        self.commit_stamp(ops);
         self.journal_commit(ops.to_vec());
         Ok(())
     }
@@ -729,8 +853,46 @@ impl Database {
             }
             return Err(Error::Rolledback(Box::new(e)));
         }
+        self.commit_stamp(ops);
         self.journal_commit(ops.to_vec());
         Ok(())
+    }
+}
+
+/// An immutable, pinned view of a [`Database`] at one committed version.
+///
+/// Pinning is O(relations) — every table is structurally shared with the
+/// live database (see [`Database::snapshot`]). The handle is `Send +
+/// Sync` and readable with no lock held: any number of threads can
+/// instantiate, query, and scan through it while writers keep committing
+/// against the head. It dereferences to [`Database`], so every read API
+/// (including the [`DbRead`](crate::overlay::DbRead) trait) works on it
+/// unchanged.
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    inner: Arc<Database>,
+}
+
+// Session readers hold snapshots across worker threads.
+const _: fn() = vo_exec::assert_send_sync::<DbSnapshot>;
+
+impl DbSnapshot {
+    /// The committed version this snapshot pins.
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// The pinned database (also available through `Deref`).
+    pub fn database(&self) -> &Database {
+        &self.inner
+    }
+}
+
+impl Deref for DbSnapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.inner
     }
 }
 
@@ -1064,6 +1226,170 @@ mod tests {
         d.set_journal_cap(Some(JournalCap::drop_oldest(1)));
         assert_eq!(d.journal_retained(), 1);
         assert_eq!(d.journal_cap(), Some(JournalCap::drop_oldest(1)));
+    }
+
+    #[test]
+    fn versions_stamp_committed_transactions_only() {
+        let mut d = db();
+        let v0 = d.version();
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        assert_eq!(d.version(), v0 + 1);
+        assert_eq!(d.table_version("DEPARTMENT"), v0 + 1);
+        let courses_v = d.table_version("COURSES");
+        // a rolled-back batch leaves the version untouched
+        let dept = d.table("DEPARTMENT").unwrap().schema().clone();
+        let bad = vec![
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["EE".into()]).unwrap(),
+            },
+            DbOp::Insert {
+                relation: "DEPARTMENT".into(),
+                tuple: Tuple::new(&dept, vec!["CS".into()]).unwrap(),
+            },
+        ];
+        assert!(d.apply_all(&bad).is_err());
+        assert_eq!(d.version(), v0 + 1);
+        // a vetoed checked batch too
+        let ok = vec![dept_insert(&d, "EE")];
+        assert!(d
+            .apply_all_checked(&ok, |_| Err(Error::ConstraintViolation("veto".into())))
+            .is_err());
+        assert_eq!(d.version(), v0 + 1);
+        // a batch stamps every touched relation with one version
+        let courses = d.table("COURSES").unwrap().schema().clone();
+        let batch = vec![
+            dept_insert(&d, "EE"),
+            DbOp::Insert {
+                relation: "COURSES".into(),
+                tuple: Tuple::new(&courses, vec!["CS345".into(), "CS".into()]).unwrap(),
+            },
+        ];
+        d.apply_all(&batch).unwrap();
+        assert_eq!(d.version(), v0 + 2);
+        assert_eq!(d.table_version("DEPARTMENT"), v0 + 2);
+        assert_eq!(d.table_version("COURSES"), v0 + 2);
+        assert!(d.table_version("COURSES") > courses_v);
+    }
+
+    #[test]
+    fn check_unchanged_detects_conflicts() {
+        let mut d = db();
+        let base = d.version();
+        assert!(d.check_unchanged(["DEPARTMENT", "COURSES"], base).is_ok());
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        // COURSES untouched: no conflict
+        assert!(d.check_unchanged(["COURSES"], base).is_ok());
+        // DEPARTMENT changed: conflict naming the relation and versions
+        let err = d.check_unchanged(["DEPARTMENT"], base).unwrap_err();
+        match err {
+            Error::Conflict {
+                relation,
+                base_version,
+                head_version,
+            } => {
+                assert_eq!(relation, "DEPARTMENT");
+                assert_eq!(base_version, base);
+                assert_eq!(head_version, d.version());
+            }
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        // re-validated at the new head: clean again
+        assert!(d.check_unchanged(["DEPARTMENT"], d.version()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_commits() {
+        let mut d = db();
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        let snap = d.snapshot();
+        let pinned_version = snap.version();
+        assert_eq!(pinned_version, d.version());
+        // commits against the head do not leak into the snapshot
+        d.insert("DEPARTMENT", vec!["EE".into()]).unwrap();
+        d.insert("COURSES", vec!["CS345".into(), "CS".into()])
+            .unwrap();
+        assert_eq!(snap.table("DEPARTMENT").unwrap().len(), 1);
+        assert_eq!(snap.table("COURSES").unwrap().len(), 0);
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 2);
+        assert_eq!(snap.version(), pinned_version);
+        assert!(d.version() > pinned_version);
+        // a snapshot clone pins the same state
+        let snap2 = snap.clone();
+        assert_eq!(snap2.version(), pinned_version);
+        // structural changes are isolated too
+        d.drop_relation("COURSES").unwrap();
+        assert!(snap.table("COURSES").is_ok());
+    }
+
+    #[test]
+    fn snapshot_shares_untouched_tables() {
+        let mut d = db();
+        d.insert("DEPARTMENT", vec!["CS".into()]).unwrap();
+        let snap = d.snapshot();
+        // an untouched table is the same allocation in both
+        assert!(std::ptr::eq(
+            snap.table("COURSES").unwrap(),
+            d.table("COURSES").unwrap()
+        ));
+        // touching DEPARTMENT copies it, leaving COURSES shared
+        d.insert("DEPARTMENT", vec!["EE".into()]).unwrap();
+        assert!(!std::ptr::eq(
+            snap.table("DEPARTMENT").unwrap(),
+            d.table("DEPARTMENT").unwrap()
+        ));
+        assert!(std::ptr::eq(
+            snap.table("COURSES").unwrap(),
+            d.table("COURSES").unwrap()
+        ));
+    }
+
+    #[test]
+    fn snapshot_reads_concurrently_while_writer_commits() {
+        let mut d = db();
+        d.insert("DEPARTMENT", vec!["D0".into()]).unwrap();
+        let snap = d.snapshot();
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let snap = snap.clone();
+                    scope.spawn(move || {
+                        let mut counts = Vec::new();
+                        for _ in 0..50 {
+                            counts.push(snap.table("DEPARTMENT").unwrap().len());
+                        }
+                        counts
+                    })
+                })
+                .collect();
+            for i in 1..50 {
+                d.insert("DEPARTMENT", vec![format!("D{i}").into()])
+                    .unwrap();
+            }
+            for r in readers {
+                let counts = r.join().unwrap();
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "snapshot reads must be stable"
+                );
+            }
+        });
+        assert_eq!(d.table("DEPARTMENT").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn table_mut_and_ddl_stamp_versions() {
+        let mut d = db();
+        let v0 = d.version();
+        d.table_mut("DEPARTMENT").unwrap();
+        assert!(d.version() > v0);
+        assert_eq!(d.table_version("DEPARTMENT"), d.version());
+        let v1 = d.version();
+        d.drop_relation("COURSES").unwrap();
+        assert!(d.version() > v1);
+        assert_eq!(d.table_version("COURSES"), d.version());
+        // the dropped relation's stamp keeps conflicting
+        assert!(d.check_unchanged(["COURSES"], v1).is_err());
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub enum Error {
     /// [`JournalOverflow::Error`](crate::database::JournalOverflow) policy,
     /// so the transaction was rejected before any op was applied.
     JournalOverflow { capacity: usize },
+    /// First-committer-wins validation failed: a relation read or written
+    /// by a transaction prepared against version `base_version` was
+    /// concurrently modified (its stamp advanced to `head_version`).
+    /// The prepared transaction must be retried against the new head.
+    Conflict {
+        relation: String,
+        base_version: u64,
+        head_version: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -122,6 +131,16 @@ impl fmt::Display for Error {
                 f,
                 "commit journal is full ({capacity} retained transactions): \
                  drain a consumer, raise the cap, or switch to drop-oldest"
+            ),
+            Error::Conflict {
+                relation,
+                base_version,
+                head_version,
+            } => write!(
+                f,
+                "write conflict on {relation}: prepared against version \
+                 {base_version} but the relation changed at version \
+                 {head_version} — retry against the current head"
             ),
         }
     }

@@ -61,7 +61,8 @@ pub mod prelude {
     pub use crate::aggregate::{aggregate_rows, AggFunc, AggSpec};
     pub use crate::algebra::{Plan, ResultSet};
     pub use crate::database::{
-        Database, DbOp, JournalCap, JournalCursor, JournalOverflow, JournalRead, JournalStart,
+        Database, DbOp, DbSnapshot, JournalCap, JournalCursor, JournalOverflow, JournalRead,
+        JournalStart,
     };
     pub use crate::error::{Error, Result};
     pub use crate::json::Json;

@@ -33,8 +33,9 @@ use crate::table::Table;
 use crate::tuple::{Key, Tuple};
 use crate::value::Value;
 use std::collections::btree_map;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::iter::Peekable;
+use std::sync::Mutex;
 
 /// Uniform read access for integrity planners and update translators: a
 /// committed [`Database`] and a [`DeltaDb`] overlay answer the same
@@ -82,10 +83,30 @@ fn empty_delta() -> &'static TableDelta {
 
 /// A read view layering planned-but-uncommitted [`DbOp`]s over a borrowed
 /// [`Database`]. Construction is O(1); no base table is ever cloned.
-#[derive(Debug, Clone)]
+///
+/// The overlay also records which relations were *read* through it (the
+/// read set). Together with the delta's key set (the write set) that is
+/// exactly what first-committer-wins conflict validation
+/// ([`Database::check_unchanged`]) needs: a transaction planned over this
+/// overlay depends on no relation outside `read_set ∪ write_set`.
+#[derive(Debug)]
 pub struct DeltaDb<'base> {
     base: &'base Database,
     deltas: BTreeMap<String, TableDelta>,
+    /// Relations read through [`DeltaDb::view`]. Interior-mutable because
+    /// reads take `&self`; a `Mutex` (not `RefCell`) keeps the overlay
+    /// `Sync` for the parallel instantiation workers.
+    reads: Mutex<BTreeSet<String>>,
+}
+
+impl Clone for DeltaDb<'_> {
+    fn clone(&self) -> Self {
+        DeltaDb {
+            base: self.base,
+            deltas: self.deltas.clone(),
+            reads: Mutex::new(self.reads.lock().expect("read-set lock").clone()),
+        }
+    }
 }
 
 // Overlays borrow a shared `&Database` and may be built per worker on top
@@ -101,6 +122,7 @@ impl<'base> DeltaDb<'base> {
         DeltaDb {
             base,
             deltas: BTreeMap::new(),
+            reads: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -109,13 +131,39 @@ impl<'base> DeltaDb<'base> {
         self.base
     }
 
-    /// A merged read view of one relation.
+    /// A merged read view of one relation. Records `relation` in the
+    /// overlay's read set.
     pub fn view(&self, relation: &str) -> Result<TableView<'_>> {
         crate::stats::count_overlay_read();
+        {
+            let mut reads = self.reads.lock().expect("read-set lock");
+            if !reads.contains(relation) {
+                reads.insert(relation.to_owned());
+            }
+        }
         Ok(TableView {
             base: self.base.table(relation)?,
             delta: self.deltas.get(relation).unwrap_or_else(|| empty_delta()),
         })
+    }
+
+    /// Relations read through this overlay so far.
+    pub fn read_set(&self) -> BTreeSet<String> {
+        self.reads.lock().expect("read-set lock").clone()
+    }
+
+    /// Relations with pending writes in this overlay.
+    pub fn write_set(&self) -> BTreeSet<String> {
+        self.deltas.keys().cloned().collect()
+    }
+
+    /// Every relation this overlay depends on: reads ∪ pending writes.
+    /// A transaction planned over the overlay commutes with any commit
+    /// that leaves all of these relations untouched.
+    pub fn touched_relations(&self) -> BTreeSet<String> {
+        let mut all = self.read_set();
+        all.extend(self.deltas.keys().cloned());
+        all
     }
 
     /// Total number of delta entries across all relations.

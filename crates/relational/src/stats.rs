@@ -79,6 +79,21 @@ fn journal_dropped() -> Counter {
     *C.get_or_init(|| metrics::counter("relational.journal.dropped"))
 }
 
+fn commits() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.commits"))
+}
+
+fn conflicts() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.conflicts"))
+}
+
+fn snapshots_pinned() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("relational.snapshots_pinned"))
+}
+
 /// Record one lookup answered by a secondary (or primary) index.
 pub fn count_index_probe() {
     index_probes().inc();
@@ -136,6 +151,26 @@ pub fn count_journal_dropped(n: u64) {
     if n > 0 {
         journal_dropped().add(n);
     }
+}
+
+/// Record one committed transaction (a version bump). Registry name
+/// `relational.commits`; not part of [`InstrumentationSnapshot`].
+pub fn count_commit() {
+    commits().inc();
+}
+
+/// Record one first-committer-wins conflict (a prepared transaction
+/// rejected because a relation it touched changed under it). Registry
+/// name `relational.conflicts`; not part of [`InstrumentationSnapshot`].
+pub fn count_conflict() {
+    conflicts().inc();
+}
+
+/// Record one snapshot pinned ([`crate::database::Database::snapshot`]).
+/// Registry name `relational.snapshots_pinned`; not part of
+/// [`InstrumentationSnapshot`].
+pub fn count_snapshot_pinned() {
+    snapshots_pinned().inc();
 }
 
 /// A point-in-time copy of all counters.

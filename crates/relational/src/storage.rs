@@ -29,6 +29,12 @@ pub struct RelationSnapshot {
 pub struct DatabaseSnapshot {
     /// Relations in name order.
     pub relations: Vec<RelationSnapshot>,
+    /// The committed-transaction version the database reported when
+    /// captured. [`DatabaseSnapshot::restore`] re-pins the rebuilt
+    /// database at this version, so MVCC version stamps survive a
+    /// checkpoint/recovery cycle; snapshots serialized before versioning
+    /// existed decode as 0.
+    pub version: u64,
 }
 
 impl DatabaseSnapshot {
@@ -48,7 +54,10 @@ impl DatabaseSnapshot {
                 indexes: Vec::new(),
             });
         }
-        DatabaseSnapshot { relations }
+        DatabaseSnapshot {
+            relations,
+            version: db.version(),
+        }
     }
 
     /// Capture a snapshot including every secondary index, so
@@ -98,6 +107,7 @@ impl DatabaseSnapshot {
                 table.create_index(idx)?;
             }
         }
+        db.restore_version(self.version);
         Ok(db)
     }
 
@@ -210,6 +220,26 @@ mod tests {
         assert!(DatabaseSnapshot::capture(&db).relations[0]
             .indexes
             .is_empty());
+    }
+
+    #[test]
+    fn restore_pins_the_captured_version() {
+        let mut db = sample();
+        db.insert("T", vec![3.into(), "c".into()]).unwrap();
+        db.insert("T", vec![4.into(), "d".into()]).unwrap();
+        assert!(db.version() > 0);
+        let snap = DatabaseSnapshot::capture(&db);
+        assert_eq!(snap.version, db.version());
+        let restored = snap.restore().unwrap();
+        assert_eq!(restored.version(), db.version());
+        assert_eq!(restored.table_version("T"), db.version());
+        // JSON round trip carries it; a legacy document without the field
+        // decodes as version 0
+        use crate::json::{parse, Json};
+        let back = DatabaseSnapshot::from_json(&parse(&snap.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back.version, snap.version);
+        let legacy = Json::obj(vec![("relations", Json::Arr(vec![]))]);
+        assert_eq!(DatabaseSnapshot::from_json(&legacy).unwrap().version, 0);
     }
 
     #[test]

@@ -451,7 +451,7 @@ fn persistent_system_shares_journal_between_wal_and_views() {
     let live;
     {
         let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
-        seed_figure4(p.database_mut()).unwrap();
+        p.with_database_mut(seed_figure4).unwrap().unwrap();
         p.persist_pending().unwrap();
         p.define_object(
             "omega",
@@ -464,14 +464,15 @@ fn persistent_system_shares_journal_between_wal_and_views() {
         let mut rng = SmallRng::seed_from_u64(2024);
         let mut st = State::figure4();
         for round in 0..40 {
-            let ops = {
-                let db = p.database_mut();
-                let ops = random_tx(&mut rng, &mut st, db);
-                if !ops.is_empty() {
-                    db.apply_all(&ops).unwrap();
-                }
-                ops
-            };
+            let ops = p
+                .with_database_mut(|db| {
+                    let ops = random_tx(&mut rng, &mut st, db);
+                    if !ops.is_empty() {
+                        db.apply_all(&ops).unwrap();
+                    }
+                    ops
+                })
+                .unwrap();
             if ops.is_empty() {
                 continue;
             }

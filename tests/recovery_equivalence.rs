@@ -158,10 +158,10 @@ fn random_workloads_recover_byte_identical() {
 /// Returns (oracle fingerprint after update A, after update B).
 fn run_persistent_session(dir: &PathBuf) -> (String, String) {
     let mut oracle = Penguin::new(university_schema());
-    seed_figure4(oracle.database_mut()).unwrap();
+    oracle.with_database_mut(seed_figure4).unwrap().unwrap();
 
     let mut p = Penguin::persistent(dir, university_schema()).unwrap();
-    seed_figure4(p.database_mut()).unwrap();
+    p.with_database_mut(seed_figure4).unwrap().unwrap();
     p.persist_pending().unwrap();
 
     for sys in [&mut oracle, &mut p] {
@@ -262,8 +262,7 @@ fn torn_tail_recovers_to_previous_commit() {
 fn external_drain_does_not_steal_from_persistence() {
     let dir = tmp_dir("drain_steal");
     let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
-    {
-        let db = p.database_mut();
+    p.with_database_mut(|db| {
         seed_figure4(db).unwrap();
         // the whole seed is still unflushed; drain it through the legacy
         // consumer interface
@@ -271,7 +270,8 @@ fn external_drain_does_not_steal_from_persistence() {
         assert!(drained > 0, "the seed transactions must be journaled");
         // and keep committing after the drain
         db.insert("DEPARTMENT", vec!["Mathematics".into()]).unwrap();
-    }
+    })
+    .unwrap();
     p.persist_pending().unwrap();
     let live = fingerprint(p.database());
     std::mem::forget(p); // crash
@@ -293,8 +293,10 @@ fn external_drain_does_not_steal_from_persistence() {
 /// Regression for the `database_mut` DDL crash window: structural changes
 /// made through the raw borrow are flushed as a checkpoint by the next
 /// persistence call (or the next borrow), so a kill right after leaves
-/// nothing behind.
+/// nothing behind. The deprecated raw borrow is deliberately exercised —
+/// `with_database_mut` closes this window by construction.
 #[test]
+#[allow(deprecated)]
 fn ddl_through_borrow_survives_kill_and_recover() {
     let dir = tmp_dir("ddl_borrow");
     let mut p = Penguin::persistent(&dir, university_schema()).unwrap();
