@@ -70,6 +70,7 @@ fn run_commit_loop(case: &str, policy: SyncPolicy, commits: usize) -> std::time:
     let options = StoreOptions {
         sync: policy,
         checkpoint: CheckpointPolicy::never(),
+        ..StoreOptions::default()
     };
     let mut store = Store::create(&dir, &db, options).unwrap();
     let (_, d) = time(|| {
@@ -125,6 +126,7 @@ fn bench_recovery(commits: usize, runs: usize) {
             let options = StoreOptions {
                 sync: SyncPolicy::Never,
                 checkpoint: CheckpointPolicy::never(),
+                ..StoreOptions::default()
             };
             let mut store = Store::create(&dir, &db, options).unwrap();
             for k in 0..records as i64 {

@@ -1,0 +1,187 @@
+//! B7 — storage scale-out: incremental checkpoint cost and
+//! partition-parallel recovery throughput of the segmented `vo-store`.
+//!
+//! Two claims the PR makes quantitative:
+//!
+//! 1. **Checkpoint latency vs database size** — a *full* checkpoint
+//!    serialises every tuple, so its latency grows linearly with the
+//!    database; an *incremental* (delta) checkpoint serialises only the
+//!    tuples touched since the last checkpoint, so over a 16× database
+//!    sweep with a fixed update batch it should stay ~flat (within a
+//!    small constant factor).
+//! 2. **Recovery throughput vs partition workers** — the base artifact
+//!    is decoded per key-range partition through `vo_exec::map_chunks`,
+//!    so `Store::open` should speed up with worker count while staying
+//!    byte-identical (the equivalence itself is covered by tests; this
+//!    bench measures the throughput side).
+//!
+//! Knobs: `VO_B7_TUPLES` (smallest database in the sweep, default 1000 —
+//! doubled four times for a 16× span), `VO_B7_BATCH` (updates between
+//! incremental checkpoints, default 64), and `VO_B7_RUNS` (timed
+//! repetitions, median reported, default 3). Output is one compact JSON
+//! line per measurement, like every other bench.
+
+use std::path::PathBuf;
+use vo_bench::{banner, emit_measurement, time, Json, Reporter};
+use vo_penguin::Parallelism;
+use vo_relational::database::{Database, DbOp};
+use vo_relational::schema::{AttributeDef, RelationSchema};
+use vo_relational::tuple::{Key, Tuple};
+use vo_relational::value::DataType;
+use vo_store::prelude::*;
+
+fn knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench_dir(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vo_b7_{}_{case}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn quiet_options() -> StoreOptions {
+    StoreOptions {
+        sync: SyncPolicy::Never,
+        checkpoint: CheckpointPolicy::never(),
+        compaction: CompactionPolicy::never(),
+        ..StoreOptions::default()
+    }
+}
+
+/// A database with `n` tuples in one keyed relation.
+fn db_of(n: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        RelationSchema::new(
+            "T",
+            vec![
+                AttributeDef::required("k", DataType::Int),
+                AttributeDef::nullable("v", DataType::Text),
+            ],
+            &["k"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for k in 0..n as i64 {
+        db.insert("T", vec![k.into(), format!("value-{k}").into()])
+            .unwrap();
+    }
+    db
+}
+
+/// Commit `batch` single-row updates through the store so the next
+/// checkpoint has exactly that much delta to serialise.
+fn touch(db: &mut Database, store: &mut Store, batch: usize, round: usize) {
+    let schema = db.table("T").unwrap().schema().clone();
+    for i in 0..batch as i64 {
+        let new = Tuple::new(&schema, vec![i.into(), format!("r{round}-{i}").into()]).unwrap();
+        let op = DbOp::Replace {
+            relation: "T".into(),
+            old_key: Key::single(i),
+            tuple: new,
+        };
+        db.apply(&op).unwrap();
+        store.commit(db, &[vec![op]]).unwrap();
+    }
+}
+
+/// Incremental vs full checkpoint latency over a 16× database sweep with
+/// a fixed-size update batch between checkpoints.
+fn bench_checkpoint_curves(base_tuples: usize, batch: usize, runs: usize) {
+    let mut report = Reporter::new(
+        "b7",
+        "checkpoint latency vs database size (fixed update batch)",
+        "tuples",
+    );
+    for step in 0..5usize {
+        let n = base_tuples << step;
+        let dir = bench_dir(&format!("ckpt_{n}"));
+        let mut db = db_of(n);
+        let mut store = Store::create(&dir, &db, quiet_options()).unwrap();
+
+        // incremental: delta checkpoints carry only the touched batch
+        let mut delta_times = Vec::new();
+        for round in 0..runs.max(1) {
+            touch(&mut db, &mut store, batch, round);
+            let (_, d) = time(|| store.checkpoint(&db).unwrap());
+            delta_times.push(d);
+        }
+        delta_times.sort();
+        report.measure("checkpoint/delta", &n.to_string(), delta_times[runs / 2]);
+
+        // full: serialise the whole database (the Store::create path —
+        // base artifact write with an empty log)
+        let mut full_times = Vec::new();
+        for round in 0..runs.max(1) {
+            let full_dir = bench_dir(&format!("full_{n}_{round}"));
+            let (_, d) = time(|| Store::create(&full_dir, &db, quiet_options()).unwrap());
+            full_times.push(d);
+            std::fs::remove_dir_all(&full_dir).ok();
+        }
+        full_times.sort();
+        report.measure("checkpoint/full", &n.to_string(), full_times[runs / 2]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    report.finish();
+}
+
+/// Recovery throughput of `Store::open` against the largest database in
+/// the sweep, at increasing partition worker counts.
+fn bench_recovery_workers(tuples: usize, batch: usize, runs: usize) {
+    banner("B7", "recovery throughput vs partition workers");
+    let dir = bench_dir("recover");
+    let mut db = db_of(tuples);
+    let mut store = Store::create(&dir, &db, quiet_options()).unwrap();
+    // leave a realistic tail: one delta checkpoint plus live segments
+    touch(&mut db, &mut store, batch, 0);
+    store.checkpoint(&db).unwrap();
+    touch(&mut db, &mut store, batch, 1);
+    store.sync().unwrap();
+    drop(store);
+
+    for workers in [1usize, 2, 4, 8] {
+        let options = StoreOptions {
+            parallelism: Parallelism::Fixed(workers),
+            ..quiet_options()
+        };
+        let mut times = Vec::new();
+        for _ in 0..runs.max(1) {
+            let ((_, recovered, _), d) = {
+                let (out, d) = time(|| Store::open(&dir, options).unwrap());
+                (out, d)
+            };
+            assert_eq!(recovered.table("T").unwrap().len(), tuples);
+            times.push(d);
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        emit_measurement(
+            "b7",
+            &format!("recover/w{workers}"),
+            vec![
+                ("workers", Json::Int(workers as i64)),
+                ("tuples", Json::Int(tuples as i64)),
+                (
+                    "tuples_per_sec",
+                    Json::Float((tuples as f64 / median.as_secs_f64()).round()),
+                ),
+            ],
+            median,
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn main() {
+    let base_tuples = knob("VO_B7_TUPLES", 1000);
+    let batch = knob("VO_B7_BATCH", 64);
+    let runs = knob("VO_B7_RUNS", 3);
+    bench_checkpoint_curves(base_tuples, batch, runs);
+    bench_recovery_workers(base_tuples << 4, batch, runs);
+}

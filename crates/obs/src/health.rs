@@ -122,9 +122,17 @@ pub struct HealthInputs {
     pub persistence_lag: Option<u64>,
     /// Per-view staleness (pending entries + lapsed cursors).
     pub view_staleness: Vec<StalenessInput>,
-    /// Write-ahead-log bytes accumulated since the last checkpoint
-    /// (`None` when in-memory).
-    pub wal_bytes_since_checkpoint: Option<u64>,
+    /// Total bytes across *live* write-ahead-log segments — segments
+    /// holding at least one record newer than the last checkpoint, plus
+    /// the active segment (`None` when in-memory). With a segmented WAL
+    /// a single "bytes since checkpoint" number under-reports growth:
+    /// retired-but-uncompacted segments still occupy disk, so the policy
+    /// grades the live total.
+    pub wal_live_bytes: Option<u64>,
+    /// Number of WAL segment files on disk, live and retired (`None`
+    /// when in-memory). A climbing count with a healthy byte total means
+    /// compaction stopped folding retired segments.
+    pub wal_segments: Option<u64>,
     /// Whether the last recovery truncated a torn tail (`None` when the
     /// system was not recovered).
     pub recovery_torn_tail: Option<bool>,
@@ -154,11 +162,15 @@ pub struct HealthPolicy {
     pub persistence_lag_unhealthy: u64,
     /// Per-view pending journal entries that degrade the verdict.
     pub staleness_degraded: u64,
-    /// WAL bytes since the last checkpoint that degrade the verdict.
+    /// Live WAL segment bytes that degrade the verdict.
     pub wal_bytes_degraded: u64,
-    /// WAL bytes since the last checkpoint that make the system
-    /// unhealthy.
+    /// Live WAL segment bytes that make the system unhealthy.
     pub wal_bytes_unhealthy: u64,
+    /// On-disk WAL segment count that degrades the verdict (compaction
+    /// is expected to bound the count well below this).
+    pub wal_segments_degraded: u64,
+    /// On-disk WAL segment count that makes the system unhealthy.
+    pub wal_segments_unhealthy: u64,
     /// Minimum plan-cache hit ratio (hits / lookups) once at least
     /// [`HealthPolicy::plan_cache_min_lookups`] lookups have happened;
     /// below it the verdict degrades.
@@ -180,6 +192,8 @@ impl std::fmt::Debug for HealthPolicy {
             .field("staleness_degraded", &self.staleness_degraded)
             .field("wal_bytes_degraded", &self.wal_bytes_degraded)
             .field("wal_bytes_unhealthy", &self.wal_bytes_unhealthy)
+            .field("wal_segments_degraded", &self.wal_segments_degraded)
+            .field("wal_segments_unhealthy", &self.wal_segments_unhealthy)
             .field("plan_cache_min_hit_ratio", &self.plan_cache_min_hit_ratio)
             .field("plan_cache_min_lookups", &self.plan_cache_min_lookups)
             .field("rules", &self.rules.len())
@@ -200,6 +214,8 @@ impl Default for HealthPolicy {
             staleness_degraded: 256,
             wal_bytes_degraded: 64 << 20,
             wal_bytes_unhealthy: 512 << 20,
+            wal_segments_degraded: 64,
+            wal_segments_unhealthy: 512,
             plan_cache_min_hit_ratio: 0.5,
             plan_cache_min_lookups: 128,
             rules: Vec::new(),
@@ -298,16 +314,38 @@ impl HealthPolicy {
             }
         }
 
-        if let Some(bytes) = inputs.wal_bytes_since_checkpoint {
+        if let Some(bytes) = inputs.wal_live_bytes {
             if let Some((status, threshold)) =
                 Self::grade(bytes, self.wal_bytes_degraded, self.wal_bytes_unhealthy)
             {
+                let segments = inputs
+                    .wal_segments
+                    .map(|n| format!(" across {n} segments"))
+                    .unwrap_or_default();
                 reasons.push(HealthReason {
                     code: "wal_bytes".to_owned(),
                     status,
                     value: bytes as f64,
                     threshold: threshold as f64,
-                    detail: format!("{bytes} WAL bytes since the last checkpoint"),
+                    detail: format!("{bytes} live WAL bytes{segments} not yet checkpointed"),
+                });
+            }
+        }
+
+        if let Some(segments) = inputs.wal_segments {
+            if let Some((status, threshold)) = Self::grade(
+                segments,
+                self.wal_segments_degraded,
+                self.wal_segments_unhealthy,
+            ) {
+                reasons.push(HealthReason {
+                    code: "wal_segments".to_owned(),
+                    status,
+                    value: segments as f64,
+                    threshold: threshold as f64,
+                    detail: format!(
+                        "{segments} WAL segment files on disk; compaction is not folding retired segments"
+                    ),
                 });
             }
         }
@@ -451,12 +489,34 @@ mod tests {
         let policy = HealthPolicy::default();
         let report = policy.evaluate(&HealthInputs {
             persistence_lag: Some(policy.persistence_lag_unhealthy + 5),
-            wal_bytes_since_checkpoint: Some(policy.wal_bytes_degraded),
+            wal_live_bytes: Some(policy.wal_bytes_degraded),
+            wal_segments: Some(7),
             ..HealthInputs::default()
         });
         assert_eq!(report.status, HealthStatus::Unhealthy);
         let by_code = |c: &str| report.reasons.iter().find(|r| r.code == c).unwrap();
         assert_eq!(by_code("persistence_lag").status, HealthStatus::Unhealthy);
         assert_eq!(by_code("wal_bytes").status, HealthStatus::Degraded);
+        // the byte reason names the segment count it spans
+        assert!(by_code("wal_bytes").detail.contains("across 7 segments"));
+        // a healthy segment count contributes no reason of its own
+        assert!(!report.reasons.iter().any(|r| r.code == "wal_segments"));
+    }
+
+    #[test]
+    fn runaway_segment_count_grades_even_with_small_bytes() {
+        let policy = HealthPolicy::default();
+        let degraded = policy.evaluate(&HealthInputs {
+            wal_live_bytes: Some(1024),
+            wal_segments: Some(policy.wal_segments_degraded),
+            ..HealthInputs::default()
+        });
+        assert_eq!(degraded.status, HealthStatus::Degraded);
+        assert_eq!(degraded.reasons[0].code, "wal_segments");
+        let unhealthy = policy.evaluate(&HealthInputs {
+            wal_segments: Some(policy.wal_segments_unhealthy + 1),
+            ..HealthInputs::default()
+        });
+        assert_eq!(unhealthy.status, HealthStatus::Unhealthy);
     }
 }

@@ -472,13 +472,27 @@ impl Parser<'_> {
                     }
                 }
                 b if b < 0x20 => return Err(bad("control character in string")),
+                // Plain ASCII (the `"` / `\` / control cases matched above).
+                b if b < 0x80 => s.push(b as char),
                 _ => {
-                    // Re-scan as UTF-8: back up one byte and take the char.
+                    // Multi-byte UTF-8: back up one byte and decode just
+                    // the next character (at most 4 bytes) — validating
+                    // the whole remaining input here would make string
+                    // parsing quadratic.
                     self.pos -= 1;
-                    let rest = &self.bytes[self.pos..];
-                    let text =
-                        std::str::from_utf8(rest).map_err(|_| bad("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().unwrap();
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(rest) {
+                        Ok(text) => text.chars().next(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                        }
+                        Err(_) => None,
+                    };
+                    let c = c.ok_or_else(|| bad("invalid UTF-8 in string"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -44,7 +44,7 @@ pub mod prelude {
         HealthInputs, HealthPolicy, HealthReason, HealthReport, HealthStatus, StalenessInput,
     };
     pub use crate::json::{Json, JsonError};
-    pub use crate::metrics::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot};
+    pub use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
     pub use crate::profile::ProfileNode;
     pub use crate::sink::{
         DrainStats, FileSink, MemorySink, SamplingPolicy, TelemetryPipeline, TelemetrySink,

@@ -52,6 +52,47 @@ impl std::fmt::Debug for Counter {
     }
 }
 
+/// A registered gauge handle: a last-write-wins level (queue depth,
+/// live WAL segment count, bytes on disk) rather than a monotone count.
+/// Cheap to copy, relaxed-atomic to set.
+#[derive(Clone, Copy)]
+pub struct Gauge(&'static AtomicU64);
+
+impl Gauge {
+    /// Set the current level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the level.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` from the level (saturating at zero).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
 /// A registered histogram handle over log₂ buckets.
 #[derive(Clone, Copy)]
 pub struct Histogram(&'static HistogramCells);
@@ -233,6 +274,7 @@ impl HistogramSnapshot {
 
 struct RegistryInner {
     counters: BTreeMap<String, &'static AtomicU64>,
+    gauges: BTreeMap<String, &'static AtomicU64>,
     histograms: BTreeMap<String, &'static HistogramCells>,
 }
 
@@ -241,6 +283,7 @@ fn registry() -> &'static Mutex<RegistryInner> {
     R.get_or_init(|| {
         Mutex::new(RegistryInner {
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
         })
     })
@@ -255,6 +298,17 @@ pub fn counter(name: &str) -> Counter {
     let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
     r.counters.insert(name.to_owned(), cell);
     Counter(cell)
+}
+
+/// Register (or fetch) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut r = registry().lock().unwrap();
+    if let Some(g) = r.gauges.get(name) {
+        return Gauge(g);
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    r.gauges.insert(name.to_owned(), cell);
+    Gauge(cell)
 }
 
 /// Register (or fetch) the histogram named `name`.
@@ -273,14 +327,17 @@ pub fn histogram(name: &str) -> Histogram {
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
-    /// The snapshot as a JSON object `{counters: {...}, histograms: {...}}`.
+    /// The snapshot as a JSON object
+    /// `{counters: {...}, gauges: {...}, histograms: {...}}`.
     ///
-    /// Deterministic: both sections render sorted by metric name (the
+    /// Deterministic: every section renders sorted by metric name (the
     /// snapshot stores them in `BTreeMap`s), never in registration order,
     /// so two exported snapshots diff cleanly line-by-line.
     pub fn to_json(&self) -> Json {
@@ -289,6 +346,15 @@ impl MetricsSnapshot {
                 "counters",
                 Json::Obj(
                     self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
                         .iter()
                         .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
                         .collect(),
@@ -324,19 +390,25 @@ fn prometheus_name(name: &str) -> String {
 
 impl MetricsSnapshot {
     /// Render the snapshot as Prometheus-style exposition text, sorted by
-    /// metric name (counters first, then histograms).
+    /// metric name (counters first, then gauges, then histograms).
     ///
-    /// Counters become `# TYPE <name> counter` plus one sample line.
-    /// Histograms become summaries: `{quantile="0.5|0.9|0.99"}` estimate
-    /// lines (see [`HistogramSnapshot::quantile`]) plus `_sum`, `_count`,
-    /// `_min` and `_max` samples. The output is deterministic for a given
-    /// snapshot, so two exports diff cleanly.
+    /// Counters become `# TYPE <name> counter` plus one sample line,
+    /// gauges `# TYPE <name> gauge` likewise. Histograms become
+    /// summaries: `{quantile="0.5|0.9|0.99"}` estimate lines (see
+    /// [`HistogramSnapshot::quantile`]) plus `_sum`, `_count`, `_min` and
+    /// `_max` samples. The output is deterministic for a given snapshot,
+    /// so two exports diff cleanly.
     pub fn expose_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (name, value) in &self.counters {
             let n = prometheus_name(name);
             let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
             let _ = writeln!(out, "{n} {value}");
         }
         for (name, h) in &self.histograms {
@@ -370,6 +442,11 @@ pub fn snapshot_all() -> MetricsSnapshot {
             .iter()
             .map(|(k, c)| (k.clone(), c.load(Ordering::Relaxed)))
             .collect(),
+        gauges: r
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.load(Ordering::Relaxed)))
+            .collect(),
         histograms: r
             .histograms
             .iter()
@@ -383,6 +460,9 @@ pub fn reset_all() {
     let r = registry().lock().unwrap();
     for c in r.counters.values() {
         c.store(0, Ordering::Relaxed);
+    }
+    for g in r.gauges.values() {
+        g.store(0, Ordering::Relaxed);
     }
     for h in r.histograms.values() {
         Histogram(h).reset();
@@ -482,6 +562,34 @@ mod tests {
         // out-of-range q clamps rather than panicking
         assert_eq!(s.quantile(-1.0), 1.0);
         assert_eq!(s.quantile(2.0), 100.0);
+    }
+
+    #[test]
+    fn gauges_set_and_expose() {
+        let g = gauge("test.metrics.gauge_level");
+        let g2 = gauge("test.metrics.gauge_level");
+        g.set(10);
+        g2.add(5);
+        g2.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        g.set(42);
+        let snap = snapshot_all();
+        assert_eq!(snap.gauges.get("test.metrics.gauge_level"), Some(&42));
+        let text = snap.expose_text();
+        assert!(text.contains("# TYPE test_metrics_gauge_level gauge"));
+        assert!(text.lines().any(|l| l == "test_metrics_gauge_level 42"));
+        let j = snap.to_json();
+        assert_eq!(
+            j.field("gauges")
+                .unwrap()
+                .field("test.metrics.gauge_level")
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            42
+        );
     }
 
     #[test]

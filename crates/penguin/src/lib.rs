@@ -31,5 +31,7 @@ pub use generator::{
 pub use session::Session;
 pub use system::{Penguin, PenguinOptions, PlanCacheStats, RegisteredObject, WatchId, SYSTEM_FILE};
 pub use vo_exec::{available_parallelism, Parallelism};
-pub use vo_store::{CheckpointPolicy, RecoveryReport, StoreOptions, SyncPolicy};
+pub use vo_store::{
+    CheckpointPolicy, CompactionPolicy, CompactionReport, RecoveryReport, StoreOptions, SyncPolicy,
+};
 pub use voql::{parse as parse_voql, run as run_voql, VoqlOutcome, VoqlStatement};

@@ -16,7 +16,7 @@ use vo_obs::metrics::{self, Counter, Histogram};
 use vo_obs::sink::TelemetryPipeline;
 use vo_obs::slowlog::{self, SlowOp};
 use vo_obs::trace;
-use vo_store::{RecoveryReport, Store, StoreOptions};
+use vo_store::{CompactionPolicy, CompactionReport, RecoveryReport, Store, StoreOptions};
 
 /// File holding a persistent system's definition (schema, objects,
 /// translators) inside its store directory. Base data is *not* in this
@@ -141,6 +141,14 @@ impl PenguinOptions {
     /// and [`Penguin::open_with`].
     pub fn store(mut self, options: StoreOptions) -> Self {
         self.store = options;
+        self
+    }
+
+    /// When the store folds its delta-checkpoint chain and retired WAL
+    /// segments back into a full base (shorthand for setting the field
+    /// inside [`PenguinOptions::store`]).
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.store.compaction = policy;
         self
     }
 
@@ -355,11 +363,14 @@ impl Penguin {
     /// [`StoreOptions`] or a full [`PenguinOptions`].
     ///
     /// The directory receives `system.json` (the definition: schema,
-    /// objects, translators), `checkpoint.json` (the base data), and
-    /// `wal.log` (committed translations since the checkpoint). Every
-    /// successful mutating facade call — object updates, batches, SQL —
-    /// appends its committed base-table operations to the log as one
-    /// record per transaction before returning.
+    /// objects, translators), `base-<id>.json` / `delta-<id>.json`
+    /// (full and incremental checkpoints of the base data), and
+    /// `wal-<seq>.log` (segmented log of committed translations since
+    /// the newest checkpoint). Every successful mutating facade call —
+    /// object updates, batches, SQL — appends its committed base-table
+    /// operations to the log as one record per transaction before
+    /// returning. Pre-segmentation directories (`checkpoint.json` +
+    /// `wal.log`) still open and are migrated at the first checkpoint.
     pub fn persistent_with(
         dir: impl Into<PathBuf>,
         schema: StructuralSchema,
@@ -444,14 +455,29 @@ impl Penguin {
         Ok(())
     }
 
-    /// Flush pending transactions and take a checkpoint now, truncating
-    /// the log. A no-op on in-memory systems.
+    /// Flush pending transactions and take a checkpoint now — normally
+    /// an incremental delta artifact whose cost tracks the churn since
+    /// the last checkpoint, not the database size. A no-op on in-memory
+    /// systems.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.flush_store()?;
         if let Some(store) = &mut self.store {
             store.checkpoint(&self.db)?;
         }
         Ok(())
+    }
+
+    /// Fold the store's base + delta-checkpoint chain into a fresh full
+    /// base and delete what it supersedes (old bases, deltas, retired
+    /// WAL segments, legacy files). Runs from disk artifacts alone; see
+    /// [`vo_store::Store::compact`]. Returns a default (no-op) report on
+    /// in-memory systems.
+    pub fn compact(&mut self) -> Result<CompactionReport> {
+        self.flush_store()?;
+        match &mut self.store {
+            Some(store) => Ok(store.compact()?),
+            None => Ok(CompactionReport::default()),
+        }
     }
 
     /// Force an fsync of the write-ahead log regardless of sync policy.
@@ -1154,9 +1180,10 @@ impl Penguin {
     }
 
     /// Gather every health signal this system can observe about itself —
-    /// journal lag per consumer, persistence lag, per-view staleness, WAL
-    /// growth since the last checkpoint, the last recovery's outcome, and
-    /// plan-cache hit ratio — without mutating anything.
+    /// journal lag per consumer, persistence lag, per-view staleness,
+    /// live WAL bytes and segment-file count (checkpoint/compaction
+    /// debt), the last recovery's outcome, and plan-cache hit ratio —
+    /// without mutating anything.
     pub fn health_inputs(&self) -> HealthInputs {
         let mut consumer_lags = Vec::new();
         if let Some(cursor) = self.wal_cursor {
@@ -1182,7 +1209,8 @@ impl Penguin {
             consumer_lags,
             persistence_lag: self.persistence_lag(),
             view_staleness,
-            wal_bytes_since_checkpoint: self.store.as_ref().map(Store::wal_len),
+            wal_live_bytes: self.store.as_ref().map(Store::wal_len),
+            wal_segments: self.store.as_ref().map(Store::segment_count),
             recovery_torn_tail: self.recovery.map(|r| r.torn_tail_truncated),
             plan_cache_hits: stats.hits,
             plan_cache_misses: stats.misses,

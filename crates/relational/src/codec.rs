@@ -9,7 +9,7 @@ use crate::database::DbOp;
 use crate::error::{Error, Result};
 use crate::json::Json;
 use crate::schema::{AttributeDef, RelationSchema};
-use crate::storage::{DatabaseSnapshot, RelationSnapshot};
+use crate::storage::{DatabaseSnapshot, RelationDelta, RelationSnapshot, SnapshotDelta};
 use crate::tuple::{Key, Tuple};
 use crate::value::{DataType, Value};
 
@@ -301,6 +301,116 @@ impl DatabaseSnapshot {
                 .map(RelationSnapshot::from_json)
                 .collect::<Result<Vec<_>>>()?,
             version,
+        })
+    }
+
+    /// [`DatabaseSnapshot::from_json`] with per-relation row decoding
+    /// fanned out over `workers` threads via [`vo_exec::map_chunks`] —
+    /// the recovery decode path for partitioned checkpoints. The decoded
+    /// snapshot is identical at every worker count.
+    pub fn from_json_with(json: &Json, workers: usize) -> Result<Self> {
+        let version = match json.field("version") {
+            Ok(v) => {
+                let i = v.as_i64()?;
+                if i < 0 {
+                    return Err(bad(format!("negative snapshot version {i}")));
+                }
+                i as u64
+            }
+            Err(_) => 0,
+        };
+        let mut relations = Vec::new();
+        for rel in json.field("relations")?.elements()? {
+            let schema = RelationSchema::from_json(rel.field("schema")?)?;
+            let rows = vo_exec::map_chunks(
+                rel.field("rows")?.elements()?,
+                workers.max(1),
+                |_, chunk| chunk.iter().map(Tuple::from_json).collect(),
+            )?;
+            let indexes = rel
+                .field("indexes")?
+                .elements()?
+                .iter()
+                .map(|idx| {
+                    idx.elements()?
+                        .iter()
+                        .map(|a| a.as_str().map(str::to_owned).map_err(Error::from))
+                        .collect::<Result<Vec<_>>>()
+                })
+                .collect::<Result<Vec<_>>>()?;
+            relations.push(RelationSnapshot {
+                schema,
+                rows,
+                indexes,
+            });
+        }
+        Ok(DatabaseSnapshot { relations, version })
+    }
+}
+
+impl RelationDelta {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("relation", Json::str(self.relation.clone())),
+            (
+                "upserts",
+                Json::Arr(self.upserts.iter().map(|t| t.to_json()).collect()),
+            ),
+            (
+                "deletes",
+                Json::Arr(self.deletes.iter().map(|k| k.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(RelationDelta {
+            relation: json.field("relation")?.as_str()?.to_owned(),
+            upserts: json
+                .field("upserts")?
+                .elements()?
+                .iter()
+                .map(Tuple::from_json)
+                .collect::<Result<Vec<_>>>()?,
+            deletes: json
+                .field("deletes")?
+                .elements()?
+                .iter()
+                .map(Key::from_json)
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+}
+
+impl SnapshotDelta {
+    /// Encode as JSON — the payload format of `vo-store` incremental
+    /// checkpoint artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "relations",
+                Json::Arr(self.relations.iter().map(|r| r.to_json()).collect()),
+            ),
+            ("version", Json::Int(self.version as i64)),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let version = json.field("version")?.as_i64()?;
+        if version < 0 {
+            return Err(bad(format!("negative delta version {version}")));
+        }
+        Ok(SnapshotDelta {
+            relations: json
+                .field("relations")?
+                .elements()?
+                .iter()
+                .map(RelationDelta::from_json)
+                .collect::<Result<Vec<_>>>()?,
+            version: version as u64,
         })
     }
 }

@@ -472,6 +472,21 @@ impl Database {
         Ok(())
     }
 
+    /// Install a fully built table (the bulk snapshot-restore path):
+    /// same structural semantics as [`Database::create_relation`]
+    /// followed by per-tuple inserts, without the per-row validation and
+    /// index maintenance the table builder already performed.
+    pub(crate) fn install_table(&mut self, table: Table) -> Result<()> {
+        if self.tables.contains_key(table.schema().name()) {
+            return Err(Error::DuplicateRelation(table.schema().name().to_owned()));
+        }
+        self.structure_epoch += 1;
+        let name = table.schema().name().to_owned();
+        self.tables.insert(name.clone(), Arc::new(table));
+        self.structural_stamp(&name);
+        Ok(())
+    }
+
     /// Drop a relation and all its tuples.
     pub fn drop_relation(&mut self, name: &str) -> Result<()> {
         self.structure_epoch += 1;

@@ -72,8 +72,10 @@ pub mod prelude {
     pub use crate::schema::{AttributeDef, DatabaseSchema, RelationSchema};
     pub use crate::sql::SqlOutcome;
     pub use crate::stats::InstrumentationSnapshot;
-    pub use crate::storage::{DatabaseSnapshot, RelationSnapshot};
-    pub use crate::table::Table;
+    pub use crate::storage::{
+        DatabaseSnapshot, RelationDelta, RelationSnapshot, SnapshotDelta, SnapshotDeltaBuilder,
+    };
+    pub use crate::table::{KeyRange, Table};
     pub use crate::tuple::{Key, Tuple};
     pub use crate::value::{DataType, Value};
     pub use vo_obs::profile::ProfileNode;

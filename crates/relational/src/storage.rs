@@ -7,10 +7,13 @@
 //! extended to data — and the `vo-store` crate writes snapshots as its
 //! checkpoint files.
 
-use crate::database::Database;
+use crate::database::{Database, DbOp};
 use crate::error::{Error, Result};
 use crate::schema::RelationSchema;
-use crate::tuple::Tuple;
+use crate::table::Table;
+use crate::tuple::{Key, Tuple};
+use std::collections::BTreeMap;
+use vo_exec::map_chunks;
 
 /// One relation's image: schema, rows in key order, and the attribute
 /// lists of its secondary indexes.
@@ -65,14 +68,38 @@ impl DatabaseSnapshot {
     /// equivalent, not just content-equivalent. This is the checkpoint
     /// image `vo-store` persists.
     pub fn capture_full(db: &Database) -> Self {
-        let mut snap = Self::capture(db);
-        for rel in &mut snap.relations {
-            rel.indexes = db
-                .table(rel.schema.name())
-                .expect("captured from this database")
-                .index_attrs();
+        Self::capture_full_with(db, 1)
+    }
+
+    /// [`DatabaseSnapshot::capture_full`] fanned out over `workers`
+    /// threads: each relation is split into contiguous key-range
+    /// partitions ([`Table::key_ranges`]) and the partitions are captured
+    /// through [`vo_exec::map_chunks`]. The merge concatenates partitions
+    /// in key order, so the snapshot is identical at every worker count.
+    pub fn capture_full_with(db: &Database, workers: usize) -> Self {
+        let mut relations = Vec::new();
+        for name in db.relation_names() {
+            let table = db.table(name).expect("listed");
+            let ranges = table.key_ranges(workers.max(1));
+            let rows: Vec<Tuple> = map_chunks(&ranges, workers.max(1), |_, chunk| {
+                Ok::<_, Error>(
+                    chunk
+                        .iter()
+                        .flat_map(|r| table.scan_range(r).cloned())
+                        .collect(),
+                )
+            })
+            .expect("range capture cannot fail");
+            relations.push(RelationSnapshot {
+                schema: table.schema().clone(),
+                rows,
+                indexes: table.index_attrs(),
+            });
         }
-        snap
+        DatabaseSnapshot {
+            relations,
+            version: db.version(),
+        }
     }
 
     /// Capture a snapshot declaring the given indexes per relation (the
@@ -96,24 +123,268 @@ impl DatabaseSnapshot {
     /// Rebuild a database from the snapshot (validating every tuple and
     /// rebuilding declared indexes).
     pub fn restore(&self) -> Result<Database> {
+        self.restore_with(1)
+    }
+
+    /// [`DatabaseSnapshot::restore`] with tuple validation fanned out
+    /// over `workers` threads per relation (snapshot rows are contiguous
+    /// key-range partitions, so chunks validate independently). The
+    /// rebuilt database is identical at every worker count.
+    pub fn restore_with(&self, workers: usize) -> Result<Database> {
         let mut db = Database::new();
         for rel in &self.relations {
-            db.create_relation(rel.schema.clone())?;
-            let table = db.table_mut(rel.schema.name())?;
-            for t in &rel.rows {
-                table.insert(t.clone())?;
-            }
+            let entries: Vec<(Key, Tuple)> = map_chunks(&rel.rows, workers.max(1), |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|t| {
+                        let t = Tuple::new(&rel.schema, t.clone().into_values())?;
+                        let key = t.key(&rel.schema);
+                        Ok::<_, Error>((key, t))
+                    })
+                    .collect()
+            })?;
+            let sorted = entries.windows(2).all(|w| w[0].0 < w[1].0);
+            let mut table = if sorted {
+                Table::from_sorted_rows(rel.schema.clone(), entries)
+            } else {
+                // Rows not in strict key order (a hand-built or legacy
+                // snapshot): take the per-tuple insert path, which
+                // reports duplicates precisely.
+                let mut t = Table::new(rel.schema.clone());
+                for (_, tuple) in entries {
+                    t.insert(tuple)?;
+                }
+                t
+            };
             for idx in &rel.indexes {
                 table.create_index(idx)?;
             }
+            db.install_table(table)?;
         }
         db.restore_version(self.version);
         Ok(db)
     }
 
+    /// Compact-JSON encoding, byte-identical to
+    /// `self.to_json().compact()`, with per-relation row serialization
+    /// fanned out over `workers` threads: each key-range partition of a
+    /// relation's rows is encoded independently and the fragments are
+    /// joined in key order.
+    pub fn encode_compact(&self, workers: usize) -> String {
+        let mut out = String::from("{\"relations\":[");
+        for (i, rel) in self.relations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"schema\":");
+            out.push_str(&rel.schema.to_json().compact());
+            out.push_str(",\"rows\":[");
+            let fragments: Vec<String> = map_chunks(&rel.rows, workers.max(1), |_, chunk| {
+                let mut s = String::new();
+                for (j, t) in chunk.iter().enumerate() {
+                    if j > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&t.to_json().compact());
+                }
+                Ok::<_, Error>(vec![s])
+            })
+            .expect("row encoding cannot fail");
+            out.push_str(&fragments.join(","));
+            out.push_str("],\"indexes\":");
+            let indexes = crate::json::Json::Arr(
+                rel.indexes
+                    .iter()
+                    .map(|idx| {
+                        crate::json::Json::Arr(
+                            idx.iter()
+                                .map(|a| crate::json::Json::str(a.clone()))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            out.push_str(&indexes.compact());
+            out.push('}');
+        }
+        out.push_str("],\"version\":");
+        out.push_str(&self.version.to_string());
+        out.push('}');
+        out
+    }
+
     /// Total tuples in the snapshot.
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(|r| r.rows.len()).sum()
+    }
+}
+
+/// Net tuple-level changes to one relation since a base snapshot:
+/// upserts (insert-or-replace) and deletes, each in key order, with any
+/// key appearing in at most one of the two lists.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RelationDelta {
+    /// The relation name.
+    pub relation: String,
+    /// Tuples to insert or replace, in key order.
+    pub upserts: Vec<Tuple>,
+    /// Keys to delete (a delete of an absent key is a no-op — the key
+    /// was inserted and removed entirely inside the delta window).
+    pub deletes: Vec<Key>,
+}
+
+/// Net changes between two database states, derived from the committed
+/// op stream — the incremental-checkpoint artifact. Folding the journal
+/// keeps capture and apply O(|delta|), independent of database size
+/// (the same delta discipline `vo-penguin` uses for incremental view
+/// maintenance).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotDelta {
+    /// Per-relation changes, in relation-name order.
+    pub relations: Vec<RelationDelta>,
+    /// The committed-transaction version after applying this delta;
+    /// [`SnapshotDelta::apply_to`] re-pins the database at it.
+    pub version: u64,
+}
+
+impl SnapshotDelta {
+    /// True when the delta carries no changes (the version pin may still
+    /// differ from the base).
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total upserts + deletes across all relations.
+    pub fn change_count(&self) -> usize {
+        self.relations
+            .iter()
+            .map(|r| r.upserts.len() + r.deletes.len())
+            .sum()
+    }
+
+    /// Apply the delta to a database previously restored from the base
+    /// snapshot (or an earlier delta in the same chain), then re-pin the
+    /// version. Deletes of absent keys are tolerated; upserts replace
+    /// when the key exists and insert otherwise.
+    pub fn apply_to(&self, db: &mut Database) -> Result<()> {
+        for rel in &self.relations {
+            let table = db.table_mut(&rel.relation)?;
+            for key in &rel.deletes {
+                if table.contains_key(key) {
+                    table.delete(key)?;
+                }
+            }
+            for t in &rel.upserts {
+                let key = t.key(table.schema());
+                if table.contains_key(&key) {
+                    table.replace(&key, t.clone())?;
+                } else {
+                    table.insert(t.clone())?;
+                }
+            }
+        }
+        db.restore_version(self.version);
+        Ok(())
+    }
+}
+
+/// Folds committed [`DbOp`]s into the net [`SnapshotDelta`] since the
+/// last checkpoint: later ops on a key supersede earlier ones, so the
+/// accumulated state stays O(distinct keys touched) no matter how many
+/// transactions the window spans.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDeltaBuilder {
+    /// relation → key → upsert (`Some`) or delete (`None`).
+    changes: BTreeMap<String, BTreeMap<Key, Option<Tuple>>>,
+}
+
+impl SnapshotDeltaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no changes have been folded since the last
+    /// [`SnapshotDeltaBuilder::build`]/[`SnapshotDeltaBuilder::clear`].
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Number of distinct (relation, key) entries currently folded.
+    pub fn change_count(&self) -> usize {
+        self.changes.values().map(BTreeMap::len).sum()
+    }
+
+    /// Discard all folded changes.
+    pub fn clear(&mut self) {
+        self.changes.clear();
+    }
+
+    /// Fold one committed op. `db` supplies the relation schema used to
+    /// derive primary keys; call while the relation still exists (DDL
+    /// forces a full checkpoint, clearing the builder, so in practice
+    /// every folded op's relation is live).
+    pub fn record(&mut self, db: &Database, op: &DbOp) -> Result<()> {
+        match op {
+            DbOp::Insert { relation, tuple } => {
+                let key = tuple.key(db.table(relation)?.schema());
+                self.changes
+                    .entry(relation.clone())
+                    .or_default()
+                    .insert(key, Some(tuple.clone()));
+            }
+            DbOp::Delete { relation, key } => {
+                self.changes
+                    .entry(relation.clone())
+                    .or_default()
+                    .insert(key.clone(), None);
+            }
+            DbOp::Replace {
+                relation,
+                old_key,
+                tuple,
+            } => {
+                let new_key = tuple.key(db.table(relation)?.schema());
+                let entry = self.changes.entry(relation.clone()).or_default();
+                if *old_key != new_key {
+                    entry.insert(old_key.clone(), None);
+                }
+                entry.insert(new_key, Some(tuple.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a whole committed transaction in order.
+    pub fn record_all(&mut self, db: &Database, ops: &[DbOp]) -> Result<()> {
+        for op in ops {
+            self.record(db, op)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the folded changes into a serializable delta pinned at
+    /// `version`, leaving the builder empty.
+    pub fn build(&mut self, version: u64) -> SnapshotDelta {
+        let relations = std::mem::take(&mut self.changes)
+            .into_iter()
+            .map(|(relation, entries)| {
+                let mut upserts = Vec::new();
+                let mut deletes = Vec::new();
+                for (key, change) in entries {
+                    match change {
+                        Some(t) => upserts.push(t),
+                        None => deletes.push(key),
+                    }
+                }
+                RelationDelta {
+                    relation,
+                    upserts,
+                    deletes,
+                }
+            })
+            .collect();
+        SnapshotDelta { relations, version }
     }
 }
 
@@ -250,5 +521,120 @@ mod tests {
         let t = snap.relations[0].rows[0].clone();
         snap.relations[0].rows.push(t);
         assert!(snap.restore().is_err());
+        // and at every worker count
+        assert!(snap.restore_with(3).is_err());
+    }
+
+    fn wide_sample(n: i64) -> Database {
+        let mut db = sample();
+        db.create_index("T", &["v".to_string()]).unwrap();
+        for i in 10..10 + n {
+            db.insert("T", vec![i.into(), format!("v{i}").into()])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn key_ranges_cover_and_partition_the_key_space() {
+        let db = wide_sample(23);
+        let table = db.table("T").unwrap();
+        for parts in [1, 2, 3, 7, 64] {
+            let ranges = table.key_ranges(parts);
+            assert!(ranges.len() <= parts.max(1));
+            assert_eq!(ranges.first().unwrap().start, None);
+            assert_eq!(ranges.last().unwrap().end, None);
+            let stitched: Vec<_> = ranges
+                .iter()
+                .flat_map(|r| table.scan_range(r).cloned())
+                .collect();
+            let full: Vec<_> = table.scan().cloned().collect();
+            assert_eq!(stitched, full, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn partitioned_capture_restore_and_encode_are_worker_count_invariant() {
+        let db = wide_sample(37);
+        let baseline = DatabaseSnapshot::capture_full(&db);
+        let text = baseline.to_json().compact();
+        for workers in [1, 2, 3, 8] {
+            assert_eq!(DatabaseSnapshot::capture_full_with(&db, workers), baseline);
+            assert_eq!(baseline.encode_compact(workers), text, "workers={workers}");
+            let restored = baseline.restore_with(workers).unwrap();
+            assert_eq!(
+                DatabaseSnapshot::capture_full(&restored),
+                baseline,
+                "workers={workers}"
+            );
+            assert!(restored.table("T").unwrap().has_index(&["v".to_string()]));
+            // parallel decode matches the sequential decoder too
+            use crate::json::parse;
+            let decoded =
+                DatabaseSnapshot::from_json_with(&parse(&text).unwrap(), workers).unwrap();
+            assert_eq!(decoded, baseline);
+        }
+    }
+
+    #[test]
+    fn delta_builder_folds_ops_to_net_changes() {
+        let mut db = wide_sample(4);
+        let mut builder = SnapshotDeltaBuilder::new();
+        assert!(builder.is_empty());
+        let base = DatabaseSnapshot::capture_full(&db);
+        // insert then replace (same key), insert then delete, replace
+        // moving a key, plain delete
+        let ops = vec![
+            crate::database::DbOp::Insert {
+                relation: "T".into(),
+                tuple: Tuple::raw(vec![100.into(), "x".into()]),
+            },
+            crate::database::DbOp::Replace {
+                relation: "T".into(),
+                old_key: Key::new(vec![100.into()]),
+                tuple: Tuple::raw(vec![100.into(), "y".into()]),
+            },
+            crate::database::DbOp::Insert {
+                relation: "T".into(),
+                tuple: Tuple::raw(vec![101.into(), "gone".into()]),
+            },
+            crate::database::DbOp::Delete {
+                relation: "T".into(),
+                key: Key::new(vec![101.into()]),
+            },
+            crate::database::DbOp::Replace {
+                relation: "T".into(),
+                old_key: Key::new(vec![10.into()]),
+                tuple: Tuple::raw(vec![200.into(), "moved".into()]),
+            },
+            crate::database::DbOp::Delete {
+                relation: "T".into(),
+                key: Key::new(vec![11.into()]),
+            },
+        ];
+        for op in &ops {
+            db.apply(op).unwrap();
+            builder.record(&db, op).unwrap();
+        }
+        let delta = builder.build(db.version());
+        assert!(builder.is_empty(), "build drains the builder");
+        // net: upsert 100 ("y"), upsert 200, delete 10, delete 11,
+        // delete 101 (insert+delete still records the delete — applying
+        // it to the base is a tolerated no-op)
+        assert_eq!(delta.relations.len(), 1);
+        assert_eq!(delta.relations[0].upserts.len(), 2);
+        assert_eq!(delta.relations[0].deletes.len(), 3);
+
+        // base + delta == live state, and the codec round-trips it
+        let mut rebuilt = base.restore().unwrap();
+        let text = delta.to_json().compact();
+        let decoded = SnapshotDelta::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(decoded, delta);
+        decoded.apply_to(&mut rebuilt).unwrap();
+        assert_eq!(
+            DatabaseSnapshot::capture_full(&rebuilt),
+            DatabaseSnapshot::capture_full(&db)
+        );
+        assert_eq!(rebuilt.version(), db.version());
     }
 }

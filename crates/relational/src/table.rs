@@ -27,6 +27,17 @@ pub struct Table {
 // parallel instantiation workers through `&Database`.
 const _: fn() = vo_exec::assert_send_sync::<Table>;
 
+/// A contiguous primary-key range: `start` inclusive, `end` exclusive,
+/// `None` meaning unbounded on that side. Produced by
+/// [`Table::key_ranges`] and consumed by [`Table::scan_range`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive lower bound, or the start of the key space.
+    pub start: Option<Key>,
+    /// Exclusive upper bound, or the end of the key space.
+    pub end: Option<Key>,
+}
+
 impl Table {
     /// An empty table for `schema`.
     pub fn new(schema: RelationSchema) -> Self {
@@ -124,6 +135,68 @@ impl Table {
     /// Iterate `(key, tuple)` pairs in key order.
     pub fn scan_entries(&self) -> impl Iterator<Item = (&Key, &Tuple)> {
         self.rows.iter()
+    }
+
+    /// Split the primary-key order into `parts` contiguous, near-equal
+    /// key ranges — `vo-exec`'s pivot partitioning generalized to
+    /// storage. Ranges are half-open (`start` inclusive, `end`
+    /// exclusive), cover the whole key space (first/last are unbounded),
+    /// and concatenating [`Table::scan_range`] over them in order yields
+    /// exactly [`Table::scan`]. Checkpoint encode/decode and snapshot
+    /// restore fan out one worker per range; because the ranges are a
+    /// function of the key order alone, the merged output is
+    /// byte-identical at every worker count.
+    pub fn key_ranges(&self, parts: usize) -> Vec<KeyRange> {
+        let slices = vo_exec::partition(self.rows.len(), parts.max(1));
+        if slices.is_empty() {
+            return vec![KeyRange {
+                start: None,
+                end: None,
+            }];
+        }
+        let keys: Vec<&Key> = self.rows.keys().collect();
+        slices
+            .iter()
+            .map(|r| KeyRange {
+                start: if r.start == 0 {
+                    None
+                } else {
+                    Some(keys[r.start].clone())
+                },
+                end: if r.end >= keys.len() {
+                    None
+                } else {
+                    Some(keys[r.end].clone())
+                },
+            })
+            .collect()
+    }
+
+    /// Iterate tuples whose key falls inside `range`, in key order.
+    pub fn scan_range<'a>(&'a self, range: &KeyRange) -> impl Iterator<Item = &'a Tuple> + 'a {
+        use std::ops::Bound;
+        let lo = match &range.start {
+            Some(k) => Bound::Included(k.clone()),
+            None => Bound::Unbounded,
+        };
+        let hi = match &range.end {
+            Some(k) => Bound::Excluded(k.clone()),
+            None => Bound::Unbounded,
+        };
+        self.rows.range((lo, hi)).map(|(_, t)| t)
+    }
+
+    /// Bulk-build a table from already-validated rows in strictly
+    /// ascending key order (the partitioned snapshot-restore path — the
+    /// caller validated each tuple and verified the order). No secondary
+    /// indexes; create them afterwards.
+    pub(crate) fn from_sorted_rows(schema: RelationSchema, entries: Vec<(Key, Tuple)>) -> Table {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        Table {
+            schema,
+            rows: entries.into_iter().collect(),
+            indexes: HashMap::new(),
+        }
     }
 
     /// Tuples whose named attributes equal `values`, using a secondary

@@ -3,48 +3,75 @@
 //! The paper frames PENGUIN as a long-lived view-object server over a
 //! shared relational database (§6); a server's committed translations
 //! must outlive the process. This crate adds that durability to
-//! [`vo_relational::database::Database`] with the classic trio, all
-//! zero-dependency:
+//! [`vo_relational::database::Database`] with a scaled-out version of
+//! the classic trio, all zero-dependency:
 //!
-//! - [`wal`] — a **write-ahead log** of committed transactions:
-//!   length-prefixed, CRC-32-checksummed records (one per transaction —
-//!   a whole `apply_batch` is one record) with group-commit buffering
-//!   under a [`wal::SyncPolicy`] knob (`Always` / `EveryN` / `Never`).
-//! - [`checkpoint`] — atomic **checkpoints**: the existing
-//!   [`vo_relational::storage::DatabaseSnapshot`] codec (secondary
-//!   indexes included) written tmp-then-rename, pinned to the log
-//!   position it covers.
-//! - [`store`] — the orchestrator: size/record-count checkpoint
-//!   triggers, structure-epoch-driven checkpoints (schema changes the
-//!   DML-only log cannot express), and **crash recovery** that restores
-//!   the latest checkpoint, replays the intact log tail, and truncates a
-//!   torn final record (*truncate-at-corruption*).
+//! - [`wal`] + [`segment`] — a **segmented write-ahead log** of
+//!   committed transactions: length-prefixed, CRC-32-checksummed records
+//!   (one per transaction — a whole `apply_batch` is one record) with
+//!   group-commit buffering under a [`wal::SyncPolicy`] knob, split into
+//!   length-capped `wal-<seq>.log` files so checkpoints retire whole
+//!   segments instead of truncating a shared log.
+//! - [`delta`] — **incremental checkpoints**: periodic full
+//!   `base-<id>.json` images (the [`vo_relational::storage::DatabaseSnapshot`]
+//!   codec, secondary indexes included) plus chained `delta-<id>.json`
+//!   artifacts holding only the net tuple changes since the previous
+//!   artifact — checkpoint cost proportional to churn, flat in database
+//!   size. Every artifact carries a whole-file CRC-32 line and lands
+//!   tmp-then-rename.
+//! - [`store`] — the orchestrator: churn-driven delta checkpoints,
+//!   structure-epoch-driven full bases (schema changes the DML-only log
+//!   cannot express), a background-eligible [`store::Store::compact`]
+//!   that folds base + deltas into a new base and deletes retired
+//!   segments under a [`store::CompactionPolicy`], and **crash
+//!   recovery** that restores the newest base, applies the delta chain
+//!   (falling back to segment replay when a delta is corrupt), replays
+//!   the intact log tail, and truncates a torn final record
+//!   (*truncate-at-corruption*). Base encode/decode and table rebuilds
+//!   fan out per key-range partition via `vo_exec`, byte-identical at
+//!   every worker count.
+//! - [`checkpoint`] — the legacy single-file checkpoint, retained so
+//!   pre-segmentation directories (`checkpoint.json` + `wal.log`) still
+//!   open and migrate on their first checkpoint.
 //!
 //! The `vo-penguin` facade builds `Penguin::persistent` / `Penguin::open`
 //! on top: every successful translated update is drained from the
 //! database's commit journal and appended here.
 //!
 //! Observability: spans `wal.append`, `wal.fsync`, `store.checkpoint`,
-//! `store.recover`; counters `store.wal.bytes_appended`,
-//! `store.wal.records_appended`, `store.wal.fsyncs`, `store.checkpoints`,
-//! `store.recover.records_replayed`, `store.recover.ops_replayed`,
-//! `store.torn_tails_truncated` — all in the `vo-obs` registry.
+//! `store.compact`, `store.recover`; counters `store.wal.bytes_appended`,
+//! `store.wal.records_appended`, `store.wal.fsyncs`, `store.checkpoints`
+//! (plus `.full` / `.delta`), `store.compactions`,
+//! `store.segments.created` / `.deleted`, `store.recover.*`,
+//! `store.torn_tails_truncated`; gauges `store.segments.count`,
+//! `store.wal.live_bytes`, `store.delta_chain.len`; histogram
+//! `store.checkpoint.bytes` — all in the `vo-obs` registry.
 
 pub mod checkpoint;
 pub mod crc32;
+pub mod delta;
 pub mod error;
+pub mod segment;
 pub mod store;
 pub mod wal;
 
 pub use checkpoint::Checkpoint;
+pub use delta::{BaseCheckpoint, DeltaCheckpoint};
 pub use error::{StoreError, StoreResult};
-pub use store::{CheckpointPolicy, RecoveryReport, Store, StoreOptions};
+pub use segment::SegmentedWal;
+pub use store::{
+    CheckpointPolicy, CompactionPolicy, CompactionReport, RecoveryReport, Store, StoreOptions,
+};
 pub use wal::{CommitRecord, SyncPolicy, Wal};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::checkpoint::Checkpoint;
+    pub use crate::delta::{BaseCheckpoint, DeltaCheckpoint};
     pub use crate::error::{StoreError, StoreResult};
-    pub use crate::store::{CheckpointPolicy, RecoveryReport, Store, StoreOptions};
+    pub use crate::segment::SegmentedWal;
+    pub use crate::store::{
+        CheckpointPolicy, CompactionPolicy, CompactionReport, RecoveryReport, Store, StoreOptions,
+    };
     pub use crate::wal::{CommitRecord, SyncPolicy, Wal};
 }

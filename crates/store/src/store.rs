@@ -1,41 +1,87 @@
-//! The store: one directory holding a checkpoint and a write-ahead log,
-//! with crash recovery that loads the latest valid checkpoint and replays
-//! the intact log tail.
+//! The store: one directory holding checkpoint artifacts and a segmented
+//! write-ahead log, with crash recovery that loads the newest base
+//! checkpoint, applies its delta chain, and replays the live log tail.
+//!
+//! ## On-disk layout (PR 9)
+//!
+//! - `wal-<seq>.log` — length-capped log segments ([`SegmentedWal`]).
+//! - `base-<id>.json` — periodic **full** checkpoints ([`BaseCheckpoint`]).
+//! - `delta-<id>.json` — **incremental** checkpoints: the net tuple
+//!   upserts/deletes since the previous artifact ([`DeltaCheckpoint`]).
+//!
+//! A pre-PR-9 directory (`checkpoint.json` + `wal.log`) still opens:
+//! recovery reads the legacy pair, and the first [`Store::checkpoint`]
+//! writes a full base and deletes the legacy files (one-way migration).
 //!
 //! ## Protocol
 //!
 //! - **Commit** — after a transaction succeeds against the in-memory
-//!   [`Database`], its ops are appended to the log as one record
+//!   [`Database`], its ops are appended to the active segment as one
+//!   record and folded into the in-memory delta accumulator
 //!   ([`Store::commit`]). Durability follows the [`SyncPolicy`].
-//! - **Checkpoint** — when the log grows past the [`CheckpointPolicy`]
-//!   thresholds, or the database's *structure epoch* moved (a relation or
-//!   index was created — something the DML-only log cannot express), the
-//!   whole database is snapshotted to `checkpoint.json` (atomically, see
-//!   [`Checkpoint::write`]) and the log is truncated.
-//! - **Recover** — [`Store::open`] restores the checkpoint (if any),
-//!   replays every intact log record with `lsn > checkpoint.lsn`
-//!   (records at or below it are stale leftovers of a crash between
-//!   checkpoint write and log truncation — skipped, not double-applied),
-//!   truncates a torn tail, and finally takes a fresh checkpoint so the
-//!   next session starts compact.
+//! - **Checkpoint** — when the live log grows past the
+//!   [`CheckpointPolicy`] thresholds, the accumulated net changes are
+//!   written as a `delta-<id>.json` — cost proportional to the *churn*,
+//!   not the database size — and the active segment is sealed. A
+//!   structure-epoch move (or the [`CompactionPolicy`] limits) promotes
+//!   the checkpoint to a full base instead.
+//! - **Compact** — [`Store::compact`] folds the base + delta chain into
+//!   a new base from *disk artifacts alone* (no live database needed, so
+//!   it is background-eligible) and deletes superseded bases, deltas,
+//!   retired segments, and legacy files. Automatic at checkpoint time
+//!   under [`CompactionPolicy`] unless disabled.
+//! - **Recover** — [`Store::open`] restores the newest base, applies the
+//!   chained deltas (a delta failing its checksum *breaks the chain
+//!   gracefully*: recovery falls back to replaying log segments from the
+//!   last good artifact, which is why segments are deleted only once a
+//!   base covers them), then replays every intact segment record with
+//!   `lsn > covered`. A torn tail is truncated in the active segment
+//!   only; a tear inside a sealed segment is tolerated solely when every
+//!   record it could hide is already covered by a checkpoint.
+//!
+//! Recovery is **byte-identical at every parallelism level**: base
+//! encode/decode and table rebuilds fan out per key-range partition via
+//! `vo_exec::map_chunks`, whose contiguous deterministic partitioning
+//! keeps artifacts and recovered states independent of worker count.
 
 use crate::checkpoint::Checkpoint;
+use crate::delta::{
+    base_path_in, list_artifact_ids, BaseCheckpoint, DeltaCheckpoint, BASE_PREFIX, DELTA_PREFIX,
+};
 use crate::error::{StoreError, StoreResult};
+use crate::segment::{SegmentScan, SegmentedWal};
 use crate::wal::{SyncPolicy, Wal};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
-use vo_obs::metrics::{self, Counter};
+use vo_exec::Parallelism;
+use vo_obs::metrics::{self, Counter, Gauge, Histogram};
 use vo_obs::trace;
 use vo_relational::database::{Database, DbOp};
 use vo_relational::json::Json;
-use vo_relational::storage::DatabaseSnapshot;
+use vo_relational::storage::{DatabaseSnapshot, SnapshotDeltaBuilder};
 
-/// File name of the log inside a store directory.
+/// File name of the legacy (pre-segmentation) log inside a store
+/// directory; only read during migration.
 pub const WAL_FILE: &str = "wal.log";
 
 fn checkpoints_taken() -> Counter {
     static C: OnceLock<Counter> = OnceLock::new();
     *C.get_or_init(|| metrics::counter("store.checkpoints"))
+}
+
+fn checkpoints_full() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.checkpoints.full"))
+}
+
+fn checkpoints_delta() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.checkpoints.delta"))
+}
+
+fn compactions_run() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.compactions"))
 }
 
 fn records_replayed() -> Counter {
@@ -48,14 +94,40 @@ fn ops_replayed() -> Counter {
     *C.get_or_init(|| metrics::counter("store.recover.ops_replayed"))
 }
 
+fn deltas_applied() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("store.recover.deltas_applied"))
+}
+
+fn gauge_segment_count() -> Gauge {
+    static G: OnceLock<Gauge> = OnceLock::new();
+    *G.get_or_init(|| metrics::gauge("store.segments.count"))
+}
+
+fn gauge_live_bytes() -> Gauge {
+    static G: OnceLock<Gauge> = OnceLock::new();
+    *G.get_or_init(|| metrics::gauge("store.wal.live_bytes"))
+}
+
+fn gauge_chain_len() -> Gauge {
+    static G: OnceLock<Gauge> = OnceLock::new();
+    *G.get_or_init(|| metrics::gauge("store.delta_chain.len"))
+}
+
+fn checkpoint_bytes() -> Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    *H.get_or_init(|| metrics::histogram("store.checkpoint.bytes"))
+}
+
 /// When the store checkpoints on its own. Thresholds are checked after
-/// every [`Store::commit`]; crossing either takes a checkpoint and
-/// truncates the log.
+/// every [`Store::commit`]; crossing either takes an (incremental)
+/// checkpoint and seals the active segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointPolicy {
-    /// Checkpoint once the log's logical size exceeds this many bytes.
+    /// Checkpoint once the live log (segments not yet covered by a
+    /// checkpoint) exceeds this many bytes.
     pub max_wal_bytes: u64,
-    /// Checkpoint once the log holds this many commit records.
+    /// Checkpoint once that live log holds this many commit records.
     pub max_wal_records: u64,
 }
 
@@ -71,7 +143,7 @@ impl CheckpointPolicy {
 }
 
 impl Default for CheckpointPolicy {
-    /// 4 MiB of log or 4096 commits, whichever comes first.
+    /// 4 MiB of live log or 4096 commits, whichever comes first.
     fn default() -> Self {
         CheckpointPolicy {
             max_wal_bytes: 4 << 20,
@@ -80,13 +152,70 @@ impl Default for CheckpointPolicy {
     }
 }
 
+/// When checkpointing folds everything back into a full base, bounding
+/// the delta chain and the on-disk segment count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Promote a checkpoint to a full base once the chain would exceed
+    /// this many deltas.
+    pub max_delta_chain: u64,
+    /// Promote once this many segment files sit on disk (live and
+    /// retired — retired segments are only deleted when a base lands).
+    pub max_segments: u64,
+    /// Compact automatically at checkpoint time. When `false`, only
+    /// explicit [`Store::compact`] calls fold the chain.
+    pub auto: bool,
+}
+
+impl CompactionPolicy {
+    /// Never compact automatically.
+    pub fn never() -> Self {
+        CompactionPolicy {
+            max_delta_chain: u64::MAX,
+            max_segments: u64::MAX,
+            auto: false,
+        }
+    }
+}
+
+impl Default for CompactionPolicy {
+    /// Compact after 8 chained deltas or 16 segment files.
+    fn default() -> Self {
+        CompactionPolicy {
+            max_delta_chain: 8,
+            max_segments: 16,
+            auto: true,
+        }
+    }
+}
+
 /// Store construction knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreOptions {
     /// When appended records are flushed and fsynced.
     pub sync: SyncPolicy,
-    /// When the store checkpoints and truncates the log.
+    /// When the store checkpoints.
     pub checkpoint: CheckpointPolicy,
+    /// Roll the active segment once it reaches this many bytes.
+    pub max_segment_bytes: u64,
+    /// When checkpoints are promoted to full bases (compaction).
+    pub compaction: CompactionPolicy,
+    /// Worker fan-out for base checkpoint encode/decode and recovery
+    /// table rebuilds. Artifacts and recovered states are byte-identical
+    /// at every setting.
+    pub parallelism: Parallelism,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            sync: SyncPolicy::default(),
+            checkpoint: CheckpointPolicy::default(),
+            max_segment_bytes: 1 << 20,
+            compaction: CompactionPolicy::default(),
+            parallelism: Parallelism::default(),
+        }
+    }
 }
 
 impl StoreOptions {
@@ -102,40 +231,98 @@ impl StoreOptions {
 /// What recovery found and did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
-    /// LSN covered by the loaded checkpoint (0 = no checkpoint).
+    /// LSN covered by the loaded checkpoint artifacts (base + applied
+    /// deltas, or the legacy checkpoint; 0 = none).
     pub checkpoint_lsn: u64,
-    /// Log records applied on top of the checkpoint.
+    /// Log records applied on top of the checkpointed state.
     pub records_replayed: u64,
     /// Total ops inside the replayed records.
     pub ops_replayed: u64,
-    /// Intact records skipped because the checkpoint already covered them
-    /// (crash between checkpoint write and log truncation).
+    /// Intact records skipped because a checkpoint already covered them
+    /// (crash between checkpoint write and segment retirement).
     pub records_skipped: u64,
     /// True when a torn final record was found and truncated.
     pub torn_tail_truncated: bool,
-    /// Highest LSN seen across checkpoint and log.
+    /// Highest LSN seen across artifacts and log.
     pub last_lsn: u64,
+    /// Delta checkpoints applied on top of the base.
+    pub deltas_applied: u64,
+    /// True when the delta chain could not be followed to its end (a
+    /// corrupt or missing link); the uncovered suffix was recovered from
+    /// log segments instead.
+    pub delta_chain_broken: bool,
+    /// Segment files scanned (the legacy `wal.log`, when read, is not
+    /// counted).
+    pub segments_scanned: u64,
+    /// True when the directory held a pre-segmentation store
+    /// (`checkpoint.json` / `wal.log`); the first checkpoint migrates it.
+    pub migrated_from_legacy: bool,
+}
+
+/// What a [`Store::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionReport {
+    /// True when a new base was written (false = nothing to fold).
+    pub compacted: bool,
+    /// Id of the new base checkpoint (0 when not compacted).
+    pub new_base_id: u64,
+    /// Delta checkpoints folded into the new base.
+    pub deltas_folded: u64,
+    /// Superseded artifact files deleted (old bases + deltas).
+    pub artifacts_deleted: u64,
+    /// Retired segment files deleted.
+    pub segments_deleted: u64,
+    /// Bytes of retired segments reclaimed.
+    pub segment_bytes_reclaimed: u64,
 }
 
 /// A durable store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
-    wal: Wal,
+    wal: SegmentedWal,
     options: StoreOptions,
     /// Structure epoch of the live database at the last checkpoint; a
     /// drifted epoch forces the next commit to checkpoint instead of
     /// appending DML the recovered schema could not absorb.
     checkpoint_epoch: u64,
-    /// Commit records currently in the log (drives `max_wal_records`).
+    /// Commit records in the live log (drives `max_wal_records`).
     wal_records: u64,
-    /// LSN covered by the last checkpoint taken through this handle.
-    last_checkpoint_lsn: u64,
+    /// LSN covered by the newest checkpoint artifact.
+    covered_lsn: u64,
+    /// Id of the newest base checkpoint (0 = none yet — fresh store or
+    /// unmigrated legacy directory).
+    base_id: u64,
+    /// Id of the newest chained artifact (base or delta); the next delta
+    /// names it as parent.
+    last_id: u64,
+    /// Next artifact id to allocate (monotonic across bases and deltas,
+    /// never reused even past corrupt files).
+    next_id: u64,
+    /// Deltas chained onto the current base.
+    chain_len: u64,
+    /// Net changes since the last checkpoint, folded commit by commit.
+    delta: SnapshotDeltaBuilder,
+    /// True while legacy `checkpoint.json` / `wal.log` files are still
+    /// on disk; the first full checkpoint deletes them.
+    legacy_pending: bool,
+}
+
+/// Resolve a worker count for artifact encode/decode, where the item
+/// count is unknown until after the decode. `map_chunks` clamps to the
+/// actual item count, so overshooting is safe.
+fn io_workers(p: Parallelism) -> usize {
+    match p {
+        Parallelism::Off => 1,
+        Parallelism::Fixed(n) => n.max(1),
+        Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
 }
 
 impl Store {
-    /// Initialize a fresh store at `dir` for `db`, truncating any previous
-    /// store there: writes an initial checkpoint of `db` and an empty log.
+    /// Initialize a fresh store at `dir` for `db`, truncating any
+    /// previous store there (segments, artifacts, and legacy files):
+    /// writes an initial base checkpoint of `db` and an empty segment.
     pub fn create(
         dir: impl Into<PathBuf>,
         db: &Database,
@@ -143,24 +330,41 @@ impl Store {
     ) -> StoreResult<Store> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(StoreError::io("create store directory"))?;
-        let wal = Wal::create(dir.join(WAL_FILE), options.sync)?;
+        for id in list_artifact_ids(&dir, BASE_PREFIX)? {
+            std::fs::remove_file(base_path_in(&dir, id))
+                .map_err(StoreError::io("remove stale base"))?;
+        }
+        for id in list_artifact_ids(&dir, DELTA_PREFIX)? {
+            std::fs::remove_file(DeltaCheckpoint::path_in(&dir, id))
+                .map_err(StoreError::io("remove stale delta"))?;
+        }
+        remove_if_present(&Checkpoint::path_in(&dir))?;
+        remove_if_present(&dir.join(WAL_FILE))?;
+        let wal = SegmentedWal::create(&dir, options.sync, options.max_segment_bytes)?;
         let mut store = Store {
             dir,
             wal,
             options,
             checkpoint_epoch: 0,
             wal_records: 0,
-            last_checkpoint_lsn: 0,
+            covered_lsn: 0,
+            base_id: 0,
+            last_id: 0,
+            next_id: 1,
+            chain_len: 0,
+            delta: SnapshotDeltaBuilder::new(),
+            legacy_pending: false,
         };
         store.checkpoint(db)?;
         Ok(store)
     }
 
-    /// Open the store at `dir`, recovering the database it holds:
-    /// checkpoint + intact log tail, torn tail truncated. Ends with a
-    /// fresh checkpoint of the recovered state (compacting the log and
-    /// pinning the recovered database's structure epoch). A directory
-    /// with no store yields an empty database.
+    /// Open the store at `dir`, recovering the database it holds: newest
+    /// base checkpoint, its delta chain, then the intact log tail, torn
+    /// active tail truncated. A directory with no store yields an empty
+    /// database; a pre-segmentation directory is read via its legacy
+    /// `checkpoint.json` + `wal.log` and migrated at the first
+    /// [`Store::checkpoint`].
     pub fn open(
         dir: impl Into<PathBuf>,
         options: StoreOptions,
@@ -169,52 +373,174 @@ impl Store {
         std::fs::create_dir_all(&dir).map_err(StoreError::io("create store directory"))?;
         let mut sp = trace::span("store.recover");
         let mut report = RecoveryReport::default();
+        let workers = io_workers(options.parallelism);
 
-        let checkpoint = Checkpoint::load(&dir)?;
-        let mut db = match &checkpoint {
-            Some(c) => {
-                report.checkpoint_lsn = c.lsn;
-                report.last_lsn = c.lsn;
-                c.snapshot.restore()?
+        // -- checkpointed state: newest base + delta chain, or legacy --
+        let base_ids = list_artifact_ids(&dir, BASE_PREFIX)?;
+        let delta_ids = list_artifact_ids(&dir, DELTA_PREFIX)?;
+        let mut max_id = base_ids.last().copied().unwrap_or(0);
+        max_id = max_id.max(delta_ids.last().copied().unwrap_or(0));
+        let mut covered = 0u64;
+        let mut base_id = 0u64;
+        let mut last_id = 0u64;
+        let mut chain_len = 0u64;
+        let mut legacy_pending = false;
+        let mut legacy_scan: Option<SegmentScan> = None;
+
+        let mut db = if let Some(&newest) = base_ids.last() {
+            // A corrupt base is a hard error: unlike a delta it has no
+            // fallback — the segments it covered are gone.
+            let base = BaseCheckpoint::load(&dir, newest, workers)?;
+            let mut db = base.snapshot.restore_with(workers)?;
+            covered = base.lsn;
+            base_id = newest;
+            last_id = newest;
+            // Follow the delta chain by parent pointers. A delta that
+            // fails its checksum simply never matches, breaking the
+            // chain there; deltas naming an older base are compaction
+            // leftovers and are ignored.
+            let mut available = Vec::new();
+            let mut unreadable = 0u64;
+            for id in &delta_ids {
+                match DeltaCheckpoint::load(&dir, *id) {
+                    Ok(d) if d.base_id == newest => available.push(d),
+                    Ok(_stale) => {}
+                    Err(StoreError::Corrupt(_)) => unreadable += 1,
+                    Err(e) => return Err(e),
+                }
             }
-            None => Database::new(),
+            while let Some(pos) = available.iter().position(|d| d.parent_id == last_id) {
+                let d = available.swap_remove(pos);
+                d.delta.apply_to(&mut db)?;
+                covered = d.lsn;
+                last_id = d.id;
+                chain_len += 1;
+                report.deltas_applied += 1;
+            }
+            report.delta_chain_broken = unreadable > 0 || !available.is_empty();
+            db
+        } else {
+            // No base: either a fresh directory or a pre-PR-9 store.
+            let legacy_ckpt = Checkpoint::load(&dir)?;
+            let legacy_log = dir.join(WAL_FILE);
+            let has_log = legacy_log.exists();
+            legacy_pending = legacy_ckpt.is_some() || has_log;
+            report.migrated_from_legacy = legacy_pending;
+            let db = match &legacy_ckpt {
+                Some(c) => {
+                    covered = c.lsn;
+                    c.snapshot.restore_with(workers)?
+                }
+                None => Database::new(),
+            };
+            if has_log {
+                let replay = Wal::read_all(&legacy_log)?;
+                legacy_scan = Some(SegmentScan {
+                    seq: 0,
+                    records: replay.records,
+                    torn: replay.torn,
+                });
+            }
+            db
         };
+        report.checkpoint_lsn = covered;
+        report.last_lsn = covered;
 
-        let (mut wal, replay) = Wal::open_for_append(dir.join(WAL_FILE), options.sync)?;
-        report.torn_tail_truncated = replay.torn;
-        for rec in &replay.records {
-            if rec.lsn <= report.checkpoint_lsn {
-                report.records_skipped += 1;
+        // -- live log tail: legacy log (if any) followed by segments --
+        let (mut wal, seg_scans) =
+            SegmentedWal::open(&dir, options.sync, options.max_segment_bytes)?;
+        report.segments_scanned = seg_scans.len() as u64;
+        let segments_present = !seg_scans.is_empty();
+        let mut scans: Vec<SegmentScan> = Vec::with_capacity(seg_scans.len() + 1);
+        scans.extend(legacy_scan);
+        scans.extend(seg_scans);
+
+        let mut delta_builder = SnapshotDeltaBuilder::new();
+        let n = scans.len();
+        for (i, scan) in scans.iter().enumerate() {
+            for rec in &scan.records {
+                if rec.lsn <= covered {
+                    report.records_skipped += 1;
+                    continue;
+                }
+                db.apply_all(&rec.ops)?;
+                delta_builder.record_all(&db, &rec.ops)?;
+                report.records_replayed += 1;
+                report.ops_replayed += rec.ops.len() as u64;
+                report.last_lsn = rec.lsn;
+            }
+            if !scan.torn {
                 continue;
             }
-            db.apply_all(&rec.ops)?;
-            report.records_replayed += 1;
-            report.ops_replayed += rec.ops.len() as u64;
-            report.last_lsn = rec.lsn;
+            if i + 1 == n && !(scan.seq == 0 && segments_present) {
+                // Torn tail at the very end of history: the active
+                // segment's tail was truncated by `open_for_append`; a
+                // torn legacy log with no segments after it is the same
+                // situation (the file is deleted at migration).
+                report.torn_tail_truncated = true;
+                continue;
+            }
+            // A tear in a *sealed* segment (or mid-history legacy log)
+            // hides records between its last valid record and the first
+            // record of a later segment. Tolerable only when that hidden
+            // range is empty or fully covered by a checkpoint; otherwise
+            // committed history is gone and recovery must not pretend
+            // otherwise.
+            let last_good = scan.records.last().map_or(0, |r| r.lsn);
+            let next_first = scans[i + 1..]
+                .iter()
+                .find_map(|s| s.records.first().map(|r| r.lsn));
+            let tolerable = match next_first {
+                Some(nf) => nf == last_good + 1 || nf.saturating_sub(1) <= covered,
+                None => false,
+            };
+            if !tolerable {
+                let what = if scan.seq == 0 {
+                    "legacy wal.log".to_owned()
+                } else {
+                    crate::segment::segment_file_name(scan.seq)
+                };
+                return Err(StoreError::Corrupt(format!(
+                    "sealed segment {what} is torn mid-history and the hidden \
+                     records are not covered by any checkpoint"
+                )));
+            }
         }
         records_replayed().add(report.records_replayed);
         ops_replayed().add(report.ops_replayed);
+        deltas_applied().add(report.deltas_applied);
         wal.bump_next_lsn(report.last_lsn + 1);
 
         if sp.is_recording() {
             sp.field("checkpoint_lsn", Json::Int(report.checkpoint_lsn as i64));
+            sp.field("deltas", Json::Int(report.deltas_applied as i64));
+            sp.field("segments", Json::Int(report.segments_scanned as i64));
             sp.field("replayed", Json::Int(report.records_replayed as i64));
             sp.field("skipped", Json::Int(report.records_skipped as i64));
             sp.field("torn", Json::Bool(report.torn_tail_truncated));
+            sp.field("chain_broken", Json::Bool(report.delta_chain_broken));
+            sp.field("legacy", Json::Bool(report.migrated_from_legacy));
         }
         drop(sp);
 
-        let mut store = Store {
+        let store = Store {
             dir,
             wal,
             options,
-            checkpoint_epoch: 0,
-            wal_records: replay.records.len() as u64,
-            last_checkpoint_lsn: 0,
+            // The recovered database's epoch numbering starts fresh, and
+            // its structure matches the artifacts (structural changes
+            // always force a checkpoint), so pin to it directly.
+            checkpoint_epoch: db.structure_epoch(),
+            wal_records: report.records_replayed,
+            covered_lsn: covered,
+            base_id,
+            last_id,
+            next_id: max_id + 1,
+            chain_len,
+            delta: delta_builder,
+            legacy_pending,
         };
-        // start the session compact: the recovered state becomes the
-        // checkpoint, the replayed log becomes redundant and is truncated
-        store.checkpoint(&db)?;
+        store.update_gauges();
         Ok((store, db, report))
     }
 
@@ -223,9 +549,9 @@ impl Store {
         &self.dir
     }
 
-    /// The log's file path.
+    /// The active segment's file path.
     pub fn wal_path(&self) -> PathBuf {
-        self.dir.join(WAL_FILE)
+        self.wal.active_path().to_path_buf()
     }
 
     /// The options in force.
@@ -233,20 +559,41 @@ impl Store {
         self.options
     }
 
-    /// Logical log size in bytes (buffered records included). The log is
-    /// truncated at every checkpoint, so this is also "WAL bytes written
-    /// since the last checkpoint" — the health monitor's growth signal.
+    /// Live log size in bytes: segments still holding records past the
+    /// newest checkpoint (buffered appends included). This is the health
+    /// monitor's recovery-debt signal.
     pub fn wal_len(&self) -> u64 {
-        self.wal.len()
+        self.wal.live_bytes(self.covered_lsn)
     }
 
-    /// LSN covered by the last checkpoint taken through this handle
-    /// (every record at or below it is subsumed by the snapshot).
+    /// Total bytes across every segment file, retired segments included
+    /// (reclaimed at the next compaction).
+    pub fn total_wal_bytes(&self) -> u64 {
+        self.wal.total_bytes()
+    }
+
+    /// Number of segment files on disk (live and retired).
+    pub fn segment_count(&self) -> u64 {
+        self.wal.segment_count()
+    }
+
+    /// Delta checkpoints chained onto the current base.
+    pub fn delta_chain_len(&self) -> u64 {
+        self.chain_len
+    }
+
+    /// Id of the newest base checkpoint (0 = none yet).
+    pub fn base_id(&self) -> u64 {
+        self.base_id
+    }
+
+    /// LSN covered by the newest checkpoint artifact (every record at or
+    /// below it is subsumed by the base + delta chain).
     pub fn last_checkpoint_lsn(&self) -> u64 {
-        self.last_checkpoint_lsn
+        self.covered_lsn
     }
 
-    /// Commit records currently in the log.
+    /// Commit records in the live log.
     pub fn wal_records(&self) -> u64 {
         self.wal_records
     }
@@ -257,11 +604,13 @@ impl Store {
     }
 
     /// Durably record already-applied transactions: one log record per
-    /// transaction (empty ones are skipped). `db` must be the database
-    /// the transactions were applied to — it is consulted for structural
-    /// drift (which forces a checkpoint instead of appends, since the
-    /// snapshot already contains the transactions' effects) and for the
-    /// post-commit checkpoint thresholds.
+    /// transaction (empty ones are skipped), each also folded into the
+    /// in-memory delta accumulator that the next incremental checkpoint
+    /// writes. `db` must be the database the transactions were applied
+    /// to — it is consulted for structural drift (which forces a full
+    /// checkpoint instead of appends, since the snapshot already
+    /// contains the transactions' effects) and for the post-commit
+    /// checkpoint thresholds.
     pub fn commit<T: AsRef<[DbOp]>>(
         &mut self,
         db: &Database,
@@ -270,7 +619,7 @@ impl Store {
         if db.structure_epoch() != self.checkpoint_epoch {
             // the schema or index set changed since the checkpoint; DML
             // replay onto the old snapshot could name relations it does
-            // not have. The new checkpoint subsumes `transactions`.
+            // not have. The new base subsumes `transactions`.
             return self.checkpoint(db);
         }
         let mut appended = false;
@@ -280,41 +629,220 @@ impl Store {
                 continue;
             }
             self.wal.append(tx)?;
+            self.delta.record_all(db, tx)?;
             self.wal_records += 1;
             appended = true;
         }
         if appended
-            && (self.wal.len() > self.options.checkpoint.max_wal_bytes
+            && (self.wal.live_bytes(self.covered_lsn) > self.options.checkpoint.max_wal_bytes
                 || self.wal_records > self.options.checkpoint.max_wal_records)
         {
             self.checkpoint(db)?;
+        } else {
+            self.update_gauges();
         }
         Ok(())
     }
 
-    /// Snapshot `db` (indexes included) as the new checkpoint and truncate
-    /// the log. Crash-safe: the checkpoint lands atomically first, and a
-    /// crash before the truncation leaves only stale records that recovery
-    /// skips by LSN.
+    /// Checkpoint the committed state. Normally this writes an
+    /// **incremental** `delta-<id>.json` holding only the net changes
+    /// since the last checkpoint — cost proportional to churn, flat in
+    /// the database size — and seals the active segment so a later base
+    /// can retire it wholesale. The checkpoint is promoted to a **full
+    /// base** when there is no base yet (fresh or legacy store), when the
+    /// structure epoch moved, or when the [`CompactionPolicy`] limits are
+    /// hit (auto-compaction; superseded artifacts are deleted after the
+    /// base lands).
+    ///
+    /// Crash-safe at every step: artifacts land atomically first, and a
+    /// crash before segment retirement leaves only stale records that
+    /// recovery skips by LSN. Only *committed* state is checkpointed —
+    /// database mutations that never went through [`Store::commit`] are
+    /// invisible here unless they moved the structure epoch.
     pub fn checkpoint(&mut self, db: &Database) -> StoreResult<()> {
         let mut sp = trace::span("store.checkpoint");
-        let ckpt = Checkpoint {
-            lsn: self.wal.next_lsn() - 1,
-            epoch: db.structure_epoch(),
-            snapshot: DatabaseSnapshot::capture_full(db),
-        };
-        if sp.is_recording() {
-            sp.field("lsn", Json::Int(ckpt.lsn as i64));
-            sp.field("tuples", Json::Int(ckpt.snapshot.total_tuples() as i64));
-            sp.field("wal_bytes_dropped", Json::Int(self.wal.len() as i64));
+        self.wal.sync()?;
+        let covered = self.wal.next_lsn() - 1;
+        let epoch = db.structure_epoch();
+        let need_full = self.base_id == 0 || epoch != self.checkpoint_epoch;
+        if !need_full && covered == self.covered_lsn && self.delta.is_empty() {
+            return Ok(()); // nothing new since the last checkpoint
         }
-        ckpt.write(&self.dir)?;
-        self.wal.reset()?;
-        self.checkpoint_epoch = ckpt.epoch;
-        self.last_checkpoint_lsn = ckpt.lsn;
+        let policy = self.options.compaction;
+        let auto_compact = policy.auto
+            && (self.chain_len + 1 > policy.max_delta_chain
+                || self.wal.segment_count() >= policy.max_segments);
+        let full = need_full || auto_compact;
+        let bytes = if full {
+            let workers = self.options.parallelism.workers_for(db.total_tuples());
+            let base = BaseCheckpoint {
+                id: self.next_id,
+                lsn: covered,
+                epoch,
+                snapshot: DatabaseSnapshot::capture_full_with(db, workers),
+            };
+            if sp.is_recording() {
+                sp.field("tuples", Json::Int(base.snapshot.total_tuples() as i64));
+            }
+            let bytes = base.write(&self.dir, workers)?;
+            self.base_id = base.id;
+            self.last_id = base.id;
+            self.next_id += 1;
+            self.chain_len = 0;
+            self.covered_lsn = covered;
+            self.checkpoint_epoch = epoch;
+            self.delta.clear();
+            // Everything is covered: the active segment's records are
+            // stale, so truncate it in place, then drop what the base
+            // superseded. Stale artifacts left by a crash in here are
+            // ignored (older base / mismatched base_id) and deleted by
+            // the next pass.
+            self.wal.reset_active()?;
+            self.prune_superseded()?;
+            checkpoints_full().inc();
+            bytes
+        } else {
+            // Seal the active segment so the bytes this delta covers sit
+            // in retired-eligible files the next base can delete.
+            self.wal.roll()?;
+            let delta = DeltaCheckpoint {
+                id: self.next_id,
+                base_id: self.base_id,
+                parent_id: self.last_id,
+                lsn: covered,
+                epoch,
+                delta: self.delta.build(db.version()),
+            };
+            if sp.is_recording() {
+                sp.field("changes", Json::Int(delta.delta.change_count() as i64));
+            }
+            let bytes = delta.write(&self.dir)?;
+            self.last_id = delta.id;
+            self.next_id += 1;
+            self.chain_len += 1;
+            self.covered_lsn = covered;
+            checkpoints_delta().inc();
+            bytes
+        };
         self.wal_records = 0;
         checkpoints_taken().inc();
+        checkpoint_bytes().record(bytes);
+        if sp.is_recording() {
+            sp.field("lsn", Json::Int(covered as i64));
+            sp.field("full", Json::Bool(full));
+            sp.field("bytes", Json::Int(bytes as i64));
+        }
+        self.update_gauges();
         Ok(())
+    }
+
+    /// Fold the current base and its delta chain into a new full base,
+    /// then delete everything it supersedes: older bases, all deltas,
+    /// retired segments, and legacy files. Works from **disk artifacts
+    /// alone** — the live database is not consulted — so it can run from
+    /// a maintenance window or background thread while commits continue
+    /// to accumulate in the (untouched) delta accumulator and active
+    /// segment.
+    ///
+    /// After a successful compaction the store holds exactly one base,
+    /// zero deltas, and only segments with records past the base — which
+    /// is what bounds the live segment count.
+    pub fn compact(&mut self) -> StoreResult<CompactionReport> {
+        let mut report = CompactionReport::default();
+        if self.base_id == 0 {
+            // Fresh or unmigrated-legacy store: nothing to fold; the
+            // first checkpoint() writes the initial base.
+            return Ok(report);
+        }
+        if self.chain_len == 0
+            && self
+                .wal
+                .sealed()
+                .iter()
+                .all(|s| s.last_lsn > self.covered_lsn)
+            && list_artifact_ids(&self.dir, BASE_PREFIX)?.len() <= 1
+            && !self.legacy_pending
+        {
+            return Ok(report); // already compact
+        }
+        let mut sp = trace::span("store.compact");
+        self.wal.sync()?;
+        let workers = io_workers(self.options.parallelism);
+        // Reconstruct the covered state from disk: base + delta chain.
+        // (Segments are not needed — the chain *is* the covered state.)
+        let base = BaseCheckpoint::load(&self.dir, self.base_id, workers)?;
+        let mut db = base.snapshot.restore_with(workers)?;
+        let mut last = base.id;
+        let mut folded = 0u64;
+        while last != self.last_id {
+            let next = list_artifact_ids(&self.dir, DELTA_PREFIX)?
+                .into_iter()
+                .filter_map(|id| DeltaCheckpoint::load(&self.dir, id).ok())
+                .find(|d| d.base_id == self.base_id && d.parent_id == last)
+                .ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "delta chain broken at artifact {last} during compaction; \
+                         reopen the store to fall back to segment replay"
+                    ))
+                })?;
+            next.delta.apply_to(&mut db)?;
+            last = next.id;
+            folded += 1;
+        }
+        let enc_workers = self.options.parallelism.workers_for(db.total_tuples());
+        let base = BaseCheckpoint {
+            id: self.next_id,
+            lsn: self.covered_lsn,
+            epoch: self.checkpoint_epoch,
+            snapshot: DatabaseSnapshot::capture_full_with(&db, enc_workers),
+        };
+        base.write(&self.dir, enc_workers)?;
+        self.base_id = base.id;
+        self.last_id = base.id;
+        self.next_id += 1;
+        self.chain_len = 0;
+        let (artifacts, segments, seg_bytes) = self.prune_superseded()?;
+        report.compacted = true;
+        report.new_base_id = base.id;
+        report.deltas_folded = folded;
+        report.artifacts_deleted = artifacts;
+        report.segments_deleted = segments;
+        report.segment_bytes_reclaimed = seg_bytes;
+        compactions_run().inc();
+        if sp.is_recording() {
+            sp.field("base_id", Json::Int(base.id as i64));
+            sp.field("deltas_folded", Json::Int(folded as i64));
+            sp.field("segments_deleted", Json::Int(segments as i64));
+        }
+        self.update_gauges();
+        Ok(report)
+    }
+
+    /// Delete everything the current base supersedes: older bases, all
+    /// delta files, retired segments, and (post-migration) the legacy
+    /// checkpoint/log pair. Returns `(artifact_files, segment_files,
+    /// segment_bytes)` removed.
+    fn prune_superseded(&mut self) -> StoreResult<(u64, u64, u64)> {
+        let mut artifacts = 0u64;
+        for id in list_artifact_ids(&self.dir, BASE_PREFIX)? {
+            if id != self.base_id {
+                std::fs::remove_file(base_path_in(&self.dir, id))
+                    .map_err(StoreError::io("remove superseded base"))?;
+                artifacts += 1;
+            }
+        }
+        for id in list_artifact_ids(&self.dir, DELTA_PREFIX)? {
+            std::fs::remove_file(DeltaCheckpoint::path_in(&self.dir, id))
+                .map_err(StoreError::io("remove superseded delta"))?;
+            artifacts += 1;
+        }
+        let (seg_files, seg_bytes) = self.wal.delete_retired(self.covered_lsn)?;
+        if self.legacy_pending {
+            remove_if_present(&Checkpoint::path_in(&self.dir))?;
+            remove_if_present(&self.dir.join(WAL_FILE))?;
+            self.legacy_pending = false;
+        }
+        Ok((artifacts, seg_files, seg_bytes))
     }
 
     /// Flush and fsync any buffered log records regardless of policy —
@@ -322,11 +850,26 @@ impl Store {
     pub fn sync(&mut self) -> StoreResult<()> {
         self.wal.sync()
     }
+
+    fn update_gauges(&self) {
+        gauge_segment_count().set(self.wal.segment_count());
+        gauge_live_bytes().set(self.wal.live_bytes(self.covered_lsn));
+        gauge_chain_len().set(self.chain_len);
+    }
+}
+
+fn remove_if_present(path: &Path) -> StoreResult<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(StoreError::io("remove legacy store file")(e)),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::list_segment_files;
     use vo_relational::schema::{AttributeDef, RelationSchema};
     use vo_relational::tuple::Tuple;
     use vo_relational::value::DataType;
@@ -378,6 +921,7 @@ mod tests {
         assert_eq!(report.records_replayed, 10);
         assert_eq!(report.ops_replayed, 10);
         assert!(!report.torn_tail_truncated);
+        assert!(!report.migrated_from_legacy);
         assert_eq!(fingerprint(&recovered), fingerprint(&db));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -407,11 +951,12 @@ mod tests {
             tuple: Tuple::raw(vec![7.into()]),
         };
         db.apply(&op).unwrap();
-        // epoch moved → this commit checkpoints instead of appending
-        let before = store.wal_records();
+        // epoch moved → this commit writes a full base instead of appending
+        let bases_before = store.base_id();
         store.commit(&db, &[vec![op]]).unwrap();
         assert_eq!(store.wal_records(), 0);
-        assert!(before <= 1);
+        assert!(store.base_id() > bases_before);
+        assert_eq!(store.delta_chain_len(), 0);
         // further DML appends normally again
         let op = insert_op(&db, 2);
         db.apply(&op).unwrap();
@@ -425,39 +970,39 @@ mod tests {
     }
 
     #[test]
-    fn record_threshold_triggers_automatic_checkpoint() {
+    fn record_threshold_triggers_automatic_delta_checkpoints() {
         let dir = tmp_dir("threshold");
         let mut db = Database::new();
         db.create_relation(schema_t()).unwrap();
         let options = StoreOptions {
-            sync: SyncPolicy::Always,
             checkpoint: CheckpointPolicy {
                 max_wal_bytes: u64::MAX,
                 max_wal_records: 3,
             },
+            ..StoreOptions::default()
         };
         let mut store = Store::create(&dir, &db, options).unwrap();
-        let ckpts_before = metrics::snapshot_all()
-            .counters
-            .get("store.checkpoints")
-            .copied()
-            .unwrap_or(0);
+        let snap = metrics::snapshot_all().counters;
+        let ckpts_before = snap.get("store.checkpoints").copied().unwrap_or(0);
+        let delta_before = snap.get("store.checkpoints.delta").copied().unwrap_or(0);
         for k in 0..8 {
             let op = insert_op(&db, k);
             db.apply(&op).unwrap();
             store.commit(&db, &[vec![op]]).unwrap();
         }
-        // 8 commits with a 3-record cap: checkpoints fired and the log
-        // stayed short
+        // 8 commits with a 3-record cap: checkpoints fired, the live log
+        // stayed short, and they were cheap deltas, not full bases
         assert!(store.wal_records() <= 3);
-        let ckpts_after = metrics::snapshot_all()
-            .counters
-            .get("store.checkpoints")
-            .copied()
-            .unwrap_or(0);
+        assert!(store.delta_chain_len() >= 2);
+        let snap = metrics::snapshot_all().counters;
+        let ckpts_after = snap.get("store.checkpoints").copied().unwrap_or(0);
+        let delta_after = snap.get("store.checkpoints.delta").copied().unwrap_or(0);
         assert!(ckpts_after >= ckpts_before + 2);
+        assert!(delta_after >= delta_before + 2);
         drop(store);
-        let (_s, recovered, _r) = Store::open(&dir, options).unwrap();
+        let (_s, recovered, report) = Store::open(&dir, options).unwrap();
+        assert!(report.deltas_applied >= 2);
+        assert!(!report.delta_chain_broken);
         assert_eq!(fingerprint(&recovered), fingerprint(&db));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -473,21 +1018,24 @@ mod tests {
             db.apply(&op).unwrap();
             store.commit(&db, &[vec![op]]).unwrap();
         }
-        // simulate the crash window: checkpoint written, log NOT truncated.
-        // Write the checkpoint by hand (covering everything committed) and
-        // leave the old log in place.
-        Checkpoint {
+        store.sync().unwrap();
+        // simulate the crash window: checkpoint artifact written, segments
+        // NOT yet retired. Write a covering base by hand (with a fresh id)
+        // and leave the old segments in place.
+        BaseCheckpoint {
+            id: 99,
             lsn: store.next_lsn() - 1,
             epoch: db.structure_epoch(),
             snapshot: DatabaseSnapshot::capture_full(&db),
         }
-        .write(&dir)
+        .write(&dir, 1)
         .unwrap();
         drop(store);
-        let (_s, recovered, report) = Store::open(&dir, StoreOptions::default()).unwrap();
-        // every log record was already inside the checkpoint → skipped
+        let (s, recovered, report) = Store::open(&dir, StoreOptions::default()).unwrap();
+        // every log record was already inside the base → skipped
         assert_eq!(report.records_replayed, 0);
         assert_eq!(report.records_skipped, 3);
+        assert_eq!(s.base_id(), 99);
         assert_eq!(fingerprint(&recovered), fingerprint(&db));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -518,6 +1066,113 @@ mod tests {
         assert_eq!(db.relation_names().len(), 0);
         assert_eq!(report, RecoveryReport::default());
         drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_chain_and_bounds_segments() {
+        let dir = tmp_dir("compact");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let options = StoreOptions {
+            checkpoint: CheckpointPolicy {
+                max_wal_bytes: u64::MAX,
+                max_wal_records: 2,
+            },
+            compaction: CompactionPolicy::never(),
+            max_segment_bytes: 1, // roll on every append
+            ..StoreOptions::default()
+        };
+        let mut store = Store::create(&dir, &db, options).unwrap();
+        for k in 0..12 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+        }
+        // with auto-compaction off, deltas and segment files pile up
+        assert!(store.delta_chain_len() >= 3);
+        let files_before = list_segment_files(&dir).unwrap().len();
+        assert!(files_before > 3);
+        let report = store.compact().unwrap();
+        assert!(report.compacted);
+        assert!(report.deltas_folded >= 3);
+        assert!(report.segments_deleted > 0);
+        assert_eq!(store.delta_chain_len(), 0);
+        // all retired segments gone; only the live tail remains
+        let files_after = list_segment_files(&dir).unwrap().len();
+        assert!(files_after < files_before);
+        assert!(list_artifact_ids(&dir, DELTA_PREFIX).unwrap().is_empty());
+        assert_eq!(list_artifact_ids(&dir, BASE_PREFIX).unwrap().len(), 1);
+        // a second compact is a no-op
+        assert!(!store.compact().unwrap().compacted);
+        // the compacted store still recovers the exact same state
+        drop(store);
+        let (_s, recovered, _r) = Store::open(&dir, options).unwrap();
+        assert_eq!(fingerprint(&recovered), fingerprint(&db));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_keeps_segment_count_bounded() {
+        let dir = tmp_dir("autocompact");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let options = StoreOptions {
+            checkpoint: CheckpointPolicy {
+                max_wal_bytes: u64::MAX,
+                max_wal_records: 2,
+            },
+            compaction: CompactionPolicy {
+                max_delta_chain: 3,
+                max_segments: 6,
+                auto: true,
+            },
+            max_segment_bytes: 1,
+            ..StoreOptions::default()
+        };
+        let mut store = Store::create(&dir, &db, options).unwrap();
+        for k in 0..50 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+            // the policy provably bounds on-disk state at every step:
+            // segment files never exceed max_segments + the few the
+            // current burst can add before the next checkpoint fires
+            assert!(store.delta_chain_len() <= 3);
+            assert!(store.segment_count() <= 6 + 3);
+        }
+        drop(store);
+        let (_s, recovered, _r) = Store::open(&dir, options).unwrap();
+        assert_eq!(fingerprint(&recovered), fingerprint(&db));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_is_byte_identical_at_every_worker_count() {
+        let dir = tmp_dir("workers");
+        let mut db = Database::new();
+        db.create_relation(schema_t()).unwrap();
+        let mut store = Store::create(&dir, &db, StoreOptions::default()).unwrap();
+        for k in 0..40 {
+            let op = insert_op(&db, k);
+            db.apply(&op).unwrap();
+            store.commit(&db, &[vec![op]]).unwrap();
+        }
+        store.checkpoint(&db).unwrap();
+        drop(store);
+        let expected = fingerprint(&db);
+        for workers in [
+            Parallelism::Off,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+        ] {
+            let options = StoreOptions {
+                parallelism: workers,
+                ..StoreOptions::default()
+            };
+            let (_s, recovered, _r) = Store::open(&dir, options).unwrap();
+            assert_eq!(fingerprint(&recovered), expected, "workers={workers:?}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

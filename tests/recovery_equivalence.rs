@@ -21,6 +21,21 @@ fn fingerprint(db: &Database) -> String {
     DatabaseSnapshot::capture_full(db).to_json().pretty()
 }
 
+/// The highest-numbered (active) WAL segment in a store directory — the
+/// one a crash mid-append would tear.
+fn active_segment(dir: &PathBuf) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .max()
+        .expect("store directory holds at least one segment")
+}
+
 fn fresh_db() -> Database {
     let mut db = Database::new();
     db.create_relation(
@@ -123,6 +138,7 @@ fn random_workloads_recover_byte_identical() {
                 max_wal_bytes: u64::MAX,
                 max_wal_records: 48, // force a few auto-checkpoints per run
             },
+            ..StoreOptions::default()
         };
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut db = fresh_db();
@@ -231,7 +247,7 @@ fn torn_tail_recovers_to_previous_commit() {
     let (after_a, after_b) = run_persistent_session(&dir);
     assert_ne!(after_a, after_b);
 
-    let wal = dir.join("wal.log");
+    let wal = active_segment(&dir);
     let len = std::fs::metadata(&wal).unwrap().len();
     let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
     f.set_len(len - 3).unwrap(); // mid-record: checksummed payload cut short
@@ -332,6 +348,7 @@ fn bit_flip_truncates_at_corruption_instead_of_replaying() {
     let options = StoreOptions {
         sync: SyncPolicy::Always,
         checkpoint: CheckpointPolicy::never(),
+        ..StoreOptions::default()
     };
     let mut db = fresh_db();
     let mut store = Store::create(&dir, &db, options).unwrap();
@@ -354,7 +371,7 @@ fn bit_flip_truncates_at_corruption_instead_of_replaying() {
     drop(store);
 
     // flip one byte inside record 4's payload (it starts at ends[2])
-    let wal = dir.join("wal.log");
+    let wal = active_segment(&dir);
     let mut bytes = std::fs::read(&wal).unwrap();
     let target = ends[2] as usize + 9; // past the 8-byte record header
     bytes[target] ^= 0x40;
