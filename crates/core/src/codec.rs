@@ -5,10 +5,12 @@
 //! 3.1–3.2 validation re-runs — a tampered document cannot produce an
 //! object the in-memory API could not have built.
 
-use crate::object::{Step, ViewObject, VoEdge, VoNode};
+use crate::instance::{VoInstance, VoInstanceNode};
+use crate::object::{NodeId, Step, ViewObject, VoEdge, VoNode};
 use crate::translator::{
     OutDeleteAction, OutModifyAction, PeninsulaAction, RelationPolicy, Translator,
 };
+use crate::update::UpdateRequest;
 use std::collections::BTreeMap;
 use vo_relational::prelude::*;
 use vo_structural::prelude::*;
@@ -312,6 +314,110 @@ impl Translator {
     }
 }
 
+impl VoInstanceNode {
+    /// Encode as JSON. Children are keyed by their object-node id
+    /// (stringified, since JSON object keys are strings).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("node", Json::Int(self.node as i64)),
+            ("tuple", self.tuple.to_json()),
+            (
+                "children",
+                Json::Obj(
+                    self.children
+                        .iter()
+                        .map(|(id, nodes)| {
+                            (
+                                id.to_string(),
+                                Json::Arr(nodes.iter().map(VoInstanceNode::to_json).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode from JSON. Tuples are structural only — validation against
+    /// a relation schema happens when the instance enters the update
+    /// pipeline, exactly as for an instance built by hand.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        let mut children = BTreeMap::new();
+        for (key, nodes) in json.field("children")?.entries()? {
+            let id: NodeId = key
+                .parse()
+                .map_err(|_| bad(format!("instance child key `{key}` is not a node id")))?;
+            let decoded = nodes
+                .elements()?
+                .iter()
+                .map(VoInstanceNode::from_json)
+                .collect::<Result<Vec<_>>>()?;
+            children.insert(id, decoded);
+        }
+        Ok(VoInstanceNode {
+            node: json.field("node")?.as_usize()?,
+            tuple: Tuple::from_json(json.field("tuple")?)?,
+            children,
+        })
+    }
+}
+
+impl VoInstance {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("object", Json::str(self.object.clone())),
+            ("root", self.root.to_json()),
+        ])
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        Ok(VoInstance {
+            object: json.field("object")?.as_str()?.to_owned(),
+            root: VoInstanceNode::from_json(json.field("root")?)?,
+        })
+    }
+}
+
+impl UpdateRequest {
+    /// Encode as JSON, tagged by [`UpdateRequest::kind`].
+    pub fn to_json(&self) -> Json {
+        match self {
+            UpdateRequest::CompleteInsertion(inst) => Json::obj(vec![
+                ("kind", Json::str(self.kind())),
+                ("instance", inst.to_json()),
+            ]),
+            UpdateRequest::CompleteDeletion(inst) => Json::obj(vec![
+                ("kind", Json::str(self.kind())),
+                ("instance", inst.to_json()),
+            ]),
+            UpdateRequest::Replacement { old, new } => Json::obj(vec![
+                ("kind", Json::str(self.kind())),
+                ("old", old.to_json()),
+                ("new", new.to_json()),
+            ]),
+        }
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> Result<Self> {
+        match json.field("kind")?.as_str()? {
+            "complete-insertion" => Ok(UpdateRequest::CompleteInsertion(VoInstance::from_json(
+                json.field("instance")?,
+            )?)),
+            "complete-deletion" => Ok(UpdateRequest::CompleteDeletion(VoInstance::from_json(
+                json.field("instance")?,
+            )?)),
+            "replacement" => Ok(UpdateRequest::Replacement {
+                old: VoInstance::from_json(json.field("old")?)?,
+                new: VoInstance::from_json(json.field("new")?)?,
+            }),
+            other => Err(bad(format!("unknown update request kind `{other}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +454,41 @@ mod tests {
         t.out_of_object_modify = OutModifyAction::Cascade;
         let back = Translator::from_json(&parse(&t.to_json().pretty()).unwrap()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn instance_roundtrip_preserves_tree() {
+        let (schema, db) = crate::university::university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let insts = crate::instance::instantiate_all(&schema, &omega, &db).unwrap();
+        assert!(!insts.is_empty());
+        for inst in insts {
+            let text = inst.to_json().compact();
+            let back = VoInstance::from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(inst, back);
+        }
+    }
+
+    #[test]
+    fn update_request_roundtrip_all_kinds() {
+        let (schema, db) = crate::university::university_database();
+        let omega = generate_omega(&schema).unwrap();
+        let insts = crate::instance::instantiate_all(&schema, &omega, &db).unwrap();
+        let a = insts[0].clone();
+        let b = insts[1].clone();
+        for req in [
+            UpdateRequest::CompleteInsertion(a.clone()),
+            UpdateRequest::CompleteDeletion(a.clone()),
+            UpdateRequest::Replacement {
+                old: a.clone(),
+                new: b,
+            },
+        ] {
+            let back = UpdateRequest::from_json(&parse(&req.to_json().compact()).unwrap()).unwrap();
+            assert_eq!(req.kind(), back.kind());
+            assert_eq!(req.to_json(), back.to_json());
+        }
+        let bad = parse("{\"kind\":\"partial\"}").unwrap();
+        assert!(UpdateRequest::from_json(&bad).is_err());
     }
 }

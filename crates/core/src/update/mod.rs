@@ -42,7 +42,7 @@ use vo_relational::prelude::*;
 /// A complete update request on a view object (paper §5's *complete
 /// update*: insertion, deletion, or replacement). Partial updates live in
 /// [`partial`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateRequest {
     /// Add a fully specified instance to the database.
     CompleteInsertion(VoInstance),

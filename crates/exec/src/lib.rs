@@ -184,6 +184,17 @@ where
 /// ```
 pub fn assert_send_sync<T: Send + Sync>() {}
 
+/// Compile-time `Send` witness for types that cross threads by move but
+/// are not shared (`Sync`): a facade handed to a server thread, a value
+/// sent through a channel.
+///
+/// ```
+/// use vo_exec::assert_send;
+/// struct Owned(std::cell::Cell<u64>);
+/// const _: fn() = assert_send::<Owned>;
+/// ```
+pub fn assert_send<T: Send>() {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

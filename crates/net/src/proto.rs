@@ -1,0 +1,803 @@
+//! The request/response vocabulary and its JSON codecs.
+//!
+//! Every frame payload is one JSON document. Requests carry a client-chosen
+//! correlation `id` the response echoes back; the body is discriminated by
+//! an `"op"` string (requests) or a `"kind"` string (successful responses).
+//! Failures travel as a typed [`WireError`]: a machine-readable
+//! [`ErrorCode`], a human message, and optional structured `data` — a
+//! commit conflict, for instance, carries the relation plus base and head
+//! versions so a client can decide whether to re-prepare.
+//!
+//! Instances and update requests reuse the `vo-core` codecs, so what a GET
+//! returns over the wire decodes into the *same* [`VoInstance`] tree the
+//! embedded API hands out — the e2e suite leans on that for its
+//! byte-for-byte oracle comparison.
+
+use crate::{NetError, NetResult};
+use vo_core::instance::VoInstance;
+use vo_core::maintain::{ChangeKind, InstanceChange};
+use vo_core::update::error::UpdateError;
+use vo_core::update::UpdateRequest;
+use vo_obs::json::Json;
+use vo_relational::error::Error;
+use vo_relational::tuple::Key;
+
+/// Version of this wire vocabulary; sent in `HELLO` both ways.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+// -------------------------------------------------------------- requests --
+
+/// One client request: correlation id plus body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// Everything a client can ask for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Handshake: must be the first request on a connection.
+    Hello {
+        /// Shared secret; must match the server's, when it has one.
+        secret: Option<String>,
+        /// Client protocol version.
+        proto: i64,
+    },
+    /// Run one VOQL statement. Reads execute on the connection's pinned
+    /// session; writes go through the head.
+    Voql {
+        /// VOQL source text.
+        src: String,
+    },
+    /// Re-pin the connection's session at the current committed head.
+    Pin,
+    /// Translate a batch against the pinned snapshot without committing.
+    Prepare {
+        /// Object name.
+        object: String,
+        /// The update requests.
+        requests: Vec<UpdateRequest>,
+    },
+    /// Commit a previously prepared batch (first-committer-wins).
+    Commit {
+        /// Handle from the `Prepared` response. One-shot.
+        handle: u64,
+    },
+    /// Translate and commit a batch directly at the head.
+    Apply {
+        /// Object name.
+        object: String,
+        /// The update requests.
+        requests: Vec<UpdateRequest>,
+    },
+    /// Materialize an object's instances server-side.
+    Materialize {
+        /// Object name.
+        object: String,
+    },
+    /// Subscribe to instance-level changes of a materialized object.
+    Watch {
+        /// Object name.
+        object: String,
+    },
+    /// Refresh the watched view and drain this watcher's pending changes.
+    PollWatch {
+        /// Handle from the `Watching` response.
+        watch: u64,
+    },
+    /// Drop a watch subscription.
+    Unwatch {
+        /// Handle from the `Watching` response.
+        watch: u64,
+    },
+    /// Evaluate the health policy (connection saturation included).
+    Health,
+    /// Text exposition of every metric.
+    Metrics,
+    /// Server counters: connections, requests, bytes.
+    Stats,
+    /// Hold this request's in-flight permit for `millis` — debug servers
+    /// only; exists so backpressure is testable deterministically.
+    Sleep {
+        /// How long to hold the permit (capped server-side).
+        millis: u64,
+    },
+    /// Polite goodbye; the server answers `Done` and closes.
+    Bye,
+}
+
+impl RequestBody {
+    /// The wire op string (also the span label for `net.request`).
+    pub fn op(&self) -> &'static str {
+        match self {
+            RequestBody::Hello { .. } => "HELLO",
+            RequestBody::Voql { .. } => "VOQL",
+            RequestBody::Pin => "PIN",
+            RequestBody::Prepare { .. } => "PREPARE",
+            RequestBody::Commit { .. } => "COMMIT",
+            RequestBody::Apply { .. } => "APPLY",
+            RequestBody::Materialize { .. } => "MATERIALIZE",
+            RequestBody::Watch { .. } => "WATCH",
+            RequestBody::PollWatch { .. } => "POLL_WATCH",
+            RequestBody::Unwatch { .. } => "UNWATCH",
+            RequestBody::Health => "HEALTH",
+            RequestBody::Metrics => "METRICS",
+            RequestBody::Stats => "STATS",
+            RequestBody::Sleep { .. } => "SLEEP",
+            RequestBody::Bye => "BYE",
+        }
+    }
+}
+
+impl Request {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", Json::Int(self.id as i64)),
+            ("op", Json::str(self.body.op())),
+        ];
+        match &self.body {
+            RequestBody::Hello { secret, proto } => {
+                let s = match secret {
+                    Some(s) => Json::str(s.clone()),
+                    None => Json::Null,
+                };
+                pairs.push(("secret", s));
+                pairs.push(("proto", Json::Int(*proto)));
+            }
+            RequestBody::Voql { src } => pairs.push(("src", Json::str(src.clone()))),
+            RequestBody::Prepare { object, requests } | RequestBody::Apply { object, requests } => {
+                pairs.push(("object", Json::str(object.clone())));
+                pairs.push((
+                    "requests",
+                    Json::Arr(requests.iter().map(|r| r.to_json()).collect()),
+                ));
+            }
+            RequestBody::Commit { handle } => pairs.push(("handle", Json::Int(*handle as i64))),
+            RequestBody::Materialize { object } | RequestBody::Watch { object } => {
+                pairs.push(("object", Json::str(object.clone())))
+            }
+            RequestBody::PollWatch { watch } | RequestBody::Unwatch { watch } => {
+                pairs.push(("watch", Json::Int(*watch as i64)))
+            }
+            RequestBody::Sleep { millis } => pairs.push(("millis", Json::Int(*millis as i64))),
+            RequestBody::Pin
+            | RequestBody::Health
+            | RequestBody::Metrics
+            | RequestBody::Stats
+            | RequestBody::Bye => {}
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> NetResult<Self> {
+        let id = wire_u64(json.field("id")?)?;
+        let op = json.field("op")?.as_str()?.to_owned();
+        let body = match op.as_str() {
+            "HELLO" => RequestBody::Hello {
+                secret: match json.field("secret")? {
+                    Json::Null => None,
+                    other => Some(other.as_str()?.to_owned()),
+                },
+                proto: json.field("proto")?.as_i64()?,
+            },
+            "VOQL" => RequestBody::Voql {
+                src: json.field("src")?.as_str()?.to_owned(),
+            },
+            "PIN" => RequestBody::Pin,
+            "PREPARE" | "APPLY" => {
+                let object = json.field("object")?.as_str()?.to_owned();
+                let requests = json
+                    .field("requests")?
+                    .elements()?
+                    .iter()
+                    .map(|r| UpdateRequest::from_json(r).map_err(|e| NetError::Json(e.to_string())))
+                    .collect::<NetResult<Vec<_>>>()?;
+                if op == "PREPARE" {
+                    RequestBody::Prepare { object, requests }
+                } else {
+                    RequestBody::Apply { object, requests }
+                }
+            }
+            "COMMIT" => RequestBody::Commit {
+                handle: wire_u64(json.field("handle")?)?,
+            },
+            "MATERIALIZE" => RequestBody::Materialize {
+                object: json.field("object")?.as_str()?.to_owned(),
+            },
+            "WATCH" => RequestBody::Watch {
+                object: json.field("object")?.as_str()?.to_owned(),
+            },
+            "POLL_WATCH" => RequestBody::PollWatch {
+                watch: wire_u64(json.field("watch")?)?,
+            },
+            "UNWATCH" => RequestBody::Unwatch {
+                watch: wire_u64(json.field("watch")?)?,
+            },
+            "HEALTH" => RequestBody::Health,
+            "METRICS" => RequestBody::Metrics,
+            "STATS" => RequestBody::Stats,
+            "SLEEP" => RequestBody::Sleep {
+                millis: wire_u64(json.field("millis")?)?,
+            },
+            "BYE" => RequestBody::Bye,
+            other => return Err(NetError::Json(format!("unknown op `{other}`"))),
+        };
+        Ok(Request { id, body })
+    }
+}
+
+// ------------------------------------------------------------- responses --
+
+/// One server response: the request's id plus a result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Correlation id of the request answered (0 for connection-level
+    /// failures sent before any request decoded).
+    pub id: u64,
+    /// Outcome.
+    pub result: Result<ResponseBody, WireError>,
+}
+
+/// Everything a successful request can return.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Handshake accepted.
+    Hello {
+        /// Server identification string.
+        server: String,
+        /// Server protocol version.
+        proto: i64,
+        /// Version the connection's session was pinned at.
+        version: u64,
+    },
+    /// Instances returned by a VOQL `GET`.
+    Instances(Vec<VoInstance>),
+    /// Informational text (`SHOW …`).
+    Text(String),
+    /// Instances deleted by a VOQL `DELETE`.
+    Deleted(u64),
+    /// Instances updated by a VOQL `UPDATE`.
+    Updated(u64),
+    /// Session re-pinned.
+    Pinned {
+        /// Version of the new snapshot.
+        version: u64,
+    },
+    /// Batch translated against the pinned snapshot.
+    Prepared {
+        /// One-shot handle to pass to `COMMIT`.
+        handle: u64,
+        /// Version the preparation read.
+        base_version: u64,
+        /// Relations the translators consulted (the conflict footprint).
+        touched: Vec<String>,
+    },
+    /// Batch committed (via `COMMIT` or `APPLY`).
+    Committed {
+        /// Requests in the batch.
+        requests: u64,
+        /// Relational ops the translation produced.
+        total_ops: u64,
+    },
+    /// Object materialized server-side.
+    Materialized {
+        /// Instances in the fresh view.
+        instances: u64,
+    },
+    /// Watch subscription established.
+    Watching {
+        /// Handle to pass to `POLL_WATCH` / `UNWATCH`.
+        watch: u64,
+    },
+    /// Instance-level changes drained by `POLL_WATCH`.
+    Changes(Vec<InstanceChange>),
+    /// Health report, as its JSON rendering.
+    Health(Json),
+    /// Prometheus-style text exposition of every metric.
+    Metrics(String),
+    /// Server counters.
+    Stats(Json),
+    /// Acknowledgement with no payload (`UNWATCH`, `SLEEP`, `BYE`).
+    Done,
+}
+
+impl ResponseBody {
+    fn kind(&self) -> &'static str {
+        match self {
+            ResponseBody::Hello { .. } => "hello",
+            ResponseBody::Instances(_) => "instances",
+            ResponseBody::Text(_) => "text",
+            ResponseBody::Deleted(_) => "deleted",
+            ResponseBody::Updated(_) => "updated",
+            ResponseBody::Pinned { .. } => "pinned",
+            ResponseBody::Prepared { .. } => "prepared",
+            ResponseBody::Committed { .. } => "committed",
+            ResponseBody::Materialized { .. } => "materialized",
+            ResponseBody::Watching { .. } => "watching",
+            ResponseBody::Changes(_) => "changes",
+            ResponseBody::Health(_) => "health",
+            ResponseBody::Metrics(_) => "metrics",
+            ResponseBody::Stats(_) => "stats",
+            ResponseBody::Done => "done",
+        }
+    }
+}
+
+impl Response {
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("id", Json::Int(self.id as i64))];
+        match &self.result {
+            Ok(body) => {
+                pairs.push(("ok", Json::Bool(true)));
+                pairs.push(("kind", Json::str(body.kind())));
+                match body {
+                    ResponseBody::Hello {
+                        server,
+                        proto,
+                        version,
+                    } => {
+                        pairs.push(("server", Json::str(server.clone())));
+                        pairs.push(("proto", Json::Int(*proto)));
+                        pairs.push(("version", Json::Int(*version as i64)));
+                    }
+                    ResponseBody::Instances(instances) => pairs.push((
+                        "instances",
+                        Json::Arr(instances.iter().map(|i| i.to_json()).collect()),
+                    )),
+                    ResponseBody::Text(t) | ResponseBody::Metrics(t) => {
+                        pairs.push(("text", Json::str(t.clone())))
+                    }
+                    ResponseBody::Deleted(n) | ResponseBody::Updated(n) => {
+                        pairs.push(("count", Json::Int(*n as i64)))
+                    }
+                    ResponseBody::Pinned { version } => {
+                        pairs.push(("version", Json::Int(*version as i64)))
+                    }
+                    ResponseBody::Prepared {
+                        handle,
+                        base_version,
+                        touched,
+                    } => {
+                        pairs.push(("handle", Json::Int(*handle as i64)));
+                        pairs.push(("base_version", Json::Int(*base_version as i64)));
+                        pairs.push((
+                            "touched",
+                            Json::Arr(touched.iter().map(|t| Json::str(t.clone())).collect()),
+                        ));
+                    }
+                    ResponseBody::Committed {
+                        requests,
+                        total_ops,
+                    } => {
+                        pairs.push(("requests", Json::Int(*requests as i64)));
+                        pairs.push(("total_ops", Json::Int(*total_ops as i64)));
+                    }
+                    ResponseBody::Materialized { instances } => {
+                        pairs.push(("count", Json::Int(*instances as i64)))
+                    }
+                    ResponseBody::Watching { watch } => {
+                        pairs.push(("watch", Json::Int(*watch as i64)))
+                    }
+                    ResponseBody::Changes(changes) => pairs.push((
+                        "changes",
+                        Json::Arr(changes.iter().map(change_to_json).collect()),
+                    )),
+                    ResponseBody::Health(j) | ResponseBody::Stats(j) => {
+                        pairs.push(("report", j.clone()))
+                    }
+                    ResponseBody::Done => {}
+                }
+            }
+            Err(err) => {
+                pairs.push(("ok", Json::Bool(false)));
+                pairs.push(("error", err.to_json()));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> NetResult<Self> {
+        let id = wire_u64(json.field("id")?)?;
+        if !json.field("ok")?.as_bool()? {
+            return Ok(Response {
+                id,
+                result: Err(WireError::from_json(json.field("error")?)?),
+            });
+        }
+        let kind = json.field("kind")?.as_str()?.to_owned();
+        let body = match kind.as_str() {
+            "hello" => ResponseBody::Hello {
+                server: json.field("server")?.as_str()?.to_owned(),
+                proto: json.field("proto")?.as_i64()?,
+                version: wire_u64(json.field("version")?)?,
+            },
+            "instances" => ResponseBody::Instances(
+                json.field("instances")?
+                    .elements()?
+                    .iter()
+                    .map(|i| VoInstance::from_json(i).map_err(|e| NetError::Json(e.to_string())))
+                    .collect::<NetResult<Vec<_>>>()?,
+            ),
+            "text" => ResponseBody::Text(json.field("text")?.as_str()?.to_owned()),
+            "metrics" => ResponseBody::Metrics(json.field("text")?.as_str()?.to_owned()),
+            "deleted" => ResponseBody::Deleted(wire_u64(json.field("count")?)?),
+            "updated" => ResponseBody::Updated(wire_u64(json.field("count")?)?),
+            "pinned" => ResponseBody::Pinned {
+                version: wire_u64(json.field("version")?)?,
+            },
+            "prepared" => ResponseBody::Prepared {
+                handle: wire_u64(json.field("handle")?)?,
+                base_version: wire_u64(json.field("base_version")?)?,
+                touched: json
+                    .field("touched")?
+                    .elements()?
+                    .iter()
+                    .map(|t| Ok(t.as_str()?.to_owned()))
+                    .collect::<NetResult<Vec<_>>>()?,
+            },
+            "committed" => ResponseBody::Committed {
+                requests: wire_u64(json.field("requests")?)?,
+                total_ops: wire_u64(json.field("total_ops")?)?,
+            },
+            "materialized" => ResponseBody::Materialized {
+                instances: wire_u64(json.field("count")?)?,
+            },
+            "watching" => ResponseBody::Watching {
+                watch: wire_u64(json.field("watch")?)?,
+            },
+            "changes" => ResponseBody::Changes(
+                json.field("changes")?
+                    .elements()?
+                    .iter()
+                    .map(change_from_json)
+                    .collect::<NetResult<Vec<_>>>()?,
+            ),
+            "health" => ResponseBody::Health(json.field("report")?.clone()),
+            "stats" => ResponseBody::Stats(json.field("report")?.clone()),
+            "done" => ResponseBody::Done,
+            other => return Err(NetError::Json(format!("unknown response kind `{other}`"))),
+        };
+        Ok(Response {
+            id,
+            result: Ok(body),
+        })
+    }
+}
+
+fn change_to_json(c: &InstanceChange) -> Json {
+    let kind = match c.kind {
+        ChangeKind::Inserted => "inserted",
+        ChangeKind::Removed => "removed",
+        ChangeKind::Updated => "updated",
+    };
+    Json::obj(vec![
+        ("pivot", c.pivot.to_json()),
+        ("kind", Json::str(kind)),
+    ])
+}
+
+fn change_from_json(json: &Json) -> NetResult<InstanceChange> {
+    let kind = match json.field("kind")?.as_str()? {
+        "inserted" => ChangeKind::Inserted,
+        "removed" => ChangeKind::Removed,
+        "updated" => ChangeKind::Updated,
+        other => return Err(NetError::Json(format!("unknown change kind `{other}`"))),
+    };
+    Ok(InstanceChange {
+        pivot: Key::from_json(json.field("pivot")?).map_err(|e| NetError::Json(e.to_string()))?,
+        kind,
+    })
+}
+
+fn wire_u64(json: &Json) -> NetResult<u64> {
+    let i = json.as_i64()?;
+    u64::try_from(i).map_err(|_| NetError::Json(format!("expected non-negative integer, got {i}")))
+}
+
+// ---------------------------------------------------------- typed errors --
+
+/// Machine-readable failure category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Handshake secret missing or wrong.
+    Auth,
+    /// The server is at its in-flight or queue capacity; retry later.
+    Busy,
+    /// The server is at its connection limit.
+    ConnLimit,
+    /// The request frame exceeded the server's size cap.
+    TooLarge,
+    /// The frame failed checksum or framing validation.
+    BadFrame,
+    /// The request decoded but is malformed or out of order.
+    BadRequest,
+    /// VOQL failed to parse; `data.position` carries the byte offset.
+    Parse,
+    /// First-committer-wins rejected a commit; `data` carries `relation`,
+    /// `base_version`, `head_version`.
+    Conflict,
+    /// Named object, relation, tuple, or handle does not exist.
+    NotFound,
+    /// The operation is disabled on this server (e.g. `SLEEP` outside
+    /// debug mode).
+    Unsupported,
+    /// Server-side failure not attributable to the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Auth => "auth",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ConnLimit => "conn_limit",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Conflict => "conflict",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> NetResult<Self> {
+        Ok(match s {
+            "auth" => ErrorCode::Auth,
+            "busy" => ErrorCode::Busy,
+            "conn_limit" => ErrorCode::ConnLimit,
+            "too_large" => ErrorCode::TooLarge,
+            "bad_frame" => ErrorCode::BadFrame,
+            "bad_request" => ErrorCode::BadRequest,
+            "parse" => ErrorCode::Parse,
+            "conflict" => ErrorCode::Conflict,
+            "not_found" => ErrorCode::NotFound,
+            "unsupported" => ErrorCode::Unsupported,
+            "internal" => ErrorCode::Internal,
+            other => return Err(NetError::Json(format!("unknown error code `{other}`"))),
+        })
+    }
+}
+
+/// A typed error crossing the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Category.
+    pub code: ErrorCode,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured extras (conflict versions, parse offsets, …).
+    pub data: Option<Json>,
+}
+
+impl WireError {
+    /// A bare coded error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+            data: None,
+        }
+    }
+
+    /// Attach structured data.
+    pub fn with_data(mut self, data: Json) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Encode as JSON.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("code", Json::str(self.code.as_str())),
+            ("message", Json::str(self.message.clone())),
+        ];
+        if let Some(data) = &self.data {
+            pairs.push(("data", data.clone()));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from JSON.
+    pub fn from_json(json: &Json) -> NetResult<Self> {
+        Ok(WireError {
+            code: ErrorCode::from_str(json.field("code")?.as_str()?)?,
+            message: json.field("message")?.as_str()?.to_owned(),
+            data: json.field("data").ok().cloned(),
+        })
+    }
+}
+
+impl From<&Error> for WireError {
+    fn from(e: &Error) -> Self {
+        match e {
+            Error::SqlParse { position, message } => WireError::new(
+                ErrorCode::Parse,
+                format!("parse error at byte {position}: {message}"),
+            )
+            .with_data(Json::obj(vec![("position", Json::Int(*position as i64))])),
+            Error::Conflict {
+                relation,
+                base_version,
+                head_version,
+            } => WireError::new(ErrorCode::Conflict, e.to_string()).with_data(Json::obj(vec![
+                ("relation", Json::str(relation.clone())),
+                ("base_version", Json::Int(*base_version as i64)),
+                ("head_version", Json::Int(*head_version as i64)),
+            ])),
+            Error::NoSuchRelation(_)
+            | Error::NoSuchAttribute { .. }
+            | Error::NoSuchTuple { .. } => WireError::new(ErrorCode::NotFound, e.to_string()),
+            // A rolled-back transaction reports its cause's category.
+            Error::Rolledback(inner) => WireError::from(inner.as_ref()),
+            Error::Storage(_) | Error::Serialization(_) | Error::JournalOverflow { .. } => {
+                WireError::new(ErrorCode::Internal, e.to_string())
+            }
+            _ => WireError::new(ErrorCode::BadRequest, e.to_string()),
+        }
+    }
+}
+
+impl From<&UpdateError> for WireError {
+    fn from(e: &UpdateError) -> Self {
+        let mut wire = WireError::from(e.source.as_ref());
+        wire.message = e.to_string();
+        let step = Json::str(format!("{:?}", e.step).to_lowercase());
+        wire.data = Some(match wire.data.take() {
+            Some(Json::Obj(mut pairs)) => {
+                pairs.push(("step".to_owned(), step));
+                Json::Obj(pairs)
+            }
+            _ => Json::obj(vec![("step", step)]),
+        });
+        wire
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vo_relational::value::Value;
+
+    fn roundtrip_request(req: Request) {
+        let json = req.to_json();
+        let parsed = vo_obs::json::parse(&json.compact()).unwrap();
+        assert_eq!(Request::from_json(&parsed).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let json = resp.to_json();
+        let parsed = vo_obs::json::parse(&json.compact()).unwrap();
+        assert_eq!(Response::from_json(&parsed).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for body in [
+            RequestBody::Hello {
+                secret: Some("s3cret".into()),
+                proto: PROTOCOL_VERSION,
+            },
+            RequestBody::Hello {
+                secret: None,
+                proto: PROTOCOL_VERSION,
+            },
+            RequestBody::Voql {
+                src: "GET omega WHERE level = 'graduate'".into(),
+            },
+            RequestBody::Pin,
+            RequestBody::Commit { handle: 7 },
+            RequestBody::Materialize {
+                object: "omega".into(),
+            },
+            RequestBody::Watch {
+                object: "omega".into(),
+            },
+            RequestBody::PollWatch { watch: 3 },
+            RequestBody::Unwatch { watch: 3 },
+            RequestBody::Health,
+            RequestBody::Metrics,
+            RequestBody::Stats,
+            RequestBody::Sleep { millis: 250 },
+            RequestBody::Bye,
+        ] {
+            roundtrip_request(Request { id: 42, body });
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for result in [
+            Ok(ResponseBody::Hello {
+                server: "penguin-vo/0.1.0".into(),
+                proto: PROTOCOL_VERSION,
+                version: 12,
+            }),
+            Ok(ResponseBody::Text("3 objects".into())),
+            Ok(ResponseBody::Deleted(2)),
+            Ok(ResponseBody::Updated(1)),
+            Ok(ResponseBody::Pinned { version: 9 }),
+            Ok(ResponseBody::Prepared {
+                handle: 1,
+                base_version: 9,
+                touched: vec!["COURSES".into(), "GRADES".into()],
+            }),
+            Ok(ResponseBody::Committed {
+                requests: 2,
+                total_ops: 5,
+            }),
+            Ok(ResponseBody::Materialized { instances: 4 }),
+            Ok(ResponseBody::Watching { watch: 1 }),
+            Ok(ResponseBody::Changes(vec![InstanceChange {
+                pivot: Key::new(vec![Value::text("CS101")]),
+                kind: ChangeKind::Updated,
+            }])),
+            Ok(ResponseBody::Metrics("# counters\n".into())),
+            Ok(ResponseBody::Done),
+            Err(WireError::new(ErrorCode::Busy, "server saturated")),
+            Err(
+                WireError::new(ErrorCode::Conflict, "validation failed").with_data(Json::obj(
+                    vec![
+                        ("relation", Json::str("COURSES")),
+                        ("base_version", Json::Int(9)),
+                        ("head_version", Json::Int(11)),
+                    ],
+                )),
+            ),
+        ] {
+            roundtrip_response(Response { id: 7, result });
+        }
+    }
+
+    #[test]
+    fn conflict_error_maps_to_typed_code_with_versions() {
+        let err = Error::Conflict {
+            relation: "COURSES".into(),
+            base_version: 4,
+            head_version: 6,
+        };
+        let wire = WireError::from(&err);
+        assert_eq!(wire.code, ErrorCode::Conflict);
+        let data = wire.data.unwrap();
+        assert_eq!(data.field("relation").unwrap().as_str().unwrap(), "COURSES");
+        assert_eq!(data.field("base_version").unwrap().as_i64().unwrap(), 4);
+        assert_eq!(data.field("head_version").unwrap().as_i64().unwrap(), 6);
+    }
+
+    #[test]
+    fn parse_error_carries_byte_offset() {
+        let err = Error::SqlParse {
+            position: 10,
+            message: "expected WHERE".into(),
+        };
+        let wire = WireError::from(&err);
+        assert_eq!(wire.code, ErrorCode::Parse);
+        assert_eq!(
+            wire.data
+                .unwrap()
+                .field("position")
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            10
+        );
+    }
+
+    #[test]
+    fn rolledback_reports_the_inner_category() {
+        let err = Error::Rolledback(Box::new(Error::NoSuchTuple {
+            relation: "COURSES".into(),
+            key: "CS999".into(),
+        }));
+        assert_eq!(WireError::from(&err).code, ErrorCode::NotFound);
+    }
+}

@@ -1,0 +1,426 @@
+//! The TCP server: accept loop, bounded worker pool, admission control.
+//!
+//! Concurrency model, in one paragraph: the accept thread admits sockets
+//! into a bounded queue; `workers` threads each pop one socket and serve it
+//! to completion (one request in flight per connection — the protocol is
+//! strictly request/response). Reads run on the connection's pinned
+//! [`vo_penguin::Session`] without any lock; writes take the single
+//! `Mutex<Penguin>`. Admission control is typed, not silent: a socket past
+//! `max_connections` is told [`ErrorCode::ConnLimit`], a socket past the
+//! queue depth — and a request past `max_inflight` — is told
+//! [`ErrorCode::Busy`], each as a proper response frame before the close,
+//! so clients can distinguish "come back later" from a crash.
+//!
+//! Every admission decision is visible twice: in the process-wide metrics
+//! registry (`net.connections.*`, `net.requests.*`, `net.bytes.*`,
+//! `net.request.micros`) and in the per-server [`ServerStats`] snapshot
+//! that the `STATS` request exposes over the wire.
+
+use crate::conn;
+use crate::frame::write_frame;
+use crate::proto::{ErrorCode, Response, WireError};
+use crate::NetResult;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vo_obs::json::Json;
+use vo_obs::metrics::{self, Counter, Histogram};
+use vo_penguin::Penguin;
+
+pub(crate) fn m_conns_accepted() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.connections.accepted"))
+}
+
+pub(crate) fn m_conns_rejected() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.connections.rejected"))
+}
+
+pub(crate) fn m_requests_ok() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.requests.ok"))
+}
+
+pub(crate) fn m_requests_error() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.requests.error"))
+}
+
+pub(crate) fn m_requests_rejected() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.requests.rejected"))
+}
+
+pub(crate) fn m_bytes_read() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.bytes.read"))
+}
+
+pub(crate) fn m_bytes_written() -> Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    *C.get_or_init(|| metrics::counter("net.bytes.written"))
+}
+
+pub(crate) fn m_request_micros() -> Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    *H.get_or_init(|| metrics::histogram("net.request.micros"))
+}
+
+/// Knobs for [`VoServer::start`]. Plain fields; spread from the default:
+/// `ServerOptions { workers: 8, ..ServerOptions::default() }`.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Address to bind; port 0 picks a free one (read it back via
+    /// [`VoServer::addr`]).
+    pub bind: String,
+    /// Shared secret every `HELLO` must present; `None` disables auth.
+    pub secret: Option<String>,
+    /// Admitted-connection ceiling (serving + queued). Excess sockets get
+    /// a typed `conn_limit` error and a close.
+    pub max_connections: usize,
+    /// Worker threads; also the number of connections served truly
+    /// concurrently.
+    pub workers: usize,
+    /// Admitted sockets allowed to wait for a free worker. Excess gets a
+    /// typed `busy` error and a close.
+    pub queue_depth: usize,
+    /// Requests allowed to execute concurrently across all connections.
+    /// Excess requests (not connections) get a typed `busy` error — the
+    /// connection survives and may retry.
+    pub max_inflight: usize,
+    /// Cap on one frame's payload, both directions.
+    pub max_frame_bytes: usize,
+    /// Once a frame has started arriving, how long the peer gets to finish
+    /// it (slow-loris guard). Idle time *between* frames is unlimited.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Poll interval for the stop flag on idle connections — bounds
+    /// shutdown latency, not throughput.
+    pub idle_tick: Duration,
+    /// Enable debug ops (`SLEEP`). Never turn this on outside tests.
+    pub enable_debug: bool,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            bind: "127.0.0.1:0".to_owned(),
+            secret: None,
+            max_connections: 64,
+            workers: 4,
+            queue_depth: 16,
+            max_inflight: 64,
+            max_frame_bytes: crate::frame::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_tick: Duration::from_millis(25),
+            enable_debug: false,
+        }
+    }
+}
+
+/// Point-in-time server counters, also served over the wire by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sockets admitted (served or queued).
+    pub conns_accepted: u64,
+    /// Sockets turned away at admission (`conn_limit`, or `busy` because
+    /// the accept queue was full). Handshake failures (bad secret, wrong
+    /// protocol) count under `requests_error` instead — the socket was
+    /// admitted and answered.
+    pub conns_rejected: u64,
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// Requests answered with a typed error (except `busy`).
+    pub requests_error: u64,
+    /// Requests refused with `busy` by the in-flight gate.
+    pub requests_rejected: u64,
+    /// Payload + header bytes received.
+    pub bytes_read: u64,
+    /// Payload + header bytes sent.
+    pub bytes_written: u64,
+    /// Connections currently admitted.
+    pub active_connections: u64,
+    /// Requests currently executing.
+    pub inflight: u64,
+}
+
+impl ServerStats {
+    /// Encode as JSON (the `STATS` response payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("conns_accepted", Json::Int(self.conns_accepted as i64)),
+            ("conns_rejected", Json::Int(self.conns_rejected as i64)),
+            ("requests_ok", Json::Int(self.requests_ok as i64)),
+            ("requests_error", Json::Int(self.requests_error as i64)),
+            (
+                "requests_rejected",
+                Json::Int(self.requests_rejected as i64),
+            ),
+            ("bytes_read", Json::Int(self.bytes_read as i64)),
+            ("bytes_written", Json::Int(self.bytes_written as i64)),
+            (
+                "active_connections",
+                Json::Int(self.active_connections as i64),
+            ),
+            ("inflight", Json::Int(self.inflight as i64)),
+        ])
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Tallies {
+    pub(crate) conns_accepted: AtomicU64,
+    pub(crate) conns_rejected: AtomicU64,
+    pub(crate) requests_ok: AtomicU64,
+    pub(crate) requests_error: AtomicU64,
+    pub(crate) requests_rejected: AtomicU64,
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+}
+
+/// State shared by the accept thread, the workers, and the facade.
+pub(crate) struct Shared {
+    pub(crate) penguin: Mutex<Penguin>,
+    pub(crate) opts: ServerOptions,
+    pub(crate) stop: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    pub(crate) inflight: AtomicUsize,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    pub(crate) tallies: Tallies,
+}
+
+impl Shared {
+    /// The single-writer facade. Lock poisoning is recovered — a panic in
+    /// one request must not brick the server for every other client.
+    pub(crate) fn penguin(&self) -> MutexGuard<'_, Penguin> {
+        self.penguin.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Try to take one in-flight permit; `false` means the caller must
+    /// answer `busy`.
+    pub(crate) fn try_acquire_inflight(&self) -> bool {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.opts.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn release_inflight(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn stats(&self) -> ServerStats {
+        ServerStats {
+            conns_accepted: self.tallies.conns_accepted.load(Ordering::Relaxed),
+            conns_rejected: self.tallies.conns_rejected.load(Ordering::Relaxed),
+            requests_ok: self.tallies.requests_ok.load(Ordering::Relaxed),
+            requests_error: self.tallies.requests_error.load(Ordering::Relaxed),
+            requests_rejected: self.tallies.requests_rejected.load(Ordering::Relaxed),
+            bytes_read: self.tallies.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.tallies.bytes_written.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed) as u64,
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+/// A running PENGUIN network server. Dropping it shuts it down.
+pub struct VoServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VoServer {
+    /// Bind, spawn the accept thread and the worker pool, and start
+    /// serving `penguin`.
+    pub fn start(penguin: Penguin, mut opts: ServerOptions) -> NetResult<VoServer> {
+        opts.workers = opts.workers.max(1);
+        opts.max_inflight = opts.max_inflight.max(1);
+        opts.max_connections = opts.max_connections.max(1);
+        let listener = TcpListener::bind(&opts.bind)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            penguin: Mutex::new(penguin),
+            opts,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            tallies: Tallies::default(),
+        });
+        let workers = (0..shared.opts.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vo-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vo-net-accept".to_owned())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn accept thread")
+        };
+        Ok(VoServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the admission and traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Run `f` against the served system under the writer lock — the
+    /// in-process escape hatch tests use to seed data or assert state
+    /// while the server runs.
+    pub fn with_penguin<T>(&self, f: impl FnOnce(&mut Penguin) -> T) -> T {
+        f(&mut self.shared.penguin())
+    }
+
+    /// Stop accepting, wake every idle connection, and join all threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for VoServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.stopping() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        admit(shared, stream);
+    }
+}
+
+fn admit(shared: &Arc<Shared>, stream: TcpStream) {
+    if shared.active.load(Ordering::Acquire) >= shared.opts.max_connections {
+        reject(
+            shared,
+            stream,
+            ErrorCode::ConnLimit,
+            "connection limit reached",
+        );
+        return;
+    }
+    let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+    if queue.len() >= shared.opts.queue_depth {
+        drop(queue);
+        reject(
+            shared,
+            stream,
+            ErrorCode::Busy,
+            "all workers busy and the accept queue is full",
+        );
+        return;
+    }
+    shared.active.fetch_add(1, Ordering::AcqRel);
+    shared
+        .tallies
+        .conns_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    m_conns_accepted().inc();
+    queue.push_back(stream);
+    drop(queue);
+    shared.queue_cv.notify_one();
+}
+
+/// Turn a socket away with a typed error frame (id 0: no request was
+/// read), best-effort — the peer may already be gone.
+fn reject(shared: &Arc<Shared>, mut stream: TcpStream, code: ErrorCode, message: &str) {
+    shared
+        .tallies
+        .conns_rejected
+        .fetch_add(1, Ordering::Relaxed);
+    m_conns_rejected().inc();
+    let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+    let response = Response {
+        id: 0,
+        result: Err(WireError::new(code, message)),
+    };
+    let payload = response.to_json().compact();
+    let _ = write_frame(&mut stream, payload.as_bytes(), shared.opts.max_frame_bytes);
+    // Drain whatever the client already sent (typically its HELLO) before
+    // dropping the socket. Closing with unread bytes in the receive buffer
+    // makes the kernel send an RST, which can discard the typed error frame
+    // we just wrote before the client gets to read it.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Runs on the accept thread: cap the drain so a stalling peer cannot
+    // hold up admission for longer than a second.
+    let drain = shared.opts.write_timeout.min(Duration::from_secs(1));
+    let _ = stream.set_read_timeout(Some(drain));
+    let mut sink = [0u8; 1024];
+    loop {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if shared.stopping() {
+                    return;
+                }
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait_timeout(queue, shared.opts.idle_tick)
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0;
+            }
+        };
+        conn::serve(shared, stream);
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}

@@ -140,6 +140,13 @@ pub struct HealthInputs {
     pub plan_cache_hits: u64,
     /// Plan-cache misses since start.
     pub plan_cache_misses: u64,
+    /// Currently open network connections (`None` when no server is
+    /// attached). Filled by the network layer, which evaluates the same
+    /// policy the facade uses so one verdict covers both.
+    pub net_active_connections: Option<u64>,
+    /// The server's global connection limit (`None` when no server is
+    /// attached or the limit is unbounded).
+    pub net_connection_limit: Option<u64>,
 }
 
 /// A custom, code-defined health rule (see [`HealthPolicy::with_rule`]).
@@ -178,6 +185,13 @@ pub struct HealthPolicy {
     /// Lookups before the hit-ratio rule applies (a cold cache is not a
     /// health problem).
     pub plan_cache_min_lookups: u64,
+    /// Connection saturation (active / limit) that degrades the verdict —
+    /// the server is close enough to its connection limit that admission
+    /// rejections are imminent.
+    pub conn_saturation_degraded: f64,
+    /// Connection saturation that makes the system unhealthy: at or past
+    /// this ratio new clients are being turned away.
+    pub conn_saturation_unhealthy: f64,
     /// Additional code-defined rules, evaluated after the built-ins.
     rules: Vec<HealthRule>,
 }
@@ -196,6 +210,8 @@ impl std::fmt::Debug for HealthPolicy {
             .field("wal_segments_unhealthy", &self.wal_segments_unhealthy)
             .field("plan_cache_min_hit_ratio", &self.plan_cache_min_hit_ratio)
             .field("plan_cache_min_lookups", &self.plan_cache_min_lookups)
+            .field("conn_saturation_degraded", &self.conn_saturation_degraded)
+            .field("conn_saturation_unhealthy", &self.conn_saturation_unhealthy)
             .field("rules", &self.rules.len())
             .finish()
     }
@@ -218,6 +234,8 @@ impl Default for HealthPolicy {
             wal_segments_unhealthy: 512,
             plan_cache_min_hit_ratio: 0.5,
             plan_cache_min_lookups: 128,
+            conn_saturation_degraded: 0.85,
+            conn_saturation_unhealthy: 1.0,
             rules: Vec::new(),
         }
     }
@@ -377,6 +395,38 @@ impl HealthPolicy {
             }
         }
 
+        if let (Some(active), Some(limit)) =
+            (inputs.net_active_connections, inputs.net_connection_limit)
+        {
+            if limit > 0 {
+                let ratio = active as f64 / limit as f64;
+                let crossing = if ratio >= self.conn_saturation_unhealthy {
+                    Some((HealthStatus::Unhealthy, self.conn_saturation_unhealthy))
+                } else if ratio >= self.conn_saturation_degraded {
+                    Some((HealthStatus::Degraded, self.conn_saturation_degraded))
+                } else {
+                    None
+                };
+                if let Some((status, threshold)) = crossing {
+                    reasons.push(HealthReason {
+                        code: "connection_saturation".to_owned(),
+                        status,
+                        value: ratio,
+                        threshold,
+                        detail: format!(
+                            "{active} of {limit} network connections in use; new clients \
+                             {} rejection",
+                            if status == HealthStatus::Unhealthy {
+                                "face"
+                            } else {
+                                "approach"
+                            }
+                        ),
+                    });
+                }
+            }
+        }
+
         for rule in &self.rules {
             if let Some(reason) = rule(inputs) {
                 reasons.push(reason);
@@ -501,6 +551,46 @@ mod tests {
         assert!(by_code("wal_bytes").detail.contains("across 7 segments"));
         // a healthy segment count contributes no reason of its own
         assert!(!report.reasons.iter().any(|r| r.code == "wal_segments"));
+    }
+
+    #[test]
+    fn connection_saturation_grades_by_ratio() {
+        let policy = HealthPolicy::default();
+        // well below the limit → no reason
+        let quiet = policy.evaluate(&HealthInputs {
+            net_active_connections: Some(8),
+            net_connection_limit: Some(64),
+            ..HealthInputs::default()
+        });
+        assert!(quiet.is_ok());
+        // approaching the limit → degraded
+        let near = policy.evaluate(&HealthInputs {
+            net_active_connections: Some(55),
+            net_connection_limit: Some(64),
+            ..HealthInputs::default()
+        });
+        assert_eq!(near.status, HealthStatus::Degraded);
+        assert_eq!(near.reasons[0].code, "connection_saturation");
+        // at the limit → unhealthy, and the detail names the numbers
+        let full = policy.evaluate(&HealthInputs {
+            net_active_connections: Some(64),
+            net_connection_limit: Some(64),
+            ..HealthInputs::default()
+        });
+        assert_eq!(full.status, HealthStatus::Unhealthy);
+        assert!(full.reasons[0].detail.contains("64 of 64"));
+        // no server attached (or unbounded limit) → signal absent
+        let detached = policy.evaluate(&HealthInputs {
+            net_active_connections: Some(10),
+            ..HealthInputs::default()
+        });
+        assert!(detached.is_ok());
+        let unbounded = policy.evaluate(&HealthInputs {
+            net_active_connections: Some(10),
+            net_connection_limit: Some(0),
+            ..HealthInputs::default()
+        });
+        assert!(unbounded.is_ok());
     }
 
     #[test]

@@ -184,19 +184,27 @@ impl Session {
         check_database(&self.schema, self.database())
     }
 
-    /// Run the read-only VOQL subset (`GET`, `SHOW ...`) against the
-    /// pinned version. `DELETE` and `UPDATE` are rejected: a session
-    /// never mutates — prepare the change here
-    /// ([`Session::prepare_batch`]) and commit it at the head
-    /// ([`crate::system::Penguin::commit_prepared`]).
-    pub fn voql(&self, src: &str) -> Result<VoqlOutcome> {
-        match voql::parse_with(&|n| self.object(n).map(|r| &r.object), src)? {
+    /// Parse a VOQL statement against the session's pinned object
+    /// registry, without executing it. Lets a caller classify the
+    /// statement first — a network server runs `GET`/`SHOW` right here on
+    /// the pinned snapshot and routes `DELETE`/`UPDATE` to the head
+    /// writer instead.
+    pub fn parse_voql(&self, src: &str) -> Result<VoqlStatement> {
+        voql::parse_with(&|n| self.object(n).map(|r| &r.object), src)
+    }
+
+    /// Execute an already-parsed statement against the pinned version.
+    /// `DELETE` and `UPDATE` are rejected: a session never mutates —
+    /// prepare the change here ([`Session::prepare_batch`]) and commit it
+    /// at the head ([`crate::system::Penguin::commit_prepared`]).
+    pub fn execute_voql(&self, stmt: &VoqlStatement) -> Result<VoqlOutcome> {
+        match stmt {
             VoqlStatement::Get { object, query } => {
-                Ok(VoqlOutcome::Instances(self.query(&object, &query)?))
+                Ok(VoqlOutcome::Instances(self.query(object, query)?))
             }
             VoqlStatement::ShowObjects => Ok(VoqlOutcome::Text(self.object_names().join("\n"))),
             VoqlStatement::ShowObject(name) => Ok(VoqlOutcome::Text(
-                self.object(&name)?.object.to_tree_string(&self.schema),
+                self.object(name)?.object.to_tree_string(&self.schema),
             )),
             VoqlStatement::ShowSchema => Ok(VoqlOutcome::Text(self.schema.to_graph_string())),
             VoqlStatement::Delete { object, .. } | VoqlStatement::Update { object, .. } => {
@@ -206,6 +214,13 @@ impl Session {
                 )))
             }
         }
+    }
+
+    /// Run the read-only VOQL subset (`GET`, `SHOW ...`) against the
+    /// pinned version — [`Session::parse_voql`] followed by
+    /// [`Session::execute_voql`].
+    pub fn voql(&self, src: &str) -> Result<VoqlOutcome> {
+        self.execute_voql(&self.parse_voql(src)?)
     }
 
     /// Translate a batch against the pinned version without committing

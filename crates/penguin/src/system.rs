@@ -243,6 +243,12 @@ pub struct Penguin {
     last_health: Cell<HealthStatus>,
 }
 
+// The facade is single-writer (`RefCell`/`Cell` interior state, so not
+// `Sync`) but must cross threads by move: a network server owns it behind
+// a mutex on its own thread. Fail the build if a field ever stops being
+// sendable.
+const _: fn() = vo_exec::assert_send::<Penguin>;
+
 /// Handle for a [`Penguin::watch`] subscription.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct WatchId(u64);
@@ -1214,6 +1220,11 @@ impl Penguin {
             recovery_torn_tail: self.recovery.map(|r| r.torn_tail_truncated),
             plan_cache_hits: stats.hits,
             plan_cache_misses: stats.misses,
+            // connection saturation belongs to the network layer: a server
+            // fills these from its admission counters before evaluating
+            // the same policy (see `vo-net`)
+            net_active_connections: None,
+            net_connection_limit: None,
         }
     }
 
@@ -1674,8 +1685,16 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Deprecated-contract test — deliberately exercises the deprecated
+    /// [`Penguin::database_mut`] borrow (every other caller has migrated
+    /// to [`Penguin::with_database_mut`]). The contract under test: a
+    /// pending borrow's DML + DDL is parked and flushed (checkpointing if
+    /// the structure epoch moved) when the *next* borrow is handed out,
+    /// so a crash between borrows loses only the newest borrow's writes.
+    /// Keep this as the one sanctioned `#[allow(deprecated)]` use; do not
+    /// migrate it, or the reentry path loses its only coverage.
     #[test]
-    #[allow(deprecated)] // the deprecated borrow's park-and-flush-on-reentry contract is under test
+    #[allow(deprecated)]
     fn ddl_between_borrows_is_checkpointed_on_reentry() {
         let dir = std::env::temp_dir().join(format!("penguin_ddl_reentry_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();

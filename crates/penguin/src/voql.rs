@@ -23,6 +23,11 @@
 //! ```text
 //! GET omega WHERE level = 'graduate' AND COUNT(STUDENT) < 5
 //! ```
+//!
+//! Parse errors ([`Error::SqlParse`]) carry the **byte offset** of the
+//! offending token (or the source length when the statement ends too
+//! early), so remote clients get machine-usable error locations over the
+//! wire.
 
 use crate::system::Penguin;
 use vo_core::prelude::*;
@@ -86,7 +91,9 @@ enum Tok {
     Sym(&'static str),
 }
 
-fn tokenize(src: &str) -> Result<Vec<Tok>> {
+/// Tokenize `src`, returning each token alongside the byte offset it
+/// starts at — the offsets parser errors report.
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>> {
     let bytes = src.as_bytes();
     let mut pos = 0;
     let mut out = Vec::new();
@@ -103,7 +110,7 @@ fn tokenize(src: &str) -> Result<Vec<Tok>> {
             {
                 pos += 1;
             }
-            out.push(Tok::Word(src[start..pos].to_owned()));
+            out.push((Tok::Word(src[start..pos].to_owned()), start));
         } else if c.is_ascii_digit()
             || (c == '-' && pos + 1 < bytes.len() && (bytes[pos + 1] as char).is_ascii_digit())
         {
@@ -119,15 +126,21 @@ fn tokenize(src: &str) -> Result<Vec<Tok>> {
             }
             let text = &src[start..pos];
             if float {
-                out.push(Tok::Float(text.parse().map_err(|_| Error::SqlParse {
-                    position: start,
-                    message: "bad float".into(),
-                })?));
+                out.push((
+                    Tok::Float(text.parse().map_err(|_| Error::SqlParse {
+                        position: start,
+                        message: "bad float".into(),
+                    })?),
+                    start,
+                ));
             } else {
-                out.push(Tok::Int(text.parse().map_err(|_| Error::SqlParse {
-                    position: start,
-                    message: "bad integer".into(),
-                })?));
+                out.push((
+                    Tok::Int(text.parse().map_err(|_| Error::SqlParse {
+                        position: start,
+                        message: "bad integer".into(),
+                    })?),
+                    start,
+                ));
             }
         } else if c == '\'' {
             let start = pos;
@@ -152,8 +165,9 @@ fn tokenize(src: &str) -> Result<Vec<Tok>> {
                 s.push(bytes[pos] as char);
                 pos += 1;
             }
-            out.push(Tok::Str(s));
+            out.push((Tok::Str(s), start));
         } else {
+            let start = pos;
             let sym: &'static str = match c {
                 '(' => "(",
                 ')' => ")",
@@ -183,7 +197,7 @@ fn tokenize(src: &str) -> Result<Vec<Tok>> {
                 }
             };
             pos += sym.len();
-            out.push(Tok::Sym(sym));
+            out.push((Tok::Sym(sym), start));
         }
     }
     Ok(out)
@@ -193,16 +207,31 @@ fn tokenize(src: &str) -> Result<Vec<Tok>> {
 
 struct P<'a> {
     toks: Vec<Tok>,
+    /// Byte offset each token starts at, parallel to `toks`.
+    spans: Vec<usize>,
+    /// Length of the source, reported when the statement ends too early.
+    src_len: usize,
     pos: usize,
     object: Option<&'a ViewObject>,
 }
 
 impl<'a> P<'a> {
-    fn err(&self, message: impl Into<String>) -> Error {
+    /// Byte offset of the token at `idx` (source length past the end).
+    fn offset(&self, idx: usize) -> usize {
+        self.spans.get(idx).copied().unwrap_or(self.src_len)
+    }
+
+    /// Error anchored at the token `idx` points to.
+    fn err_at(&self, idx: usize, message: impl Into<String>) -> Error {
         Error::SqlParse {
-            position: self.pos,
+            position: self.offset(idx),
             message: message.into(),
         }
+    }
+
+    /// Error anchored at the *next* (not yet consumed) token.
+    fn err(&self, message: impl Into<String>) -> Error {
+        self.err_at(self.pos, message)
     }
 
     fn next(&mut self) -> Result<Tok> {
@@ -236,13 +265,15 @@ impl<'a> P<'a> {
     }
 
     fn word(&mut self) -> Result<String> {
+        let at = self.pos;
         match self.next()? {
             Tok::Word(w) => Ok(w),
-            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+            other => Err(self.err_at(at, format!("expected identifier, got {other:?}"))),
         }
     }
 
     fn cmp_op(&mut self) -> Result<CmpOp> {
+        let at = self.pos;
         match self.next()? {
             Tok::Sym("=") => Ok(CmpOp::Eq),
             Tok::Sym("<>") => Ok(CmpOp::Ne),
@@ -250,11 +281,12 @@ impl<'a> P<'a> {
             Tok::Sym("<=") => Ok(CmpOp::Le),
             Tok::Sym(">") => Ok(CmpOp::Gt),
             Tok::Sym(">=") => Ok(CmpOp::Ge),
-            other => Err(self.err(format!("expected comparison, got {other:?}"))),
+            other => Err(self.err_at(at, format!("expected comparison, got {other:?}"))),
         }
     }
 
     fn literal(&mut self) -> Result<Value> {
+        let at = self.pos;
         match self.next()? {
             Tok::Int(i) => Ok(Value::Int(i)),
             Tok::Float(x) => Ok(Value::Float(x)),
@@ -262,7 +294,7 @@ impl<'a> P<'a> {
             Tok::Word(w) if w.eq_ignore_ascii_case("null") => Ok(Value::Null),
             Tok::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Tok::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
-            other => Err(self.err(format!("expected literal, got {other:?}"))),
+            other => Err(self.err_at(at, format!("expected literal, got {other:?}"))),
         }
     }
 
@@ -290,10 +322,13 @@ impl<'a> P<'a> {
                 let rel = self.word()?;
                 self.expect_sym(")")?;
                 let op = self.cmp_op()?;
+                let at = self.pos;
                 let n = match self.next()? {
                     Tok::Int(i) if i >= 0 => i as usize,
                     other => {
-                        return Err(self.err(format!("expected non-negative count, got {other:?}")))
+                        return Err(
+                            self.err_at(at, format!("expected non-negative count, got {other:?}"))
+                        )
                     }
                 };
                 q = q.with_count(self.node_of(&rel)?, op, n);
@@ -332,9 +367,10 @@ impl<'a> P<'a> {
     }
 
     fn expect_sym(&mut self, s: &str) -> Result<()> {
+        let at = self.pos;
         match self.next()? {
             Tok::Sym(x) if x == s => Ok(()),
-            other => Err(self.err(format!("expected {s}, got {other:?}"))),
+            other => Err(self.err_at(at, format!("expected {s}, got {other:?}"))),
         }
     }
 
@@ -360,9 +396,11 @@ pub(crate) fn parse_with<'a>(
     lookup: &dyn Fn(&str) -> Result<&'a ViewObject>,
     src: &str,
 ) -> Result<VoqlStatement> {
-    let toks = tokenize(src)?;
+    let (toks, spans): (Vec<Tok>, Vec<usize>) = tokenize(src)?.into_iter().unzip();
     let mut p = P {
         toks,
+        spans,
+        src_len: src.len(),
         pos: 0,
         object: None,
     };
@@ -426,9 +464,12 @@ pub(crate) fn parse_with<'a>(
         }
     }
     if p.eat_word("LIMIT") {
+        let at = p.pos;
         match p.next()? {
             Tok::Int(n) if n >= 0 => query.limit = Some(n as usize),
-            other => return Err(p.err(format!("expected non-negative LIMIT, got {other:?}"))),
+            other => {
+                return Err(p.err_at(at, format!("expected non-negative LIMIT, got {other:?}")))
+            }
         }
     }
     p.finish()?;
@@ -671,5 +712,38 @@ mod tests {
         assert!(run(&mut p, "FETCH omega").is_err());
         assert!(run(&mut p, "GET omega WHERE COUNT(STUDENT) < -1").is_err());
         assert!(run(&mut p, "GET omega trailing").is_err());
+    }
+
+    fn parse_position(p: &Penguin, src: &str) -> usize {
+        match parse(p, src).unwrap_err() {
+            Error::SqlParse { position, message } => {
+                assert!(!message.is_empty());
+                position
+            }
+            other => panic!("expected SqlParse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let p = system();
+        // a misspelled WHERE leaves `WHRE` as a trailing token: the error
+        // points at its byte offset, not a token index
+        let src = "GET omega WHRE level = 'graduate'";
+        assert_eq!(parse_position(&p, src), src.find("WHRE").unwrap());
+        // a missing comparison operator anchors at the literal that
+        // appeared where the operator belonged
+        let src = "GET omega WHERE level 'graduate'";
+        assert_eq!(parse_position(&p, src), src.find("'graduate'").unwrap());
+    }
+
+    #[test]
+    fn truncated_statement_reports_source_length() {
+        let p = system();
+        let src = "GET omega WHERE level =";
+        assert_eq!(parse_position(&p, src), src.len());
+        // offsets hold for multi-byte-safe ASCII positions after strings too
+        let src = "GET omega WHERE title = 'x' AND";
+        assert_eq!(parse_position(&p, src), src.len());
     }
 }

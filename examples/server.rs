@@ -1,0 +1,52 @@
+//! Serve the university fixture over the framed TCP protocol.
+//!
+//! ```text
+//! cargo run --example server
+//! # then, in another terminal:
+//! cargo run --example client
+//! ```
+//!
+//! Binds `VO_NET_ADDR` (default `127.0.0.1:7878`) and serves until
+//! killed. Set `VO_NET_SECRET` to require a shared-secret handshake.
+//! Every connection gets its own pinned MVCC session, so concurrent
+//! clients read a stable snapshot while commits race through the
+//! first-committer-wins funnel.
+
+use penguin_vo::prelude::*;
+
+fn main() -> Result<()> {
+    let mut penguin = Penguin::with_database(university_schema(), {
+        let schema = university_schema();
+        let mut db = Database::from_schema(schema.catalog());
+        seed_figure4(&mut db)?;
+        db
+    });
+    penguin.define_object(
+        "omega",
+        "COURSES",
+        &["DEPARTMENT", "CURRICULUM", "GRADES", "STUDENT"],
+    )?;
+    let object = penguin.object("omega")?.object.clone();
+    penguin.install_translator("omega", Translator::permissive(&object))?;
+
+    let opts = ServerOptions {
+        bind: std::env::var("VO_NET_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".into()),
+        secret: std::env::var("VO_NET_SECRET").ok(),
+        ..ServerOptions::default()
+    };
+    let secured = opts.secret.is_some();
+    let server = VoServer::start(penguin, opts).expect("bind");
+    println!("penguin-vo serving on {}", server.addr());
+    println!("  object  : omega (COURSES pivot, permissive translator)");
+    println!(
+        "  auth    : {}",
+        if secured { "shared secret" } else { "open" }
+    );
+    println!("  try     : cargo run --example client");
+    println!("  stop    : Ctrl-C");
+
+    // The accept loop and workers run on their own threads; park forever.
+    loop {
+        std::thread::park();
+    }
+}

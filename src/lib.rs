@@ -21,6 +21,9 @@
 //!    translator-choice dialog.
 //! 5. [`penguin`] (`vo-penguin`) — the PENGUIN facade with the VOQL query
 //!    language, fixtures, and workload generators.
+//! 6. [`net`] (`vo-net`) — PENGUIN as a network service: a framed TCP
+//!    protocol serving concurrent VOQL, with one pinned MVCC session per
+//!    connection and first-committer-wins commits over the wire.
 //!
 //! Underneath all of them sits [`obs`] (`vo-obs`): span tracing, a metrics
 //! registry, and the operator-tree profiles behind `EXPLAIN ANALYZE` and
@@ -41,6 +44,7 @@
 pub use vo_core as core;
 pub use vo_exec as exec;
 pub use vo_keller as keller;
+pub use vo_net as net;
 pub use vo_obs as obs;
 pub use vo_penguin as penguin;
 pub use vo_relational as relational;
@@ -51,6 +55,10 @@ pub use vo_structural as structural;
 pub mod prelude {
     pub use vo_core::prelude::*;
     pub use vo_keller::{choose_keller_translator, KellerTranslator, SpjView, ViewDelta};
+    pub use vo_net::{
+        ClientOptions, ErrorCode, NetError, ServerOptions, ServerStats, VoClient, VoServer,
+        VoqlResult,
+    };
     pub use vo_obs::health::{
         HealthInputs, HealthPolicy, HealthReason, HealthReport, HealthStatus, StalenessInput,
     };
